@@ -1,0 +1,78 @@
+//! Benchmarks for the difficulty estimators (§V-C): assignment-based is
+//! O(|A|); generation-based is O(F·S) per item plus the prior cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use upskill_core::difficulty::{
+    assignment_difficulty_all, empirical_prior, generation_difficulty_all,
+    generation_difficulty_with_prior, SkillPrior,
+};
+use upskill_core::train::{train, TrainConfig};
+use upskill_datasets::synthetic::{generate, SyntheticConfig};
+
+fn trained() -> (upskill_datasets::synthetic::SyntheticData, upskill_core::TrainResult) {
+    let data = generate(&SyntheticConfig {
+        n_users: 100,
+        n_items: 1_000,
+        n_levels: 5,
+        mean_sequence_len: 40.0,
+        p_at_level: 0.5,
+        p_advance: 0.1,
+        n_categories: 10,
+        seed: 6,
+    })
+    .expect("generation");
+    let result = train(&data.dataset, &TrainConfig::new(5).with_min_init_actions(30))
+        .expect("training");
+    (data, result)
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let (data, result) = trained();
+    let mut group = c.benchmark_group("difficulty/all_items");
+    group.bench_function("assignment", |b| {
+        b.iter(|| {
+            assignment_difficulty_all(&data.dataset, &result.assignments).expect("difficulty")
+        })
+    });
+    group.bench_function("generation_uniform", |b| {
+        b.iter(|| {
+            generation_difficulty_all(&result.model, &data.dataset, SkillPrior::Uniform, None)
+                .expect("difficulty")
+        })
+    });
+    group.bench_function("generation_empirical", |b| {
+        b.iter(|| {
+            generation_difficulty_all(
+                &result.model,
+                &data.dataset,
+                SkillPrior::Empirical,
+                Some(&result.assignments),
+            )
+            .expect("difficulty")
+        })
+    });
+    group.finish();
+}
+
+fn bench_single_item(c: &mut Criterion) {
+    let (data, result) = trained();
+    let prior = empirical_prior(&result.assignments, 5).expect("prior");
+    let mut group = c.benchmark_group("difficulty/single_item");
+    for item in [0u32, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(item), &item, |b, &item| {
+            let features = data.dataset.item_features(item);
+            b.iter(|| {
+                generation_difficulty_with_prior(&result.model, features, &prior)
+                    .expect("difficulty")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_estimators, bench_single_item
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benchmarks for the evaluation metrics, including the Kendall τ
+//! O(n log n) vs O(n²) ablation (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use upskill_eval::correlation::{kendall_tau, kendall_tau_naive};
+use upskill_eval::{pearson, rmse, spearman, wilcoxon_signed_rank};
+
+fn series(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) % 1000) as f64 / 100.0
+    };
+    let x: Vec<f64> = (0..n).map(|_| next()).collect();
+    let y: Vec<f64> = x.iter().map(|&v| v * 0.7 + next() * 0.5).collect();
+    (x, y)
+}
+
+fn bench_correlations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics/correlation");
+    let (x, y) = series(10_000, 1);
+    group.bench_function("pearson_10k", |b| b.iter(|| pearson(&x, &y).expect("r")));
+    group.bench_function("spearman_10k", |b| b.iter(|| spearman(&x, &y).expect("rho")));
+    group.bench_function("kendall_fast_10k", |b| {
+        b.iter(|| kendall_tau(&x, &y).expect("tau"))
+    });
+    group.finish();
+}
+
+fn bench_kendall_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics/kendall_fast_vs_naive");
+    for n in [200usize, 1000, 3000] {
+        let (x, y) = series(n, 2);
+        group.bench_with_input(BenchmarkId::new("fast", n), &n, |b, _| {
+            b.iter(|| kendall_tau(&x, &y).expect("tau"))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| kendall_tau_naive(&x, &y).expect("tau"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tests_and_errors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics/other");
+    let (x, y) = series(5_000, 3);
+    group.bench_function("rmse_5k", |b| b.iter(|| rmse(&x, &y).expect("rmse")));
+    group.bench_function("wilcoxon_5k", |b| {
+        b.iter(|| wilcoxon_signed_rank(&x, &y).expect("test"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_correlations, bench_kendall_ablation, bench_tests_and_errors
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Ablation: the categorical smoothing pseudo-count λ (paper default 0.01,
+//! following Shin et al.). Sweeps λ and reports Table VI-style skill
+//! accuracy on the Synthetic dataset.
+//!
+//! Findings on the synthetic benchmark: λ = 0 fails outright (the
+//! zero-frequency problem smoothing exists to fix — the trainer reports a
+//! clean error), and *heavier* smoothing actually improves skill recovery
+//! on sparse data: large λ pushes the high-cardinality item-ID feature's
+//! per-level distributions toward uniform, muting its noise and letting
+//! the informative shared features dominate — an independent confirmation
+//! of the paper's data-sparsity argument for multi-faceted features.
+
+use serde::Serialize;
+use upskill_bench::{banner, f3, write_report, Scale, TextTable};
+use upskill_core::train::{train, TrainConfig};
+use upskill_datasets::synthetic::{generate, SyntheticConfig};
+use upskill_eval::pearson;
+
+#[derive(Serialize)]
+struct Report {
+    scale: String,
+    rows: Vec<Row>,
+}
+
+#[derive(Serialize)]
+struct Row {
+    lambda: f64,
+    pearson_r: Option<f64>,
+    iterations: Option<usize>,
+    error: Option<String>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Ablation: categorical smoothing pseudo-count lambda");
+
+    let cfg = SyntheticConfig::scaled(scale.synthetic_factor() * 2, false, 42);
+    let data = generate(&cfg).expect("synthetic generation");
+    let truth = data.flat_true_skills();
+
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(&["lambda", "Pearson r", "iterations", "note"]);
+    for lambda in [0.0, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0] {
+        let train_cfg = TrainConfig::new(cfg.n_levels)
+            .with_min_init_actions(40)
+            .with_lambda(lambda);
+        match train(&data.dataset, &train_cfg) {
+            Ok(result) => {
+                let pred: Vec<f64> = result
+                    .assignments
+                    .per_user
+                    .iter()
+                    .flat_map(|s| s.iter().map(|&x| x as f64))
+                    .collect();
+                let r = pearson(&pred, &truth).unwrap_or(f64::NAN);
+                table.row(vec![
+                    format!("{lambda}"),
+                    f3(r),
+                    result.trace.len().to_string(),
+                    String::new(),
+                ]);
+                rows.push(Row {
+                    lambda,
+                    pearson_r: Some(r),
+                    iterations: Some(result.trace.len()),
+                    error: None,
+                });
+            }
+            Err(e) => {
+                table.row(vec![
+                    format!("{lambda}"),
+                    "-".into(),
+                    "-".into(),
+                    e.to_string(),
+                ]);
+                rows.push(Row {
+                    lambda,
+                    pearson_r: None,
+                    iterations: None,
+                    error: Some(e.to_string()),
+                });
+            }
+        }
+    }
+    table.print();
+
+    let r_at = |l: f64| {
+        rows.iter().find(|r| r.lambda == l).and_then(|r| r.pearson_r).unwrap_or(f64::NAN)
+    };
+    println!("\nShape check (ablation):");
+    println!(
+        "  lambda = 0 fails with a clean zero-frequency error: {}",
+        rows.iter().any(|r| r.lambda == 0.0 && r.error.is_some())
+    );
+    println!(
+        "  heavier smoothing damps the noisy ID feature and *helps* on \
+         sparse data: {} (r {:.3} at 10 vs {:.3} at the paper default 0.01) \
+         — an independent confirmation of the sparsity argument for \
+         multi-faceted features",
+        r_at(10.0) > r_at(0.01),
+        r_at(10.0),
+        r_at(0.01)
+    );
+    write_report("ablation_smoothing", &Report { scale: format!("{scale:?}"), rows });
+}

@@ -1,0 +1,78 @@
+//! Figure 3 — selecting the number of skill levels for the cooking domain.
+//!
+//! Runs the paper's §VI-B procedure: split the Cooking data 90/10, train a
+//! model per candidate `S`, and report the held-out log-likelihood per
+//! action. The paper's curve peaks at S = 5.
+
+use serde::Serialize;
+use upskill_bench::{banner, write_report, Scale, TextTable};
+use upskill_core::model_selection::{best_skill_count, sweep_skill_counts};
+use upskill_core::train::TrainConfig;
+use upskill_datasets::cooking::{generate, CookingConfig};
+
+#[derive(Serialize)]
+struct Report {
+    scale: String,
+    candidates: Vec<Candidate>,
+    best: Option<usize>,
+}
+
+#[derive(Serialize)]
+struct Candidate {
+    n_levels: usize,
+    heldout_ll: f64,
+    heldout_ll_per_action: f64,
+    n_scored: usize,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 3: held-out log-likelihood vs number of skill levels (Cooking)");
+
+    let cfg = match scale {
+        Scale::Quick => CookingConfig::test_scale(42),
+        _ => CookingConfig::default_scale(42),
+    };
+    let data = generate(&cfg).expect("cooking generation");
+    eprintln!(
+        "cooking data: {} users, {} recipes, {} actions",
+        data.dataset.n_users(),
+        data.dataset.n_items(),
+        data.dataset.n_actions()
+    );
+    let base = TrainConfig::new(5).with_min_init_actions(50);
+    let candidates: Vec<usize> = (2..=8).collect();
+    let sweep =
+        sweep_skill_counts(&data.dataset, &candidates, &base, 0.1, 7).expect("sweep");
+
+    let mut table =
+        TextTable::new(&["S", "held-out LL", "LL per action", "#scored"]);
+    for c in &sweep {
+        table.row(vec![
+            c.n_levels.to_string(),
+            format!("{:.1}", c.heldout_ll),
+            format!("{:.4}", c.heldout_ll_per_action),
+            c.n_scored.to_string(),
+        ]);
+    }
+    table.print();
+    let best = best_skill_count(&sweep);
+    println!("\nSelected S = {best:?} (paper: the curve peaks at S = 5)");
+
+    write_report(
+        "fig03_skill_count",
+        &Report {
+            scale: format!("{scale:?}"),
+            candidates: sweep
+                .iter()
+                .map(|c| Candidate {
+                    n_levels: c.n_levels,
+                    heldout_ll: c.heldout_ll,
+                    heldout_ll_per_action: c.heldout_ll_per_action,
+                    n_scored: c.n_scored,
+                })
+                .collect(),
+            best,
+        },
+    );
+}

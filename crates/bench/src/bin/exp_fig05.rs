@@ -1,0 +1,110 @@
+//! Figure 5 — model components learned for the cooking domain.
+//!
+//! Trains the S = 5 multi-faceted model on the Cooking data and reports
+//! the per-level cooking-time class distributions and step-count means.
+//! Expected shape (paper §VI-C): levels 2–4 show increasing complexity,
+//! while the *lowest* level resembles the mid levels — novices over-reach.
+
+use serde::Serialize;
+use upskill_bench::{banner, write_report, Scale, TextTable};
+use upskill_core::analysis::level_means;
+use upskill_core::dist::FeatureDistribution;
+use upskill_core::train::{train, TrainConfig};
+use upskill_datasets::cooking::{
+    self, features, generate, CookingConfig, TIME_CLASSES,
+};
+
+#[derive(Serialize)]
+struct Report {
+    scale: String,
+    /// `time_probs[s-1][class]` = P(time class | level s).
+    time_probs: Vec<Vec<f64>>,
+    step_means: Vec<f64>,
+    ingredient_means: Vec<f64>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 5: cooking-domain model components");
+
+    let cfg = match scale {
+        Scale::Quick => CookingConfig::test_scale(42),
+        _ => CookingConfig::default_scale(42),
+    };
+    let data = generate(&cfg).expect("cooking generation");
+    let train_cfg = TrainConfig::new(cooking::COOKING_LEVELS).with_min_init_actions(50);
+    let result = train(&data.dataset, &train_cfg).expect("training");
+
+    // Fig. 5a: time-class distributions per level.
+    let mut time_probs = Vec::new();
+    println!("Fig. 5a — cooking-time class probabilities per level:");
+    let mut ta = TextTable::new(
+        &std::iter::once("Level")
+            .chain(TIME_CLASSES.iter().copied())
+            .collect::<Vec<_>>(),
+    );
+    for s in result.model.levels() {
+        let cell = result.model.cell(s, features::TIME).expect("cell");
+        let FeatureDistribution::Categorical(dist) = cell else {
+            panic!("time feature should be categorical")
+        };
+        let probs: Vec<f64> = dist.probs().to_vec();
+        let mut row = vec![format!("s={s}")];
+        row.extend(probs.iter().map(|p| format!("{p:.3}")));
+        ta.row(row);
+        time_probs.push(probs);
+    }
+    ta.print();
+
+    let step_means = level_means(&result.model, features::N_STEPS).expect("means");
+    let ingredient_means =
+        level_means(&result.model, features::N_INGREDIENTS).expect("means");
+    println!("\nFig. 5b — step-count mean per level:");
+    println!("  {:?}", step_means.iter().map(|m| format!("{m:.2}")).collect::<Vec<_>>());
+    println!("      — ingredient-count mean per level:");
+    println!(
+        "  {:?}",
+        ingredient_means.iter().map(|m| format!("{m:.2}")).collect::<Vec<_>>()
+    );
+
+    // Shape checks. (1) Complexity increases from s=2 upward. (2) The
+    // over-reach anomaly: in the *data*, ground-truth novices select more
+    // complex recipes than level-2 users; in the *learned model*, the
+    // lowest level inherits a heavy tail of long-cooking-time recipes
+    // (the paper reports the full level-1 distributions resembling the
+    // mid levels; on our simulator the residue shows up as the tail —
+    // see EXPERIMENTS.md for the discussion).
+    let increasing_2_to_5 = step_means.windows(2).skip(1).all(|w| w[1] >= w[0] - 0.5);
+    let mut complexity_by_level = [(0.0f64, 0usize); cooking::COOKING_LEVELS];
+    for (seq, skills) in data.dataset.sequences().iter().zip(&data.true_skills) {
+        for (action, &s) in seq.actions().iter().zip(skills) {
+            let cell = &mut complexity_by_level[s as usize - 1];
+            cell.0 += data.recipe_complexity[action.item as usize] as f64;
+            cell.1 += 1;
+        }
+    }
+    let mean_complexity =
+        |lvl: usize| complexity_by_level[lvl].0 / complexity_by_level[lvl].1.max(1) as f64;
+    let data_overreach = mean_complexity(0) > mean_complexity(1);
+    let long_tail = |row: &[f64]| row[4..].iter().sum::<f64>(); // ≥ ~2 hours
+    let model_tail = long_tail(&time_probs[0]) > long_tail(&time_probs[1]);
+    println!("\nShape check vs. paper Fig. 5:");
+    println!("  complexity increases from s=2 to s=5: {increasing_2_to_5}");
+    println!(
+        "  data-level over-reach (true novices select above true level-2 \
+         users): {data_overreach} (mean complexity {:.2} vs {:.2})",
+        mean_complexity(0),
+        mean_complexity(1)
+    );
+    println!(
+        "  learned level 1 carries a heavier long-cooking-time tail than \
+         level 2: {model_tail} ({:.3} vs {:.3} mass at >= ~2 hours)",
+        long_tail(&time_probs[0]),
+        long_tail(&time_probs[1])
+    );
+
+    write_report(
+        "fig05_cooking",
+        &Report { scale: format!("{scale:?}"), time_probs, step_means, ingredient_means },
+    );
+}

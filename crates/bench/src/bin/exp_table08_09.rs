@@ -1,0 +1,89 @@
+//! Tables VIII & IX — skill and difficulty accuracy on Synthetic_dense.
+//!
+//! Identical pipeline to Tables VI/VII but with 5× fewer items (each item
+//! selected ~5× more often). The paper's data-sparsity finding: the gap
+//! between Multi-faceted and ID shrinks on dense data, and the Assignment
+//! difficulty estimator catches up with (or overtakes) the generation-based
+//! ones — multi-faceted features matter most under sparsity.
+
+use serde::Serialize;
+use upskill_bench::synthetic_eval::{
+    difficulty_accuracy_table, skill_accuracy_table, DifficultyAccuracyRow,
+    SkillAccuracyRow, SkillVariant,
+};
+use upskill_bench::{banner, f3, write_report, Scale, TextTable};
+use upskill_core::train::TrainConfig;
+use upskill_datasets::synthetic::{generate, SyntheticConfig};
+
+#[derive(Serialize)]
+struct Report {
+    scale: String,
+    skill_rows: Vec<SkillAccuracyRow>,
+    difficulty_rows: Vec<DifficultyAccuracyRow>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Tables VIII & IX: accuracy on Synthetic_dense");
+
+    let cfg = SyntheticConfig::scaled(scale.synthetic_factor(), true, 42);
+    eprintln!("generating dense synthetic data ({} users, {} items)...", cfg.n_users, cfg.n_items);
+    let data = generate(&cfg).expect("synthetic generation");
+    let train_cfg = TrainConfig::new(cfg.n_levels).with_min_init_actions(50);
+
+    let (skill_rows, trained) = skill_accuracy_table(&data, &train_cfg).expect("skill eval");
+
+    println!("Table VIII (skill accuracy, dense):");
+    let mut t8 = TextTable::new(&["Model", "Pearson r", "Spearman", "Kendall", "RMSE"]);
+    for r in &skill_rows {
+        t8.row(vec![
+            r.model.clone(),
+            f3(r.pearson),
+            f3(r.spearman),
+            f3(r.kendall),
+            f3(r.rmse),
+        ]);
+    }
+    t8.print();
+
+    // Table IX uses only the Uniform/ID/Multi-faceted trio.
+    let trio: Vec<_> = trained
+        .into_iter()
+        .filter(|t| SkillVariant::difficulty_trio().contains(&t.variant))
+        .collect();
+    let difficulty_rows = difficulty_accuracy_table(&data, &trio, 3).expect("difficulty eval");
+
+    println!("\nTable IX (difficulty accuracy, dense):");
+    let mut t9 =
+        TextTable::new(&["Skill", "Difficulty", "Pearson r", "Spearman", "Kendall", "RMSE"]);
+    for r in &difficulty_rows {
+        t9.row(vec![
+            r.skill_model.clone(),
+            r.difficulty_model.clone(),
+            f3(r.pearson),
+            f3(r.spearman),
+            f3(r.kendall),
+            f3(r.rmse),
+        ]);
+    }
+    t9.print();
+
+    let by_name = |n: &str| skill_rows.iter().find(|r| r.model == n).expect("row");
+    let gap_dense = by_name("Multi-faceted").pearson - by_name("ID").pearson;
+    println!("\nShape check vs. paper Tables VIII/IX:");
+    println!(
+        "  Multi-faceted ~ ID on dense data (|gap| small): {} (gap {:.3}; \
+         paper: 0.004)",
+        gap_dense.abs() < 0.05,
+        gap_dense
+    );
+    println!(
+        "  Sparsity finding: this gap is far below the sparse Table VI gap \
+         (~0.3 there — compare with the exp_table06 output), i.e. \
+         multi-faceted features matter most when items are rare."
+    );
+    write_report(
+        "table08_09_dense",
+        &Report { scale: format!("{scale:?}"), skill_rows, difficulty_rows },
+    );
+}

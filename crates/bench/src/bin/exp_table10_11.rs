@@ -1,0 +1,196 @@
+//! Tables X & XI — item prediction at random and last positions.
+//!
+//! For Cooking, Beer, and Film: hold out one action per user (random
+//! position for Table X, the last action for Table XI), train the Uniform,
+//! ID, and Multi-faceted models on the rest, infer each held-out action's
+//! skill level from the chronologically nearest training action, rank all
+//! items by the level's item-ID distribution, and report mean Acc@10 and
+//! reciprocal rank. Expected shape: Multi-faceted ≥ ID ≥ Uniform, with the
+//! largest margin on the domain with the most items (Cooking).
+
+use serde::Serialize;
+use upskill_bench::{banner, f4, write_report, Scale, TextTable};
+use upskill_core::baselines::{to_id_dataset, uniform_baseline};
+use upskill_core::predict::{
+    evaluate_item_prediction, holdout_split, HoldoutPosition, PredictionSplit,
+};
+use upskill_core::train::{train, TrainConfig};
+use upskill_core::types::Dataset;
+use upskill_eval::ranking::{random_acc_at_k, random_reciprocal_rank};
+use upskill_eval::{mean_acc_at_k, mean_reciprocal_rank};
+
+#[derive(Serialize)]
+struct Report {
+    scale: String,
+    rows: Vec<Row>,
+}
+
+#[derive(Serialize)]
+struct Row {
+    position: String,
+    domain: String,
+    model: String,
+    acc_at_10: f64,
+    rr: f64,
+    n_predictions: usize,
+}
+
+fn ranks_for_model(
+    split: &PredictionSplit,
+    model_kind: &str,
+    n_levels: usize,
+) -> Vec<usize> {
+    let train_cfg = TrainConfig::new(n_levels).with_min_init_actions(50);
+    let (model, assignments, dataset) = match model_kind {
+        "Uniform" => {
+            let (a, m) = uniform_baseline(&split.train, n_levels, 0.01).expect("uniform");
+            (m, a, split.train.clone())
+        }
+        "ID" => {
+            let view = to_id_dataset(&split.train).expect("projection");
+            let r = train(&view, &train_cfg).expect("training");
+            (r.model, r.assignments, view)
+        }
+        "Multi-faceted" => {
+            let r = train(&split.train, &train_cfg).expect("training");
+            (r.model, r.assignments, split.train.clone())
+        }
+        other => panic!("unknown model kind {other}"),
+    };
+    let eval_split = PredictionSplit { train: dataset, test: split.test.clone() };
+    evaluate_item_prediction(&model, &eval_split, &assignments, 0)
+        .expect("evaluation")
+        .into_iter()
+        .map(|o| o.rank)
+        .collect()
+}
+
+fn run_domain(
+    rows: &mut Vec<Row>,
+    table: &mut TextTable,
+    domain: &str,
+    dataset: &Dataset,
+    n_levels: usize,
+    position: HoldoutPosition,
+    pos_label: &str,
+) {
+    let split = holdout_split(dataset, position).expect("split");
+    for model in ["Uniform", "ID", "Multi-faceted"] {
+        eprintln!("  {pos_label}/{domain}/{model} ...");
+        let ranks = ranks_for_model(&split, model, n_levels);
+        let acc = mean_acc_at_k(&ranks, 10).unwrap_or(f64::NAN);
+        let rr = mean_reciprocal_rank(&ranks).unwrap_or(f64::NAN);
+        table.row(vec![
+            pos_label.to_string(),
+            domain.to_string(),
+            model.to_string(),
+            f4(acc),
+            f4(rr),
+        ]);
+        rows.push(Row {
+            position: pos_label.to_string(),
+            domain: domain.to_string(),
+            model: model.to_string(),
+            acc_at_10: acc,
+            rr,
+            n_predictions: ranks.len(),
+        });
+    }
+    println!(
+        "  [{pos_label}/{domain}] random guessing: Acc@10 = {:.4}, RR = {:.4}",
+        random_acc_at_k(10, dataset.n_items()),
+        random_reciprocal_rank(dataset.n_items())
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Tables X & XI: item prediction at random/last positions");
+
+    let seed = 42;
+    let (cook, beer, film) = match scale {
+        Scale::Quick => (
+            upskill_datasets::cooking::generate(
+                &upskill_datasets::cooking::CookingConfig::test_scale(seed),
+            )
+            .expect("cooking"),
+            upskill_datasets::beer::generate(
+                &upskill_datasets::beer::BeerConfig::test_scale(seed),
+            )
+            .expect("beer"),
+            upskill_datasets::film::generate(
+                &upskill_datasets::film::FilmConfig::test_scale(seed),
+            )
+            .expect("film"),
+        ),
+        _ => (
+            upskill_datasets::cooking::generate(
+                &upskill_datasets::cooking::CookingConfig::default_scale(seed),
+            )
+            .expect("cooking"),
+            upskill_datasets::beer::generate(
+                &upskill_datasets::beer::BeerConfig::default_scale(seed),
+            )
+            .expect("beer"),
+            upskill_datasets::film::generate(
+                &upskill_datasets::film::FilmConfig::default_scale(seed),
+            )
+            .expect("film"),
+        ),
+    };
+
+    let mut rows = Vec::new();
+    let mut table =
+        TextTable::new(&["Position", "Domain", "Model", "Acc@10", "RR"]);
+    for (position, label) in [
+        (HoldoutPosition::Random { seed: 7 }, "random"),
+        (HoldoutPosition::Last, "last"),
+    ] {
+        run_domain(&mut rows, &mut table, "Cooking", &cook.dataset, 5, position, label);
+        run_domain(&mut rows, &mut table, "Beer", &beer.dataset, 5, position, label);
+        run_domain(&mut rows, &mut table, "Film", &film.dataset, 5, position, label);
+    }
+    table.print();
+
+    // Shape checks.
+    let get = |pos: &str, dom: &str, model: &str| {
+        rows.iter()
+            .find(|r| r.position == pos && r.domain == dom && r.model == model)
+            .expect("row")
+    };
+    println!("\nShape check vs. paper Tables X/XI:");
+    for pos in ["random", "last"] {
+        for dom in ["Cooking", "Beer", "Film"] {
+            let u = get(pos, dom, "Uniform");
+            let m = get(pos, dom, "Multi-faceted");
+            if pos == "last" && dom == "Film" {
+                // Paper Table XI: "all models performed comparably in terms
+                // of RR" on Film at the last position.
+                println!(
+                    "  [{pos}/{dom}] models comparable on RR (paper's finding): {} \
+                     ({:.4} vs {:.4})",
+                    (m.rr - u.rr).abs() < 0.25 * u.rr.max(m.rr),
+                    m.rr,
+                    u.rr
+                );
+            } else {
+                println!(
+                    "  [{pos}/{dom}] Multi-faceted beats Uniform on RR: {} ({:.4} vs {:.4})",
+                    m.rr > u.rr,
+                    m.rr,
+                    u.rr
+                );
+            }
+        }
+    }
+    let cook_gain = |pos: &str| {
+        get(pos, "Cooking", "Multi-faceted").rr / get(pos, "Cooking", "ID").rr.max(1e-12)
+    };
+    println!(
+        "  Largest relative gain on the item-rich domain (Cooking), as in the \
+         paper: x{:.2} (random), x{:.2} (last)",
+        cook_gain("random"),
+        cook_gain("last")
+    );
+    write_report("table10_11_item_prediction", &Report { scale: format!("{scale:?}"), rows });
+}

@@ -1,0 +1,187 @@
+//! Table XII — rating prediction on the Beer dataset with FFMs.
+//!
+//! Holds out one rating per user (random/last position), trains the
+//! multi-faceted skill model on the remainder, derives per-action skill
+//! levels and per-item difficulty levels, and trains four FFMs: `U+I`
+//! (matrix factorization with biases), `U+I+S`, `U+I+D`, and `U+I+S+D`.
+//! Expected shape (paper Table XII): adding skill or difficulty lowers
+//! RMSE, and `U+I+S+D` is best.
+
+use serde::Serialize;
+use upskill_bench::{banner, f4, write_report, Scale, TextTable};
+use upskill_core::difficulty::{generation_difficulty_all, SkillPrior};
+use upskill_core::model_selection::nearest_skill;
+use upskill_core::predict::{holdout_split, HoldoutPosition};
+use upskill_core::train::{train, TrainConfig};
+use upskill_datasets::beer::{generate, BeerConfig, BeerData, BEER_LEVELS};
+use upskill_ffm::{FeatureLayout, FfmConfig, FfmModel, Instance, InstanceBuilder};
+
+#[derive(Serialize)]
+struct Report {
+    scale: String,
+    rows: Vec<Row>,
+}
+
+#[derive(Serialize)]
+struct Row {
+    position: String,
+    layout: String,
+    rmse: f64,
+    n_test: usize,
+}
+
+/// Ratings are attached per (user sequence, action index) in the original
+/// dataset; rebuild a lookup keyed by (user, time).
+fn rating_lookup(data: &BeerData) -> std::collections::HashMap<(u32, i64), f64> {
+    let mut map = std::collections::HashMap::new();
+    for (seq, ratings) in data.dataset.sequences().iter().zip(&data.ratings) {
+        for (action, &r) in seq.actions().iter().zip(ratings) {
+            map.insert((seq.user, action.time), r);
+        }
+    }
+    map
+}
+
+fn run_position(
+    data: &BeerData,
+    position: HoldoutPosition,
+    label: &str,
+    rows: &mut Vec<Row>,
+    table: &mut TextTable,
+) {
+    let ratings = rating_lookup(data);
+    let split = holdout_split(&data.dataset, position).expect("split");
+    eprintln!("  [{label}] training skill model ...");
+    let train_cfg = TrainConfig::new(BEER_LEVELS).with_min_init_actions(50);
+    let skill = train(&split.train, &train_cfg).expect("skill training");
+    let difficulty = generation_difficulty_all(
+        &skill.model,
+        &split.train,
+        SkillPrior::Empirical,
+        Some(&skill.assignments),
+    )
+    .expect("difficulty");
+
+    let n_users = split.train.n_users();
+    let n_items = split.train.n_items();
+
+    for layout in [
+        FeatureLayout::ui(),
+        FeatureLayout::uis(),
+        FeatureLayout::uid(),
+        FeatureLayout::uisd(),
+    ] {
+        let builder =
+            InstanceBuilder::new(layout, n_users, n_items, BEER_LEVELS).expect("builder");
+        // Training instances: every remaining action with its assigned
+        // skill and its item's difficulty.
+        let mut train_insts: Vec<Instance> = Vec::new();
+        for (u, seq) in split.train.sequences().iter().enumerate() {
+            let levels = &skill.assignments.per_user[u];
+            for (action, &s) in seq.actions().iter().zip(levels) {
+                let rating = ratings[&(seq.user, action.time)];
+                train_insts.push(
+                    builder
+                        .instance(
+                            u,
+                            action.item as usize,
+                            s,
+                            difficulty[action.item as usize],
+                            rating,
+                        )
+                        .expect("instance"),
+                );
+            }
+        }
+        // Deterministic 90/10 validation split for early stopping.
+        let mut valid = Vec::new();
+        let mut train_set = Vec::new();
+        for (i, inst) in train_insts.into_iter().enumerate() {
+            if i % 10 == 9 {
+                valid.push(inst);
+            } else {
+                train_set.push(inst);
+            }
+        }
+        // Test instances: inferred skill from the nearest training action.
+        let mut test_insts = Vec::new();
+        for &(u, action) in &split.test {
+            let seq = &split.train.sequences()[u];
+            let levels = &skill.assignments.per_user[u];
+            let times: Vec<i64> = seq.actions().iter().map(|a| a.time).collect();
+            let Some(s) = nearest_skill(&times, levels, action.time) else { continue };
+            let rating = ratings[&(seq.user, action.time)];
+            test_insts.push(
+                builder
+                    .instance(
+                        u,
+                        action.item as usize,
+                        s,
+                        difficulty[action.item as usize],
+                        rating,
+                    )
+                    .expect("instance"),
+            );
+        }
+
+        let ffm_cfg = FfmConfig {
+            k: 4,
+            epochs: 25,
+            patience: 3,
+            seed: 11,
+            ..FfmConfig::new(builder.n_features(), builder.n_fields())
+        };
+        eprintln!("  [{label}] training FFM {} ...", layout.name());
+        let model = FfmModel::train(ffm_cfg, &train_set, &valid).expect("ffm");
+        let rmse = model.rmse(&test_insts);
+        table.row(vec![label.to_string(), layout.name().to_string(), f4(rmse)]);
+        rows.push(Row {
+            position: label.to_string(),
+            layout: layout.name().to_string(),
+            rmse,
+            n_test: test_insts.len(),
+        });
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table XII: beer rating prediction (FFM)");
+
+    let cfg = match scale {
+        Scale::Quick => BeerConfig::test_scale(42),
+        _ => BeerConfig::default_scale(42),
+    };
+    let data = generate(&cfg).expect("beer generation");
+    eprintln!(
+        "beer data: {} users, {} beers, {} rated actions",
+        data.dataset.n_users(),
+        data.dataset.n_items(),
+        data.dataset.n_actions()
+    );
+
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(&["Position", "Features", "RMSE"]);
+    run_position(&data, HoldoutPosition::Random { seed: 7 }, "random", &mut rows, &mut table);
+    run_position(&data, HoldoutPosition::Last, "last", &mut rows, &mut table);
+    table.print();
+
+    let get = |pos: &str, layout: &str| {
+        rows.iter()
+            .find(|r| r.position == pos && r.layout == layout)
+            .expect("row")
+            .rmse
+    };
+    println!("\nShape check vs. paper Table XII:");
+    for pos in ["random", "last"] {
+        let ui = get(pos, "U+I");
+        let uisd = get(pos, "U+I+S+D");
+        println!(
+            "  [{pos}] U+I+S+D <= U+I: {} ({:.4} vs {:.4})",
+            uisd <= ui + 1e-9,
+            uisd,
+            ui
+        );
+    }
+    write_report("table12_rating_prediction", &Report { scale: format!("{scale:?}"), rows });
+}

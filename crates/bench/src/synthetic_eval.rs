@@ -1,0 +1,365 @@
+//! Shared evaluation pipeline for the synthetic-accuracy experiments
+//! (Tables VI–IX): trains every skill-model variant, scores skill
+//! assignments against the ground truth, and scores all difficulty-model
+//! combinations.
+
+use serde::Serialize;
+use upskill_core::baselines::{project_features, uniform_baseline};
+use upskill_core::difficulty::{
+    assignment_difficulty_all, generation_difficulty_all, SkillPrior,
+};
+use upskill_core::error::Result;
+use upskill_core::train::{train, TrainConfig};
+use upskill_core::types::{Dataset, SkillAssignments};
+use upskill_core::SkillModel;
+use upskill_datasets::synthetic::SyntheticData;
+use upskill_eval::{bonferroni, fisher_z_ci, wilcoxon_signed_rank, ScoreRow};
+
+/// The skill-model variants of Table VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkillVariant {
+    /// Equal-length segmentation baseline.
+    Uniform,
+    /// Yang et al.'s ID-only progression model.
+    Id,
+    /// ID plus the categorical feature.
+    IdCategorical,
+    /// ID plus the gamma feature.
+    IdGamma,
+    /// ID plus the Poisson feature.
+    IdPoisson,
+    /// The full multi-faceted model (ID + all three features).
+    MultiFaceted,
+}
+
+impl SkillVariant {
+    /// All variants in Table VI order.
+    pub fn all() -> [SkillVariant; 6] {
+        [
+            SkillVariant::Uniform,
+            SkillVariant::Id,
+            SkillVariant::IdCategorical,
+            SkillVariant::IdGamma,
+            SkillVariant::IdPoisson,
+            SkillVariant::MultiFaceted,
+        ]
+    }
+
+    /// The three variants used in the difficulty comparison (Table VII).
+    pub fn difficulty_trio() -> [SkillVariant; 3] {
+        [SkillVariant::Uniform, SkillVariant::Id, SkillVariant::MultiFaceted]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SkillVariant::Uniform => "Uniform",
+            SkillVariant::Id => "ID",
+            SkillVariant::IdCategorical => "ID+categorical",
+            SkillVariant::IdGamma => "ID+gamma",
+            SkillVariant::IdPoisson => "ID+Poisson",
+            SkillVariant::MultiFaceted => "Multi-faceted",
+        }
+    }
+
+    /// Feature indices (into the synthetic schema `[id, cat, gamma,
+    /// poisson]`) kept alongside the ID for this variant. `None` = the
+    /// Uniform baseline, which trains no generative model.
+    fn kept_features(self) -> Option<&'static [usize]> {
+        match self {
+            SkillVariant::Uniform => None,
+            SkillVariant::Id => Some(&[]),
+            SkillVariant::IdCategorical => Some(&[1]),
+            SkillVariant::IdGamma => Some(&[2]),
+            SkillVariant::IdPoisson => Some(&[3]),
+            SkillVariant::MultiFaceted => Some(&[1, 2, 3]),
+        }
+    }
+}
+
+/// A trained variant with its assignments (and model, when one exists).
+pub struct TrainedVariant {
+    /// Which variant this is.
+    pub variant: SkillVariant,
+    /// The dataset view the variant was trained on.
+    pub dataset: Dataset,
+    /// Hard assignments for every action.
+    pub assignments: SkillAssignments,
+    /// The generative model (absent for Uniform in the difficulty sense —
+    /// the paper does not combine Uniform with generation-based
+    /// estimators; we still fit one for item prediction elsewhere).
+    pub model: SkillModel,
+    /// Training iterations used (0 for Uniform).
+    pub iterations: usize,
+}
+
+/// Trains one variant on the synthetic dataset.
+pub fn train_variant(
+    data: &SyntheticData,
+    variant: SkillVariant,
+    config: &TrainConfig,
+) -> Result<TrainedVariant> {
+    match variant.kept_features() {
+        None => {
+            let (assignments, model) =
+                uniform_baseline(&data.dataset, config.n_levels, config.lambda)?;
+            Ok(TrainedVariant {
+                variant,
+                dataset: data.dataset.clone(),
+                assignments,
+                model,
+                iterations: 0,
+            })
+        }
+        Some(keep) => {
+            let view = project_features(&data.dataset, keep, true)?;
+            let result = train(&view, config)?;
+            Ok(TrainedVariant {
+                variant,
+                dataset: view,
+                assignments: result.assignments,
+                model: result.model,
+                iterations: result.trace.len(),
+            })
+        }
+    }
+}
+
+/// One row of Table VI/VIII with its CI and per-action squared errors.
+#[derive(Debug, Clone, Serialize)]
+pub struct SkillAccuracyRow {
+    /// Variant name.
+    pub model: String,
+    /// Pearson's r.
+    pub pearson: f64,
+    /// 95% CI of Pearson's r (Fisher-z).
+    pub pearson_ci: (f64, f64),
+    /// Spearman's ρ.
+    pub spearman: f64,
+    /// Kendall's τ-b.
+    pub kendall: f64,
+    /// RMSE of assigned vs. true skill.
+    pub rmse: f64,
+    /// Training iterations.
+    pub iterations: usize,
+    /// Bonferroni-adjusted Wilcoxon p-value of squared errors vs. the
+    /// Multi-faceted model (None for Multi-faceted itself).
+    pub p_vs_multifaceted: Option<f64>,
+}
+
+/// Flattens an assignment set into per-action f64 levels.
+pub fn flatten(assignments: &SkillAssignments) -> Vec<f64> {
+    assignments
+        .per_user
+        .iter()
+        .flat_map(|seq| seq.iter().map(|&s| s as f64))
+        .collect()
+}
+
+/// Runs the full Table VI/VIII pipeline: train every variant, score skill
+/// accuracy, and test significance against the Multi-faceted model.
+pub fn skill_accuracy_table(
+    data: &SyntheticData,
+    config: &TrainConfig,
+) -> Result<(Vec<SkillAccuracyRow>, Vec<TrainedVariant>)> {
+    let truth = data.flat_true_skills();
+    let mut trained = Vec::new();
+    for variant in SkillVariant::all() {
+        eprintln!("  training {} ...", variant.name());
+        trained.push(train_variant(data, variant, config)?);
+    }
+    let predictions: Vec<Vec<f64>> =
+        trained.iter().map(|t| flatten(&t.assignments)).collect();
+    let multi_idx = trained.len() - 1;
+    let multi_se: Vec<f64> = predictions[multi_idx]
+        .iter()
+        .zip(&truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .collect();
+
+    let mut raw_p = Vec::new();
+    let mut rows = Vec::new();
+    for (t, pred) in trained.iter().zip(&predictions) {
+        let score = ScoreRow::compute(pred, &truth).map_err(|e| {
+            upskill_core::CoreError::DegenerateFit {
+                distribution: "skill accuracy",
+                reason: match e {
+                    upskill_eval::EvalError::ZeroVariance => "zero variance",
+                    _ => "metric failure",
+                },
+            }
+        })?;
+        let ci = fisher_z_ci(score.pearson, truth.len(), 0.95)
+            .map(|c| (c.lo, c.hi))
+            .unwrap_or((f64::NAN, f64::NAN));
+        let p = if t.variant == SkillVariant::MultiFaceted {
+            None
+        } else {
+            let se: Vec<f64> =
+                pred.iter().zip(&truth).map(|(&p, &t)| (p - t) * (p - t)).collect();
+            let w = wilcoxon_signed_rank(&se, &multi_se).map(|r| r.p_value).ok();
+            if let Some(p) = w {
+                raw_p.push(p);
+            }
+            w
+        };
+        rows.push(SkillAccuracyRow {
+            model: t.variant.name().to_string(),
+            pearson: score.pearson,
+            pearson_ci: ci,
+            spearman: score.spearman,
+            kendall: score.kendall,
+            rmse: score.rmse,
+            iterations: t.iterations,
+            p_vs_multifaceted: p,
+        });
+    }
+    // Bonferroni over the family of baseline-vs-multifaceted comparisons.
+    let adjusted = bonferroni(&raw_p);
+    let mut k = 0;
+    for row in rows.iter_mut() {
+        if row.p_vs_multifaceted.is_some() {
+            row.p_vs_multifaceted = Some(adjusted[k]);
+            k += 1;
+        }
+    }
+    Ok((rows, trained))
+}
+
+/// The difficulty estimators of Table VII/IX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DifficultyVariant {
+    /// Mean assigned skill of selecting users (Eq. 8).
+    Assignment,
+    /// Posterior-expected skill, uniform prior.
+    Uniform,
+    /// Posterior-expected skill, empirical prior.
+    Empirical,
+}
+
+impl DifficultyVariant {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DifficultyVariant::Assignment => "Assignment",
+            DifficultyVariant::Uniform => "Uniform",
+            DifficultyVariant::Empirical => "Empirical",
+        }
+    }
+}
+
+/// One row of Table VII/IX.
+#[derive(Debug, Clone, Serialize)]
+pub struct DifficultyAccuracyRow {
+    /// Skill-model variant name.
+    pub skill_model: String,
+    /// Difficulty-model name.
+    pub difficulty_model: String,
+    /// Pearson's r.
+    pub pearson: f64,
+    /// 95% CI of Pearson's r.
+    pub pearson_ci: (f64, f64),
+    /// Spearman's ρ.
+    pub spearman: f64,
+    /// Kendall's τ-b.
+    pub kendall: f64,
+    /// RMSE vs. true difficulty.
+    pub rmse: f64,
+    /// RMSE restricted to rare items (support < 3).
+    pub rare_rmse: Option<f64>,
+}
+
+/// Estimated difficulties for one (skill, difficulty) combination.
+/// `None` entries are items the estimator cannot score.
+pub fn estimate_difficulty(
+    trained: &TrainedVariant,
+    variant: DifficultyVariant,
+) -> Result<Vec<Option<f64>>> {
+    match variant {
+        DifficultyVariant::Assignment => {
+            assignment_difficulty_all(&trained.dataset, &trained.assignments)
+        }
+        DifficultyVariant::Uniform => Ok(generation_difficulty_all(
+            &trained.model,
+            &trained.dataset,
+            SkillPrior::Uniform,
+            None,
+        )?
+        .into_iter()
+        .map(Some)
+        .collect()),
+        DifficultyVariant::Empirical => Ok(generation_difficulty_all(
+            &trained.model,
+            &trained.dataset,
+            SkillPrior::Empirical,
+            Some(&trained.assignments),
+        )?
+        .into_iter()
+        .map(Some)
+        .collect()),
+    }
+}
+
+/// Runs the Table VII/IX pipeline over the given trained skill variants.
+///
+/// `rare_threshold` defines rare items (the paper uses support < 3).
+pub fn difficulty_accuracy_table(
+    data: &SyntheticData,
+    trained: &[TrainedVariant],
+    rare_threshold: u32,
+) -> Result<Vec<DifficultyAccuracyRow>> {
+    let support = data.dataset.item_support();
+    let mut rows = Vec::new();
+    for t in trained {
+        let combos: &[DifficultyVariant] = if t.variant == SkillVariant::Uniform {
+            &[DifficultyVariant::Assignment]
+        } else {
+            &[
+                DifficultyVariant::Assignment,
+                DifficultyVariant::Uniform,
+                DifficultyVariant::Empirical,
+            ]
+        };
+        for &d in combos {
+            let est = estimate_difficulty(t, d)?;
+            let mut pred = Vec::new();
+            let mut truth = Vec::new();
+            let mut rare_pred = Vec::new();
+            let mut rare_truth = Vec::new();
+            for (i, e) in est.iter().enumerate() {
+                let Some(e) = e else { continue };
+                pred.push(*e);
+                truth.push(data.true_difficulty[i]);
+                if support[i] < rare_threshold {
+                    rare_pred.push(*e);
+                    rare_truth.push(data.true_difficulty[i]);
+                }
+            }
+            let score = ScoreRow::compute(&pred, &truth).map_err(|_| {
+                upskill_core::CoreError::DegenerateFit {
+                    distribution: "difficulty accuracy",
+                    reason: "metric failure",
+                }
+            })?;
+            let ci = fisher_z_ci(score.pearson, pred.len(), 0.95)
+                .map(|c| (c.lo, c.hi))
+                .unwrap_or((f64::NAN, f64::NAN));
+            let rare_rmse = if rare_pred.len() >= 2 {
+                upskill_eval::rmse(&rare_pred, &rare_truth).ok()
+            } else {
+                None
+            };
+            rows.push(DifficultyAccuracyRow {
+                skill_model: t.variant.name().to_string(),
+                difficulty_model: d.name().to_string(),
+                pearson: score.pearson,
+                pearson_ci: ci,
+                spearman: score.spearman,
+                kendall: score.kendall,
+                rmse: score.rmse,
+                rare_rmse,
+            });
+        }
+    }
+    Ok(rows)
+}

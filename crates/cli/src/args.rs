@@ -1,0 +1,102 @@
+//! Minimal `--flag value` argument parsing (no external dependency; the
+//! surface is small enough that clap would be the heaviest crate in the
+//! workspace).
+
+use std::collections::HashMap;
+
+/// Parsed flags: `--name value` pairs after the subcommand.
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--name value` pairs; rejects dangling or unknown shapes.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got {flag:?}"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} is missing a value"));
+            };
+            if flags.insert(name.to_string(), value.clone()).is_some() {
+                return Err(format!("flag --{name} given twice"));
+            }
+        }
+        Ok(Self { flags })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Errors if any flag outside `known` was supplied.
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+        for name in self.flags.keys() {
+            if !known.contains(&name.as_str()) {
+                return Err(format!("unknown flag --{name}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let a = Args::parse(&argv(&["--seed", "7", "--out", "x.json"])).unwrap();
+        assert_eq!(a.required("seed").unwrap(), "7");
+        assert_eq!(a.optional("out"), Some("x.json"));
+        assert_eq!(a.optional("missing"), None);
+        assert_eq!(a.parse_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.parse_or("levels", 5usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(&argv(&["seed", "7"])).is_err());
+        assert!(Args::parse(&argv(&["--seed"])).is_err());
+        assert!(Args::parse(&argv(&["--seed", "1", "--seed", "2"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let a = Args::parse(&argv(&["--bogus", "1"])).unwrap();
+        assert!(a.reject_unknown(&["seed"]).is_err());
+        assert!(a.reject_unknown(&["bogus"]).is_ok());
+    }
+
+    #[test]
+    fn parse_or_reports_bad_values() {
+        let a = Args::parse(&argv(&["--k", "abc"])).unwrap();
+        assert!(a.parse_or("k", 10usize).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Subcommand implementations.
+
+use std::fs;
+
+use serde::{Deserialize, Serialize};
+use upskill_core::difficulty::{
+    assignment_difficulty_all, generation_difficulty_all, SkillPrior,
+};
+use upskill_core::recommend::{recommend_for_level, RecommendConfig};
+use upskill_core::train::{train, TrainConfig};
+use upskill_core::types::{Dataset, SkillAssignments};
+use upskill_core::SkillModel;
+use upskill_datasets::DatasetStats;
+
+use crate::args::Args;
+
+const USAGE: &str = "\
+usage: upskill <command> [flags]
+
+commands:
+  generate    --domain <synthetic|language|cooking|beer|film> [--seed N]
+              [--scale quick|default] --out data.json
+  stats       --data data.json
+  train       --data data.json [--levels S] [--min-init N] [--lambda L]
+              --out model.json [--assignments assignments.json]
+  difficulty  --data data.json --model model.json
+              [--assignments assignments.json]
+              [--method assignment|uniform|empirical] --out difficulty.json
+  recommend   --data data.json --model model.json --difficulty difficulty.json
+              --level S [--k K]
+  evaluate    --data data.json --model model.json --assignments assignments.json
+  sweep       --data data.json [--min 2] [--max 8] [--test-frac 0.1] [--seed N]
+  help        show this message";
+
+/// Dispatches a parsed command line.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(format!("no command given\n{USAGE}"));
+    };
+    let args = Args::parse(rest)?;
+    match command.as_str() {
+        "generate" => generate(&args),
+        "stats" => stats(&args),
+        "train" => train_cmd(&args),
+        "difficulty" => difficulty(&args),
+        "recommend" => recommend(&args),
+        "evaluate" => evaluate(&args),
+        "sweep" => sweep(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn read_json<T: for<'de> Deserialize<'de>>(path: &str) -> Result<T, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let text =
+        serde_json::to_string(value).map_err(|e| format!("cannot serialize: {e}"))?;
+    fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["domain", "seed", "scale", "out"])?;
+    let domain = args.required("domain")?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let quick = matches!(args.optional("scale"), Some("quick"));
+    let out = args.required("out")?;
+    let dataset: Dataset = match domain {
+        "synthetic" => {
+            let cfg = if quick {
+                upskill_datasets::synthetic::SyntheticConfig::scaled(50, false, seed)
+            } else {
+                upskill_datasets::synthetic::SyntheticConfig::scaled(10, false, seed)
+            };
+            upskill_datasets::synthetic::generate(&cfg)
+                .map_err(|e| e.to_string())?
+                .dataset
+        }
+        "language" => {
+            let cfg = if quick {
+                upskill_datasets::language::LanguageConfig::test_scale(seed)
+            } else {
+                upskill_datasets::language::LanguageConfig::default_scale(seed)
+            };
+            upskill_datasets::language::generate(&cfg)
+                .map_err(|e| e.to_string())?
+                .dataset
+        }
+        "cooking" => {
+            let cfg = if quick {
+                upskill_datasets::cooking::CookingConfig::test_scale(seed)
+            } else {
+                upskill_datasets::cooking::CookingConfig::default_scale(seed)
+            };
+            upskill_datasets::cooking::generate(&cfg)
+                .map_err(|e| e.to_string())?
+                .dataset
+        }
+        "beer" => {
+            let cfg = if quick {
+                upskill_datasets::beer::BeerConfig::test_scale(seed)
+            } else {
+                upskill_datasets::beer::BeerConfig::default_scale(seed)
+            };
+            upskill_datasets::beer::generate(&cfg).map_err(|e| e.to_string())?.dataset
+        }
+        "film" => {
+            let cfg = if quick {
+                upskill_datasets::film::FilmConfig::test_scale(seed)
+            } else {
+                upskill_datasets::film::FilmConfig::default_scale(seed)
+            };
+            upskill_datasets::film::generate(&cfg).map_err(|e| e.to_string())?.dataset
+        }
+        other => return Err(format!("unknown domain {other:?}")),
+    };
+    write_json(out, &dataset)?;
+    println!(
+        "wrote {out}: {} users, {} items, {} actions",
+        dataset.n_users(),
+        dataset.n_items(),
+        dataset.n_actions()
+    );
+    Ok(())
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["data"])?;
+    let dataset: Dataset = read_json(args.required("data")?)?;
+    let s = DatasetStats::of("dataset", &dataset);
+    println!("users:   {}", s.n_users);
+    println!("items:   {}", s.n_items);
+    println!("actions: {}", s.n_actions);
+    println!("actions/user: {:.2}", s.actions_per_user());
+    println!("actions/item: {:.2}", s.actions_per_item());
+    println!("features: {}", dataset.schema().len());
+    for f in 0..dataset.schema().len() {
+        println!("  [{f}] {}", dataset.schema().name(f));
+    }
+    Ok(())
+}
+
+fn train_cmd(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["data", "levels", "min-init", "lambda", "out", "assignments"])?;
+    let dataset: Dataset = read_json(args.required("data")?)?;
+    let levels: usize = args.parse_or("levels", 5)?;
+    let min_init: usize = args.parse_or("min-init", 50)?;
+    let lambda: f64 = args.parse_or("lambda", 0.01)?;
+    let out = args.required("out")?;
+    let config = TrainConfig::new(levels)
+        .with_min_init_actions(min_init)
+        .with_lambda(lambda);
+    let result = train(&dataset, &config).map_err(|e| e.to_string())?;
+    write_json(out, &result.model)?;
+    println!(
+        "trained {levels}-level model in {} iterations (converged: {}), \
+         log-likelihood {:.1}; wrote {out}",
+        result.trace.len(),
+        result.converged,
+        result.log_likelihood
+    );
+    if let Some(path) = args.optional("assignments") {
+        write_json(path, &result.assignments)?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn difficulty(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["data", "model", "assignments", "method", "out"])?;
+    let dataset: Dataset = read_json(args.required("data")?)?;
+    let model: SkillModel = read_json(args.required("model")?)?;
+    let method = args.optional("method").unwrap_or("empirical");
+    let out = args.required("out")?;
+    let assignments: Option<SkillAssignments> = match args.optional("assignments") {
+        Some(path) => Some(read_json(path)?),
+        None => None,
+    };
+    let values: Vec<Option<f64>> = match method {
+        "assignment" => {
+            let a = assignments
+                .as_ref()
+                .ok_or("--method assignment requires --assignments")?;
+            assignment_difficulty_all(&dataset, a).map_err(|e| e.to_string())?
+        }
+        "uniform" => generation_difficulty_all(&model, &dataset, SkillPrior::Uniform, None)
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(Some)
+            .collect(),
+        "empirical" => {
+            let a = assignments
+                .as_ref()
+                .ok_or("--method empirical requires --assignments")?;
+            generation_difficulty_all(&model, &dataset, SkillPrior::Empirical, Some(a))
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .map(Some)
+                .collect()
+        }
+        other => return Err(format!("unknown method {other:?}")),
+    };
+    write_json(out, &values)?;
+    let known: Vec<f64> = values.iter().flatten().copied().collect();
+    let mean = known.iter().sum::<f64>() / known.len().max(1) as f64;
+    println!(
+        "wrote {out}: {} items ({} estimable), mean difficulty {:.2}",
+        values.len(),
+        known.len(),
+        mean
+    );
+    Ok(())
+}
+
+fn evaluate(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["data", "model", "assignments"])?;
+    let dataset: Dataset = read_json(args.required("data")?)?;
+    let model: SkillModel = read_json(args.required("model")?)?;
+    let assignments: SkillAssignments = read_json(args.required("assignments")?)?;
+    let ll = upskill_core::update::log_likelihood(&dataset, &assignments, &model)
+        .map_err(|e| e.to_string())?;
+    let hist = assignments.level_histogram(model.n_levels());
+    let total: usize = hist.iter().sum();
+    println!("log-likelihood: {ll:.1} ({:.3} per action)", ll / total.max(1) as f64);
+    println!("actions per level:");
+    for (i, &c) in hist.iter().enumerate() {
+        let frac = c as f64 / total.max(1) as f64;
+        let bar = "#".repeat((frac * 50.0).round() as usize);
+        println!("  s={}: {:7} ({:5.1}%) {}", i + 1, c, 100.0 * frac, bar);
+    }
+    // Per-level mean of every non-categorical feature.
+    for f in 0..dataset.schema().len() {
+        if let Ok(means) = upskill_core::analysis::level_means(&model, f) {
+            println!(
+                "feature [{f}] {} mean per level: {:?}",
+                dataset.schema().name(f),
+                means.iter().map(|m| format!("{m:.2}")).collect::<Vec<_>>()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn sweep(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["data", "min", "max", "test-frac", "seed", "min-init"])?;
+    let dataset: Dataset = read_json(args.required("data")?)?;
+    let lo: usize = args.parse_or("min", 2)?;
+    let hi: usize = args.parse_or("max", 8)?;
+    let frac: f64 = args.parse_or("test-frac", 0.1)?;
+    let seed: u64 = args.parse_or("seed", 7)?;
+    let min_init: usize = args.parse_or("min-init", 50)?;
+    if lo == 0 || hi < lo {
+        return Err("need 1 <= min <= max".into());
+    }
+    let candidates: Vec<usize> = (lo..=hi).collect();
+    let base = TrainConfig::new(lo).with_min_init_actions(min_init);
+    let sweep = upskill_core::model_selection::sweep_skill_counts(
+        &dataset, &candidates, &base, frac, seed,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("S   held-out LL     per action");
+    for c in &sweep {
+        println!(
+            "{:<3} {:14.1} {:12.4}",
+            c.n_levels, c.heldout_ll, c.heldout_ll_per_action
+        );
+    }
+    match upskill_core::model_selection::best_skill_count(&sweep) {
+        Some(best) => println!("
+selected S = {best}"),
+        None => println!("
+no candidate evaluated"),
+    }
+    Ok(())
+}
+
+fn recommend(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["data", "model", "difficulty", "level", "k"])?;
+    let dataset: Dataset = read_json(args.required("data")?)?;
+    let model: SkillModel = read_json(args.required("model")?)?;
+    let difficulty: Vec<Option<f64>> = read_json(args.required("difficulty")?)?;
+    let level: u8 = args.parse_or("level", 1)?;
+    let k: usize = args.parse_or("k", 10)?;
+    let filled: Vec<f64> = difficulty
+        .iter()
+        .map(|d| d.unwrap_or((1 + model.n_levels()) as f64 / 2.0))
+        .collect();
+    let config = RecommendConfig { k, ..RecommendConfig::default() };
+    let recs = recommend_for_level(&model, &dataset, &filled, level, &|_| false, &config)
+        .map_err(|e| e.to_string())?;
+    if recs.is_empty() {
+        println!("no items in the difficulty band for level {level}");
+        return Ok(());
+    }
+    println!("top {} upskilling items for a level-{level} user:", recs.len());
+    for r in recs {
+        println!(
+            "  item {:6}  difficulty {:.2}  fit {:.2}  interest {:.2}  score {:.3}",
+            r.item, r.difficulty, r.difficulty_fit, r.interest, r.score
+        );
+    }
+    Ok(())
+}

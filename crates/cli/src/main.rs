@@ -1,0 +1,33 @@
+//! `upskill` — command-line interface to the upskill workspace.
+//!
+//! ```text
+//! upskill generate --domain <synthetic|language|cooking|beer|film> \
+//!                  [--seed N] [--scale quick|default] --out data.json
+//! upskill stats     --data data.json
+//! upskill train     --data data.json --levels S [--min-init N] \
+//!                  --out model.json [--assignments assignments.json]
+//! upskill difficulty --data data.json --model model.json \
+//!                  [--assignments assignments.json] \
+//!                  [--method assignment|uniform|empirical] --out difficulty.json
+//! upskill recommend --data data.json --model model.json \
+//!                  --difficulty difficulty.json --level S [--k K]
+//! ```
+//!
+//! All artifacts are JSON (serde), so models and datasets round-trip
+//! between the CLI, the library, and external tooling.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end test of the `upskill` binary: generate → stats → train →
+//! difficulty → recommend, all through the JSON artifacts.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_upskill"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("upskill-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+#[test]
+fn full_pipeline_runs() {
+    let data = tmp("data.json");
+    let model = tmp("model.json");
+    let assignments = tmp("assignments.json");
+    let difficulty = tmp("difficulty.json");
+
+    let out = bin()
+        .args([
+            "generate", "--domain", "synthetic", "--scale", "quick", "--seed", "3",
+            "--out", data.to_str().unwrap(),
+        ])
+        .output()
+        .expect("generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["stats", "--data", data.to_str().unwrap()])
+        .output()
+        .expect("stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("users:"), "{text}");
+    assert!(text.contains("item id"), "{text}");
+
+    let out = bin()
+        .args([
+            "train", "--data", data.to_str().unwrap(), "--levels", "5",
+            "--min-init", "40", "--out", model.to_str().unwrap(),
+            "--assignments", assignments.to_str().unwrap(),
+        ])
+        .output()
+        .expect("train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists() && assignments.exists());
+
+    let out = bin()
+        .args([
+            "difficulty", "--data", data.to_str().unwrap(),
+            "--model", model.to_str().unwrap(),
+            "--assignments", assignments.to_str().unwrap(),
+            "--method", "empirical",
+            "--out", difficulty.to_str().unwrap(),
+        ])
+        .output()
+        .expect("difficulty");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args([
+            "recommend", "--data", data.to_str().unwrap(),
+            "--model", model.to_str().unwrap(),
+            "--difficulty", difficulty.to_str().unwrap(),
+            "--level", "2", "--k", "3",
+        ])
+        .output()
+        .expect("recommend");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("difficulty"), "{text}");
+}
+
+#[test]
+fn helpful_errors() {
+    let out = bin().output().expect("no args");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = bin().args(["frobnicate"]).output().expect("bad command");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = bin()
+        .args(["generate", "--domain", "nope", "--out", "/tmp/x.json"])
+        .output()
+        .expect("bad domain");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown domain"));
+
+    let out = bin()
+        .args(["train", "--data", "/nonexistent/file.json", "--out", "/tmp/m.json"])
+        .output()
+        .expect("missing file");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let out = bin()
+        .args(["help"])
+        .output()
+        .expect("help");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("commands:"));
+}
+
+#[test]
+fn sweep_selects_a_skill_count() {
+    let data = tmp("sweep_data.json");
+    let out = bin()
+        .args([
+            "generate", "--domain", "synthetic", "--scale", "quick", "--seed", "9",
+            "--out", data.to_str().unwrap(),
+        ])
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    let out = bin()
+        .args([
+            "sweep", "--data", data.to_str().unwrap(), "--min", "2", "--max", "4",
+            "--min-init", "30",
+        ])
+        .output()
+        .expect("sweep");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("selected S ="), "{text}");
+    // Invalid range errors cleanly.
+    let out = bin()
+        .args(["sweep", "--data", data.to_str().unwrap(), "--min", "5", "--max", "2"])
+        .output()
+        .expect("sweep bad range");
+    assert!(!out.status.success());
+}

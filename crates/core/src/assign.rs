@@ -1,0 +1,309 @@
+//! The skill-assignment step: a Viterbi-style dynamic program over the
+//! action–skill lattice (Fig. 2 and Eq. 4 of the paper).
+//!
+//! For a user sequence of length `n`, the DP computes
+//! `L(u, n, s) = max_{δ∈{0,1}} L(u, n−1, s−δ) + log P(i_n | s)` and
+//! backtracks the arg-max path, yielding the monotone non-decreasing skill
+//! assignment that maximizes the sequence log-likelihood under the current
+//! model parameters. Complexity: `O(|A_u| · F · S)`.
+
+use crate::error::{CoreError, Result};
+use crate::model::SkillModel;
+use crate::types::{ActionSequence, Dataset, SkillAssignments, SkillLevel};
+
+/// Result of assigning one sequence: the per-action levels and the path
+/// log-likelihood.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceAssignment {
+    /// Skill level of each action, monotone non-decreasing.
+    pub levels: Vec<SkillLevel>,
+    /// Log-likelihood of the best path.
+    pub log_likelihood: f64,
+}
+
+/// Assigns skill levels to one sequence via the monotone DP.
+///
+/// The initial skill is unconstrained (users may enter the data already
+/// skilled); between consecutive actions the level either stays or
+/// increments by one.
+pub fn assign_sequence(
+    model: &SkillModel,
+    dataset: &Dataset,
+    sequence: &ActionSequence,
+) -> Result<SequenceAssignment> {
+    let s_max = model.n_levels();
+    let n = sequence.len();
+    if n == 0 {
+        return Ok(SequenceAssignment { levels: Vec::new(), log_likelihood: 0.0 });
+    }
+
+    // Per-action emission scores: emit[t * s_max + (s-1)].
+    let mut emit = vec![0.0f64; n * s_max];
+    for (t, action) in sequence.actions().iter().enumerate() {
+        let features = dataset.item_features(action.item);
+        for s in 0..s_max {
+            emit[t * s_max + s] = model.item_log_likelihood(features, (s + 1) as SkillLevel);
+        }
+    }
+
+    // Forward pass. `prev[s]` = best score ending at level s+1.
+    let mut prev: Vec<f64> = emit[..s_max].to_vec();
+    let mut curr = vec![f64::NEG_INFINITY; s_max];
+    // backpointer[t][s] = true if the level advanced (came from s-1).
+    let mut advanced = vec![false; n * s_max];
+    for t in 1..n {
+        for s in 0..s_max {
+            let stay = prev[s];
+            let up = if s > 0 { prev[s - 1] } else { f64::NEG_INFINITY };
+            let (best, from_below) = if up > stay { (up, true) } else { (stay, false) };
+            curr[s] = best + emit[t * s_max + s];
+            advanced[t * s_max + s] = from_below;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+
+    // Terminal arg-max; ties break toward the lower level for determinism.
+    let (mut best_s, mut best_ll) = (0usize, f64::NEG_INFINITY);
+    for (s, &ll) in prev.iter().enumerate() {
+        if ll > best_ll {
+            best_ll = ll;
+            best_s = s;
+        }
+    }
+    if best_ll == f64::NEG_INFINITY {
+        // Every path impossible under the model (can only happen with
+        // unsmoothed distributions); fall back to the flattest valid path.
+        return Err(CoreError::DegenerateFit {
+            distribution: "skill DP",
+            reason: "all paths have zero probability; enable smoothing",
+        });
+    }
+
+    // Backtrack.
+    let mut levels = vec![0 as SkillLevel; n];
+    let mut s = best_s;
+    for t in (0..n).rev() {
+        levels[t] = (s + 1) as SkillLevel;
+        if t > 0 && advanced[t * s_max + s] {
+            s -= 1;
+        }
+    }
+    debug_assert!(levels.windows(2).all(|w| w[0] <= w[1]));
+    Ok(SequenceAssignment { levels, log_likelihood: best_ll })
+}
+
+/// Assigns every sequence in the dataset sequentially.
+///
+/// Returns the assignments plus the total data log-likelihood (Eq. 3
+/// evaluated at the optimum of the assignment step).
+pub fn assign_all(model: &SkillModel, dataset: &Dataset) -> Result<(SkillAssignments, f64)> {
+    let mut per_user = Vec::with_capacity(dataset.n_users());
+    let mut total_ll = 0.0;
+    for seq in dataset.sequences() {
+        let a = assign_sequence(model, dataset, seq)?;
+        total_ll += a.log_likelihood;
+        per_user.push(a.levels);
+    }
+    Ok((SkillAssignments { per_user }, total_ll))
+}
+
+/// Exhaustive-search reference implementation used to validate the DP.
+///
+/// Enumerates every monotone non-decreasing path (there are
+/// `C(n + S - 1, S - 1)`-ish of them restricted to +1 steps) and returns the
+/// best. Exponential; only call on tiny sequences in tests.
+#[doc(hidden)]
+pub fn assign_sequence_bruteforce(
+    model: &SkillModel,
+    dataset: &Dataset,
+    sequence: &ActionSequence,
+) -> Result<SequenceAssignment> {
+    let s_max = model.n_levels();
+    let n = sequence.len();
+    if n == 0 {
+        return Ok(SequenceAssignment { levels: Vec::new(), log_likelihood: 0.0 });
+    }
+    let emissions: Vec<Vec<f64>> = sequence
+        .actions()
+        .iter()
+        .map(|a| model.item_log_likelihoods(dataset.item_features(a.item)))
+        .collect();
+
+    let mut best: Option<SequenceAssignment> = None;
+    // Recursive enumeration of stay/+1 paths from every starting level.
+    fn recurse(
+        emissions: &[Vec<f64>],
+        s_max: usize,
+        t: usize,
+        s: usize,
+        ll: f64,
+        path: &mut Vec<SkillLevel>,
+        best: &mut Option<SequenceAssignment>,
+    ) {
+        let ll = ll + emissions[t][s];
+        path.push((s + 1) as SkillLevel);
+        if t + 1 == emissions.len() {
+            let better = match best {
+                Some(b) => ll > b.log_likelihood,
+                None => true,
+            };
+            if better {
+                *best = Some(SequenceAssignment { levels: path.clone(), log_likelihood: ll });
+            }
+        } else {
+            recurse(emissions, s_max, t + 1, s, ll, path, best);
+            if s + 1 < s_max {
+                recurse(emissions, s_max, t + 1, s + 1, ll, path, best);
+            }
+        }
+        path.pop();
+    }
+    for s in 0..s_max {
+        recurse(&emissions, s_max, 0, s, 0.0, &mut Vec::new(), &mut best);
+    }
+    best.ok_or(CoreError::EmptyDataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Categorical, FeatureDistribution};
+    use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
+    use crate::types::Action;
+
+    /// Model with S levels over a single categorical feature of cardinality S,
+    /// where level s strongly prefers category s-1.
+    fn diagonal_model(s_max: usize) -> SkillModel {
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical {
+            cardinality: s_max as u32,
+        }])
+        .unwrap();
+        let cells = (0..s_max)
+            .map(|s| {
+                let mut probs = vec![0.1 / (s_max as f64 - 1.0).max(1.0); s_max];
+                probs[s] = 0.9;
+                let total: f64 = probs.iter().sum();
+                for p in probs.iter_mut() {
+                    *p /= total;
+                }
+                vec![FeatureDistribution::Categorical(
+                    Categorical::from_probs(probs).unwrap(),
+                )]
+            })
+            .collect();
+        SkillModel::new(schema, s_max, cells).unwrap()
+    }
+
+    fn dataset_for(s_max: usize, item_cats: &[u32]) -> (Dataset, ActionSequence) {
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical {
+            cardinality: s_max as u32,
+        }])
+        .unwrap();
+        let items: Vec<Vec<FeatureValue>> =
+            (0..s_max as u32).map(|c| vec![FeatureValue::Categorical(c)]).collect();
+        let actions: Vec<Action> = item_cats
+            .iter()
+            .enumerate()
+            .map(|(t, &c)| Action::new(t as i64, 0, c))
+            .collect();
+        let seq = ActionSequence::new(0, actions).unwrap();
+        let ds = Dataset::new(schema, items, vec![seq.clone()]).unwrap();
+        (ds, seq)
+    }
+
+    #[test]
+    fn empty_sequence_is_trivial() {
+        let model = diagonal_model(3);
+        let (ds, _) = dataset_for(3, &[0]);
+        let empty = ActionSequence::new(1, vec![]).unwrap();
+        let a = assign_sequence(&model, &ds, &empty).unwrap();
+        assert!(a.levels.is_empty());
+        assert_eq!(a.log_likelihood, 0.0);
+    }
+
+    #[test]
+    fn staircase_sequence_gets_staircase_assignment() {
+        let model = diagonal_model(3);
+        let (ds, seq) = dataset_for(3, &[0, 0, 1, 1, 2, 2]);
+        let a = assign_sequence(&model, &ds, &seq).unwrap();
+        assert_eq!(a.levels, vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn sequence_may_start_at_high_level() {
+        let model = diagonal_model(3);
+        let (ds, seq) = dataset_for(3, &[2, 2, 2]);
+        let a = assign_sequence(&model, &ds, &seq).unwrap();
+        assert_eq!(a.levels, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn sequence_may_never_reach_top() {
+        let model = diagonal_model(3);
+        let (ds, seq) = dataset_for(3, &[0, 0, 0, 0]);
+        let a = assign_sequence(&model, &ds, &seq).unwrap();
+        assert_eq!(a.levels, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn monotonicity_always_holds() {
+        let model = diagonal_model(4);
+        // Adversarial: skill-suggesting categories go down.
+        let (ds, seq) = dataset_for(4, &[3, 2, 1, 0, 1, 3]);
+        let a = assign_sequence(&model, &ds, &seq).unwrap();
+        assert!(a.levels.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn single_step_constraint_respected() {
+        let model = diagonal_model(5);
+        // Jump from category 0 straight to 4; levels can only climb 1/action.
+        let (ds, seq) = dataset_for(5, &[0, 4, 4, 4, 4, 4]);
+        let a = assign_sequence(&model, &ds, &seq).unwrap();
+        for w in a.levels.windows(2) {
+            assert!(w[1] - w[0] <= 1);
+        }
+    }
+
+    #[test]
+    fn dp_matches_bruteforce() {
+        let model = diagonal_model(3);
+        // Exhaustive over all length-5 category patterns (3^5 = 243 cases).
+        for pattern_id in 0..243u32 {
+            let mut cats = Vec::with_capacity(5);
+            let mut x = pattern_id;
+            for _ in 0..5 {
+                cats.push(x % 3);
+                x /= 3;
+            }
+            let (ds, seq) = dataset_for(3, &cats);
+            let dp = assign_sequence(&model, &ds, &seq).unwrap();
+            let bf = assign_sequence_bruteforce(&model, &ds, &seq).unwrap();
+            assert!(
+                (dp.log_likelihood - bf.log_likelihood).abs() < 1e-9,
+                "pattern {cats:?}: dp {} vs bf {}",
+                dp.log_likelihood,
+                bf.log_likelihood
+            );
+        }
+    }
+
+    #[test]
+    fn assign_all_sums_loglikelihoods() {
+        let model = diagonal_model(2);
+        let schema =
+            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
+        let items =
+            vec![vec![FeatureValue::Categorical(0)], vec![FeatureValue::Categorical(1)]];
+        let s0 = ActionSequence::new(0, vec![Action::new(0, 0, 0), Action::new(1, 0, 1)])
+            .unwrap();
+        let s1 = ActionSequence::new(1, vec![Action::new(0, 1, 1)]).unwrap();
+        let ds = Dataset::new(schema, items, vec![s0.clone(), s1.clone()]).unwrap();
+        let (assignments, total) = assign_all(&model, &ds).unwrap();
+        let a0 = assign_sequence(&model, &ds, &s0).unwrap();
+        let a1 = assign_sequence(&model, &ds, &s1).unwrap();
+        assert!((total - (a0.log_likelihood + a1.log_likelihood)).abs() < 1e-12);
+        assert!(assignments.is_monotone());
+        assert_eq!(assignments.n_actions(), 3);
+    }
+}

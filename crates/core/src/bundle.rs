@@ -1,0 +1,192 @@
+//! Versioned model artifacts: a [`ModelBundle`] packages a trained model
+//! with its assignments, training configuration, and provenance metadata
+//! into one self-describing JSON document, so models written by one
+//! version of the library can be validated (and rejected with a clear
+//! error) by another.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+use crate::model::SkillModel;
+use crate::train::{TrainConfig, TrainResult};
+use crate::types::SkillAssignments;
+
+/// The bundle format version this build writes.
+pub const BUNDLE_VERSION: u32 = 1;
+
+/// A self-describing trained-model artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// Format version (see [`BUNDLE_VERSION`]).
+    pub version: u32,
+    /// The trained skill model.
+    pub model: SkillModel,
+    /// Hard assignments on the training data (optional — large).
+    pub assignments: Option<SkillAssignments>,
+    /// The configuration used to train.
+    pub config: TrainConfig,
+    /// Final training log-likelihood.
+    pub log_likelihood: f64,
+    /// Number of training iterations run.
+    pub iterations: usize,
+    /// Free-form provenance note (dataset name, seed, …).
+    pub note: String,
+}
+
+impl ModelBundle {
+    /// Packages a training result.
+    pub fn from_result(result: &TrainResult, config: TrainConfig, note: &str) -> Self {
+        Self {
+            version: BUNDLE_VERSION,
+            model: result.model.clone(),
+            assignments: Some(result.assignments.clone()),
+            config,
+            log_likelihood: result.log_likelihood,
+            iterations: result.trace.len(),
+            note: note.to_string(),
+        }
+    }
+
+    /// Drops the (potentially large) assignments for a compact artifact.
+    pub fn without_assignments(mut self) -> Self {
+        self.assignments = None;
+        self
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|_| CoreError::DegenerateFit {
+            distribution: "bundle",
+            reason: "serialization failure",
+        })
+    }
+
+    /// Parses and validates a JSON bundle.
+    ///
+    /// Rejects future format versions and internally inconsistent bundles
+    /// (model/config level mismatch, non-monotone assignments).
+    pub fn from_json(json: &str) -> Result<Self> {
+        let bundle: ModelBundle =
+            serde_json::from_str(json).map_err(|_| CoreError::DegenerateFit {
+                distribution: "bundle",
+                reason: "malformed JSON or schema mismatch",
+            })?;
+        bundle.validate()?;
+        Ok(bundle)
+    }
+
+    /// Internal consistency checks.
+    pub fn validate(&self) -> Result<()> {
+        if self.version == 0 || self.version > BUNDLE_VERSION {
+            return Err(CoreError::NoConvergence {
+                routine: "bundle version check",
+                iterations: self.version as usize,
+            });
+        }
+        if self.model.n_levels() != self.config.n_levels {
+            return Err(CoreError::LengthMismatch {
+                context: "bundle model levels vs config",
+                left: self.model.n_levels(),
+                right: self.config.n_levels,
+            });
+        }
+        if let Some(a) = &self.assignments {
+            if !a.is_monotone() {
+                return Err(CoreError::UnsortedSequence { user: 0, position: 0 });
+            }
+            let max_level =
+                a.iter().map(|(_, _, s)| s).max().unwrap_or(1) as usize;
+            if max_level > self.model.n_levels() {
+                return Err(CoreError::InvalidSkillCount { requested: max_level });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
+    use crate::train::train;
+    use crate::types::{Action, ActionSequence, Dataset};
+
+    fn trained() -> (TrainResult, TrainConfig) {
+        let schema =
+            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
+        let items =
+            vec![vec![FeatureValue::Categorical(0)], vec![FeatureValue::Categorical(1)]];
+        let sequences: Vec<ActionSequence> = (0..4u32)
+            .map(|u| {
+                ActionSequence::new(
+                    u,
+                    (0..8).map(|t| Action::new(t, u, u32::from(t >= 4))).collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let ds = Dataset::new(schema, items, sequences).unwrap();
+        let config = TrainConfig::new(2).with_min_init_actions(4);
+        (train(&ds, &config).unwrap(), config)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (result, config) = trained();
+        let bundle = ModelBundle::from_result(&result, config, "test run");
+        let json = bundle.to_json().unwrap();
+        let back = ModelBundle::from_json(&json).unwrap();
+        assert_eq!(back.version, BUNDLE_VERSION);
+        assert_eq!(back.model, result.model);
+        assert_eq!(back.assignments.as_ref().unwrap(), &result.assignments);
+        assert_eq!(back.note, "test run");
+        assert_eq!(back.iterations, result.trace.len());
+    }
+
+    #[test]
+    fn without_assignments_is_compact_and_valid() {
+        let (result, config) = trained();
+        let full = ModelBundle::from_result(&result, config, "x");
+        let slim = full.clone().without_assignments();
+        assert!(slim.to_json().unwrap().len() < full.to_json().unwrap().len());
+        assert!(ModelBundle::from_json(&slim.to_json().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let (result, config) = trained();
+        let mut bundle = ModelBundle::from_result(&result, config, "x");
+        bundle.version = BUNDLE_VERSION + 1;
+        let json = serde_json::to_string(&bundle).unwrap();
+        assert!(ModelBundle::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn inconsistent_levels_rejected() {
+        let (result, config) = trained();
+        let mut bundle = ModelBundle::from_result(&result, config, "x");
+        bundle.config.n_levels = 7;
+        assert!(bundle.validate().is_err());
+    }
+
+    #[test]
+    fn nonmonotone_assignments_rejected() {
+        let (result, config) = trained();
+        let mut bundle = ModelBundle::from_result(&result, config, "x");
+        if let Some(a) = &mut bundle.assignments {
+            if let Some(seq) = a.per_user.first_mut() {
+                if seq.len() >= 2 {
+                    seq[0] = 2;
+                    seq[1] = 1;
+                }
+            }
+        }
+        assert!(bundle.validate().is_err());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(ModelBundle::from_json("{not json").is_err());
+        assert!(ModelBundle::from_json("{\"version\": 1}").is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Model diagnostics: which features actually carry skill signal, and how
+//! healthy a training run was.
+//!
+//! - [`feature_informativeness`] — for each feature, the mean symmetric KL
+//!   divergence between its per-level distributions. A feature whose
+//!   distributions barely differ across levels (≈0) contributes nothing to
+//!   the DP; the ranking quantifies the paper's feature-ablation story
+//!   (Table VI) without retraining.
+//! - [`level_occupancy_entropy`] — entropy of the assignment histogram;
+//!   near-zero means the model collapsed onto few levels.
+//! - [`convergence_summary`] — iterations, total LL gain, and whether the
+//!   trace was monotone.
+
+use crate::dist::FeatureDistribution;
+use crate::error::{CoreError, Result};
+use crate::model::SkillModel;
+use crate::train::IterationStats;
+use crate::types::SkillAssignments;
+
+/// Symmetric KL divergence between two feature distributions of the same
+/// family, `0.5·KL(P‖Q) + 0.5·KL(Q‖P)`.
+///
+/// Closed forms for each family; mixed families are an error.
+pub fn symmetric_kl(p: &FeatureDistribution, q: &FeatureDistribution) -> Result<f64> {
+    match (p, q) {
+        (FeatureDistribution::Categorical(a), FeatureDistribution::Categorical(b)) => {
+            if a.cardinality() != b.cardinality() {
+                return Err(CoreError::LengthMismatch {
+                    context: "categorical KL cardinalities",
+                    left: a.cardinality() as usize,
+                    right: b.cardinality() as usize,
+                });
+            }
+            let mut kl_pq = 0.0;
+            let mut kl_qp = 0.0;
+            for c in 0..a.cardinality() {
+                let (pa, pb) = (a.prob(c), b.prob(c));
+                if pa > 0.0 && pb > 0.0 {
+                    kl_pq += pa * (pa / pb).ln();
+                    kl_qp += pb * (pb / pa).ln();
+                } else if pa > 0.0 || pb > 0.0 {
+                    // Disjoint support: unbounded divergence; report large.
+                    return Ok(f64::INFINITY);
+                }
+            }
+            Ok(0.5 * (kl_pq + kl_qp))
+        }
+        (FeatureDistribution::Poisson(a), FeatureDistribution::Poisson(b)) => {
+            // KL(Poi(λa) ‖ Poi(λb)) = λa ln(λa/λb) − λa + λb.
+            let (la, lb) = (a.rate(), b.rate());
+            let kl_ab = la * (la / lb).ln() - la + lb;
+            let kl_ba = lb * (lb / la).ln() - lb + la;
+            Ok(0.5 * (kl_ab + kl_ba))
+        }
+        (FeatureDistribution::Gamma(a), FeatureDistribution::Gamma(b)) => {
+            // KL(Γ(k₁,θ₁) ‖ Γ(k₂,θ₂)) closed form via digamma/lnΓ.
+            use crate::dist::special::{digamma, ln_gamma};
+            let kl = |k1: f64, t1: f64, k2: f64, t2: f64| {
+                (k1 - k2) * digamma(k1) - ln_gamma(k1) + ln_gamma(k2)
+                    + k2 * (t2 / t1).ln()
+                    + k1 * (t1 - t2) / t2
+            };
+            let kl_ab = kl(a.shape(), a.scale(), b.shape(), b.scale());
+            let kl_ba = kl(b.shape(), b.scale(), a.shape(), a.scale());
+            Ok(0.5 * (kl_ab + kl_ba))
+        }
+        (FeatureDistribution::LogNormal(a), FeatureDistribution::LogNormal(b)) => {
+            // KL between the underlying normals.
+            let kl = |m1: f64, s1: f64, m2: f64, s2: f64| {
+                (s2 / s1).ln() + (s1 * s1 + (m1 - m2) * (m1 - m2)) / (2.0 * s2 * s2) - 0.5
+            };
+            let kl_ab = kl(a.mu(), a.sigma(), b.mu(), b.sigma());
+            let kl_ba = kl(b.mu(), b.sigma(), a.mu(), a.sigma());
+            Ok(0.5 * (kl_ab + kl_ba))
+        }
+        _ => Err(CoreError::FeatureKindMismatch {
+            feature: usize::MAX,
+            expected: "matching distribution families",
+            got: "mixed families",
+        }),
+    }
+}
+
+/// Informativeness of one feature: the mean symmetric KL over all pairs of
+/// adjacent skill levels. Zero ⇒ the feature cannot separate levels.
+pub fn feature_informativeness(model: &SkillModel, feature: usize) -> Result<f64> {
+    let s_max = model.n_levels();
+    if s_max < 2 {
+        return Ok(0.0);
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for s in 1..s_max {
+        let a = model.cell(s as u8, feature)?;
+        let b = model.cell((s + 1) as u8, feature)?;
+        let kl = symmetric_kl(a, b)?;
+        if kl.is_finite() {
+            total += kl;
+            count += 1;
+        }
+    }
+    Ok(if count > 0 { total / count as f64 } else { f64::INFINITY })
+}
+
+/// Informativeness of every feature, as `(feature index, score)` sorted
+/// descending — a no-retrain ranking of which features drive the model.
+pub fn rank_features(model: &SkillModel) -> Result<Vec<(usize, f64)>> {
+    let mut scores: Vec<(usize, f64)> = (0..model.n_features())
+        .map(|f| Ok((f, feature_informativeness(model, f)?)))
+        .collect::<Result<_>>()?;
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(scores)
+}
+
+/// Shannon entropy (nats) of the level-occupancy distribution. Low entropy
+/// = assignments collapsed onto few levels.
+pub fn level_occupancy_entropy(assignments: &SkillAssignments, n_levels: usize) -> f64 {
+    let hist = assignments.level_histogram(n_levels);
+    let total: usize = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    hist.iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Summary of a training trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceSummary {
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Objective gain from the first to the last iteration.
+    pub total_gain: f64,
+    /// Whether the trace was monotone non-decreasing (up to tolerance).
+    pub monotone: bool,
+    /// Assignment churn at the final iteration (0 = fully stable).
+    pub final_churn: usize,
+}
+
+/// Summarizes a training trace (see [`crate::train::TrainResult::trace`]).
+pub fn convergence_summary(trace: &[IterationStats]) -> ConvergenceSummary {
+    let iterations = trace.len();
+    let total_gain = match (trace.first(), trace.last()) {
+        (Some(a), Some(b)) => b.log_likelihood - a.log_likelihood,
+        _ => 0.0,
+    };
+    let monotone = trace
+        .windows(2)
+        .all(|w| w[1].log_likelihood >= w[0].log_likelihood - 1e-6);
+    let final_churn = trace
+        .last()
+        .map(|s| if s.n_changed == usize::MAX { 0 } else { s.n_changed })
+        .unwrap_or(0);
+    ConvergenceSummary { iterations, total_gain, monotone, final_churn }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Categorical, Gamma, LogNormal, Poisson};
+    use crate::feature::{FeatureKind, FeatureSchema};
+
+    #[test]
+    fn kl_zero_for_identical_distributions() {
+        let c = FeatureDistribution::Categorical(
+            Categorical::from_probs(vec![0.3, 0.7]).unwrap(),
+        );
+        assert!(symmetric_kl(&c, &c).unwrap().abs() < 1e-12);
+        let p = FeatureDistribution::Poisson(Poisson::new(4.0).unwrap());
+        assert!(symmetric_kl(&p, &p).unwrap().abs() < 1e-12);
+        let g = FeatureDistribution::Gamma(Gamma::new(2.0, 1.5).unwrap());
+        assert!(symmetric_kl(&g, &g).unwrap().abs() < 1e-10);
+        let l = FeatureDistribution::LogNormal(LogNormal::new(0.0, 1.0).unwrap());
+        assert!(symmetric_kl(&l, &l).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_positive_and_grows_with_separation() {
+        let near = symmetric_kl(
+            &FeatureDistribution::Poisson(Poisson::new(4.0).unwrap()),
+            &FeatureDistribution::Poisson(Poisson::new(5.0).unwrap()),
+        )
+        .unwrap();
+        let far = symmetric_kl(
+            &FeatureDistribution::Poisson(Poisson::new(4.0).unwrap()),
+            &FeatureDistribution::Poisson(Poisson::new(12.0).unwrap()),
+        )
+        .unwrap();
+        assert!(near > 0.0);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn kl_gamma_matches_numerical_integration() {
+        let a = Gamma::new(2.0, 1.0).unwrap();
+        let b = Gamma::new(3.0, 1.5).unwrap();
+        // Numerically integrate KL(a‖b) = ∫ p ln(p/q).
+        let (lo, hi, n) = (1e-6, 60.0, 400_000);
+        let h = (hi - lo) / n as f64;
+        let mut kl_ab = 0.0;
+        let mut kl_ba = 0.0;
+        for i in 0..=n {
+            let x = lo + i as f64 * h;
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            let (pa, pb) = (a.pdf(x), b.pdf(x));
+            if pa > 1e-300 && pb > 1e-300 {
+                kl_ab += w * pa * (pa / pb).ln();
+                kl_ba += w * pb * (pb / pa).ln();
+            }
+        }
+        let numeric = 0.5 * (kl_ab + kl_ba) * h;
+        let analytic = symmetric_kl(
+            &FeatureDistribution::Gamma(a),
+            &FeatureDistribution::Gamma(b),
+        )
+        .unwrap();
+        assert!(
+            (numeric - analytic).abs() < 1e-3,
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn kl_disjoint_categorical_support_is_infinite() {
+        let a = FeatureDistribution::Categorical(
+            Categorical::from_probs(vec![1.0, 0.0]).unwrap(),
+        );
+        let b = FeatureDistribution::Categorical(
+            Categorical::from_probs(vec![0.0, 1.0]).unwrap(),
+        );
+        assert!(symmetric_kl(&a, &b).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn mixed_families_rejected() {
+        let c = FeatureDistribution::Categorical(
+            Categorical::from_probs(vec![0.5, 0.5]).unwrap(),
+        );
+        let p = FeatureDistribution::Poisson(Poisson::new(1.0).unwrap());
+        assert!(symmetric_kl(&c, &p).is_err());
+    }
+
+    fn two_feature_model(flat_counts: bool) -> SkillModel {
+        // Feature 0: informative categorical; feature 1: Poisson that is
+        // flat (uninformative) or increasing depending on the flag.
+        let schema = FeatureSchema::new(vec![
+            FeatureKind::Categorical { cardinality: 2 },
+            FeatureKind::Count,
+        ])
+        .unwrap();
+        let cells = (0..3)
+            .map(|s| {
+                let p = 0.1 + 0.4 * s as f64;
+                let rate = if flat_counts { 5.0 } else { 2.0 + 4.0 * s as f64 };
+                vec![
+                    FeatureDistribution::Categorical(
+                        Categorical::from_probs(vec![1.0 - p, p]).unwrap(),
+                    ),
+                    FeatureDistribution::Poisson(Poisson::new(rate).unwrap()),
+                ]
+            })
+            .collect();
+        SkillModel::new(schema, 3, cells).unwrap()
+    }
+
+    #[test]
+    fn informativeness_ranks_features_correctly() {
+        let m = two_feature_model(true); // Poisson flat → uninformative
+        let ranking = rank_features(&m).unwrap();
+        assert_eq!(ranking[0].0, 0, "categorical should rank first: {ranking:?}");
+        assert!(ranking[1].1 < 1e-9, "flat Poisson should score ~0");
+
+        let m2 = two_feature_model(false);
+        let score_poisson = feature_informativeness(&m2, 1).unwrap();
+        assert!(score_poisson > 0.5, "steep Poisson should be informative");
+    }
+
+    #[test]
+    fn occupancy_entropy_ranges() {
+        let balanced = SkillAssignments { per_user: vec![vec![1, 2, 3], vec![1, 2, 3]] };
+        let collapsed = SkillAssignments { per_user: vec![vec![2, 2, 2, 2, 2, 2]] };
+        let h_bal = level_occupancy_entropy(&balanced, 3);
+        let h_col = level_occupancy_entropy(&collapsed, 3);
+        assert!((h_bal - 3f64.ln()).abs() < 1e-12);
+        assert!(h_col.abs() < 1e-12);
+    }
+
+    #[test]
+    fn convergence_summary_reads_trace() {
+        let trace = vec![
+            IterationStats { iteration: 1, log_likelihood: -100.0, n_changed: usize::MAX },
+            IterationStats { iteration: 2, log_likelihood: -90.0, n_changed: 12 },
+            IterationStats { iteration: 3, log_likelihood: -89.5, n_changed: 0 },
+        ];
+        let s = convergence_summary(&trace);
+        assert_eq!(s.iterations, 3);
+        assert!((s.total_gain - 10.5).abs() < 1e-12);
+        assert!(s.monotone);
+        assert_eq!(s.final_churn, 0);
+        let empty = convergence_summary(&[]);
+        assert_eq!(empty.iterations, 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Smoothed categorical distribution (Eq. 6 of the paper).
+//!
+//! The per-skill categorical parameter `θ_f(s) = (θ_f1(s), …, θ_fC(s))` is
+//! fit in closed form with additive (Laplace) smoothing using a pseudo-count
+//! `λ` to avoid the zero-frequency problem:
+//!
+//! ```text
+//! θ_fc(s) = (λ + count(c)) / (λ·C + total)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+
+/// Default pseudo-count, following Shin et al. (paper §IV-B).
+pub const DEFAULT_SMOOTHING: f64 = 0.01;
+
+/// A categorical distribution over `0..cardinality` with log-probabilities
+/// cached for fast scoring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Categorical {
+    /// Probability of each category (sums to 1).
+    probs: Vec<f64>,
+    /// Cached natural logs of `probs`.
+    log_probs: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds a distribution from explicit probabilities.
+    ///
+    /// Probabilities must be non-negative, finite, and sum to 1 within
+    /// `1e-9` tolerance (they are renormalized exactly afterwards).
+    pub fn from_probs(probs: Vec<f64>) -> Result<Self> {
+        if probs.is_empty() {
+            return Err(CoreError::DegenerateFit {
+                distribution: "categorical",
+                reason: "zero categories",
+            });
+        }
+        let mut sum = 0.0;
+        for &p in &probs {
+            if !p.is_finite() || p < 0.0 {
+                return Err(CoreError::InvalidProbability {
+                    context: "categorical probability",
+                    value: p,
+                });
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(CoreError::InvalidProbability {
+                context: "categorical probabilities sum",
+                value: sum,
+            });
+        }
+        let probs: Vec<f64> = probs.into_iter().map(|p| p / sum).collect();
+        let log_probs = probs.iter().map(|&p| p.ln()).collect();
+        Ok(Self { probs, log_probs })
+    }
+
+    /// Fits the smoothed MLE (Eq. 6) from per-category counts.
+    ///
+    /// `lambda` is the additive pseudo-count; `lambda = 0` yields the raw
+    /// MLE (and `-inf` log-probabilities for unseen categories).
+    pub fn fit_from_counts(counts: &[u64], lambda: f64) -> Result<Self> {
+        if counts.is_empty() {
+            return Err(CoreError::DegenerateFit {
+                distribution: "categorical",
+                reason: "zero categories",
+            });
+        }
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(CoreError::InvalidProbability {
+                context: "categorical smoothing lambda",
+                value: lambda,
+            });
+        }
+        let total: u64 = counts.iter().sum();
+        let denom = lambda * counts.len() as f64 + total as f64;
+        if denom <= 0.0 {
+            return Err(CoreError::DegenerateFit {
+                distribution: "categorical",
+                reason: "no observations and no smoothing",
+            });
+        }
+        let probs: Vec<f64> = counts.iter().map(|&c| (lambda + c as f64) / denom).collect();
+        let log_probs = probs.iter().map(|&p| p.ln()).collect();
+        Ok(Self { probs, log_probs })
+    }
+
+    /// Uniform distribution over `cardinality` categories.
+    pub fn uniform(cardinality: u32) -> Result<Self> {
+        Self::fit_from_counts(&vec![0u64; cardinality as usize], 1.0)
+    }
+
+    /// Number of categories.
+    pub fn cardinality(&self) -> u32 {
+        self.probs.len() as u32
+    }
+
+    /// Probability of category `c` (0 if out of range).
+    pub fn prob(&self, c: u32) -> f64 {
+        self.probs.get(c as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Log-probability of category `c` (`-inf` if out of range).
+    pub fn log_prob(&self, c: u32) -> f64 {
+        self.log_probs.get(c as usize).copied().unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// Full probability vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Mean of the category index (used by reports, not by the model).
+    pub fn mean_index(&self) -> f64 {
+        self.probs.iter().enumerate().map(|(c, &p)| c as f64 * p).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_matches_closed_form() {
+        // counts = [3, 1, 0], λ = 0.01, C = 3, total = 4
+        let d = Categorical::fit_from_counts(&[3, 1, 0], 0.01).unwrap();
+        let denom = 0.01 * 3.0 + 4.0;
+        assert!((d.prob(0) - 3.01 / denom).abs() < 1e-15);
+        assert!((d.prob(1) - 1.01 / denom).abs() < 1e-15);
+        assert!((d.prob(2) - 0.01 / denom).abs() < 1e-15);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let d = Categorical::fit_from_counts(&[5, 0, 2, 7, 0, 1], 0.01).unwrap();
+        let sum: f64 = d.probs().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_avoids_zero_frequency() {
+        let d = Categorical::fit_from_counts(&[10, 0], 0.01).unwrap();
+        assert!(d.prob(1) > 0.0);
+        assert!(d.log_prob(1).is_finite());
+    }
+
+    #[test]
+    fn unsmoothed_unseen_category_is_neg_inf() {
+        let d = Categorical::fit_from_counts(&[10, 0], 0.0).unwrap();
+        assert_eq!(d.prob(1), 0.0);
+        assert_eq!(d.log_prob(1), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn out_of_range_category() {
+        let d = Categorical::uniform(3).unwrap();
+        assert_eq!(d.prob(3), 0.0);
+        assert_eq!(d.log_prob(99), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let d = Categorical::uniform(4).unwrap();
+        for c in 0..4 {
+            assert!((d.prob(c) - 0.25).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn from_probs_validates() {
+        assert!(Categorical::from_probs(vec![]).is_err());
+        assert!(Categorical::from_probs(vec![0.5, 0.6]).is_err());
+        assert!(Categorical::from_probs(vec![-0.1, 1.1]).is_err());
+        assert!(Categorical::from_probs(vec![0.25; 4]).is_ok());
+    }
+
+    #[test]
+    fn fit_rejects_bad_lambda() {
+        assert!(Categorical::fit_from_counts(&[1, 2], -0.5).is_err());
+        assert!(Categorical::fit_from_counts(&[1, 2], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn empty_counts_without_smoothing_rejected() {
+        assert!(Categorical::fit_from_counts(&[0, 0, 0], 0.0).is_err());
+    }
+
+    #[test]
+    fn mle_maximizes_likelihood_among_neighbors() {
+        // The unsmoothed MLE should beat small perturbations of itself.
+        let counts = [7u64, 2, 1];
+        let d = Categorical::fit_from_counts(&counts, 0.0).unwrap();
+        let ll = |p: &[f64]| -> f64 {
+            counts.iter().zip(p).map(|(&c, &p)| c as f64 * p.ln()).sum()
+        };
+        let best = ll(d.probs());
+        let mut perturbed = d.probs().to_vec();
+        perturbed[0] -= 0.05;
+        perturbed[1] += 0.05;
+        assert!(best > ll(&perturbed));
+    }
+
+    #[test]
+    fn mean_index_weighted() {
+        let d = Categorical::from_probs(vec![0.0, 0.0, 1.0]).unwrap();
+        assert!((d.mean_index() - 2.0).abs() < 1e-15);
+    }
+}

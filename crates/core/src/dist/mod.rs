@@ -1,0 +1,381 @@
+//! Generative distributions for item features (§IV-A of the paper).
+//!
+//! Each (feature, skill level) cell of the model holds one
+//! [`FeatureDistribution`]; the [`FeatureAccumulator`] is its streaming
+//! counterpart used by the parameter-update step (Eq. 5–7) to collect
+//! sufficient statistics per skill level without materializing sample
+//! vectors.
+
+pub mod categorical;
+pub mod gamma;
+pub mod lognormal;
+pub mod poisson;
+pub mod special;
+
+use serde::{Deserialize, Serialize};
+
+pub use categorical::{Categorical, DEFAULT_SMOOTHING};
+pub use gamma::{Gamma, SufficientStats};
+pub use lognormal::LogNormal;
+pub use poisson::Poisson;
+
+use crate::error::{CoreError, Result};
+use crate::feature::{FeatureKind, FeatureValue, PositiveModel};
+
+/// One fitted per-feature, per-skill distribution `P_f(· | θ_f(s))`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureDistribution {
+    /// Smoothed categorical over `0..C_f`.
+    Categorical(Categorical),
+    /// Poisson over counts.
+    Poisson(Poisson),
+    /// Gamma over positive reals.
+    Gamma(Gamma),
+    /// Log-normal over positive reals.
+    LogNormal(LogNormal),
+}
+
+impl FeatureDistribution {
+    /// Log-likelihood of one observed feature value.
+    ///
+    /// Returns `-inf` (not an error) for impossible values so the DP can
+    /// treat them as zero-probability paths.
+    pub fn log_likelihood(&self, value: &FeatureValue) -> f64 {
+        match (self, value) {
+            (FeatureDistribution::Categorical(d), FeatureValue::Categorical(c)) => {
+                d.log_prob(*c)
+            }
+            (FeatureDistribution::Poisson(d), FeatureValue::Count(k)) => d.log_pmf(*k),
+            (FeatureDistribution::Gamma(d), FeatureValue::Real(x)) => d.log_pdf(*x),
+            (FeatureDistribution::LogNormal(d), FeatureValue::Real(x)) => d.log_pdf(*x),
+            _ => f64::NEG_INFINITY,
+        }
+    }
+
+    /// A weakly-informative default distribution for a feature kind, used
+    /// when a skill level received no observations in an update step.
+    pub fn fallback(kind: FeatureKind) -> Result<Self> {
+        match kind {
+            FeatureKind::Categorical { cardinality } => {
+                Ok(FeatureDistribution::Categorical(Categorical::uniform(cardinality)?))
+            }
+            FeatureKind::Count => Ok(FeatureDistribution::Poisson(Poisson::new(1.0)?)),
+            FeatureKind::Positive { model: PositiveModel::Gamma } => {
+                Ok(FeatureDistribution::Gamma(Gamma::new(1.0, 1.0)?))
+            }
+            FeatureKind::Positive { model: PositiveModel::LogNormal } => {
+                Ok(FeatureDistribution::LogNormal(LogNormal::new(0.0, 1.0)?))
+            }
+        }
+    }
+}
+
+/// Streaming sufficient statistics for one (feature, skill) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureAccumulator {
+    /// Per-category counts.
+    Categorical {
+        /// `counts[c]` = number of observations of category `c`.
+        counts: Vec<u64>,
+    },
+    /// Sum and count for the Poisson mean.
+    Count {
+        /// Sum of observed counts.
+        sum: f64,
+        /// Number of observations.
+        n: f64,
+    },
+    /// Gamma sufficient statistics (also enough for log-normal).
+    Positive {
+        /// Which continuous family to fit at the end.
+        model: PositiveModel,
+        /// Accumulated `Σx`, `Σ ln x`, `Σx²`, `n`.
+        stats: SufficientStats,
+        /// Raw log values retained for the log-normal variance
+        /// (kept only when `model == LogNormal`; empty otherwise).
+        log_values: Vec<f64>,
+    },
+}
+
+impl FeatureAccumulator {
+    /// Creates an empty accumulator for the given feature kind.
+    pub fn new(kind: FeatureKind) -> Self {
+        match kind {
+            FeatureKind::Categorical { cardinality } => {
+                FeatureAccumulator::Categorical { counts: vec![0; cardinality as usize] }
+            }
+            FeatureKind::Count => FeatureAccumulator::Count { sum: 0.0, n: 0.0 },
+            FeatureKind::Positive { model } => FeatureAccumulator::Positive {
+                model,
+                stats: SufficientStats::default(),
+                log_values: Vec::new(),
+            },
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: &FeatureValue) -> Result<()> {
+        match (self, value) {
+            (FeatureAccumulator::Categorical { counts }, FeatureValue::Categorical(c)) => {
+                let idx = *c as usize;
+                if idx >= counts.len() {
+                    return Err(CoreError::CategoryOutOfBounds {
+                        feature: usize::MAX,
+                        value: *c,
+                        cardinality: counts.len() as u32,
+                    });
+                }
+                counts[idx] += 1;
+                Ok(())
+            }
+            (FeatureAccumulator::Count { sum, n }, FeatureValue::Count(k)) => {
+                *sum += *k as f64;
+                *n += 1.0;
+                Ok(())
+            }
+            (
+                FeatureAccumulator::Positive { model, stats, log_values },
+                FeatureValue::Real(x),
+            ) => {
+                stats.push(*x)?;
+                if *model == PositiveModel::LogNormal {
+                    log_values.push(x.ln());
+                }
+                Ok(())
+            }
+            (acc, value) => Err(CoreError::FeatureKindMismatch {
+                feature: usize::MAX,
+                expected: acc.kind_name(),
+                got: value.name(),
+            }),
+        }
+    }
+
+    /// Merges another accumulator of the same variant into this one.
+    pub fn merge(&mut self, other: &FeatureAccumulator) -> Result<()> {
+        match (self, other) {
+            (
+                FeatureAccumulator::Categorical { counts },
+                FeatureAccumulator::Categorical { counts: o },
+            ) => {
+                if counts.len() != o.len() {
+                    return Err(CoreError::LengthMismatch {
+                        context: "categorical accumulator merge",
+                        left: counts.len(),
+                        right: o.len(),
+                    });
+                }
+                for (a, b) in counts.iter_mut().zip(o) {
+                    *a += b;
+                }
+                Ok(())
+            }
+            (
+                FeatureAccumulator::Count { sum, n },
+                FeatureAccumulator::Count { sum: os, n: on },
+            ) => {
+                *sum += os;
+                *n += on;
+                Ok(())
+            }
+            (
+                FeatureAccumulator::Positive { stats, log_values, .. },
+                FeatureAccumulator::Positive { stats: ostats, log_values: olog, .. },
+            ) => {
+                stats.merge(ostats);
+                log_values.extend_from_slice(olog);
+                Ok(())
+            }
+            (a, b) => Err(CoreError::FeatureKindMismatch {
+                feature: usize::MAX,
+                expected: a.kind_name(),
+                got: b.kind_name(),
+            }),
+        }
+    }
+
+    /// Number of accumulated observations.
+    pub fn n_observations(&self) -> f64 {
+        match self {
+            FeatureAccumulator::Categorical { counts } => {
+                counts.iter().sum::<u64>() as f64
+            }
+            FeatureAccumulator::Count { n, .. } => *n,
+            FeatureAccumulator::Positive { stats, .. } => stats.count(),
+        }
+    }
+
+    /// Fits the final distribution (Eq. 6 for categorical with smoothing
+    /// `lambda`, Eq. 7 for Poisson, Newton MLE for gamma, closed-form for
+    /// log-normal). Falls back to [`FeatureDistribution::fallback`] when the
+    /// cell received no observations.
+    pub fn fit(&self, lambda: f64) -> Result<FeatureDistribution> {
+        if self.n_observations() == 0.0 {
+            return FeatureDistribution::fallback(self.kind());
+        }
+        match self {
+            FeatureAccumulator::Categorical { counts } => Ok(FeatureDistribution::Categorical(
+                Categorical::fit_from_counts(counts, lambda)?,
+            )),
+            FeatureAccumulator::Count { sum, n } => {
+                Ok(FeatureDistribution::Poisson(Poisson::fit_from_moments(*sum, *n)?))
+            }
+            FeatureAccumulator::Positive { model: PositiveModel::Gamma, stats, .. } => {
+                Ok(FeatureDistribution::Gamma(Gamma::fit_from_stats(stats)?))
+            }
+            FeatureAccumulator::Positive {
+                model: PositiveModel::LogNormal, log_values, ..
+            } => {
+                let n = log_values.len() as f64;
+                let mu = log_values.iter().sum::<f64>() / n;
+                let var = log_values.iter().map(|&l| (l - mu) * (l - mu)).sum::<f64>() / n;
+                Ok(FeatureDistribution::LogNormal(LogNormal::new(
+                    mu,
+                    var.sqrt().max(1e-6),
+                )?))
+            }
+        }
+    }
+
+    fn kind(&self) -> FeatureKind {
+        match self {
+            FeatureAccumulator::Categorical { counts } => {
+                FeatureKind::Categorical { cardinality: counts.len() as u32 }
+            }
+            FeatureAccumulator::Count { .. } => FeatureKind::Count,
+            FeatureAccumulator::Positive { model, .. } => {
+                FeatureKind::Positive { model: *model }
+            }
+        }
+    }
+
+    fn kind_name(&self) -> &'static str {
+        self.kind().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_likelihood_dispatches_by_kind() {
+        let cat = FeatureDistribution::Categorical(
+            Categorical::from_probs(vec![0.25, 0.75]).unwrap(),
+        );
+        assert!((cat.log_likelihood(&FeatureValue::Categorical(1)) - 0.75f64.ln()).abs() < 1e-12);
+        assert_eq!(cat.log_likelihood(&FeatureValue::Count(1)), f64::NEG_INFINITY);
+
+        let poi = FeatureDistribution::Poisson(Poisson::new(2.0).unwrap());
+        assert!(poi.log_likelihood(&FeatureValue::Count(3)).is_finite());
+        assert_eq!(poi.log_likelihood(&FeatureValue::Real(3.0)), f64::NEG_INFINITY);
+
+        let gam = FeatureDistribution::Gamma(Gamma::new(2.0, 1.0).unwrap());
+        assert!(gam.log_likelihood(&FeatureValue::Real(1.5)).is_finite());
+        assert_eq!(gam.log_likelihood(&FeatureValue::Categorical(0)), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn accumulator_roundtrip_categorical() {
+        let mut acc = FeatureAccumulator::new(FeatureKind::Categorical { cardinality: 3 });
+        for &c in &[0u32, 0, 1, 2, 2, 2] {
+            acc.push(&FeatureValue::Categorical(c)).unwrap();
+        }
+        assert_eq!(acc.n_observations(), 6.0);
+        let FeatureDistribution::Categorical(d) = acc.fit(0.0).unwrap() else {
+            panic!("wrong variant")
+        };
+        assert!((d.prob(0) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((d.prob(2) - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_roundtrip_count() {
+        let mut acc = FeatureAccumulator::new(FeatureKind::Count);
+        for &k in &[2u64, 4, 6] {
+            acc.push(&FeatureValue::Count(k)).unwrap();
+        }
+        let FeatureDistribution::Poisson(d) = acc.fit(0.01).unwrap() else {
+            panic!("wrong variant")
+        };
+        assert!((d.rate() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_roundtrip_gamma() {
+        let mut acc =
+            FeatureAccumulator::new(FeatureKind::Positive { model: PositiveModel::Gamma });
+        for &x in &[1.0, 2.0, 3.0, 4.0, 2.5, 1.5] {
+            acc.push(&FeatureValue::Real(x)).unwrap();
+        }
+        let FeatureDistribution::Gamma(d) = acc.fit(0.01).unwrap() else {
+            panic!("wrong variant")
+        };
+        assert!((d.mean() - 14.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulator_roundtrip_lognormal() {
+        let mut acc =
+            FeatureAccumulator::new(FeatureKind::Positive { model: PositiveModel::LogNormal });
+        for &x in &[1.0, std::f64::consts::E] {
+            acc.push(&FeatureValue::Real(x)).unwrap();
+        }
+        let FeatureDistribution::LogNormal(d) = acc.fit(0.01).unwrap() else {
+            panic!("wrong variant")
+        };
+        assert!((d.mu() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_falls_back() {
+        for kind in [
+            FeatureKind::Categorical { cardinality: 4 },
+            FeatureKind::Count,
+            FeatureKind::Positive { model: PositiveModel::Gamma },
+            FeatureKind::Positive { model: PositiveModel::LogNormal },
+        ] {
+            let acc = FeatureAccumulator::new(kind);
+            let dist = acc.fit(0.01).unwrap();
+            // A fallback must score *some* in-kind value finitely.
+            let probe = match kind {
+                FeatureKind::Categorical { .. } => FeatureValue::Categorical(0),
+                FeatureKind::Count => FeatureValue::Count(1),
+                FeatureKind::Positive { .. } => FeatureValue::Real(1.0),
+            };
+            assert!(dist.log_likelihood(&probe).is_finite());
+        }
+    }
+
+    #[test]
+    fn push_rejects_kind_mismatch() {
+        let mut acc = FeatureAccumulator::new(FeatureKind::Count);
+        assert!(acc.push(&FeatureValue::Real(1.0)).is_err());
+    }
+
+    #[test]
+    fn push_rejects_out_of_range_category() {
+        let mut acc = FeatureAccumulator::new(FeatureKind::Categorical { cardinality: 2 });
+        assert!(acc.push(&FeatureValue::Categorical(2)).is_err());
+    }
+
+    #[test]
+    fn merge_equals_bulk_accumulation() {
+        let kind = FeatureKind::Categorical { cardinality: 3 };
+        let mut a = FeatureAccumulator::new(kind);
+        let mut b = FeatureAccumulator::new(kind);
+        a.push(&FeatureValue::Categorical(0)).unwrap();
+        b.push(&FeatureValue::Categorical(2)).unwrap();
+        b.push(&FeatureValue::Categorical(2)).unwrap();
+        a.merge(&b).unwrap();
+        let FeatureAccumulator::Categorical { counts } = &a else { panic!() };
+        assert_eq!(counts, &vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_variants() {
+        let mut a = FeatureAccumulator::new(FeatureKind::Count);
+        let b = FeatureAccumulator::new(FeatureKind::Categorical { cardinality: 2 });
+        assert!(a.merge(&b).is_err());
+    }
+}

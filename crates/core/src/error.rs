@@ -1,0 +1,188 @@
+//! Error types for the `upskill-core` crate.
+//!
+//! Library code never panics on user-reachable paths; every fallible public
+//! operation returns [`CoreError`] through the [`Result`] alias.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+/// Errors produced by model construction, training, and inference.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A skill count of zero (or otherwise unusable) was requested.
+    InvalidSkillCount {
+        /// The offending number of skill levels.
+        requested: usize,
+    },
+    /// An action sequence violated the chronological-order invariant.
+    UnsortedSequence {
+        /// The user whose sequence is out of order.
+        user: u32,
+        /// Index of the first out-of-order action.
+        position: usize,
+    },
+    /// An item referenced a feature index outside the schema.
+    FeatureIndexOutOfBounds {
+        /// Requested feature index.
+        index: usize,
+        /// Number of features in the schema.
+        len: usize,
+    },
+    /// A feature value did not match the declared feature kind
+    /// (e.g. a real value supplied for a categorical feature).
+    FeatureKindMismatch {
+        /// Feature index at which the mismatch occurred.
+        feature: usize,
+        /// Human-readable description of the expected kind.
+        expected: &'static str,
+        /// Human-readable description of the supplied value.
+        got: &'static str,
+    },
+    /// A categorical value was outside the declared cardinality.
+    CategoryOutOfBounds {
+        /// Feature index.
+        feature: usize,
+        /// The offending category value.
+        value: u32,
+        /// Declared number of categories.
+        cardinality: u32,
+    },
+    /// A distribution was asked to fit an empty or degenerate sample.
+    DegenerateFit {
+        /// Which distribution failed to fit.
+        distribution: &'static str,
+        /// Why the fit is impossible.
+        reason: &'static str,
+    },
+    /// A dataset passed to training contained no usable actions.
+    EmptyDataset,
+    /// No user satisfied the initialization length threshold.
+    NoInitializationUsers {
+        /// The minimum-actions threshold that filtered everyone out.
+        threshold: usize,
+    },
+    /// Numerical routine failed to converge.
+    NoConvergence {
+        /// Which routine failed.
+        routine: &'static str,
+        /// Number of iterations attempted.
+        iterations: usize,
+    },
+    /// A probability argument was outside `[0, 1]` or weights were invalid.
+    InvalidProbability {
+        /// Context for the invalid value.
+        context: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Mismatched lengths between two paired slices.
+    LengthMismatch {
+        /// Context describing the two slices.
+        context: &'static str,
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// Difficulty was requested for an item that never occurs in the data
+    /// (only the assignment-based estimator can fail this way).
+    ItemNeverSelected {
+        /// The item in question.
+        item: u32,
+    },
+    /// Thread pool configuration was unusable (e.g. zero threads).
+    InvalidParallelism {
+        /// Requested worker count.
+        threads: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidSkillCount { requested } => {
+                write!(f, "invalid skill count {requested}: need at least 1 level")
+            }
+            CoreError::UnsortedSequence { user, position } => write!(
+                f,
+                "action sequence for user {user} is not chronologically sorted at index {position}"
+            ),
+            CoreError::FeatureIndexOutOfBounds { index, len } => {
+                write!(f, "feature index {index} out of bounds for schema with {len} features")
+            }
+            CoreError::FeatureKindMismatch { feature, expected, got } => write!(
+                f,
+                "feature {feature}: expected a {expected} value but got a {got} value"
+            ),
+            CoreError::CategoryOutOfBounds { feature, value, cardinality } => write!(
+                f,
+                "feature {feature}: category {value} out of bounds for cardinality {cardinality}"
+            ),
+            CoreError::DegenerateFit { distribution, reason } => {
+                write!(f, "cannot fit {distribution} distribution: {reason}")
+            }
+            CoreError::EmptyDataset => write!(f, "dataset contains no actions"),
+            CoreError::NoInitializationUsers { threshold } => write!(
+                f,
+                "no user has at least {threshold} actions; lower the initialization threshold"
+            ),
+            CoreError::NoConvergence { routine, iterations } => {
+                write!(f, "{routine} failed to converge after {iterations} iterations")
+            }
+            CoreError::InvalidProbability { context, value } => {
+                write!(f, "invalid probability in {context}: {value}")
+            }
+            CoreError::LengthMismatch { context, left, right } => {
+                write!(f, "length mismatch in {context}: {left} vs {right}")
+            }
+            CoreError::ItemNeverSelected { item } => write!(
+                f,
+                "item {item} never appears in the training actions; use a generation-based estimator"
+            ),
+            CoreError::InvalidParallelism { threads } => {
+                write!(f, "invalid parallelism: {threads} worker threads requested")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(CoreError, &str)> = vec![
+            (CoreError::InvalidSkillCount { requested: 0 }, "skill count 0"),
+            (
+                CoreError::UnsortedSequence { user: 7, position: 3 },
+                "user 7",
+            ),
+            (
+                CoreError::FeatureIndexOutOfBounds { index: 5, len: 3 },
+                "feature index 5",
+            ),
+            (CoreError::EmptyDataset, "no actions"),
+            (
+                CoreError::NoConvergence { routine: "gamma MLE", iterations: 100 },
+                "gamma MLE",
+            ),
+            (CoreError::ItemNeverSelected { item: 42 }, "item 42"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&CoreError::EmptyDataset);
+    }
+}

@@ -1,0 +1,182 @@
+//! Model initialization (paper §IV-B, "Initializing model parameters").
+//!
+//! The objective is non-convex, so the starting point matters. Following
+//! Yang et al. and Shin et al., we assume users with long sequences are the
+//! most likely to have traversed all skill levels: we select users with at
+//! least `min_actions` actions, split each of their sequences into `S`
+//! contiguous groups that are uniform *in time*, label the `s`-th group
+//! with skill `s`, and fit the initial parameters from those labels.
+
+use crate::error::{CoreError, Result};
+use crate::model::SkillModel;
+use crate::types::{ActionSequence, Dataset, SkillAssignments, SkillLevel};
+use crate::update::fit_model;
+
+/// Uniform-in-time segmentation of one sequence into `n_levels` groups.
+///
+/// Each action gets the level of the time bucket it falls into; buckets
+/// divide `[t_first, t_last]` evenly. Degenerate spans (all actions at one
+/// instant) fall back to uniform-by-index segmentation.
+pub fn segment_uniform(sequence: &ActionSequence, n_levels: usize) -> Vec<SkillLevel> {
+    let n = sequence.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let actions = sequence.actions();
+    let t0 = actions[0].time;
+    let t1 = actions[n - 1].time;
+    if t1 > t0 {
+        let span = (t1 - t0) as f64;
+        actions
+            .iter()
+            .map(|a| {
+                let frac = (a.time - t0) as f64 / span;
+                let level = (frac * n_levels as f64).floor() as usize;
+                (level.min(n_levels - 1) + 1) as SkillLevel
+            })
+            .collect()
+    } else {
+        // Zero time span: segment by index instead.
+        (0..n)
+            .map(|idx| {
+                let level = idx * n_levels / n;
+                (level.min(n_levels - 1) + 1) as SkillLevel
+            })
+            .collect()
+    }
+}
+
+/// Produces the initial model by uniform segmentation of long sequences.
+///
+/// Only users with at least `min_actions` actions contribute to the initial
+/// parameter fit (the paper's `U_{≥N}`); all users participate in the
+/// subsequent training iterations.
+pub fn initialize_model(
+    dataset: &Dataset,
+    n_levels: usize,
+    min_actions: usize,
+    lambda: f64,
+) -> Result<SkillModel> {
+    if n_levels == 0 {
+        return Err(CoreError::InvalidSkillCount { requested: 0 });
+    }
+    if dataset.n_actions() == 0 {
+        return Err(CoreError::EmptyDataset);
+    }
+    let long = dataset.subset_users(|s| s.len() >= min_actions)?;
+    if long.n_actions() == 0 {
+        return Err(CoreError::NoInitializationUsers { threshold: min_actions });
+    }
+    let per_user: Vec<Vec<SkillLevel>> =
+        long.sequences().iter().map(|s| segment_uniform(s, n_levels)).collect();
+    let assignments = SkillAssignments { per_user };
+    fit_model(&long, &assignments, n_levels, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
+    use crate::types::Action;
+
+    fn seq_with_times(times: &[i64]) -> ActionSequence {
+        ActionSequence::new(
+            0,
+            times.iter().map(|&t| Action::new(t, 0, 0)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_sequence_segments_empty() {
+        let seq = ActionSequence::new(0, vec![]).unwrap();
+        assert!(segment_uniform(&seq, 3).is_empty());
+    }
+
+    #[test]
+    fn uniform_times_split_evenly() {
+        let seq = seq_with_times(&[0, 1, 2, 3, 4, 5]);
+        let levels = segment_uniform(&seq, 3);
+        assert_eq!(levels, vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn segmentation_is_time_based_not_index_based() {
+        // Five actions, but four are crammed into the first time instantile.
+        let seq = seq_with_times(&[0, 1, 2, 3, 100]);
+        let levels = segment_uniform(&seq, 2);
+        assert_eq!(levels, vec![1, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn zero_span_falls_back_to_index_segmentation() {
+        let seq = seq_with_times(&[5, 5, 5, 5]);
+        let levels = segment_uniform(&seq, 2);
+        assert_eq!(levels, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn segmentation_is_monotone_and_in_range() {
+        let seq = seq_with_times(&[0, 3, 3, 7, 20, 21, 22, 50]);
+        for n_levels in 1..=6 {
+            let levels = segment_uniform(&seq, n_levels);
+            assert!(levels.windows(2).all(|w| w[0] <= w[1]));
+            assert!(levels.iter().all(|&s| (1..=n_levels as u8).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn last_action_gets_top_level() {
+        let seq = seq_with_times(&[0, 10]);
+        let levels = segment_uniform(&seq, 5);
+        assert_eq!(*levels.last().unwrap(), 5);
+    }
+
+    fn small_dataset() -> Dataset {
+        let schema =
+            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
+        let items =
+            vec![vec![FeatureValue::Categorical(0)], vec![FeatureValue::Categorical(1)]];
+        // User 0: long sequence (easy items first, hard later).
+        let s0 = ActionSequence::new(
+            0,
+            vec![
+                Action::new(0, 0, 0),
+                Action::new(1, 0, 0),
+                Action::new(2, 0, 1),
+                Action::new(3, 0, 1),
+            ],
+        )
+        .unwrap();
+        // User 1: short sequence, excluded from init.
+        let s1 = ActionSequence::new(1, vec![Action::new(0, 1, 1)]).unwrap();
+        Dataset::new(schema, items, vec![s0, s1]).unwrap()
+    }
+
+    #[test]
+    fn initialize_uses_only_long_sequences() {
+        let ds = small_dataset();
+        let model = initialize_model(&ds, 2, 4, 0.01).unwrap();
+        // With only user 0 contributing, level 1 ← category 0, level 2 ← category 1.
+        let easy = vec![FeatureValue::Categorical(0)];
+        let hard = vec![FeatureValue::Categorical(1)];
+        assert!(model.item_log_likelihood(&easy, 1) > model.item_log_likelihood(&easy, 2));
+        assert!(model.item_log_likelihood(&hard, 2) > model.item_log_likelihood(&hard, 1));
+    }
+
+    #[test]
+    fn initialize_fails_when_no_user_qualifies() {
+        let ds = small_dataset();
+        let err = initialize_model(&ds, 2, 100, 0.01).unwrap_err();
+        assert_eq!(err, CoreError::NoInitializationUsers { threshold: 100 });
+    }
+
+    #[test]
+    fn initialize_rejects_zero_levels() {
+        let ds = small_dataset();
+        assert!(matches!(
+            initialize_model(&ds, 0, 1, 0.01),
+            Err(CoreError::InvalidSkillCount { requested: 0 })
+        ));
+    }
+}

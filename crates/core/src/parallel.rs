@@ -1,0 +1,362 @@
+//! Parallel training steps (paper §IV-C).
+//!
+//! Three independent parallelization techniques, each toggleable so the
+//! efficiency experiments (Table XIII, Fig. 7) can measure them separately:
+//!
+//! 1. **User-parallel assignment** — sequences are mutually independent, so
+//!    the DP of the assignment step fans out across worker threads.
+//! 2. **Skill-parallel update** — parameters `θ_f(s)` and `θ_f(s')` are
+//!    independent for `s ≠ s'`; workers own disjoint level sets.
+//! 3. **Feature-parallel update** — our multi-faceted model additionally
+//!    decomposes by feature (not available to the ID baseline); workers own
+//!    disjoint feature sets.
+//!
+//! Workers are plain `std::thread::scope` threads; no shared mutable state,
+//! results are merged on the calling thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::assign::{assign_sequence, SequenceAssignment};
+use crate::dist::{FeatureAccumulator, FeatureDistribution};
+use crate::error::{CoreError, Result};
+use crate::model::SkillModel;
+use crate::types::{Dataset, SkillAssignments, SkillLevel};
+use crate::update::accumulate;
+
+/// Which steps run in parallel, and on how many worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Parallelize the assignment step across users.
+    pub users: bool,
+    /// Parallelize the update step across skill levels.
+    pub skills: bool,
+    /// Parallelize the update step across features.
+    pub features: bool,
+    /// Number of worker threads (≥ 1).
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// Fully sequential execution.
+    pub fn sequential() -> Self {
+        Self { users: false, skills: false, features: false, threads: 1 }
+    }
+
+    /// All three techniques enabled on `threads` workers.
+    pub fn all(threads: usize) -> Self {
+        Self { users: true, skills: true, features: true, threads }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.threads == 0 {
+            return Err(CoreError::InvalidParallelism { threads: 0 });
+        }
+        Ok(())
+    }
+
+    /// Whether any update-step parallelism is enabled.
+    pub fn update_parallel(&self) -> bool {
+        (self.skills || self.features) && self.threads > 1
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// Assignment step with optional user-level parallelism.
+///
+/// Returns the per-user assignments (in dataset order) and the total path
+/// log-likelihood.
+pub fn assign_all_parallel(
+    model: &SkillModel,
+    dataset: &Dataset,
+    config: &ParallelConfig,
+) -> Result<(SkillAssignments, f64)> {
+    config.validate()?;
+    let n_users = dataset.n_users();
+    if !config.users || config.threads <= 1 || n_users <= 1 {
+        return crate::assign::assign_all(model, dataset);
+    }
+
+    let n_workers = config.threads.min(n_users);
+    let next = AtomicUsize::new(0);
+    let sequences = dataset.sequences();
+
+    // Work-stealing over a shared index counter: sequences vary wildly in
+    // length, so static chunking would leave workers idle.
+    let results: Vec<Result<Vec<(usize, SequenceAssignment)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || -> Result<Vec<(usize, SequenceAssignment)>> {
+                    let mut out = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n_users {
+                            break;
+                        }
+                        let a = assign_sequence(model, dataset, &sequences[idx])?;
+                        out.push((idx, a));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(Err(CoreError::EmptyDataset)))
+            .collect()
+    });
+
+    let mut per_user: Vec<Vec<SkillLevel>> = vec![Vec::new(); n_users];
+    let mut total_ll = 0.0;
+    for chunk in results {
+        for (idx, a) in chunk? {
+            total_ll += a.log_likelihood;
+            per_user[idx] = a.levels;
+        }
+    }
+    Ok((SkillAssignments { per_user }, total_ll))
+}
+
+/// Update step with optional skill- and/or feature-level parallelism.
+///
+/// Each worker owns a disjoint subset of the `S × F` cell grid (split by
+/// level, by feature, or by both, per the flags), scans the dataset
+/// accumulating only its cells, and fits them.
+pub fn fit_model_parallel(
+    dataset: &Dataset,
+    assignments: &SkillAssignments,
+    n_levels: usize,
+    lambda: f64,
+    config: &ParallelConfig,
+) -> Result<SkillModel> {
+    config.validate()?;
+    let n_features = dataset.schema().len();
+    if !config.update_parallel() {
+        return crate::update::fit_model(dataset, assignments, n_levels, lambda);
+    }
+
+    // Partition the cell grid. Workers own whole levels and/or features.
+    let level_parts = if config.skills { config.threads.min(n_levels) } else { 1 };
+    let feature_parts = if config.features {
+        (config.threads / level_parts).max(1).min(n_features)
+    } else {
+        1
+    };
+    let owner = |s: usize, f: usize| -> usize {
+        (s % level_parts) * feature_parts + (f % feature_parts)
+    };
+    let n_workers = level_parts * feature_parts;
+
+    let schema = dataset.schema();
+    let results: Vec<Result<Vec<(usize, usize, FeatureDistribution)>>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|worker| {
+                    scope.spawn(move || -> Result<Vec<(usize, usize, FeatureDistribution)>> {
+                        // Accumulators only for owned cells.
+                        let mut cells: Vec<(usize, usize, FeatureAccumulator)> = Vec::new();
+                        let mut index = vec![usize::MAX; n_levels * n_features];
+                        for s in 0..n_levels {
+                            for f in 0..n_features {
+                                if owner(s, f) == worker {
+                                    index[s * n_features + f] = cells.len();
+                                    cells.push((s, f, FeatureAccumulator::new(
+                                        schema.kind(f)?,
+                                    )));
+                                }
+                            }
+                        }
+                        if cells.is_empty() {
+                            return Ok(Vec::new());
+                        }
+                        for (seq, levels) in
+                            dataset.sequences().iter().zip(&assignments.per_user)
+                        {
+                            if seq.len() != levels.len() {
+                                return Err(CoreError::LengthMismatch {
+                                    context: "assignment vs sequence length",
+                                    left: levels.len(),
+                                    right: seq.len(),
+                                });
+                            }
+                            for (action, &level) in seq.actions().iter().zip(levels) {
+                                let s = level as usize - 1;
+                                if s >= n_levels {
+                                    return Err(CoreError::InvalidSkillCount {
+                                        requested: level as usize,
+                                    });
+                                }
+                                let features = dataset.item_features(action.item);
+                                for f in 0..n_features {
+                                    let slot = index[s * n_features + f];
+                                    if slot != usize::MAX {
+                                        cells[slot].2.push(&features[f])?;
+                                    }
+                                }
+                            }
+                        }
+                        cells
+                            .into_iter()
+                            .map(|(s, f, acc)| Ok((s, f, acc.fit(lambda)?)))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(Err(CoreError::EmptyDataset)))
+                .collect()
+        });
+
+    // Assemble the grid.
+    let mut grid: Vec<Vec<Option<FeatureDistribution>>> =
+        (0..n_levels).map(|_| vec![None; n_features]).collect();
+    for chunk in results {
+        for (s, f, dist) in chunk? {
+            grid[s][f] = Some(dist);
+        }
+    }
+    let cells: Vec<Vec<FeatureDistribution>> = grid
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|c| {
+                    c.ok_or(CoreError::DegenerateFit {
+                        distribution: "parallel update",
+                        reason: "unowned cell in partition",
+                    })
+                })
+                .collect()
+        })
+        .collect::<Result<_>>()?;
+    SkillModel::new(schema.clone(), n_levels, cells)
+}
+
+/// Reference helper exposing the sequential accumulate for equivalence tests.
+#[doc(hidden)]
+pub fn accumulate_sequential(
+    dataset: &Dataset,
+    assignments: &SkillAssignments,
+    n_levels: usize,
+) -> Result<Vec<Vec<FeatureAccumulator>>> {
+    accumulate(dataset, assignments, n_levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
+    use crate::init::initialize_model;
+    use crate::types::{Action, ActionSequence};
+
+    fn build_dataset(n_users: usize, len: usize) -> Dataset {
+        let schema = FeatureSchema::new(vec![
+            FeatureKind::Categorical { cardinality: 4 },
+            FeatureKind::Count,
+        ])
+        .unwrap();
+        let items: Vec<Vec<FeatureValue>> = (0..4u32)
+            .map(|c| vec![FeatureValue::Categorical(c), FeatureValue::Count(2 + c as u64 * 3)])
+            .collect();
+        let sequences: Vec<ActionSequence> = (0..n_users as u32)
+            .map(|u| {
+                let actions: Vec<Action> = (0..len)
+                    .map(|t| {
+                        // Deterministic progression-ish pattern per user.
+                        let item = ((t * 4 / len) as u32 + u) % 4;
+                        Action::new(t as i64, u, item)
+                    })
+                    .collect();
+                ActionSequence::new(u, actions).unwrap()
+            })
+            .collect();
+        Dataset::new(schema, items, sequences).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ParallelConfig { threads: 0, ..ParallelConfig::sequential() }
+            .validate()
+            .is_err());
+        assert!(ParallelConfig::all(4).validate().is_ok());
+        assert!(!ParallelConfig::sequential().update_parallel());
+        assert!(ParallelConfig::all(2).update_parallel());
+    }
+
+    #[test]
+    fn parallel_assignment_matches_sequential() {
+        let ds = build_dataset(7, 12);
+        let model = initialize_model(&ds, 3, 4, 0.01).unwrap();
+        let (seq_a, seq_ll) = crate::assign::assign_all(&model, &ds).unwrap();
+        for threads in [2, 3, 5] {
+            let cfg = ParallelConfig { users: true, skills: false, features: false, threads };
+            let (par_a, par_ll) = assign_all_parallel(&model, &ds, &cfg).unwrap();
+            assert_eq!(seq_a, par_a, "threads={threads}");
+            assert!((seq_ll - par_ll).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_assignment_disabled_flag_falls_through() {
+        let ds = build_dataset(3, 8);
+        let model = initialize_model(&ds, 2, 4, 0.01).unwrap();
+        let cfg = ParallelConfig { users: false, skills: false, features: false, threads: 4 };
+        let (a, _) = assign_all_parallel(&model, &ds, &cfg).unwrap();
+        assert!(a.is_monotone());
+    }
+
+    #[test]
+    fn parallel_update_matches_sequential() {
+        let ds = build_dataset(6, 10);
+        let model = initialize_model(&ds, 3, 4, 0.01).unwrap();
+        let (assignments, _) = crate::assign::assign_all(&model, &ds).unwrap();
+        let sequential =
+            crate::update::fit_model(&ds, &assignments, 3, 0.01).unwrap();
+        for (skills, features) in [(true, false), (false, true), (true, true)] {
+            for threads in [2, 3, 6] {
+                let cfg = ParallelConfig { users: false, skills, features, threads };
+                let parallel =
+                    fit_model_parallel(&ds, &assignments, 3, 0.01, &cfg).unwrap();
+                // Compare via likelihood of every item at every level.
+                for item in 0..ds.n_items() {
+                    for s in 1..=3u8 {
+                        let a = sequential
+                            .item_log_likelihood(ds.item_features(item as u32), s);
+                        let b =
+                            parallel.item_log_likelihood(ds.item_features(item as u32), s);
+                        assert!(
+                            (a - b).abs() < 1e-12,
+                            "skills={skills} features={features} threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_update_single_thread_falls_through() {
+        let ds = build_dataset(2, 6);
+        let model = initialize_model(&ds, 2, 4, 0.01).unwrap();
+        let (assignments, _) = crate::assign::assign_all(&model, &ds).unwrap();
+        let cfg = ParallelConfig { users: false, skills: true, features: true, threads: 1 };
+        let m = fit_model_parallel(&ds, &assignments, 2, 0.01, &cfg).unwrap();
+        assert_eq!(m.n_levels(), 2);
+    }
+
+    #[test]
+    fn more_threads_than_work_is_fine() {
+        let ds = build_dataset(2, 5);
+        let model = initialize_model(&ds, 2, 4, 0.01).unwrap();
+        let cfg = ParallelConfig::all(64);
+        let (a, _) = assign_all_parallel(&model, &ds, &cfg).unwrap();
+        let m = fit_model_parallel(&ds, &a, 2, 0.01, &cfg).unwrap();
+        assert_eq!(m.n_features(), 2);
+    }
+}

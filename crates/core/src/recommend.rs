@@ -1,0 +1,367 @@
+//! Recommendation for upskilling — the system the paper motivates (Fig. 1)
+//! and sketches as future work (§VII): combine the learned skill level of a
+//! target user with item difficulty estimates to surface items that are
+//! *moderately challenging* — difficult enough to stretch the user, easy
+//! enough to complete — and that still match the user's interests.
+//!
+//! Scoring combines two signals:
+//!
+//! - **difficulty fit** — a triangular kernel centred slightly above the
+//!   user's current level (`target_offset`, e.g. +0.3), zero outside
+//!   `[level − lower_slack, level + upper_slack]`;
+//! - **interest** — the generative likelihood `P(i | s)` of the item at
+//!   the user's level, normalized per candidate set; items a user at this
+//!   level plausibly selects rank higher.
+//!
+//! `interest_weight` blends the two (0 = difficulty only, 1 = interest
+//! only).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+use crate::model::SkillModel;
+use crate::types::{Dataset, ItemId, SkillLevel};
+
+/// Tuning for the upskilling recommender.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecommendConfig {
+    /// How far above the current level the ideal item sits (e.g. 0.3).
+    pub target_offset: f64,
+    /// Maximum difficulty *below* the current level still considered.
+    pub lower_slack: f64,
+    /// Maximum difficulty *above* the current level still considered.
+    pub upper_slack: f64,
+    /// Blend between difficulty fit (0.0) and interest (1.0).
+    pub interest_weight: f64,
+    /// Number of items to return.
+    pub k: usize,
+}
+
+impl Default for RecommendConfig {
+    fn default() -> Self {
+        Self {
+            target_offset: 0.3,
+            lower_slack: 0.2,
+            upper_slack: 0.8,
+            interest_weight: 0.3,
+            k: 10,
+        }
+    }
+}
+
+impl RecommendConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.interest_weight) {
+            return Err(CoreError::InvalidProbability {
+                context: "interest weight",
+                value: self.interest_weight,
+            });
+        }
+        if self.lower_slack < 0.0 || self.upper_slack <= 0.0 {
+            return Err(CoreError::InvalidProbability {
+                context: "difficulty slack",
+                value: self.lower_slack.min(self.upper_slack),
+            });
+        }
+        if self.k == 0 {
+            return Err(CoreError::InvalidSkillCount { requested: 0 });
+        }
+        Ok(())
+    }
+}
+
+/// One recommended item with its score decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The recommended item.
+    pub item: ItemId,
+    /// Its estimated difficulty.
+    pub difficulty: f64,
+    /// Difficulty-fit component in `[0, 1]`.
+    pub difficulty_fit: f64,
+    /// Interest component in `[0, 1]` (normalized within the candidate set).
+    pub interest: f64,
+    /// Final blended score.
+    pub score: f64,
+}
+
+/// Recommends items for upskilling a user at `level`.
+///
+/// `difficulty[i]` is the estimated difficulty of item `i` (use
+/// [`crate::difficulty::generation_difficulty_all`]); `exclude` marks items
+/// the user already consumed. Returns at most `config.k` items sorted by
+/// descending score; may return fewer if the difficulty band is sparse.
+pub fn recommend_for_level(
+    model: &SkillModel,
+    dataset: &Dataset,
+    difficulty: &[f64],
+    level: SkillLevel,
+    exclude: &dyn Fn(ItemId) -> bool,
+    config: &RecommendConfig,
+) -> Result<Vec<Recommendation>> {
+    config.validate()?;
+    if difficulty.len() != dataset.n_items() {
+        return Err(CoreError::LengthMismatch {
+            context: "difficulty vector vs items",
+            left: difficulty.len(),
+            right: dataset.n_items(),
+        });
+    }
+    let s = level as f64;
+    let target = s + config.target_offset;
+    let lo = s - config.lower_slack;
+    let hi = s + config.upper_slack;
+    // Kernel half-widths (distance from target to each band edge).
+    let left_width = (target - lo).max(1e-9);
+    let right_width = (hi - target).max(1e-9);
+
+    // Pass 1: candidates in the band, with raw interest log-likelihoods.
+    let mut candidates: Vec<(ItemId, f64, f64)> = Vec::new(); // (item, fit, log P)
+    let mut max_ll = f64::NEG_INFINITY;
+    for (i, &d) in difficulty.iter().enumerate() {
+        let item = i as ItemId;
+        if exclude(item) || d < lo || d > hi {
+            continue;
+        }
+        let fit = if d <= target {
+            1.0 - (target - d) / left_width
+        } else {
+            1.0 - (d - target) / right_width
+        };
+        let ll = model.item_log_likelihood(dataset.item_features(item), level);
+        if ll > max_ll {
+            max_ll = ll;
+        }
+        candidates.push((item, fit.clamp(0.0, 1.0), ll));
+    }
+    if candidates.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // Pass 2: blend. Interest normalized by the candidate max (softmax-free
+    // but monotone; `exp(ll − max)` keeps it in (0, 1]).
+    let w = config.interest_weight;
+    let mut recs: Vec<Recommendation> = candidates
+        .into_iter()
+        .map(|(item, fit, ll)| {
+            let interest =
+                if max_ll.is_finite() { (ll - max_ll).exp() } else { 0.0 };
+            Recommendation {
+                item,
+                difficulty: difficulty[item as usize],
+                difficulty_fit: fit,
+                interest,
+                score: (1.0 - w) * fit + w * interest,
+            }
+        })
+        .collect();
+    recs.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.item.cmp(&b.item))
+    });
+    recs.truncate(config.k);
+    Ok(recs)
+}
+
+/// A difficulty ladder: one recommendation batch per level from `from`
+/// up to the model's top level — a curriculum sketch in the spirit of the
+/// paper's "ranking optimized for skill improvement" direction (§VII).
+pub fn upskilling_ladder(
+    model: &SkillModel,
+    dataset: &Dataset,
+    difficulty: &[f64],
+    from: SkillLevel,
+    exclude: &dyn Fn(ItemId) -> bool,
+    config: &RecommendConfig,
+) -> Result<Vec<(SkillLevel, Vec<Recommendation>)>> {
+    let mut ladder = Vec::new();
+    for level in from..=(model.n_levels() as SkillLevel) {
+        let recs =
+            recommend_for_level(model, dataset, difficulty, level, exclude, config)?;
+        ladder.push((level, recs));
+    }
+    Ok(ladder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Categorical, FeatureDistribution};
+    use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
+    use crate::types::{Action, ActionSequence};
+
+    /// Three items with difficulties 1.0 / 2.1 / 2.9, model with 3 levels.
+    fn setup() -> (SkillModel, Dataset, Vec<f64>) {
+        let schema =
+            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 3 }]).unwrap();
+        let items: Vec<Vec<FeatureValue>> =
+            (0..3u32).map(|c| vec![FeatureValue::Categorical(c)]).collect();
+        let seq = ActionSequence::new(
+            0,
+            vec![Action::new(0, 0, 0), Action::new(1, 0, 1), Action::new(2, 0, 2)],
+        )
+        .unwrap();
+        let ds = Dataset::new(schema.clone(), items, vec![seq]).unwrap();
+        let cells = (0..3)
+            .map(|s| {
+                let mut probs = vec![0.05; 3];
+                probs[s] = 0.9;
+                vec![FeatureDistribution::Categorical(
+                    Categorical::from_probs(probs).unwrap(),
+                )]
+            })
+            .collect();
+        let model = SkillModel::new(schema, 3, cells).unwrap();
+        (model, ds, vec![1.0, 2.1, 2.9])
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(RecommendConfig::default().validate().is_ok());
+        assert!(RecommendConfig { interest_weight: 1.5, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(RecommendConfig { upper_slack: 0.0, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(RecommendConfig { k: 0, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn recommends_moderately_challenging_items() {
+        let (model, ds, difficulty) = setup();
+        let config = RecommendConfig {
+            target_offset: 0.3,
+            lower_slack: 0.2,
+            upper_slack: 1.0,
+            interest_weight: 0.0,
+            k: 10,
+        };
+        // A level-2 user: item 1 (d=2.1) is the near-perfect fit; item 2
+        // (d=2.9) is within slack; item 0 (d=1.0) is out of band.
+        let recs =
+            recommend_for_level(&model, &ds, &difficulty, 2, &|_| false, &config)
+                .unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].item, 1);
+        assert!(recs[0].difficulty_fit > recs[1].difficulty_fit);
+        assert!(recs.iter().all(|r| r.difficulty >= 1.8));
+    }
+
+    #[test]
+    fn exclusion_removes_consumed_items() {
+        let (model, ds, difficulty) = setup();
+        let config =
+            RecommendConfig { interest_weight: 0.0, upper_slack: 1.0, ..Default::default() };
+        let recs =
+            recommend_for_level(&model, &ds, &difficulty, 2, &|i| i == 1, &config)
+                .unwrap();
+        assert!(recs.iter().all(|r| r.item != 1));
+    }
+
+    #[test]
+    fn interest_weight_changes_ranking() {
+        let (model, ds, difficulty) = setup();
+        // Level-3 user: items 1 (d=2.1, within lower slack?) and 2 (d=2.9).
+        let base = RecommendConfig {
+            target_offset: 0.0,
+            lower_slack: 1.0,
+            upper_slack: 1.0,
+            interest_weight: 0.0,
+            k: 10,
+        };
+        let by_difficulty =
+            recommend_for_level(&model, &ds, &difficulty, 3, &|_| false, &base).unwrap();
+        let by_interest = recommend_for_level(
+            &model,
+            &ds,
+            &difficulty,
+            3,
+            &|_| false,
+            &RecommendConfig { interest_weight: 1.0, ..base },
+        )
+        .unwrap();
+        // With pure interest, item 2 (category 2, most likely at level 3)
+        // must rank first.
+        assert_eq!(by_interest[0].item, 2);
+        // With pure difficulty fit and target at exactly 3.0, item 2
+        // (d=2.9) is also closest — so instead check the scores differ.
+        assert!(by_difficulty
+            .iter()
+            .zip(&by_interest)
+            .any(|(a, b)| (a.score - b.score).abs() > 1e-9 || a.item != b.item));
+    }
+
+    #[test]
+    fn empty_band_returns_empty() {
+        let (model, ds, difficulty) = setup();
+        let config = RecommendConfig {
+            target_offset: 0.1,
+            lower_slack: 0.05,
+            upper_slack: 0.15,
+            interest_weight: 0.0,
+            k: 5,
+        };
+        // Level 1 with a razor-thin band around 1.1: no item qualifies
+        // (item 0 has d=1.0 < lo=0.95? no: lo = 1-0.05=0.95, hi=1.15, so
+        // item 0 qualifies). Use level 3 instead: band [2.95, 3.15] — empty.
+        let recs =
+            recommend_for_level(&model, &ds, &difficulty, 3, &|_| false, &config)
+                .unwrap();
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn ladder_covers_levels_up_to_top() {
+        let (model, ds, difficulty) = setup();
+        let config =
+            RecommendConfig { interest_weight: 0.2, upper_slack: 1.0, ..Default::default() };
+        let ladder =
+            upskilling_ladder(&model, &ds, &difficulty, 1, &|_| false, &config).unwrap();
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder[0].0, 1);
+        assert_eq!(ladder[2].0, 3);
+        // Mean difficulty of each rung increases.
+        let mean = |recs: &[Recommendation]| {
+            recs.iter().map(|r| r.difficulty).sum::<f64>() / recs.len().max(1) as f64
+        };
+        let nonempty: Vec<f64> =
+            ladder.iter().filter(|(_, r)| !r.is_empty()).map(|(_, r)| mean(r)).collect();
+        assert!(nonempty.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    }
+
+    #[test]
+    fn difficulty_vector_length_checked() {
+        let (model, ds, _) = setup();
+        let err = recommend_for_level(
+            &model,
+            &ds,
+            &[1.0],
+            1,
+            &|_| false,
+            &RecommendConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn scores_are_bounded_and_sorted() {
+        let (model, ds, difficulty) = setup();
+        let config = RecommendConfig {
+            interest_weight: 0.5,
+            lower_slack: 2.0,
+            upper_slack: 2.0,
+            ..Default::default()
+        };
+        let recs =
+            recommend_for_level(&model, &ds, &difficulty, 2, &|_| false, &config)
+                .unwrap();
+        assert!(!recs.is_empty());
+        assert!(recs.iter().all(|r| (0.0..=1.0 + 1e-12).contains(&r.score)));
+        assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+}

@@ -1,0 +1,313 @@
+//! Training loop (paper §IV-B): alternate skill assignment and parameter
+//! update from a uniform-segmentation initialization until convergence.
+//!
+//! Hard assignments make each iteration a coordinate-ascent step on Eq. 3:
+//! the assignment step maximizes over `Σ` with `Θ` fixed (globally, via the
+//! DP), and the update step maximizes over `Θ` with `Σ` fixed (in closed
+//! form per cell). With smoothing `λ > 0` the parameter step is *almost*
+//! exact ascent (the smoothed MLE differs infinitesimally from the MLE), so
+//! the trainer also accepts an iteration cap and an assignment-stability
+//! stopping rule, which is what terminates in practice.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dist::DEFAULT_SMOOTHING;
+use crate::error::{CoreError, Result};
+use crate::init::initialize_model;
+use crate::model::SkillModel;
+use crate::parallel::{assign_all_parallel, fit_model_parallel, ParallelConfig};
+use crate::types::{Dataset, SkillAssignments};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of skill levels `S`.
+    pub n_levels: usize,
+    /// Categorical smoothing pseudo-count `λ` (default 0.01).
+    pub lambda: f64,
+    /// Minimum sequence length for a user to join the initialization fit
+    /// (`N` in the paper; 50 in the experiments).
+    pub min_init_actions: usize,
+    /// Maximum alternation iterations.
+    pub max_iterations: usize,
+    /// Stop when the relative log-likelihood improvement drops below this.
+    pub tolerance: f64,
+}
+
+impl TrainConfig {
+    /// Paper defaults for a given skill count: `λ = 0.01`, `N = 50`.
+    pub fn new(n_levels: usize) -> Self {
+        Self {
+            n_levels,
+            lambda: DEFAULT_SMOOTHING,
+            min_init_actions: 50,
+            max_iterations: 100,
+            tolerance: 1e-6,
+        }
+    }
+
+    /// Overrides the initialization threshold.
+    pub fn with_min_init_actions(mut self, n: usize) -> Self {
+        self.min_init_actions = n;
+        self
+    }
+
+    /// Overrides the smoothing pseudo-count.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Overrides the iteration cap.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Validates hyperparameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_levels == 0 {
+            return Err(CoreError::InvalidSkillCount { requested: 0 });
+        }
+        if !self.lambda.is_finite() || self.lambda < 0.0 {
+            return Err(CoreError::InvalidProbability {
+                context: "training lambda",
+                value: self.lambda,
+            });
+        }
+        if self.max_iterations == 0 {
+            return Err(CoreError::NoConvergence { routine: "training", iterations: 0 });
+        }
+        Ok(())
+    }
+}
+
+/// Log-likelihood and assignment-churn trace of one training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Iteration number (1-based).
+    pub iteration: usize,
+    /// Objective (Eq. 3) after this iteration's assignment step.
+    pub log_likelihood: f64,
+    /// Number of actions whose assigned level changed vs. the previous
+    /// iteration (`usize::MAX` on the first iteration).
+    pub n_changed: usize,
+}
+
+/// Output of [`train`]: the fitted model, final assignments, and the
+/// per-iteration trace.
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    /// The trained skill model.
+    pub model: SkillModel,
+    /// Final hard skill assignments for every action.
+    pub assignments: SkillAssignments,
+    /// Final objective value.
+    pub log_likelihood: f64,
+    /// Per-iteration statistics.
+    pub trace: Vec<IterationStats>,
+    /// Whether the loop stopped by convergence (vs. the iteration cap).
+    pub converged: bool,
+}
+
+/// Trains a skill model on a dataset (sequential execution).
+pub fn train(dataset: &Dataset, config: &TrainConfig) -> Result<TrainResult> {
+    train_with_parallelism(dataset, config, &ParallelConfig::sequential())
+}
+
+/// Trains a skill model with explicit parallelization flags (§IV-C).
+pub fn train_with_parallelism(
+    dataset: &Dataset,
+    config: &TrainConfig,
+    parallel: &ParallelConfig,
+) -> Result<TrainResult> {
+    config.validate()?;
+    parallel.validate()?;
+    if dataset.n_actions() == 0 {
+        return Err(CoreError::EmptyDataset);
+    }
+
+    let mut model =
+        initialize_model(dataset, config.n_levels, config.min_init_actions, config.lambda)?;
+    let mut prev_assignments: Option<SkillAssignments> = None;
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut trace = Vec::new();
+    let mut converged = false;
+
+    for iteration in 1..=config.max_iterations {
+        let (assignments, ll) = assign_all_parallel(&model, dataset, parallel)?;
+        debug_assert!(assignments.is_monotone());
+
+        let n_changed = match &prev_assignments {
+            Some(prev) => count_changed(prev, &assignments),
+            None => usize::MAX,
+        };
+        trace.push(IterationStats { iteration, log_likelihood: ll, n_changed });
+
+        let stable = n_changed == 0;
+        let small_gain = prev_ll.is_finite()
+            && (ll - prev_ll).abs() <= config.tolerance * prev_ll.abs().max(1.0);
+        if stable || small_gain {
+            converged = true;
+            // Refit parameters one last time so Θ is optimal for the final Σ.
+            model = fit_model_parallel(
+                dataset,
+                &assignments,
+                config.n_levels,
+                config.lambda,
+                parallel,
+            )?;
+            return Ok(TrainResult {
+                model,
+                assignments,
+                log_likelihood: ll,
+                trace,
+                converged,
+            });
+        }
+
+        model = fit_model_parallel(
+            dataset,
+            &assignments,
+            config.n_levels,
+            config.lambda,
+            parallel,
+        )?;
+        prev_assignments = Some(assignments);
+        prev_ll = ll;
+    }
+
+    // Iteration cap reached; produce a consistent final state.
+    let (assignments, ll) = assign_all_parallel(&model, dataset, parallel)?;
+    Ok(TrainResult { model, assignments, log_likelihood: ll, trace, converged })
+}
+
+fn count_changed(a: &SkillAssignments, b: &SkillAssignments) -> usize {
+    a.per_user
+        .iter()
+        .zip(&b.per_user)
+        .map(|(x, y)| x.iter().zip(y).filter(|(l, r)| l != r).count())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
+    use crate::types::{Action, ActionSequence};
+
+    /// Dataset where users progress through item categories over time.
+    fn progression_dataset(n_users: usize, len: usize, n_cats: u32) -> Dataset {
+        let schema = FeatureSchema::new(vec![
+            FeatureKind::Categorical { cardinality: n_cats },
+            FeatureKind::Count,
+        ])
+        .unwrap();
+        let items: Vec<Vec<FeatureValue>> = (0..n_cats)
+            .map(|c| {
+                vec![FeatureValue::Categorical(c), FeatureValue::Count(1 + 4 * c as u64)]
+            })
+            .collect();
+        let sequences: Vec<ActionSequence> = (0..n_users as u32)
+            .map(|u| {
+                let actions: Vec<Action> = (0..len)
+                    .map(|t| {
+                        let cat = (t * n_cats as usize / len) as u32;
+                        Action::new(t as i64, u, cat)
+                    })
+                    .collect();
+                ActionSequence::new(u, actions).unwrap()
+            })
+            .collect();
+        Dataset::new(schema, items, sequences).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TrainConfig::new(0).validate().is_err());
+        assert!(TrainConfig::new(3).with_lambda(-1.0).validate().is_err());
+        assert!(TrainConfig::new(3).with_max_iterations(0).validate().is_err());
+        assert!(TrainConfig::new(3).validate().is_ok());
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let schema = FeatureSchema::new(vec![FeatureKind::Count]).unwrap();
+        let ds = Dataset::new(schema, vec![], vec![]).unwrap();
+        let cfg = TrainConfig::new(2).with_min_init_actions(1);
+        assert!(matches!(train(&ds, &cfg), Err(CoreError::EmptyDataset)));
+    }
+
+    #[test]
+    fn training_converges_on_progression_data() {
+        let ds = progression_dataset(10, 12, 3);
+        let cfg = TrainConfig::new(3).with_min_init_actions(4);
+        let result = train(&ds, &cfg).unwrap();
+        assert!(result.converged, "trace: {:?}", result.trace);
+        assert!(result.assignments.is_monotone());
+        // Learned model should separate the categories by level.
+        let easy = vec![FeatureValue::Categorical(0), FeatureValue::Count(1)];
+        let hard = vec![FeatureValue::Categorical(2), FeatureValue::Count(9)];
+        assert!(
+            result.model.item_log_likelihood(&easy, 1)
+                > result.model.item_log_likelihood(&easy, 3)
+        );
+        assert!(
+            result.model.item_log_likelihood(&hard, 3)
+                > result.model.item_log_likelihood(&hard, 1)
+        );
+    }
+
+    #[test]
+    fn objective_is_nondecreasing_across_iterations() {
+        let ds = progression_dataset(8, 15, 4);
+        let cfg = TrainConfig::new(4).with_min_init_actions(4);
+        let result = train(&ds, &cfg).unwrap();
+        for w in result.trace.windows(2) {
+            assert!(
+                w[1].log_likelihood >= w[0].log_likelihood - 1e-6,
+                "objective decreased: {:?}",
+                result.trace
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_training_matches_sequential() {
+        let ds = progression_dataset(6, 10, 3);
+        let cfg = TrainConfig::new(3).with_min_init_actions(4);
+        let seq = train(&ds, &cfg).unwrap();
+        let par = train_with_parallelism(&ds, &cfg, &ParallelConfig::all(3)).unwrap();
+        assert_eq!(seq.assignments, par.assignments);
+        assert!((seq.log_likelihood - par.log_likelihood).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_records_every_iteration() {
+        let ds = progression_dataset(5, 8, 2);
+        let cfg = TrainConfig::new(2).with_min_init_actions(4);
+        let result = train(&ds, &cfg).unwrap();
+        assert!(!result.trace.is_empty());
+        assert_eq!(result.trace[0].iteration, 1);
+        assert_eq!(result.trace[0].n_changed, usize::MAX);
+        for (i, stats) in result.trace.iter().enumerate() {
+            assert_eq!(stats.iteration, i + 1);
+        }
+    }
+
+    #[test]
+    fn single_level_training_is_degenerate_but_valid() {
+        let ds = progression_dataset(4, 6, 2);
+        let cfg = TrainConfig::new(1).with_min_init_actions(4);
+        let result = train(&ds, &cfg).unwrap();
+        assert!(result.assignments.iter().all(|(_, _, s)| s == 1));
+    }
+
+    #[test]
+    fn count_changed_counts_pointwise() {
+        let a = SkillAssignments { per_user: vec![vec![1, 1, 2], vec![3]] };
+        let b = SkillAssignments { per_user: vec![vec![1, 2, 2], vec![3]] };
+        assert_eq!(count_changed(&a, &b), 1);
+        assert_eq!(count_changed(&a, &a), 0);
+    }
+}

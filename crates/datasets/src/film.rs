@@ -1,0 +1,425 @@
+//! Film domain simulator (stands in for MovieLens + the authors' crawl;
+//! see DESIGN.md §2).
+//!
+//! Movies carry an ID, genres, a director, and a lead actor, plus a release
+//! year used only by the preprocessing step. Three latent movie classes:
+//!
+//! - **blockbusters** — light, widely appealing; low appreciation tier;
+//! - **classics** — older, acclaimed; high appreciation tier;
+//! - **regulars** — in between.
+//!
+//! The simulator reproduces the paper's *lastness effect* (§VI-C): users
+//! prefer recently released movies, so release year correlates with action
+//! time, and the uniform-time initialization mistakes temporal drift for
+//! skill (Table IV). The fix — dropping movies released after the earliest
+//! action so every movie is selectable at any time — is applied when
+//! [`FilmConfig::apply_lastness_fix`] is set (Table V).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use upskill_core::error::Result;
+use upskill_core::feature::{FeatureKind, FeatureValue};
+use upskill_core::types::{Dataset, SkillLevel};
+
+use crate::filtering::{
+    assemble, filter_items, iterative_support_filter, RawAction, SupportFilter,
+};
+use crate::sampling::{sample_categorical, sample_poisson, sample_zipf};
+
+/// Number of skill levels (the paper follows prior work: S = 5).
+pub const FILM_LEVELS: usize = 5;
+
+/// Genre vocabulary.
+pub const GENRES: &[&str] = &[
+    "Action", "Adventure", "Sci-Fi", "Fantasy", "Comedy", "Romance", "Drama",
+    "Thriller", "Crime", "Mystery", "Horror", "War", "Western", "Film-Noir",
+    "Musical", "Documentary", "Animation", "Family",
+];
+
+/// Latent movie class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MovieClass {
+    /// Light, widely appealing; favoured by novices.
+    Blockbuster,
+    /// Acclaimed, demanding; favoured by skilled viewers.
+    Classic,
+    /// Everything else.
+    Regular,
+}
+
+/// Index of each feature in the film schema.
+pub mod features {
+    /// Item ID (categorical).
+    pub const ID: usize = 0;
+    /// Primary genre (categorical).
+    pub const GENRE: usize = 1;
+    /// Director (categorical).
+    pub const DIRECTOR: usize = 2;
+    /// Lead actor (categorical).
+    pub const ACTOR: usize = 3;
+}
+
+/// Configuration for the film simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilmConfig {
+    /// Number of viewers (pre-filter).
+    pub n_users: usize,
+    /// Number of movies (pre-filter).
+    pub n_movies: usize,
+    /// Number of directors.
+    pub n_directors: usize,
+    /// Number of actors.
+    pub n_actors: usize,
+    /// Mean review count per user.
+    pub mean_len: f64,
+    /// Observation window in days (action timestamps fall in `0..window`).
+    pub window_days: i64,
+    /// Release years span `first_year ..= first_year + year_span`; the
+    /// observation window covers the last `observed_years` of it.
+    pub first_year: i32,
+    /// Total span of release years.
+    pub year_span: i32,
+    /// Years of the span covered by the observation window.
+    pub observed_years: i32,
+    /// Strength of the preference for recently released movies (days).
+    pub lastness_tau: f64,
+    /// Per-action probability of advancing one skill level.
+    pub p_advance: f64,
+    /// Apply the §VI-C preprocessing (drop movies released after the
+    /// earliest action).
+    pub apply_lastness_fix: bool,
+    /// Support filter applied after generation.
+    pub support: SupportFilter,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FilmConfig {
+    /// Default scale (~150k actions), roughly 1/50 of Table I with the
+    /// actions-per-user ratio (~100) preserved.
+    pub fn default_scale(seed: u64) -> Self {
+        Self {
+            n_users: 1_500,
+            n_movies: 900,
+            n_directors: 120,
+            n_actors: 240,
+            mean_len: 100.0,
+            window_days: 16 * 365,
+            first_year: 1930,
+            year_span: 84,
+            observed_years: 16,
+            lastness_tau: 700.0,
+            p_advance: 0.02,
+            apply_lastness_fix: false,
+            support: SupportFilter {
+                min_unique_items_per_user: 50,
+                min_unique_users_per_item: 20,
+            },
+            seed,
+        }
+    }
+
+    /// Small scale for tests.
+    pub fn test_scale(seed: u64) -> Self {
+        Self {
+            n_users: 100,
+            n_movies: 120,
+            n_directors: 25,
+            n_actors: 40,
+            mean_len: 60.0,
+            window_days: 8 * 365,
+            first_year: 1940,
+            year_span: 74,
+            observed_years: 8,
+            lastness_tau: 1000.0,
+            p_advance: 0.03,
+            apply_lastness_fix: false,
+            support: SupportFilter {
+                min_unique_items_per_user: 10,
+                min_unique_users_per_item: 3,
+            },
+            seed,
+        }
+    }
+}
+
+/// The generated film dataset plus metadata.
+#[derive(Debug, Clone)]
+pub struct FilmData {
+    /// The assembled dataset (ID, genre, director, actor).
+    pub dataset: Dataset,
+    /// Movie title per compact item id.
+    pub titles: Vec<String>,
+    /// Release year per compact item id.
+    pub release_years: Vec<i32>,
+    /// Latent class per compact item id.
+    pub classes: Vec<MovieClass>,
+    /// Latent ground-truth skill per action.
+    pub true_skills: Vec<Vec<SkillLevel>>,
+}
+
+/// Generates the film dataset.
+pub fn generate(config: &FilmConfig) -> Result<FilmData> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let days_per_year = 365i64;
+    let window_start_year = config.first_year + config.year_span - config.observed_years;
+
+    // Movies.
+    let mut item_features = Vec::with_capacity(config.n_movies);
+    let mut titles = Vec::with_capacity(config.n_movies);
+    let mut years = Vec::with_capacity(config.n_movies);
+    let mut classes = Vec::with_capacity(config.n_movies);
+    // Release day relative to the observation window start (may be ≤ 0 for
+    // movies released before the window opens).
+    let mut release_day = Vec::with_capacity(config.n_movies);
+    for id in 0..config.n_movies {
+        // Half the catalogue is released inside the observation window —
+        // real movie platforms skew heavily recent, which is what makes
+        // the lastness effect dominate the raw data (§VI-C).
+        let year = if rng.gen::<f64>() < 0.5 {
+            window_start_year + rng.gen_range(0..=config.observed_years)
+        } else {
+            config.first_year + rng.gen_range(0..=config.year_span)
+        };
+        let age = (config.first_year + config.year_span - year) as f64
+            / config.year_span as f64; // 1 = oldest
+        // Old movies are more likely to be classics, new ones blockbusters.
+        let p_classic = 0.05 + 0.35 * age;
+        let p_blockbuster = 0.05 + 0.35 * (1.0 - age);
+        let roll: f64 = rng.gen();
+        let class = if roll < p_classic {
+            MovieClass::Classic
+        } else if roll < p_classic + p_blockbuster {
+            MovieClass::Blockbuster
+        } else {
+            MovieClass::Regular
+        };
+        let genre = match class {
+            // Classics skew Drama/Film-Noir/Mystery; blockbusters skew
+            // Action/Adventure/Sci-Fi.
+            MovieClass::Classic => {
+                *[6usize, 13, 9, 5, 14].get(rng.gen_range(0..5)).unwrap_or(&6)
+            }
+            MovieClass::Blockbuster => {
+                *[0usize, 1, 2, 3, 16].get(rng.gen_range(0..5)).unwrap_or(&0)
+            }
+            MovieClass::Regular => sample_zipf(&mut rng, GENRES.len(), 0.8),
+        } as u32;
+        let director = sample_zipf(&mut rng, config.n_directors, 1.0) as u32;
+        let actor = sample_zipf(&mut rng, config.n_actors, 1.0) as u32;
+        item_features.push(vec![
+            FeatureValue::Categorical(genre),
+            FeatureValue::Categorical(director),
+            FeatureValue::Categorical(actor),
+        ]);
+        let label = match class {
+            MovieClass::Classic => "Classic",
+            MovieClass::Blockbuster => "Blockbuster",
+            MovieClass::Regular => "Feature",
+        };
+        titles.push(format!("{} {} #{} ({})", GENRES[genre as usize], label, id, year));
+        years.push(year);
+        classes.push(class);
+        release_day.push(((year - window_start_year) as i64) * days_per_year);
+    }
+
+    // Class appeal per skill level: novices → blockbusters, experts → classics.
+    let class_weight = |class: MovieClass, level: usize| -> f64 {
+        let x = level as f64 / (FILM_LEVELS - 1) as f64; // 0 novice → 1 expert
+        match class {
+            MovieClass::Blockbuster => 3.0 * (1.0 - x) + 0.3,
+            MovieClass::Classic => 3.0 * x + 0.3,
+            MovieClass::Regular => 1.2,
+        }
+    };
+
+    // Users.
+    let mut actions: Vec<RawAction> = Vec::new();
+    let mut skill_of: HashMap<(u32, i64), SkillLevel> = HashMap::new();
+    let n_candidates = 40usize.min(config.n_movies);
+    for user in 0..config.n_users as u32 {
+        let len = sample_poisson(&mut rng, config.mean_len).max(5) as usize;
+        let mut level = sample_categorical(&mut rng, &[0.35, 0.25, 0.18, 0.13, 0.09]);
+        // Action times spread over the window, sorted.
+        let mut times: Vec<i64> =
+            (0..len).map(|_| rng.gen_range(0..config.window_days)).collect();
+        times.sort_unstable();
+        times.dedup();
+        for &t in &times {
+            // Candidate set, then lastness × class weighting.
+            let mut best_item = None;
+            let mut weights = Vec::with_capacity(n_candidates);
+            let mut candidates = Vec::with_capacity(n_candidates);
+            for _ in 0..n_candidates {
+                let m = rng.gen_range(0..config.n_movies);
+                if release_day[m] > t {
+                    continue; // not yet released at action time
+                }
+                let recency = (-((t - release_day[m]) as f64) / config.lastness_tau).exp();
+                let w = (0.08 + 8.0 * recency) * class_weight(classes[m], level);
+                candidates.push(m);
+                weights.push(w);
+            }
+            if candidates.is_empty() {
+                // Extremely early action; pick any already-released movie.
+                if let Some(m) = (0..config.n_movies).find(|&m| release_day[m] <= t) {
+                    best_item = Some(m);
+                }
+            } else {
+                best_item = Some(candidates[sample_categorical(&mut rng, &weights)]);
+            }
+            let Some(item) = best_item else { continue };
+            actions.push((t, user, item as u32));
+            skill_of.insert((user, t), (level + 1) as SkillLevel);
+            if level + 1 < FILM_LEVELS && rng.gen::<f64>() < config.p_advance {
+                level += 1;
+            }
+        }
+    }
+
+    // Optional lastness preprocessing: keep only movies released no later
+    // than the earliest action in the data.
+    let preprocessed = if config.apply_lastness_fix {
+        let earliest = actions.iter().map(|&(t, _, _)| t).min().unwrap_or(0);
+        filter_items(&actions, |i| release_day[i as usize] <= earliest)
+    } else {
+        actions
+    };
+    let filtered = iterative_support_filter(&preprocessed, config.support);
+    let assembled = assemble(
+        vec![
+            FeatureKind::Categorical { cardinality: GENRES.len() as u32 },
+            FeatureKind::Categorical { cardinality: config.n_directors as u32 },
+            FeatureKind::Categorical { cardinality: config.n_actors as u32 },
+        ],
+        vec!["genre".into(), "director".into(), "actor".into()],
+        true,
+        &item_features,
+        &filtered,
+    )?;
+
+    let remap = |old: u32| old as usize;
+    let compact_titles: Vec<String> = assembled
+        .items
+        .new_to_old
+        .iter()
+        .map(|&o| titles[remap(o)].clone())
+        .collect();
+    let compact_years: Vec<i32> =
+        assembled.items.new_to_old.iter().map(|&o| years[remap(o)]).collect();
+    let compact_classes: Vec<MovieClass> =
+        assembled.items.new_to_old.iter().map(|&o| classes[remap(o)]).collect();
+    let mut true_skills = Vec::with_capacity(assembled.dataset.n_users());
+    for seq in assembled.dataset.sequences() {
+        let old_user = assembled.users.new_to_old[seq.user as usize];
+        true_skills.push(
+            seq.actions().iter().map(|a| skill_of[&(old_user, a.time)]).collect(),
+        );
+    }
+
+    Ok(FilmData {
+        dataset: assembled.dataset,
+        titles: compact_titles,
+        release_years: compact_years,
+        classes: compact_classes,
+        true_skills,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&FilmConfig::test_scale(7)).unwrap();
+        let b = generate(&FilmConfig::test_scale(7)).unwrap();
+        assert_eq!(a.dataset.n_actions(), b.dataset.n_actions());
+        assert_eq!(a.titles, b.titles);
+    }
+
+    #[test]
+    fn schema_matches_paper_features() {
+        let data = generate(&FilmConfig::test_scale(1)).unwrap();
+        let schema = data.dataset.schema();
+        assert_eq!(schema.len(), 4);
+        assert_eq!(schema.name(features::ID), "item id");
+        assert!(schema.name(features::GENRE).contains("genre"));
+    }
+
+    #[test]
+    fn metadata_aligned_with_items() {
+        let data = generate(&FilmConfig::test_scale(2)).unwrap();
+        assert_eq!(data.titles.len(), data.dataset.n_items());
+        assert_eq!(data.release_years.len(), data.dataset.n_items());
+        assert_eq!(data.classes.len(), data.dataset.n_items());
+    }
+
+    #[test]
+    fn lastness_effect_present_without_fix() {
+        // Later actions should select more recently released movies.
+        let data = generate(&FilmConfig::test_scale(3)).unwrap();
+        let mut early_years = Vec::new();
+        let mut late_years = Vec::new();
+        let window = FilmConfig::test_scale(3).window_days;
+        for seq in data.dataset.sequences() {
+            for a in seq.actions() {
+                let y = data.release_years[a.item as usize];
+                if a.time < window / 4 {
+                    early_years.push(y as f64);
+                } else if a.time > 3 * window / 4 {
+                    late_years.push(y as f64);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&late_years) > mean(&early_years) + 1.0,
+            "early {} late {}",
+            mean(&early_years),
+            mean(&late_years)
+        );
+    }
+
+    #[test]
+    fn fix_removes_late_releases() {
+        let mut cfg = FilmConfig::test_scale(4);
+        cfg.apply_lastness_fix = true;
+        let data = generate(&cfg).unwrap();
+        let earliest_action =
+            data.dataset.actions().map(|a| a.time).min().unwrap_or(0);
+        let window_start_year = cfg.first_year + cfg.year_span - cfg.observed_years;
+        for (&year, title) in data.release_years.iter().zip(&data.titles) {
+            let release_day = ((year - window_start_year) as i64) * 365;
+            assert!(
+                release_day <= earliest_action,
+                "{title} released after the earliest action"
+            );
+        }
+    }
+
+    #[test]
+    fn skilled_users_prefer_classics() {
+        let data = generate(&FilmConfig::test_scale(5)).unwrap();
+        let mut classic_by_level = [0usize; FILM_LEVELS];
+        let mut total_by_level = [0usize; FILM_LEVELS];
+        for (seq, skills) in data.dataset.sequences().iter().zip(&data.true_skills) {
+            for (a, &s) in seq.actions().iter().zip(skills) {
+                total_by_level[s as usize - 1] += 1;
+                if data.classes[a.item as usize] == MovieClass::Classic {
+                    classic_by_level[s as usize - 1] += 1;
+                }
+            }
+        }
+        let frac = |i: usize| classic_by_level[i] as f64 / total_by_level[i].max(1) as f64;
+        let top = (0..FILM_LEVELS).rev().find(|&i| total_by_level[i] > 50).unwrap_or(4);
+        assert!(
+            frac(top) > frac(0),
+            "classic fractions: {:?} / {:?}",
+            classic_by_level,
+            total_by_level
+        );
+    }
+}

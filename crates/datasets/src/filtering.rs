@@ -1,0 +1,321 @@
+//! Raw-action filtering and dataset assembly (paper §VI-B).
+//!
+//! Simulators produce *raw* action triples `(time, user, item)` against an
+//! item feature table. Before assembling a [`Dataset`]:
+//!
+//! 1. [`iterative_support_filter`] applies the paper's Beer/Film filter —
+//!    drop users with fewer than `K` unique items and items selected by
+//!    fewer than `K` unique users, repeating until a fixpoint (removing
+//!    users changes item support and vice versa);
+//! 2. [`assemble`] compacts user and item ids, optionally prepends the
+//!    item-ID categorical feature, sorts sequences chronologically, and
+//!    validates everything into a [`Dataset`].
+//!
+//! The Film domain's "lastness" preprocessing (drop items released after
+//! the earliest action) is a plain predicate filter: [`filter_items`].
+
+use std::collections::HashSet;
+
+use upskill_core::error::{CoreError, Result};
+use upskill_core::feature::{FeatureKind, FeatureSchema, FeatureValue};
+use upskill_core::types::{ActionSequence, Dataset};
+
+/// A raw action triple `(time, user, item)` with original (sparse) ids.
+pub type RawAction = (i64, u32, u32);
+
+/// Support thresholds for the iterative filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupportFilter {
+    /// Minimum number of *unique* items a user must have selected.
+    pub min_unique_items_per_user: usize,
+    /// Minimum number of *unique* users an item must be selected by.
+    pub min_unique_users_per_item: usize,
+}
+
+impl SupportFilter {
+    /// The paper's Beer/Film setting: both thresholds 50.
+    pub fn paper() -> Self {
+        Self { min_unique_items_per_user: 50, min_unique_users_per_item: 50 }
+    }
+}
+
+/// Applies the user/item support filter until a fixpoint and returns the
+/// surviving actions (original ids, original order).
+pub fn iterative_support_filter(
+    actions: &[RawAction],
+    filter: SupportFilter,
+) -> Vec<RawAction> {
+    let mut current: Vec<RawAction> = actions.to_vec();
+    loop {
+        // Unique items per user / unique users per item.
+        let mut user_items: std::collections::HashMap<u32, HashSet<u32>> =
+            std::collections::HashMap::new();
+        let mut item_users: std::collections::HashMap<u32, HashSet<u32>> =
+            std::collections::HashMap::new();
+        for &(_, u, i) in &current {
+            user_items.entry(u).or_default().insert(i);
+            item_users.entry(i).or_default().insert(u);
+        }
+        let bad_users: HashSet<u32> = user_items
+            .iter()
+            .filter(|(_, items)| items.len() < filter.min_unique_items_per_user)
+            .map(|(&u, _)| u)
+            .collect();
+        let bad_items: HashSet<u32> = item_users
+            .iter()
+            .filter(|(_, users)| users.len() < filter.min_unique_users_per_item)
+            .map(|(&i, _)| i)
+            .collect();
+        if bad_users.is_empty() && bad_items.is_empty() {
+            return current;
+        }
+        current.retain(|&(_, u, i)| !bad_users.contains(&u) && !bad_items.contains(&i));
+        if current.is_empty() {
+            return current;
+        }
+    }
+}
+
+/// Drops actions whose item fails a predicate (e.g. the Film lastness fix:
+/// keep only items released no later than the earliest action).
+pub fn filter_items(actions: &[RawAction], keep: impl Fn(u32) -> bool) -> Vec<RawAction> {
+    actions.iter().copied().filter(|&(_, _, i)| keep(i)).collect()
+}
+
+/// Mapping between original and compacted ids after [`assemble`].
+#[derive(Debug, Clone)]
+pub struct IdRemap {
+    /// `new_to_old[new]` = original id.
+    pub new_to_old: Vec<u32>,
+    /// `old_to_new[old]` = compacted id, if the entity survived.
+    pub old_to_new: Vec<Option<u32>>,
+}
+
+impl IdRemap {
+    fn build(original_ids: impl Iterator<Item = u32>, max_old: usize) -> Self {
+        let mut seen = vec![false; max_old];
+        for id in original_ids {
+            seen[id as usize] = true;
+        }
+        let mut new_to_old = Vec::new();
+        let mut old_to_new = vec![None; max_old];
+        for (old, &s) in seen.iter().enumerate() {
+            if s {
+                old_to_new[old] = Some(new_to_old.len() as u32);
+                new_to_old.push(old as u32);
+            }
+        }
+        Self { new_to_old, old_to_new }
+    }
+}
+
+/// Output of [`assemble`].
+#[derive(Debug, Clone)]
+pub struct Assembled {
+    /// The validated dataset with compact ids.
+    pub dataset: Dataset,
+    /// Item id mapping (original → compact).
+    pub items: IdRemap,
+    /// User id mapping (original → compact).
+    pub users: IdRemap,
+}
+
+/// Builds a [`Dataset`] from raw actions and an item feature table
+/// (indexed by *original* item id, **without** the ID feature).
+///
+/// When `include_id` is set, a categorical item-ID feature over the
+/// *compacted* id space is prepended to the schema, matching the paper's
+/// Cooking/Beer/Film feature sets.
+pub fn assemble(
+    kinds: Vec<FeatureKind>,
+    names: Vec<String>,
+    include_id: bool,
+    item_features: &[Vec<FeatureValue>],
+    actions: &[RawAction],
+) -> Result<Assembled> {
+    if actions.is_empty() {
+        return Err(CoreError::EmptyDataset);
+    }
+    let max_item = actions.iter().map(|&(_, _, i)| i as usize).max().unwrap_or(0) + 1;
+    if max_item > item_features.len() {
+        return Err(CoreError::FeatureIndexOutOfBounds {
+            index: max_item - 1,
+            len: item_features.len(),
+        });
+    }
+    let max_user = actions.iter().map(|&(_, u, _)| u as usize).max().unwrap_or(0) + 1;
+    let items = IdRemap::build(actions.iter().map(|&(_, _, i)| i), max_item);
+    let users = IdRemap::build(actions.iter().map(|&(_, u, _)| u), max_user);
+    let n_items = items.new_to_old.len() as u32;
+
+    // Schema: optional ID feature + the supplied kinds.
+    let mut all_kinds = Vec::with_capacity(kinds.len() + usize::from(include_id));
+    let mut all_names = Vec::with_capacity(all_kinds.capacity());
+    if include_id {
+        all_kinds.push(FeatureKind::Categorical { cardinality: n_items });
+        all_names.push("item id".to_string());
+    }
+    all_kinds.extend(kinds);
+    all_names.extend(names);
+    let schema = FeatureSchema::with_names(all_kinds, all_names)?;
+
+    // Compact item table.
+    let table: Vec<Vec<FeatureValue>> = items
+        .new_to_old
+        .iter()
+        .enumerate()
+        .map(|(new_id, &old_id)| {
+            let mut row = Vec::with_capacity(schema.len());
+            if include_id {
+                row.push(FeatureValue::Categorical(new_id as u32));
+            }
+            row.extend(item_features[old_id as usize].iter().copied());
+            row
+        })
+        .collect();
+
+    // Group actions per compact user, then sort by time.
+    let n_users = users.new_to_old.len();
+    let mut per_user: Vec<Vec<upskill_core::types::Action>> = vec![Vec::new(); n_users];
+    for &(t, u, i) in actions {
+        let nu = users.old_to_new[u as usize].expect("user seen in actions");
+        let ni = items.old_to_new[i as usize].expect("item seen in actions");
+        per_user[nu as usize].push(upskill_core::types::Action::new(t, nu, ni));
+    }
+    let sequences: Vec<ActionSequence> = per_user
+        .into_iter()
+        .enumerate()
+        .map(|(u, actions)| ActionSequence::from_unsorted(u as u32, actions))
+        .collect::<Result<_>>()?;
+
+    let dataset = Dataset::new(schema, table, sequences)?;
+    Ok(Assembled { dataset, items, users })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(t: i64, u: u32, i: u32) -> RawAction {
+        (t, u, i)
+    }
+
+    #[test]
+    fn support_filter_no_op_when_all_pass() {
+        let actions = vec![act(0, 0, 0), act(1, 0, 1), act(0, 1, 0), act(1, 1, 1)];
+        let f = SupportFilter { min_unique_items_per_user: 2, min_unique_users_per_item: 2 };
+        assert_eq!(iterative_support_filter(&actions, f), actions);
+    }
+
+    #[test]
+    fn support_filter_drops_sparse_users_and_items() {
+        // User 2 selected only one item; item 2 selected by only one user.
+        let actions = vec![
+            act(0, 0, 0),
+            act(1, 0, 1),
+            act(0, 1, 0),
+            act(1, 1, 1),
+            act(0, 2, 0),  // user 2: 1 unique item → dropped
+            act(2, 0, 2),  // item 2: 1 unique user → dropped
+        ];
+        let f = SupportFilter { min_unique_items_per_user: 2, min_unique_users_per_item: 2 };
+        let kept = iterative_support_filter(&actions, f);
+        assert!(kept.iter().all(|&(_, u, i)| u != 2 && i != 2));
+        assert_eq!(kept.len(), 4);
+    }
+
+    #[test]
+    fn support_filter_cascades_to_fixpoint() {
+        // Dropping item 1 (1 user) leaves user 1 with 1 unique item,
+        // dropping user 1 leaves item 0 with enough users still.
+        let actions = vec![
+            act(0, 0, 0),
+            act(1, 0, 2),
+            act(0, 1, 0),
+            act(1, 1, 1), // item 1 selected by 1 user
+            act(0, 2, 0),
+            act(1, 2, 2),
+        ];
+        let f = SupportFilter { min_unique_items_per_user: 2, min_unique_users_per_item: 2 };
+        let kept = iterative_support_filter(&actions, f);
+        // Item 1 goes; then user 1 has only item 0 → goes too.
+        assert!(kept.iter().all(|&(_, u, i)| u != 1 && i != 1));
+        assert_eq!(kept.len(), 4);
+    }
+
+    #[test]
+    fn support_filter_can_empty_everything() {
+        let actions = vec![act(0, 0, 0)];
+        let kept = iterative_support_filter(&actions, SupportFilter::paper());
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn filter_items_by_predicate() {
+        let actions = vec![act(0, 0, 0), act(1, 0, 5), act(2, 0, 2)];
+        let kept = filter_items(&actions, |i| i < 3);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn assemble_compacts_sparse_ids() {
+        // Items 0 and 7 used; users 3 and 9.
+        let features = {
+            let mut f = vec![vec![FeatureValue::Count(0)]; 8];
+            f[7] = vec![FeatureValue::Count(9)];
+            f
+        };
+        let actions = vec![act(5, 3, 7), act(1, 3, 0), act(0, 9, 7)];
+        let out = assemble(
+            vec![FeatureKind::Count],
+            vec!["steps".into()],
+            false,
+            &features,
+            &actions,
+        )
+        .unwrap();
+        assert_eq!(out.dataset.n_items(), 2);
+        assert_eq!(out.dataset.n_users(), 2);
+        assert_eq!(out.dataset.n_actions(), 3);
+        // Sequences sorted by time.
+        let seq0 = &out.dataset.sequences()[0];
+        assert!(seq0.actions().windows(2).all(|w| w[0].time <= w[1].time));
+        // Remap round-trips.
+        assert_eq!(out.items.old_to_new[7].map(|n| out.items.new_to_old[n as usize]), Some(7));
+        assert_eq!(out.users.old_to_new[9].map(|n| out.users.new_to_old[n as usize]), Some(9));
+        assert_eq!(out.items.old_to_new[3], None);
+    }
+
+    #[test]
+    fn assemble_with_id_feature() {
+        let features = vec![vec![FeatureValue::Count(1)], vec![FeatureValue::Count(2)]];
+        let actions = vec![act(0, 0, 0), act(1, 0, 1)];
+        let out = assemble(
+            vec![FeatureKind::Count],
+            vec!["steps".into()],
+            true,
+            &features,
+            &actions,
+        )
+        .unwrap();
+        assert_eq!(out.dataset.schema().len(), 2);
+        assert_eq!(out.dataset.schema().name(0), "item id");
+        assert_eq!(out.dataset.item_features(1)[0], FeatureValue::Categorical(1));
+    }
+
+    #[test]
+    fn assemble_rejects_empty_and_missing_features() {
+        assert!(assemble(vec![FeatureKind::Count], vec!["x".into()], false, &[], &[])
+            .is_err());
+        let actions = vec![act(0, 0, 3)];
+        let features = vec![vec![FeatureValue::Count(1)]];
+        assert!(assemble(
+            vec![FeatureKind::Count],
+            vec!["x".into()],
+            false,
+            &features,
+            &actions
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Synthetic generator with **skill decay**: the §VII extension scenario.
+//!
+//! Identical to the base synthetic generator except user timelines contain
+//! occasional long breaks, after which the user's true skill drops one
+//! level with a probability following an Ebbinghaus-style retention curve.
+//! Ground truth is returned so the forgetting-aware DP can be evaluated
+//! against the monotone baseline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use upskill_core::error::Result;
+use upskill_core::feature::{FeatureKind, FeatureValue, PositiveModel};
+use upskill_core::types::{Dataset, SkillLevel};
+
+use crate::filtering::{assemble, RawAction};
+use crate::sampling::{sample_categorical, sample_gamma, sample_poisson};
+
+/// Configuration for the forgetting scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForgettingScenarioConfig {
+    /// Number of users.
+    pub n_users: usize,
+    /// Total number of items (split evenly across levels).
+    pub n_items: usize,
+    /// Number of skill levels.
+    pub n_levels: usize,
+    /// Mean sequence length.
+    pub mean_sequence_len: f64,
+    /// Probability of advancing after an at-level action.
+    pub p_advance: f64,
+    /// Per-action probability that a long break precedes it.
+    pub p_break: f64,
+    /// Length of a long break (time units; normal actions are 1 apart).
+    pub break_length: i64,
+    /// Probability the skill drops one level across a long break.
+    pub p_decay_on_break: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ForgettingScenarioConfig {
+    /// A default evaluation scenario.
+    pub fn default_scale(seed: u64) -> Self {
+        Self {
+            n_users: 300,
+            n_items: 1_000,
+            n_levels: 5,
+            mean_sequence_len: 60.0,
+            p_advance: 0.12,
+            p_break: 0.06,
+            break_length: 5_000,
+            p_decay_on_break: 0.7,
+            seed,
+        }
+    }
+}
+
+/// The generated scenario with ground truth.
+#[derive(Debug, Clone)]
+pub struct ForgettingScenario {
+    /// The dataset (schema identical to the base synthetic generator).
+    pub dataset: Dataset,
+    /// Ground-truth (non-monotone) skill per action.
+    pub true_skills: Vec<Vec<SkillLevel>>,
+    /// Ground-truth difficulty per item.
+    pub true_difficulty: Vec<f64>,
+    /// Number of decay events injected.
+    pub n_decays: usize,
+}
+
+impl ForgettingScenario {
+    /// Flattened ground-truth skills in action order.
+    pub fn flat_true_skills(&self) -> Vec<f64> {
+        self.true_skills.iter().flat_map(|s| s.iter().map(|&x| x as f64)).collect()
+    }
+}
+
+/// Generates the forgetting scenario.
+pub fn generate(config: &ForgettingScenarioConfig) -> Result<ForgettingScenario> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let s_max = config.n_levels;
+
+    // Items: same per-level feature construction as the base generator.
+    let per_level = config.n_items / s_max;
+    let mut features = Vec::with_capacity(per_level * s_max);
+    let mut difficulty = Vec::with_capacity(per_level * s_max);
+    let mut pools: Vec<Vec<u32>> = vec![Vec::with_capacity(per_level); s_max];
+    for level in 0..s_max {
+        let mut cat_weights = vec![1.0f64; 10];
+        cat_weights[level % 10] = 5.0;
+        for _ in 0..per_level {
+            let id = features.len() as u32;
+            let cat = sample_categorical(&mut rng, &cat_weights) as u32;
+            let g = sample_gamma(&mut rng, 2.0 + level as f64, 1.0 + 0.5 * level as f64)
+                .max(1e-6);
+            let k = sample_poisson(&mut rng, 3.0 + 4.0 * level as f64);
+            features.push(vec![
+                FeatureValue::Categorical(cat),
+                FeatureValue::Real(g),
+                FeatureValue::Count(k),
+            ]);
+            difficulty.push((level + 1) as f64);
+            pools[level].push(id);
+        }
+    }
+
+    // Users with breaks and decay.
+    let mut actions: Vec<RawAction> = Vec::new();
+    let mut skills_by_user = Vec::with_capacity(config.n_users);
+    let mut n_decays = 0usize;
+    for user in 0..config.n_users as u32 {
+        let len = sample_poisson(&mut rng, config.mean_sequence_len).max(2) as usize;
+        let mut skill = rng.gen_range(0..s_max);
+        let mut time = 0i64;
+        let mut skills = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Occasionally a long break; skill may decay across it.
+            if rng.gen::<f64>() < config.p_break {
+                time += config.break_length;
+                if skill > 0 && rng.gen::<f64>() < config.p_decay_on_break {
+                    skill -= 1;
+                    n_decays += 1;
+                }
+            } else {
+                time += 1;
+            }
+            let at_level = skill == 0 || rng.gen::<f64>() < 0.5;
+            let pool_level = if at_level { skill } else { rng.gen_range(0..skill) };
+            let item = pools[pool_level][rng.gen_range(0..per_level)];
+            actions.push((time, user, item));
+            skills.push((skill + 1) as SkillLevel);
+            if at_level && skill + 1 < s_max && rng.gen::<f64>() < config.p_advance {
+                skill += 1;
+            }
+        }
+        skills_by_user.push(skills);
+    }
+
+    let assembled = assemble(
+        vec![
+            FeatureKind::Categorical { cardinality: 10 },
+            FeatureKind::Positive { model: PositiveModel::Gamma },
+            FeatureKind::Count,
+        ],
+        vec!["categorical".into(), "gamma".into(), "poisson".into()],
+        true,
+        &features,
+        &actions,
+    )?;
+    let true_difficulty: Vec<f64> = assembled
+        .items
+        .new_to_old
+        .iter()
+        .map(|&old| difficulty[old as usize])
+        .collect();
+    let true_skills: Vec<Vec<SkillLevel>> = assembled
+        .users
+        .new_to_old
+        .iter()
+        .map(|&old| skills_by_user[old as usize].clone())
+        .collect();
+    Ok(ForgettingScenario {
+        dataset: assembled.dataset,
+        true_skills,
+        true_difficulty,
+        n_decays,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ForgettingScenarioConfig {
+        ForgettingScenarioConfig {
+            n_users: 50,
+            n_items: 200,
+            mean_sequence_len: 40.0,
+            ..ForgettingScenarioConfig::default_scale(3)
+        }
+    }
+
+    #[test]
+    fn scenario_injects_decays() {
+        let s = generate(&small()).unwrap();
+        assert!(s.n_decays > 0, "no decay events generated");
+        // Ground-truth skills are NOT all monotone.
+        let nonmonotone = s
+            .true_skills
+            .iter()
+            .filter(|seq| seq.windows(2).any(|w| w[1] < w[0]))
+            .count();
+        assert!(nonmonotone > 0, "expected non-monotone truth sequences");
+    }
+
+    #[test]
+    fn decays_coincide_with_long_gaps() {
+        let s = generate(&small()).unwrap();
+        for (seq, skills) in s.dataset.sequences().iter().zip(&s.true_skills) {
+            for (w, pair) in seq.actions().windows(2).zip(skills.windows(2)) {
+                if pair[1] < pair[0] {
+                    let gap = w[1].time - w[0].time;
+                    assert!(gap >= 1_000, "decay without a long break (gap {gap})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small()).unwrap();
+        let b = generate(&small()).unwrap();
+        assert_eq!(a.n_decays, b.n_decays);
+        assert_eq!(a.true_skills, b.true_skills);
+    }
+
+    #[test]
+    fn schema_matches_base_synthetic() {
+        let s = generate(&small()).unwrap();
+        assert_eq!(s.dataset.schema().len(), 4);
+        assert_eq!(s.dataset.schema().name(0), "item id");
+    }
+}

@@ -1,0 +1,301 @@
+//! Language-learning domain simulator (stands in for the NAIST Lang-8
+//! corpus; see DESIGN.md §2 for the substitution rationale).
+//!
+//! Users post articles in the language they are learning; other users
+//! correct them. Each article is an item selected exactly once (by its
+//! author), so the domain has no usable ID feature — exactly the sparsity
+//! regime that motivates multi-faceted features.
+//!
+//! Skill-dependent structure baked in, matching the paper's findings
+//! (§VI-C, Fig. 4, Table II):
+//! - **sentence count** — Poisson, roughly flat across skill levels;
+//! - **corrections per corrector** — gamma, decreasing with skill
+//!   (paper means: 5.06, 4.85, 2.64 for s = 1..3);
+//! - **% corrected sentences** — gamma, decreasing with skill;
+//! - **dominant correction rule** — categorical; capitalization and
+//!   punctuation rules dominate novices, article-usage ("a" → "the") and
+//!   bracket-comment rules dominate experts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use upskill_core::error::Result;
+use upskill_core::feature::{FeatureKind, FeatureValue, PositiveModel};
+use upskill_core::types::{Dataset, SkillLevel};
+
+use crate::filtering::{assemble, RawAction};
+use crate::sampling::{sample_categorical, sample_gamma, sample_poisson};
+
+/// Number of skill levels in this domain (the paper selected S = 3).
+pub const LANGUAGE_LEVELS: usize = 3;
+
+/// A correction rule with per-level selection weights.
+struct Rule {
+    name: &'static str,
+    /// Weights for levels 1..=3; higher = more typical at that level.
+    weights: [f64; 3],
+}
+
+/// Novice-dominated, expert-dominated, and neutral correction rules.
+/// Names follow the paper's `before -> after` notation with `ε` for
+/// insertions/deletions.
+const RULES: &[Rule] = &[
+    // Novice-typical: capitalization & basic punctuation.
+    Rule { name: "\"i\" -> \"I\"", weights: [9.0, 4.0, 1.0] },
+    Rule { name: "ε -> \"I\"", weights: [7.0, 3.5, 1.0] },
+    Rule { name: "\"english\" -> \"English\"", weights: [6.0, 3.0, 0.8] },
+    Rule { name: "ε -> \"a\"", weights: [6.0, 3.5, 1.2] },
+    Rule { name: "ε -> \".\"", weights: [5.5, 3.0, 1.0] },
+    Rule { name: "ε -> \"my\"", weights: [4.5, 2.5, 1.0] },
+    Rule { name: "\".\" -> ε", weights: [4.5, 2.8, 1.1] },
+    Rule { name: "ε -> \"English\"", weights: [4.0, 2.2, 0.9] },
+    Rule { name: "\",\" -> ε", weights: [4.0, 2.5, 1.0] },
+    Rule { name: "\"i\" -> ε", weights: [3.8, 2.0, 0.8] },
+    // Expert-typical: articles, prepositions, annotator comments.
+    Rule { name: "ε -> \"the\"", weights: [1.0, 3.0, 8.0] },
+    Rule { name: "ε -> \"(\"", weights: [0.6, 2.0, 6.0] },
+    Rule { name: "ε -> \")\"", weights: [0.6, 2.0, 6.0] },
+    Rule { name: "\"the\" -> ε", weights: [1.0, 2.5, 6.0] },
+    Rule { name: "ε -> \"of\"", weights: [0.9, 2.2, 5.0] },
+    Rule { name: "\"of\" -> ε", weights: [0.8, 1.8, 4.0] },
+    Rule { name: "ε -> \"[\"", weights: [0.5, 1.5, 3.5] },
+    Rule { name: "ε -> \"]\"", weights: [0.5, 1.5, 3.5] },
+    Rule { name: "\"a\" -> \"the\"", weights: [0.8, 2.0, 4.5] },
+    Rule { name: "ε -> \"/\"", weights: [0.4, 1.2, 3.0] },
+    // Neutral rules: common at every level.
+    Rule { name: "\"is\" -> \"was\"", weights: [3.0, 3.0, 3.0] },
+    Rule { name: "\"go\" -> \"went\"", weights: [2.8, 2.8, 2.8] },
+    Rule { name: "\"in\" -> \"on\"", weights: [2.5, 2.5, 2.5] },
+    Rule { name: "\"on\" -> \"at\"", weights: [2.5, 2.5, 2.5] },
+    Rule { name: "\"very\" -> \"really\"", weights: [2.0, 2.0, 2.0] },
+    Rule { name: "\"much\" -> \"many\"", weights: [2.0, 2.0, 2.0] },
+    Rule { name: "\"make\" -> \"do\"", weights: [1.8, 1.8, 1.8] },
+    Rule { name: "\"say\" -> \"tell\"", weights: [1.8, 1.8, 1.8] },
+    Rule { name: "\"fun\" -> \"funny\"", weights: [1.5, 1.5, 1.5] },
+    Rule { name: "\"their\" -> \"there\"", weights: [1.5, 1.5, 1.5] },
+];
+
+/// Mean corrections-per-corrector per level (paper Fig. 4b: 5.06, 4.85, 2.64).
+const CORRECTION_MEANS: [f64; 3] = [5.06, 4.85, 2.64];
+/// Mean fraction of corrected sentences per level.
+const PCT_CORRECTED_MEANS: [f64; 3] = [0.80, 0.60, 0.35];
+/// Mean sentence count per level (paper Fig. 4a: ~flat).
+const SENTENCE_MEANS: [f64; 3] = [10.8, 11.6, 10.3];
+
+/// Configuration for the language simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LanguageConfig {
+    /// Number of learners.
+    pub n_users: usize,
+    /// Fraction of "dedicated" users with long posting histories.
+    pub dedicated_fraction: f64,
+    /// Mean article count for casual users.
+    pub casual_mean_len: f64,
+    /// Mean article count for dedicated users.
+    pub dedicated_mean_len: f64,
+    /// Per-article probability that a user's skill advances one level.
+    pub p_advance: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LanguageConfig {
+    /// Default scale (~50k articles), roughly 1/5 of the paper's corpus.
+    pub fn default_scale(seed: u64) -> Self {
+        Self {
+            n_users: 10_000,
+            dedicated_fraction: 0.04,
+            casual_mean_len: 4.0,
+            dedicated_mean_len: 70.0,
+            p_advance: 0.04,
+            seed,
+        }
+    }
+
+    /// Small scale for tests.
+    pub fn test_scale(seed: u64) -> Self {
+        Self {
+            n_users: 200,
+            dedicated_fraction: 0.2,
+            casual_mean_len: 4.0,
+            dedicated_mean_len: 60.0,
+            p_advance: 0.05,
+            seed,
+        }
+    }
+}
+
+/// The generated language dataset plus domain metadata.
+#[derive(Debug, Clone)]
+pub struct LanguageData {
+    /// The assembled dataset
+    /// (schema: rule, sentences, corrections/corrector, %corrected).
+    pub dataset: Dataset,
+    /// Human-readable names of the correction-rule categories.
+    pub rule_names: Vec<String>,
+    /// Latent ground-truth skill per action (for sanity checks; the paper
+    /// has no ground truth in this domain).
+    pub true_skills: Vec<Vec<SkillLevel>>,
+}
+
+/// Index of each feature in the language schema.
+pub mod features {
+    /// Dominant correction rule (categorical).
+    pub const RULE: usize = 0;
+    /// Number of sentences (Poisson).
+    pub const SENTENCES: usize = 1;
+    /// Mean corrections per corrector (gamma).
+    pub const CORRECTIONS: usize = 2;
+    /// Fraction of corrected sentences (gamma).
+    pub const PCT_CORRECTED: usize = 3;
+}
+
+/// Generates the language-learning dataset.
+pub fn generate(config: &LanguageConfig) -> Result<LanguageData> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut item_features: Vec<Vec<FeatureValue>> = Vec::new();
+    let mut actions: Vec<RawAction> = Vec::new();
+    let mut skills_by_user: Vec<Vec<SkillLevel>> = Vec::with_capacity(config.n_users);
+
+    for user in 0..config.n_users as u32 {
+        let dedicated = rng.gen::<f64>() < config.dedicated_fraction;
+        let mean_len =
+            if dedicated { config.dedicated_mean_len } else { config.casual_mean_len };
+        let len = sample_poisson(&mut rng, mean_len).max(1) as usize;
+        // Learners start low; a few arrive already proficient.
+        let mut level = sample_categorical(&mut rng, &[0.7, 0.22, 0.08]); // 0-based
+        let mut skills = Vec::with_capacity(len);
+        for t in 0..len {
+            let rule_weights: Vec<f64> = RULES.iter().map(|r| r.weights[level]).collect();
+            let rule = sample_categorical(&mut rng, &rule_weights) as u32;
+            let sentences = sample_poisson(&mut rng, SENTENCE_MEANS[level]).max(1);
+            let corrections =
+                sample_gamma(&mut rng, 2.0, CORRECTION_MEANS[level] / 2.0).max(1e-3);
+            let pct =
+                sample_gamma(&mut rng, 4.0, PCT_CORRECTED_MEANS[level] / 4.0).clamp(1e-3, 1.0);
+            let article = item_features.len() as u32;
+            item_features.push(vec![
+                FeatureValue::Categorical(rule),
+                FeatureValue::Count(sentences),
+                FeatureValue::Real(corrections),
+                FeatureValue::Real(pct),
+            ]);
+            actions.push((t as i64, user, article));
+            skills.push((level + 1) as SkillLevel);
+            if level + 1 < LANGUAGE_LEVELS && rng.gen::<f64>() < config.p_advance {
+                level += 1;
+            }
+        }
+        skills_by_user.push(skills);
+    }
+
+    let assembled = assemble(
+        vec![
+            FeatureKind::Categorical { cardinality: RULES.len() as u32 },
+            FeatureKind::Count,
+            FeatureKind::Positive { model: PositiveModel::Gamma },
+            FeatureKind::Positive { model: PositiveModel::Gamma },
+        ],
+        vec![
+            "correction rule".into(),
+            "sentence count".into(),
+            "corrections per corrector".into(),
+            "pct corrected".into(),
+        ],
+        false,
+        &item_features,
+        &actions,
+    )?;
+    let true_skills: Vec<Vec<SkillLevel>> = assembled
+        .users
+        .new_to_old
+        .iter()
+        .map(|&old| skills_by_user[old as usize].clone())
+        .collect();
+    Ok(LanguageData {
+        dataset: assembled.dataset,
+        rule_names: RULES.iter().map(|r| r.name.to_string()).collect(),
+        true_skills,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_article_selected_exactly_once() {
+        let data = generate(&LanguageConfig::test_scale(3)).unwrap();
+        assert_eq!(data.dataset.n_items(), data.dataset.n_actions());
+        assert!(data.dataset.item_support().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&LanguageConfig::test_scale(9)).unwrap();
+        let b = generate(&LanguageConfig::test_scale(9)).unwrap();
+        assert_eq!(a.dataset.n_actions(), b.dataset.n_actions());
+        assert_eq!(a.true_skills, b.true_skills);
+    }
+
+    #[test]
+    fn corrections_decrease_with_true_skill() {
+        let data = generate(&LanguageConfig::test_scale(5)).unwrap();
+        let mut sums = [0.0f64; 3];
+        let mut counts = [0usize; 3];
+        for (seq, skills) in data.dataset.sequences().iter().zip(&data.true_skills) {
+            for (action, &s) in seq.actions().iter().zip(skills) {
+                if let FeatureValue::Real(c) =
+                    data.dataset.item_features(action.item)[features::CORRECTIONS]
+                {
+                    sums[s as usize - 1] += c;
+                    counts[s as usize - 1] += 1;
+                }
+            }
+        }
+        let means: Vec<f64> =
+            sums.iter().zip(&counts).map(|(&s, &c)| s / c.max(1) as f64).collect();
+        assert!(counts.iter().all(|&c| c > 10), "counts {counts:?}");
+        assert!(means[0] > means[2], "means {means:?}");
+    }
+
+    #[test]
+    fn novice_rules_dominate_low_skill_actions() {
+        let data = generate(&LanguageConfig::test_scale(7)).unwrap();
+        // Count rule 0 ("i" -> "I") frequency at level 1 vs level 3.
+        let mut counts = [[0usize; 3]; 2]; // [rule0, rule10] × level
+        for (seq, skills) in data.dataset.sequences().iter().zip(&data.true_skills) {
+            for (action, &s) in seq.actions().iter().zip(skills) {
+                if let FeatureValue::Categorical(r) =
+                    data.dataset.item_features(action.item)[features::RULE]
+                {
+                    if r == 0 {
+                        counts[0][s as usize - 1] += 1;
+                    } else if r == 10 {
+                        counts[1][s as usize - 1] += 1;
+                    }
+                }
+            }
+        }
+        // Rule 0 (novice) more common at level 1; rule 10 (ε -> "the",
+        // expert) more common at level 3.
+        assert!(counts[0][0] > counts[0][2], "{counts:?}");
+        assert!(counts[1][2] > counts[1][0], "{counts:?}");
+    }
+
+    #[test]
+    fn some_users_qualify_for_initialization() {
+        let data = generate(&LanguageConfig::test_scale(1)).unwrap();
+        let long = data.dataset.sequences().iter().filter(|s| s.len() >= 50).count();
+        assert!(long > 0, "need some users with ≥50 articles for init");
+    }
+
+    #[test]
+    fn schema_matches_feature_indices() {
+        let data = generate(&LanguageConfig::test_scale(2)).unwrap();
+        let schema = data.dataset.schema();
+        assert_eq!(schema.len(), 4);
+        assert!(schema.name(features::RULE).contains("rule"));
+        assert!(schema.name(features::SENTENCES).contains("sentence"));
+        assert_eq!(data.rule_names.len(), RULES.len());
+    }
+}

@@ -1,0 +1,192 @@
+//! Random samplers for the domain simulators.
+//!
+//! Self-contained implementations over `rand::Rng` (no `rand_distr`
+//! dependency): Marsaglia–Tsang gamma, Knuth/normal-approximation Poisson,
+//! cumulative categorical, and a Zipf sampler for popularity skews.
+
+use rand::Rng;
+
+/// Draws from a gamma distribution with the given `shape` and `scale`
+/// (Marsaglia & Tsang 2000; shape < 1 handled by the boosting trick).
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    if shape < 1.0 {
+        // X ~ Gamma(a+1), U^(1/a) boost.
+        let x = sample_gamma(rng, shape + 1.0, 1.0);
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return x * u.powf(1.0 / shape) * scale;
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * z).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+            return d * v * scale;
+        }
+    }
+}
+
+/// Draws from a Poisson distribution with the given `mean`.
+///
+/// Knuth's product method for small means; normal approximation (rounded,
+/// clamped at zero) beyond 30 where Knuth's method underflows/slows.
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean >= 0.0, "poisson mean must be non-negative");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let limit = (-mean).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let x = mean + mean.sqrt() * z;
+        x.round().max(0.0) as u64
+    }
+}
+
+/// Draws an index from unnormalized non-negative weights.
+pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "empty weight vector");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0 && total.is_finite(), "weights must have positive finite sum");
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+/// Draws from `0..n` with Zipf(`exponent`) popularity (rank 0 most likely).
+pub fn sample_zipf<R: Rng + ?Sized>(rng: &mut R, n: usize, exponent: f64) -> usize {
+    assert!(n > 0);
+    // Inverse-CDF on the precomputable harmonic sum would need state; for
+    // simulator purposes rejection from the continuous envelope is enough.
+    let h = |x: f64| -> f64 { x.powf(1.0 - exponent) };
+    let h_inv = |x: f64| -> f64 { x.powf(1.0 / (1.0 - exponent)) };
+    if (exponent - 1.0).abs() < 1e-9 {
+        // Harmonic special case: simple linear scan fallback.
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / k as f64).collect();
+        return sample_categorical(rng, &weights);
+    }
+    let lo = h(1.0);
+    let hi = h(n as f64 + 1.0);
+    loop {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let x = h_inv(lo + u * (hi - lo));
+        let k = x.floor().max(1.0).min(n as f64) as usize;
+        // Accept with the ratio of the pmf to the envelope (loose but valid).
+        let accept = (k as f64 / x).powf(exponent);
+        if rng.gen::<f64>() < accept {
+            return k - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gamma_mean_and_variance_match() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (shape, scale) = (3.0, 2.0);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_gamma(&mut rng, shape, scale)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 12.0).abs() < 0.6, "var {var}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gamma_small_shape_works() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> =
+            (0..20_000).map(|_| sample_gamma(&mut rng, 0.5, 1.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| sample_poisson(&mut rng, 4.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_branch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let samples: Vec<u64> = (0..n).map(|_| sample_poisson(&mut rng, 50.0)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean) * (x as f64 - mean))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 50.0).abs() < 0.3, "mean {mean}");
+        assert!((var - 50.0).abs() < 2.0, "var {var}");
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights = [1.0, 3.0, 6.0];
+        let n = 60_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[sample_categorical(&mut rng, &weights)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let want = weights[i] / 10.0;
+            let got = c as f64 / n as f64;
+            assert!((got - want).abs() < 0.01, "cat {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n_items = 100;
+        let mut counts = vec![0usize; n_items];
+        for _ in 0..20_000 {
+            let k = sample_zipf(&mut rng, n_items, 1.2);
+            assert!(k < n_items);
+            counts[k] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[50]);
+        // Harmonic special case also works.
+        let k = sample_zipf(&mut rng, 10, 1.0);
+        assert!(k < 10);
+    }
+}

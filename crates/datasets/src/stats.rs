@@ -1,0 +1,66 @@
+//! Dataset statistics (Table I of the paper).
+
+use upskill_core::types::Dataset;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of users `|U|`.
+    pub n_users: usize,
+    /// Number of items `|I|`.
+    pub n_items: usize,
+    /// Number of actions `|A|`.
+    pub n_actions: usize,
+}
+
+impl DatasetStats {
+    /// Computes the row for a dataset.
+    pub fn of(name: &str, dataset: &Dataset) -> Self {
+        Self {
+            name: name.to_string(),
+            n_users: dataset.n_users(),
+            n_items: dataset.n_items(),
+            n_actions: dataset.n_actions(),
+        }
+    }
+
+    /// Mean actions per user.
+    pub fn actions_per_user(&self) -> f64 {
+        self.n_actions as f64 / self.n_users.max(1) as f64
+    }
+
+    /// Mean actions per item.
+    pub fn actions_per_item(&self) -> f64 {
+        self.n_actions as f64 / self.n_items.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upskill_core::feature::{FeatureKind, FeatureSchema, FeatureValue};
+    use upskill_core::types::{Action, ActionSequence};
+
+    #[test]
+    fn stats_count_correctly() {
+        let schema =
+            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
+        let items =
+            vec![vec![FeatureValue::Categorical(0)], vec![FeatureValue::Categorical(1)]];
+        let s0 = ActionSequence::new(
+            0,
+            vec![Action::new(0, 0, 0), Action::new(1, 0, 1)],
+        )
+        .unwrap();
+        let s1 = ActionSequence::new(1, vec![Action::new(0, 1, 1)]).unwrap();
+        let ds = Dataset::new(schema, items, vec![s0, s1]).unwrap();
+        let stats = DatasetStats::of("toy", &ds);
+        assert_eq!(stats.n_users, 2);
+        assert_eq!(stats.n_items, 2);
+        assert_eq!(stats.n_actions, 3);
+        assert!((stats.actions_per_user() - 1.5).abs() < 1e-12);
+        assert!((stats.actions_per_item() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,306 @@
+//! The synthetic dataset generator (paper §VI-A), with ground-truth skill
+//! and difficulty levels for the quantitative experiments (Tables VI–IX).
+//!
+//! Generation procedure, verbatim from the paper:
+//!
+//! 1. Three per-level feature distributions: a categorical whose mass
+//!    concentrates on the value congruent to the level (mod `S`), and gamma
+//!    and Poisson distributions whose means grow with the level.
+//! 2. The same number of items per level; an item's three features are
+//!    drawn from its level's distributions; its true difficulty is the
+//!    level.
+//! 3. Per user: sequence length ~ Poisson(50); initial skill uniform over
+//!    `1..=S`; each action picks an item at the current level with
+//!    probability `p_at_level = 0.5` and from strictly easier pools
+//!    otherwise; an at-level selection advances the skill with
+//!    `p_advance = 0.1`.
+//!
+//! The schema is `[item id, categorical, abv-like gamma, step-like
+//! Poisson]`, so [`upskill_core::baselines::project_features`] produces the
+//! `ID`, `ID+categorical`, `ID+gamma`, `ID+Poisson`, and `Multi-faceted`
+//! model variants of Table VI.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use upskill_core::error::Result;
+use upskill_core::feature::{FeatureKind, FeatureValue, PositiveModel};
+use upskill_core::types::{Dataset, SkillLevel};
+
+use crate::filtering::{assemble, RawAction};
+use crate::sampling::{sample_categorical, sample_gamma, sample_poisson};
+
+/// Configuration for the synthetic generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of users.
+    pub n_users: usize,
+    /// Total number of items (split evenly across levels).
+    pub n_items: usize,
+    /// Number of skill levels `S`.
+    pub n_levels: usize,
+    /// Mean sequence length (Poisson).
+    pub mean_sequence_len: f64,
+    /// Probability of selecting an item at the current level.
+    pub p_at_level: f64,
+    /// Probability of advancing after an at-level selection.
+    pub p_advance: f64,
+    /// Number of categories in the categorical feature.
+    pub n_categories: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's Synthetic dataset: 10,000 users, 50,000 items, S = 5.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            n_users: 10_000,
+            n_items: 50_000,
+            n_levels: 5,
+            mean_sequence_len: 50.0,
+            p_at_level: 0.5,
+            p_advance: 0.1,
+            n_categories: 10,
+            seed,
+        }
+    }
+
+    /// The paper's Synthetic_dense variant: identical except 10,000 items.
+    pub fn paper_dense(seed: u64) -> Self {
+        Self { n_items: 10_000, ..Self::paper(seed) }
+    }
+
+    /// A scaled-down configuration for fast experiments/tests: sizes divide
+    /// the paper's by `factor` (sparse/dense item ratio preserved).
+    pub fn scaled(factor: usize, dense: bool, seed: u64) -> Self {
+        let base = if dense { Self::paper_dense(seed) } else { Self::paper(seed) };
+        Self {
+            n_users: (base.n_users / factor).max(10),
+            n_items: (base.n_items / factor).max(base.n_levels * 2),
+            ..base
+        }
+    }
+}
+
+/// A generated dataset plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticData {
+    /// The assembled dataset (schema: id, categorical, gamma, Poisson).
+    pub dataset: Dataset,
+    /// Ground-truth skill level per action, aligned with
+    /// `dataset.sequences()[u].actions()[n]`.
+    pub true_skills: Vec<Vec<SkillLevel>>,
+    /// Ground-truth difficulty per (compact) item id.
+    pub true_difficulty: Vec<f64>,
+}
+
+impl SyntheticData {
+    /// Flattened ground-truth skills in action order (for correlations).
+    pub fn flat_true_skills(&self) -> Vec<f64> {
+        self.true_skills.iter().flat_map(|s| s.iter().map(|&x| x as f64)).collect()
+    }
+}
+
+/// Per-level generative parameters for item features.
+fn level_params(level: usize, n_levels: usize, n_categories: u32) -> LevelParams {
+    // Categorical mass concentrated on value ≡ level (mod C); gamma and
+    // Poisson means grow with the level so features are informative.
+    let mut weights = vec![1.0f64; n_categories as usize];
+    weights[level % n_categories as usize] = 1.0 + 2.0 * n_categories as f64 / n_levels as f64;
+    // Neighbouring levels overlap slightly — the task should be learnable
+    // but not trivial, mirroring the paper's moderate baseline accuracy.
+    weights[(level + 1) % n_categories as usize] += 1.0;
+    LevelParams {
+        cat_weights: weights,
+        gamma_shape: 2.0 + level as f64,
+        gamma_scale: 1.0 + 0.5 * level as f64,
+        poisson_mean: 3.0 + 4.0 * level as f64,
+    }
+}
+
+struct LevelParams {
+    cat_weights: Vec<f64>,
+    gamma_shape: f64,
+    gamma_scale: f64,
+    poisson_mean: f64,
+}
+
+/// Generates the synthetic dataset with ground truth.
+pub fn generate(config: &SyntheticConfig) -> Result<SyntheticData> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let s_max = config.n_levels;
+    let params: Vec<LevelParams> =
+        (0..s_max).map(|l| level_params(l, s_max, config.n_categories)).collect();
+
+    // Step 1–2: items, evenly split across levels.
+    let per_level = config.n_items / s_max;
+    let n_items = per_level * s_max;
+    let mut features: Vec<Vec<FeatureValue>> = Vec::with_capacity(n_items);
+    let mut difficulty: Vec<f64> = Vec::with_capacity(n_items);
+    let mut pools: Vec<Vec<u32>> = vec![Vec::with_capacity(per_level); s_max];
+    for level in 0..s_max {
+        let p = &params[level];
+        for _ in 0..per_level {
+            let id = features.len() as u32;
+            let cat = sample_categorical(&mut rng, &p.cat_weights) as u32;
+            let g = sample_gamma(&mut rng, p.gamma_shape, p.gamma_scale).max(1e-6);
+            let k = sample_poisson(&mut rng, p.poisson_mean);
+            features.push(vec![
+                FeatureValue::Categorical(cat),
+                FeatureValue::Real(g),
+                FeatureValue::Count(k),
+            ]);
+            difficulty.push((level + 1) as f64);
+            pools[level].push(id);
+        }
+    }
+
+    // Step 3: user sequences with latent skill progression.
+    let mut actions: Vec<RawAction> = Vec::new();
+    let mut skills_by_user: Vec<Vec<SkillLevel>> = Vec::with_capacity(config.n_users);
+    for user in 0..config.n_users as u32 {
+        let len = sample_poisson(&mut rng, config.mean_sequence_len).max(1) as usize;
+        let mut skill = rng.gen_range(0..s_max); // 0-based level
+        let mut skills = Vec::with_capacity(len);
+        for t in 0..len {
+            let at_level = skill == 0 || rng.gen::<f64>() < config.p_at_level;
+            let pool_level =
+                if at_level { skill } else { rng.gen_range(0..skill) };
+            let item = pools[pool_level][rng.gen_range(0..per_level)];
+            actions.push((t as i64, user, item));
+            skills.push((skill + 1) as SkillLevel);
+            if at_level && skill + 1 < s_max && rng.gen::<f64>() < config.p_advance {
+                skill += 1;
+            }
+        }
+        skills_by_user.push(skills);
+    }
+
+    // Assemble with the ID feature prepended. Item ids are dense and all
+    // may not be selected; remap ground truth through the compaction.
+    let assembled = assemble(
+        vec![
+            FeatureKind::Categorical { cardinality: config.n_categories },
+            FeatureKind::Positive { model: PositiveModel::Gamma },
+            FeatureKind::Count,
+        ],
+        vec!["categorical".into(), "gamma".into(), "poisson".into()],
+        true,
+        &features,
+        &actions,
+    )?;
+    let true_difficulty: Vec<f64> = assembled
+        .items
+        .new_to_old
+        .iter()
+        .map(|&old| difficulty[old as usize])
+        .collect();
+    let true_skills: Vec<Vec<SkillLevel>> = assembled
+        .users
+        .new_to_old
+        .iter()
+        .map(|&old| skills_by_user[old as usize].clone())
+        .collect();
+    Ok(SyntheticData { dataset: assembled.dataset, true_skills, true_difficulty })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SyntheticConfig {
+        SyntheticConfig {
+            n_users: 60,
+            n_items: 200,
+            n_levels: 5,
+            mean_sequence_len: 30.0,
+            p_at_level: 0.5,
+            p_advance: 0.1,
+            n_categories: 10,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small_config()).unwrap();
+        let b = generate(&small_config()).unwrap();
+        assert_eq!(a.dataset.n_actions(), b.dataset.n_actions());
+        assert_eq!(a.true_difficulty, b.true_difficulty);
+        assert_eq!(a.true_skills, b.true_skills);
+    }
+
+    #[test]
+    fn ground_truth_aligns_with_dataset() {
+        let data = generate(&small_config()).unwrap();
+        assert_eq!(data.true_skills.len(), data.dataset.n_users());
+        for (seq, skills) in data.dataset.sequences().iter().zip(&data.true_skills) {
+            assert_eq!(seq.len(), skills.len());
+            // True skills are monotone by construction.
+            assert!(skills.windows(2).all(|w| w[0] <= w[1]));
+        }
+        assert_eq!(data.true_difficulty.len(), data.dataset.n_items());
+    }
+
+    #[test]
+    fn users_select_within_capacity() {
+        let data = generate(&small_config()).unwrap();
+        for (seq, skills) in data.dataset.sequences().iter().zip(&data.true_skills) {
+            for (action, &skill) in seq.actions().iter().zip(skills) {
+                let d = data.true_difficulty[action.item as usize];
+                assert!(
+                    d <= skill as f64 + 1e-9,
+                    "difficulty {d} above skill {skill}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feature_means_grow_with_difficulty() {
+        let data = generate(&small_config()).unwrap();
+        // Mean Poisson feature of level-5 items should exceed level-1 items.
+        let mean_count = |level: f64| -> f64 {
+            let vals: Vec<f64> = data
+                .dataset
+                .items()
+                .iter()
+                .zip(&data.true_difficulty)
+                .filter(|(_, &d)| d == level)
+                .map(|(f, _)| match f[3] {
+                    FeatureValue::Count(k) => k as f64,
+                    _ => panic!("expected count"),
+                })
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(mean_count(5.0) > mean_count(1.0) + 5.0);
+    }
+
+    #[test]
+    fn schema_has_id_plus_three_features() {
+        let data = generate(&small_config()).unwrap();
+        assert_eq!(data.dataset.schema().len(), 4);
+        assert_eq!(data.dataset.schema().name(0), "item id");
+    }
+
+    #[test]
+    fn sequence_lengths_near_mean() {
+        let data = generate(&small_config()).unwrap();
+        let total: usize = data.dataset.sequences().iter().map(|s| s.len()).sum();
+        let mean = total as f64 / data.dataset.n_users() as f64;
+        assert!((mean - 30.0).abs() < 3.0, "mean length {mean}");
+    }
+
+    #[test]
+    fn dense_config_reduces_items_only() {
+        let sparse = SyntheticConfig::paper(1);
+        let dense = SyntheticConfig::paper_dense(1);
+        assert_eq!(sparse.n_users, dense.n_users);
+        assert_eq!(dense.n_items, 10_000);
+        assert_eq!(sparse.n_items, 50_000);
+        let scaled = SyntheticConfig::scaled(10, false, 1);
+        assert_eq!(scaled.n_users, 1000);
+        assert_eq!(scaled.n_items, 5000);
+    }
+}

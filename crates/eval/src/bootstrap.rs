@@ -1,0 +1,237 @@
+//! Confidence intervals: percentile bootstrap for arbitrary paired
+//! statistics and the Fisher-z analytic CI for Pearson's `r` (the paper
+//! reports 95% CIs for its correlation scores).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::correlation::pearson;
+use crate::EvalError;
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+/// Percentile-bootstrap CI for any paired statistic.
+///
+/// Resamples index pairs with replacement `n_resamples` times and takes the
+/// empirical `(1±level)/2` quantiles of the statistic. Resamples where the
+/// statistic is undefined (e.g. zero variance) are skipped.
+pub fn bootstrap_ci<F>(
+    x: &[f64],
+    y: &[f64],
+    statistic: F,
+    n_resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval, EvalError>
+where
+    F: Fn(&[f64], &[f64]) -> Result<f64, EvalError>,
+{
+    if x.len() != y.len() {
+        return Err(EvalError::LengthMismatch { left: x.len(), right: y.len() });
+    }
+    if x.len() < 2 {
+        return Err(EvalError::TooFewSamples { needed: 2, got: x.len() });
+    }
+    if !(0.0..1.0).contains(&level) {
+        return Err(EvalError::InvalidParameter { what: "confidence level" });
+    }
+    if n_resamples < 10 {
+        return Err(EvalError::InvalidParameter { what: "bootstrap resamples" });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = x.len();
+    let mut stats = Vec::with_capacity(n_resamples);
+    let mut bx = vec![0.0; n];
+    let mut by = vec![0.0; n];
+    for _ in 0..n_resamples {
+        for i in 0..n {
+            let j = rng.gen_range(0..n);
+            bx[i] = x[j];
+            by[i] = y[j];
+        }
+        if let Ok(s) = statistic(&bx, &by) {
+            stats.push(s);
+        }
+    }
+    if stats.len() < n_resamples / 2 {
+        return Err(EvalError::ZeroVariance);
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((stats.len() as f64 * alpha).floor() as usize).min(stats.len() - 1);
+    let hi_idx =
+        ((stats.len() as f64 * (1.0 - alpha)).ceil() as usize).saturating_sub(1).min(stats.len() - 1);
+    Ok(ConfidenceInterval { lo: stats[lo_idx], hi: stats[hi_idx], level })
+}
+
+/// Analytic Fisher-z CI for Pearson's `r`.
+pub fn fisher_z_ci(r: f64, n: usize, level: f64) -> Result<ConfidenceInterval, EvalError> {
+    if !(-1.0..=1.0).contains(&r) {
+        return Err(EvalError::InvalidParameter { what: "correlation r" });
+    }
+    if n < 4 {
+        return Err(EvalError::TooFewSamples { needed: 4, got: n });
+    }
+    if !(0.0..1.0).contains(&level) {
+        return Err(EvalError::InvalidParameter { what: "confidence level" });
+    }
+    let z = 0.5 * ((1.0 + r) / (1.0 - r)).ln();
+    let se = 1.0 / ((n as f64) - 3.0).sqrt();
+    let crit = normal_quantile((1.0 + level) / 2.0);
+    let lo = ((z - crit * se) * 2.0).tanh_half();
+    let hi = ((z + crit * se) * 2.0).tanh_half();
+    Ok(ConfidenceInterval { lo, hi, level })
+}
+
+trait TanhHalf {
+    /// `tanh(self / 2)` — inverse of the doubled Fisher transform.
+    fn tanh_half(self) -> f64;
+}
+
+impl TanhHalf for f64 {
+    fn tanh_half(self) -> f64 {
+        (self / 2.0).tanh()
+    }
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e−9).
+pub fn normal_quantile(p: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p) && p > 0.0);
+    const A: [f64; 6] = [
+        -39.696_830_286_653_76,
+        220.946_098_424_520_8,
+        -275.928_510_446_969,
+        138.357_751_867_269,
+        -30.664_798_066_147_16,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -54.476_098_798_224_06,
+        161.585_836_858_040_9,
+        -155.698_979_859_886_6,
+        66.801_311_887_719_72,
+        -13.280_681_552_885_72,
+    ];
+    const C: [f64; 6] = [
+        -0.007_784_894_002_430_293,
+        -0.322_396_458_041_136_4,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        0.007_784_695_709_041_462,
+        0.322_467_129_070_039_8,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Convenience: Fisher-z 95% CI computed directly from paired data.
+pub fn pearson_ci(x: &[f64], y: &[f64], level: f64) -> Result<ConfidenceInterval, EvalError> {
+    let r = pearson(x, y)?;
+    fisher_z_ci(r, x.len(), level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.025) + 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.0013) + 3.011).abs() < 1e-2);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        use crate::significance::normal_cdf;
+        for &p in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let z = normal_quantile(p);
+            assert!((normal_cdf(z) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn fisher_ci_contains_r_and_shrinks_with_n() {
+        let narrow = fisher_z_ci(0.8, 10_000, 0.95).unwrap();
+        let wide = fisher_z_ci(0.8, 20, 0.95).unwrap();
+        assert!(narrow.lo <= 0.8 && 0.8 <= narrow.hi);
+        assert!(wide.lo <= 0.8 && 0.8 <= wide.hi);
+        assert!(narrow.hi - narrow.lo < wide.hi - wide.lo);
+    }
+
+    #[test]
+    fn fisher_ci_error_cases() {
+        assert!(fisher_z_ci(1.5, 100, 0.95).is_err());
+        assert!(fisher_z_ci(0.5, 3, 0.95).is_err());
+        assert!(fisher_z_ci(0.5, 100, 1.0).is_err());
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_true_statistic() {
+        // Strongly correlated data; bootstrap CI of r should contain r.
+        let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..200).map(|i| i as f64 + ((i * 7) % 13) as f64).collect();
+        let r = pearson(&x, &y).unwrap();
+        let ci = bootstrap_ci(&x, &y, pearson, 200, 0.95, 42).unwrap();
+        assert!(ci.lo <= r && r <= ci.hi, "r={r} not in [{}, {}]", ci.lo, ci.hi);
+        assert!(ci.lo > 0.9, "lower bound {}", ci.lo);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..50).map(|i| (i as f64).sqrt()).collect();
+        let a = bootstrap_ci(&x, &y, pearson, 100, 0.9, 7).unwrap();
+        let b = bootstrap_ci(&x, &y, pearson, 100, 0.9, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bootstrap_validates_parameters() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0];
+        assert!(bootstrap_ci(&x, &y, pearson, 5, 0.95, 0).is_err());
+        assert!(bootstrap_ci(&x, &y, pearson, 100, 1.5, 0).is_err());
+        assert!(bootstrap_ci(&x, &y[..2], pearson, 100, 0.95, 0).is_err());
+    }
+
+    #[test]
+    fn pearson_ci_convenience_matches_manual() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| 2.0 * i as f64 + ((i % 5) as f64)).collect();
+        let r = pearson(&x, &y).unwrap();
+        let a = pearson_ci(&x, &y, 0.95).unwrap();
+        let b = fisher_z_ci(r, 100, 0.95).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,170 @@
+//! Goodness-of-fit tests: Pearson's chi-square for discrete distributions
+//! and the one-sample Kolmogorov–Smirnov statistic for continuous ones.
+//! Used by the dataset simulators' validation tests (does the sampled data
+//! actually follow the configured distribution?) and available to users
+//! for checking a trained model's per-cell fit against held-out data.
+
+use crate::significance::normal_cdf;
+use crate::EvalError;
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareResult {
+    /// The test statistic `Σ (O − E)² / E`.
+    pub statistic: f64,
+    /// Degrees of freedom (categories − 1, after pooling).
+    pub dof: usize,
+    /// Approximate p-value (Wilson–Hilferty normal approximation).
+    pub p_value: f64,
+}
+
+/// Pearson chi-square test of observed counts against expected
+/// probabilities. Categories with expected count < 5 are pooled into the
+/// smallest-expectation bucket (the classical validity rule).
+pub fn chi_square_gof(observed: &[u64], expected_probs: &[f64]) -> Result<ChiSquareResult, EvalError> {
+    if observed.len() != expected_probs.len() {
+        return Err(EvalError::LengthMismatch {
+            left: observed.len(),
+            right: expected_probs.len(),
+        });
+    }
+    if observed.len() < 2 {
+        return Err(EvalError::TooFewSamples { needed: 2, got: observed.len() });
+    }
+    let total: f64 = observed.iter().map(|&o| o as f64).sum();
+    if total <= 0.0 {
+        return Err(EvalError::ZeroVariance);
+    }
+    let psum: f64 = expected_probs.iter().sum();
+    if expected_probs.iter().any(|&p| !(0.0..=1.0 + 1e-9).contains(&p)) || (psum - 1.0).abs() > 1e-6
+    {
+        return Err(EvalError::InvalidParameter { what: "expected probabilities" });
+    }
+
+    // Pool low-expectation categories.
+    let mut cells: Vec<(f64, f64)> = Vec::new(); // (observed, expected)
+    let mut pooled = (0.0f64, 0.0f64);
+    for (&o, &p) in observed.iter().zip(expected_probs) {
+        let e = p * total;
+        if e < 5.0 {
+            pooled.0 += o as f64;
+            pooled.1 += e;
+        } else {
+            cells.push((o as f64, e));
+        }
+    }
+    if pooled.1 > 0.0 {
+        cells.push(pooled);
+    }
+    if cells.len() < 2 {
+        return Err(EvalError::TooFewSamples { needed: 2, got: cells.len() });
+    }
+    let statistic: f64 =
+        cells.iter().map(|&(o, e)| (o - e) * (o - e) / e.max(1e-12)).sum();
+    let dof = cells.len() - 1;
+    // Wilson–Hilferty: (X²/k)^(1/3) ≈ Normal(1 − 2/(9k), 2/(9k)).
+    let k = dof as f64;
+    let z = ((statistic / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k)))
+        / (2.0 / (9.0 * k)).sqrt();
+    let p_value = 1.0 - normal_cdf(z);
+    Ok(ChiSquareResult { statistic, dof, p_value: p_value.clamp(0.0, 1.0) })
+}
+
+/// One-sample Kolmogorov–Smirnov statistic `D_n = sup |F_n(x) − F(x)|`
+/// against an arbitrary CDF, plus the asymptotic p-value
+/// (Kolmogorov distribution, two-term series).
+pub fn ks_statistic<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> Result<(f64, f64), EvalError> {
+    if samples.len() < 5 {
+        return Err(EvalError::TooFewSamples { needed: 5, got: samples.len() });
+    }
+    if samples.iter().any(|v| !v.is_finite()) {
+        return Err(EvalError::NonFiniteInput);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    // Kolmogorov asymptotic p-value: 2 Σ (−1)^{k−1} exp(−2 k² λ²).
+    let lambda = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d;
+    let mut p = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        p += if k % 2 == 1 { 2.0 * term } else { -2.0 * term };
+        if term < 1e-12 {
+            break;
+        }
+    }
+    Ok((d, p.clamp(0.0, 1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_square_accepts_matching_distribution() {
+        // 1000 draws perfectly proportional to the expectation.
+        let observed = [250u64, 250, 250, 250];
+        let expected = [0.25; 4];
+        let r = chi_square_gof(&observed, &expected).unwrap();
+        assert!(r.statistic < 1e-9);
+        assert!(r.p_value > 0.9);
+        assert_eq!(r.dof, 3);
+    }
+
+    #[test]
+    fn chi_square_rejects_wrong_distribution() {
+        let observed = [700u64, 100, 100, 100];
+        let expected = [0.25; 4];
+        let r = chi_square_gof(&observed, &expected).unwrap();
+        assert!(r.statistic > 100.0);
+        assert!(r.p_value < 0.001);
+    }
+
+    #[test]
+    fn chi_square_pools_sparse_cells() {
+        // Last two categories expect < 5 counts and get pooled.
+        let observed = [50u64, 45, 3, 2];
+        let expected = [0.5, 0.45, 0.03, 0.02];
+        let r = chi_square_gof(&observed, &expected).unwrap();
+        assert_eq!(r.dof, 2); // 2 full cells + 1 pooled − 1
+        assert!(r.p_value > 0.1);
+    }
+
+    #[test]
+    fn chi_square_error_cases() {
+        assert!(chi_square_gof(&[1, 2], &[0.5]).is_err());
+        assert!(chi_square_gof(&[0, 0], &[0.5, 0.5]).is_err());
+        assert!(chi_square_gof(&[5, 5], &[0.9, 0.3]).is_err());
+        assert!(chi_square_gof(&[5], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn ks_accepts_uniform_samples_from_uniform_cdf() {
+        // Deterministic stratified uniform sample.
+        let samples: Vec<f64> = (0..200).map(|i| (i as f64 + 0.5) / 200.0).collect();
+        let (d, p) = ks_statistic(&samples, |x| x.clamp(0.0, 1.0)).unwrap();
+        assert!(d < 0.01, "D = {d}");
+        assert!(p > 0.9, "p = {p}");
+    }
+
+    #[test]
+    fn ks_rejects_shifted_distribution() {
+        let samples: Vec<f64> = (0..200).map(|i| 0.5 + (i as f64 + 0.5) / 400.0).collect();
+        let (d, p) = ks_statistic(&samples, |x| x.clamp(0.0, 1.0)).unwrap();
+        assert!(d > 0.4, "D = {d}");
+        assert!(p < 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn ks_error_cases() {
+        assert!(ks_statistic(&[1.0], |x| x).is_err());
+        assert!(ks_statistic(&[f64::NAN; 10], |x| x).is_err());
+    }
+}

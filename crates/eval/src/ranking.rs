@@ -1,0 +1,99 @@
+//! Ranking metrics for the item-prediction task (Tables X–XI):
+//! top-`k` accuracy and (mean) reciprocal rank, computed from the 1-based
+//! rank of the true item.
+
+use crate::EvalError;
+
+/// Acc@k for a single prediction: 1 if the true item ranked in the top `k`.
+pub fn acc_at_k(rank: usize, k: usize) -> f64 {
+    if rank == 0 {
+        return 0.0; // ranks are 1-based; 0 is invalid input
+    }
+    if rank <= k {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Reciprocal rank of a single prediction.
+pub fn reciprocal_rank(rank: usize) -> f64 {
+    if rank == 0 {
+        0.0
+    } else {
+        1.0 / rank as f64
+    }
+}
+
+/// Mean Acc@k over many predictions.
+pub fn mean_acc_at_k(ranks: &[usize], k: usize) -> Result<f64, EvalError> {
+    if ranks.is_empty() {
+        return Err(EvalError::TooFewSamples { needed: 1, got: 0 });
+    }
+    Ok(ranks.iter().map(|&r| acc_at_k(r, k)).sum::<f64>() / ranks.len() as f64)
+}
+
+/// Mean reciprocal rank over many predictions.
+pub fn mean_reciprocal_rank(ranks: &[usize]) -> Result<f64, EvalError> {
+    if ranks.is_empty() {
+        return Err(EvalError::TooFewSamples { needed: 1, got: 0 });
+    }
+    Ok(ranks.iter().map(|&r| reciprocal_rank(r)).sum::<f64>() / ranks.len() as f64)
+}
+
+/// Expected Acc@k of random guessing over `n_items` items: `k / n`.
+pub fn random_acc_at_k(k: usize, n_items: usize) -> f64 {
+    if n_items == 0 {
+        return 0.0;
+    }
+    (k.min(n_items) as f64) / n_items as f64
+}
+
+/// Expected RR of random guessing: `H(n) / n` (harmonic number over n).
+pub fn random_reciprocal_rank(n_items: usize) -> f64 {
+    if n_items == 0 {
+        return 0.0;
+    }
+    let h: f64 = (1..=n_items).map(|i| 1.0 / i as f64).sum();
+    h / n_items as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acc_at_k_boundaries() {
+        assert_eq!(acc_at_k(1, 10), 1.0);
+        assert_eq!(acc_at_k(10, 10), 1.0);
+        assert_eq!(acc_at_k(11, 10), 0.0);
+        assert_eq!(acc_at_k(0, 10), 0.0);
+    }
+
+    #[test]
+    fn reciprocal_rank_values() {
+        assert_eq!(reciprocal_rank(1), 1.0);
+        assert_eq!(reciprocal_rank(4), 0.25);
+        assert_eq!(reciprocal_rank(0), 0.0);
+    }
+
+    #[test]
+    fn means_over_many() {
+        let ranks = [1usize, 5, 20, 2];
+        assert!((mean_acc_at_k(&ranks, 10).unwrap() - 0.75).abs() < 1e-12);
+        let want_rr = (1.0 + 0.2 + 0.05 + 0.5) / 4.0;
+        assert!((mean_reciprocal_rank(&ranks).unwrap() - want_rr).abs() < 1e-12);
+        assert!(mean_acc_at_k(&[], 10).is_err());
+        assert!(mean_reciprocal_rank(&[]).is_err());
+    }
+
+    #[test]
+    fn random_baselines() {
+        assert!((random_acc_at_k(10, 100) - 0.1).abs() < 1e-12);
+        assert_eq!(random_acc_at_k(10, 5), 1.0);
+        assert_eq!(random_acc_at_k(10, 0), 0.0);
+        // H(4)/4 = (1 + 1/2 + 1/3 + 1/4)/4
+        let want = (1.0 + 0.5 + 1.0 / 3.0 + 0.25) / 4.0;
+        assert!((random_reciprocal_rank(4) - want).abs() < 1e-12);
+    }
+}

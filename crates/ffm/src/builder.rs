@@ -1,0 +1,208 @@
+//! Feature layout for the paper's rating-prediction experiment
+//! (Table XII): instances combine user ID, item ID, and optionally the
+//! inferred skill level and the estimated item difficulty.
+//!
+//! Fields (when enabled, in order): user, item, skill, difficulty. The
+//! `U+I` layout is the matrix-factorization-with-biases baseline; adding
+//! skill (`U+I+S`), difficulty (`U+I+D`), or both (`U+I+S+D`) reproduces
+//! the paper's ablation.
+
+use crate::{FfmError, Instance};
+
+/// Which optional feature groups to include.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureLayout {
+    /// Include the one-hot skill-level field (`+S`).
+    pub use_skill: bool,
+    /// Include the bucketized difficulty field (`+D`).
+    pub use_difficulty: bool,
+}
+
+impl FeatureLayout {
+    /// The `U+I` baseline.
+    pub fn ui() -> Self {
+        Self { use_skill: false, use_difficulty: false }
+    }
+
+    /// `U+I+S`.
+    pub fn uis() -> Self {
+        Self { use_skill: true, use_difficulty: false }
+    }
+
+    /// `U+I+D`.
+    pub fn uid() -> Self {
+        Self { use_skill: false, use_difficulty: true }
+    }
+
+    /// `U+I+S+D`.
+    pub fn uisd() -> Self {
+        Self { use_skill: true, use_difficulty: true }
+    }
+
+    /// Short display name ("U+I+S+D" etc.).
+    pub fn name(&self) -> &'static str {
+        match (self.use_skill, self.use_difficulty) {
+            (false, false) => "U+I",
+            (true, false) => "U+I+S",
+            (false, true) => "U+I+D",
+            (true, true) => "U+I+S+D",
+        }
+    }
+}
+
+/// Maps (user, item, skill, difficulty) tuples to FFM instances.
+#[derive(Debug, Clone)]
+pub struct InstanceBuilder {
+    layout: FeatureLayout,
+    n_users: usize,
+    n_items: usize,
+    n_levels: usize,
+    /// Number of difficulty buckets over `[1, S]`.
+    n_buckets: usize,
+}
+
+impl InstanceBuilder {
+    /// Creates a builder for the given universe sizes.
+    pub fn new(
+        layout: FeatureLayout,
+        n_users: usize,
+        n_items: usize,
+        n_levels: usize,
+    ) -> Result<Self, FfmError> {
+        if n_users == 0 || n_items == 0 || n_levels == 0 {
+            return Err(FfmError::InvalidConfig("empty universe"));
+        }
+        Ok(Self { layout, n_users, n_items, n_levels, n_buckets: 2 * n_levels })
+    }
+
+    /// Total number of features in this layout.
+    pub fn n_features(&self) -> usize {
+        let mut n = self.n_users + self.n_items;
+        if self.layout.use_skill {
+            n += self.n_levels;
+        }
+        if self.layout.use_difficulty {
+            n += self.n_buckets;
+        }
+        n
+    }
+
+    /// Number of fields in this layout.
+    pub fn n_fields(&self) -> usize {
+        2 + usize::from(self.layout.use_skill) + usize::from(self.layout.use_difficulty)
+    }
+
+    /// Bucket index for a difficulty in `[1, S]`.
+    fn difficulty_bucket(&self, d: f64) -> usize {
+        let clamped = d.clamp(1.0, self.n_levels as f64);
+        let frac = (clamped - 1.0) / ((self.n_levels - 1).max(1) as f64);
+        ((frac * self.n_buckets as f64) as usize).min(self.n_buckets - 1)
+    }
+
+    /// Builds one instance.
+    ///
+    /// `skill` (1-based) and `difficulty` are ignored unless the layout
+    /// enables them.
+    pub fn instance(
+        &self,
+        user: usize,
+        item: usize,
+        skill: u8,
+        difficulty: f64,
+        target: f64,
+    ) -> Result<Instance, FfmError> {
+        if user >= self.n_users {
+            return Err(FfmError::FeatureOutOfBounds { field: 0, feature: user });
+        }
+        if item >= self.n_items {
+            return Err(FfmError::FeatureOutOfBounds { field: 1, feature: item });
+        }
+        let mut features = Vec::with_capacity(self.n_fields());
+        features.push((0, user, 1.0));
+        features.push((1, self.n_users + item, 1.0));
+        let mut field = 2;
+        let mut offset = self.n_users + self.n_items;
+        if self.layout.use_skill {
+            let s = (skill as usize).clamp(1, self.n_levels) - 1;
+            features.push((field, offset + s, 1.0));
+            field += 1;
+            offset += self.n_levels;
+        }
+        if self.layout.use_difficulty {
+            let b = self.difficulty_bucket(difficulty);
+            features.push((field, offset + b, 1.0));
+        }
+        Ok(Instance { features, target })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_names() {
+        assert_eq!(FeatureLayout::ui().name(), "U+I");
+        assert_eq!(FeatureLayout::uis().name(), "U+I+S");
+        assert_eq!(FeatureLayout::uid().name(), "U+I+D");
+        assert_eq!(FeatureLayout::uisd().name(), "U+I+S+D");
+    }
+
+    #[test]
+    fn feature_counts_per_layout() {
+        let b = |l| InstanceBuilder::new(l, 10, 20, 5).unwrap();
+        assert_eq!(b(FeatureLayout::ui()).n_features(), 30);
+        assert_eq!(b(FeatureLayout::uis()).n_features(), 35);
+        assert_eq!(b(FeatureLayout::uid()).n_features(), 40);
+        assert_eq!(b(FeatureLayout::uisd()).n_features(), 45);
+        assert_eq!(b(FeatureLayout::ui()).n_fields(), 2);
+        assert_eq!(b(FeatureLayout::uisd()).n_fields(), 4);
+    }
+
+    #[test]
+    fn instance_feature_ids_are_disjoint_per_field() {
+        let b = InstanceBuilder::new(FeatureLayout::uisd(), 10, 20, 5).unwrap();
+        let inst = b.instance(3, 7, 2, 3.4, 4.5).unwrap();
+        assert_eq!(inst.features.len(), 4);
+        assert_eq!(inst.features[0], (0, 3, 1.0));
+        assert_eq!(inst.features[1], (1, 17, 1.0));
+        // Skill 2 → index 30 + 1.
+        assert_eq!(inst.features[2], (2, 31, 1.0));
+        // Difficulty in bounds.
+        let (f, j, _) = inst.features[3];
+        assert_eq!(f, 3);
+        assert!((35..45).contains(&j));
+        assert_eq!(inst.target, 4.5);
+    }
+
+    #[test]
+    fn difficulty_buckets_are_monotone_and_bounded() {
+        let b = InstanceBuilder::new(FeatureLayout::uid(), 2, 2, 5).unwrap();
+        let mut prev = 0;
+        for d in [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 9.0] {
+            let bucket = b.difficulty_bucket(d);
+            assert!(bucket >= prev, "bucket order violated at {d}");
+            assert!(bucket < 10);
+            prev = bucket;
+        }
+        assert_eq!(b.difficulty_bucket(0.0), 0);
+        assert_eq!(b.difficulty_bucket(100.0), 9);
+    }
+
+    #[test]
+    fn out_of_universe_rejected() {
+        let b = InstanceBuilder::new(FeatureLayout::ui(), 5, 5, 3).unwrap();
+        assert!(b.instance(5, 0, 1, 1.0, 1.0).is_err());
+        assert!(b.instance(0, 5, 1, 1.0, 1.0).is_err());
+        assert!(InstanceBuilder::new(FeatureLayout::ui(), 0, 5, 3).is_err());
+    }
+
+    #[test]
+    fn skill_out_of_range_is_clamped() {
+        let b = InstanceBuilder::new(FeatureLayout::uis(), 5, 5, 3).unwrap();
+        let low = b.instance(0, 0, 0, 1.0, 1.0).unwrap();
+        let high = b.instance(0, 0, 9, 1.0, 1.0).unwrap();
+        assert_eq!(low.features[2].1, 10); // skill 1 → offset + 0
+        assert_eq!(high.features[2].1, 12); // skill 3 → offset + 2
+    }
+}

@@ -1,0 +1,60 @@
+//! # upskill-ffm
+//!
+//! A from-scratch Field-aware Factorization Machine (Juan et al., RecSys
+//! 2016) for the paper's rating-prediction experiment (Table XII), plus the
+//! feature layouts (`U+I`, `U+I+S`, `U+I+D`, `U+I+S+D`) that add the skill
+//! and difficulty levels learned by `upskill-core` as extra fields.
+//! The `U+I` layout degenerates to matrix factorization with biases
+//! (Koren et al.), the paper's baseline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod model;
+
+use std::fmt;
+
+pub use builder::{FeatureLayout, InstanceBuilder};
+pub use model::{FfmConfig, FfmModel};
+
+/// One training/evaluation instance: sparse `(field, feature, value)`
+/// triples plus the regression target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Active features: `(field index, feature index, value)`.
+    pub features: Vec<(usize, usize, f64)>,
+    /// Regression target (e.g. a rating in `[0, 5]`).
+    pub target: f64,
+}
+
+/// Errors produced by FFM configuration and training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FfmError {
+    /// A hyperparameter was out of range.
+    InvalidConfig(&'static str),
+    /// Training data was empty.
+    EmptyTrainingSet,
+    /// An instance referenced a field/feature outside the configured model.
+    FeatureOutOfBounds {
+        /// Field index of the offending feature.
+        field: usize,
+        /// Feature index.
+        feature: usize,
+    },
+}
+
+impl fmt::Display for FfmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FfmError::InvalidConfig(what) => write!(f, "invalid FFM configuration: {what}"),
+            FfmError::EmptyTrainingSet => write!(f, "FFM training set is empty"),
+            FfmError::FeatureOutOfBounds { field, feature } => {
+                write!(f, "feature {feature} in field {field} out of bounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FfmError {}

@@ -1,0 +1,67 @@
+//! Appreciation-skill analysis in the beer domain: learn how reviewers'
+//! palates develop, then print the per-level ABV trend and the styles that
+//! separate novices from connoisseurs (the paper's Fig. 6 / Table III).
+//!
+//! ```sh
+//! cargo run --release --example beer_progression
+//! ```
+
+use upskill_core::analysis::{level_means, top_skilled, top_unskilled};
+use upskill_core::train::{train, TrainConfig};
+use upskill_datasets::beer::{features, generate, BeerConfig, BEER_LEVELS};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = generate(&BeerConfig::test_scale(33))?;
+    println!(
+        "beer community: {} reviewers, {} beers, {} reviews",
+        data.dataset.n_users(),
+        data.dataset.n_items(),
+        data.dataset.n_actions()
+    );
+
+    let result = train(
+        &data.dataset,
+        &TrainConfig::new(BEER_LEVELS).with_min_init_actions(50),
+    )?;
+    println!("trained in {} iterations\n", result.trace.len());
+
+    // ABV trend: acquired taste drifts toward stronger beers.
+    let abv = level_means(&result.model, features::ABV)?;
+    println!("mean ABV per skill level:");
+    for (s, m) in abv.iter().enumerate() {
+        let bar = "#".repeat((m * 4.0) as usize);
+        println!("  s={} {:5.2}% {}", s + 1, m, bar);
+    }
+
+    // Style dominance: which styles are typical of each extreme?
+    let novice = top_unskilled(&result.model, features::STYLE, 5)?;
+    let expert = top_skilled(&result.model, features::STYLE, 5)?;
+    println!("\nstyles dominated by novices:");
+    for e in &novice {
+        println!(
+            "  {:24} score {:+.3} (tier {})",
+            data.style_names[e.value as usize],
+            e.score,
+            data.style_tiers[e.value as usize]
+        );
+    }
+    println!("styles dominated by connoisseurs:");
+    for e in &expert {
+        println!(
+            "  {:24} score {:+.3} (tier {})",
+            data.style_names[e.value as usize],
+            e.score,
+            data.style_tiers[e.value as usize]
+        );
+    }
+
+    // How long does each level last? (per-user dwell time at each level)
+    let mut dwell = vec![0usize; BEER_LEVELS];
+    for seq in &result.assignments.per_user {
+        for &s in seq {
+            dwell[s as usize - 1] += 1;
+        }
+    }
+    println!("\nactions spent per skill level: {dwell:?}");
+    Ok(())
+}

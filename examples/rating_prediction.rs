@@ -1,0 +1,88 @@
+//! Rating prediction with skill and difficulty features: shows how the
+//! levels learned by the progression model improve a field-aware
+//! factorization machine, mirroring the paper's Table XII ablation.
+//!
+//! ```sh
+//! cargo run --release --example rating_prediction
+//! ```
+
+use upskill_core::difficulty::{generation_difficulty_all, SkillPrior};
+use upskill_core::train::{train, TrainConfig};
+use upskill_datasets::beer::{generate, BeerConfig, BEER_LEVELS};
+use upskill_ffm::{FeatureLayout, FfmConfig, FfmModel, Instance, InstanceBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Beer reviews carry ratings; learn skill + difficulty first.
+    let data = generate(&BeerConfig::test_scale(55))?;
+    println!(
+        "{} reviewers, {} beers, {} rated reviews",
+        data.dataset.n_users(),
+        data.dataset.n_items(),
+        data.dataset.n_actions()
+    );
+    let skill = train(
+        &data.dataset,
+        &TrainConfig::new(BEER_LEVELS).with_min_init_actions(50),
+    )?;
+    let difficulty = generation_difficulty_all(
+        &skill.model,
+        &data.dataset,
+        SkillPrior::Empirical,
+        Some(&skill.assignments),
+    )?;
+
+    // Assemble instances: (user, item, assigned skill, item difficulty,
+    // rating), split 80/10/10 into train/valid/test.
+    let n_users = data.dataset.n_users();
+    let n_items = data.dataset.n_items();
+    for layout in [
+        FeatureLayout::ui(),
+        FeatureLayout::uis(),
+        FeatureLayout::uid(),
+        FeatureLayout::uisd(),
+    ] {
+        let builder = InstanceBuilder::new(layout, n_users, n_items, BEER_LEVELS)?;
+        let mut train_set: Vec<Instance> = Vec::new();
+        let mut valid = Vec::new();
+        let mut test = Vec::new();
+        let mut k = 0usize;
+        for (u, seq) in data.dataset.sequences().iter().enumerate() {
+            let levels = &skill.assignments.per_user[u];
+            let ratings = &data.ratings[u];
+            for ((action, &s), &rating) in
+                seq.actions().iter().zip(levels).zip(ratings)
+            {
+                let inst = builder.instance(
+                    u,
+                    action.item as usize,
+                    s,
+                    difficulty[action.item as usize],
+                    rating,
+                )?;
+                match k % 10 {
+                    8 => valid.push(inst),
+                    9 => test.push(inst),
+                    _ => train_set.push(inst),
+                }
+                k += 1;
+            }
+        }
+        let config = FfmConfig {
+            epochs: 20,
+            seed: 5,
+            ..FfmConfig::new(builder.n_features(), builder.n_fields())
+        };
+        let model = FfmModel::train(config, &train_set, &valid)?;
+        println!(
+            "{:8}  test RMSE {:.4}  ({} epochs run)",
+            layout.name(),
+            model.rmse(&test),
+            model.history.len()
+        );
+    }
+    println!(
+        "\nExpected shape (paper Table XII): U+I+S and U+I+D beat U+I, and \
+         U+I+S+D is best — skill and difficulty are complementary signals."
+    );
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! Integration tests exercising every domain simulator through the full
+//! training + analysis pipeline, asserting the paper's qualitative
+//! findings (§VI-C) hold on the simulated data.
+
+use upskill_core::analysis::{level_means, top_skilled, top_unskilled};
+use upskill_core::train::{train, TrainConfig};
+use upskill_datasets::beer::{self, BeerConfig};
+use upskill_datasets::cooking::{self, CookingConfig};
+use upskill_datasets::film::{self, FilmConfig};
+use upskill_datasets::language::{self, LanguageConfig};
+
+#[test]
+fn language_pipeline_finds_correction_trend_and_rule_split() {
+    let data = language::generate(&LanguageConfig::test_scale(11)).expect("generation");
+    let result = train(
+        &data.dataset,
+        &TrainConfig::new(language::LANGUAGE_LEVELS).with_min_init_actions(50),
+    )
+    .expect("training");
+
+    // Fig. 4b: corrections per corrector decrease with skill.
+    let corrections =
+        level_means(&result.model, language::features::CORRECTIONS).expect("means");
+    assert!(
+        corrections.first().unwrap() > corrections.last().unwrap(),
+        "corrections should decrease with skill: {corrections:?}"
+    );
+
+    // Table II: novice list contains a capitalization/punctuation rule;
+    // expert list contains an article or bracket rule.
+    let novice = top_unskilled(&result.model, language::features::RULE, 10).expect("rules");
+    let expert = top_skilled(&result.model, language::features::RULE, 10).expect("rules");
+    let novice_names: Vec<&str> =
+        novice.iter().map(|e| data.rule_names[e.value as usize].as_str()).collect();
+    let expert_names: Vec<&str> =
+        expert.iter().map(|e| data.rule_names[e.value as usize].as_str()).collect();
+    assert!(
+        novice_names.iter().any(|n| n.contains("\"i\" -> \"I\"") || n.contains("\".\"")),
+        "novice rules missing capitalization/punctuation: {novice_names:?}"
+    );
+    assert!(
+        expert_names
+            .iter()
+            .any(|n| n.contains("the") || n.contains('(') || n.contains('[')),
+        "expert rules missing articles/brackets: {expert_names:?}"
+    );
+}
+
+#[test]
+fn cooking_pipeline_shows_overreach_anomaly() {
+    let data = cooking::generate(&CookingConfig::test_scale(13)).expect("generation");
+    let result = train(
+        &data.dataset,
+        &TrainConfig::new(cooking::COOKING_LEVELS).with_min_init_actions(50),
+    )
+    .expect("training");
+
+    let steps = level_means(&result.model, cooking::features::N_STEPS).expect("means");
+    // Levels 2..5 trend upward.
+    assert!(
+        steps[4] > steps[1],
+        "top level should need more steps than level 2: {steps:?}"
+    );
+
+    // The §VI-C anomaly in the data: ground-truth novices select recipes
+    // more complex than ground-truth level-2 users (they cannot judge
+    // difficulty yet).
+    let mut sum = [0.0f64; 5];
+    let mut n = [0usize; 5];
+    for (seq, skills) in data.dataset.sequences().iter().zip(&data.true_skills) {
+        for (action, &s) in seq.actions().iter().zip(skills) {
+            sum[s as usize - 1] += data.recipe_complexity[action.item as usize] as f64;
+            n[s as usize - 1] += 1;
+        }
+    }
+    let mean = |i: usize| sum[i] / n[i].max(1) as f64;
+    assert!(
+        mean(0) > mean(1),
+        "novices should over-reach: complexity {:.2} vs {:.2}",
+        mean(0),
+        mean(1)
+    );
+}
+
+#[test]
+fn beer_pipeline_finds_abv_trend_and_style_split() {
+    let data = beer::generate(&BeerConfig::test_scale(17)).expect("generation");
+    let result = train(
+        &data.dataset,
+        &TrainConfig::new(beer::BEER_LEVELS).with_min_init_actions(50),
+    )
+    .expect("training");
+
+    // Fig. 6: ABV increases with skill.
+    let abv = level_means(&result.model, beer::features::ABV).expect("means");
+    assert!(
+        abv.last().unwrap() > abv.first().unwrap(),
+        "ABV should increase with skill: {abv:?}"
+    );
+
+    // Table III: novice styles have a lower mean tier than expert styles.
+    let novice = top_unskilled(&result.model, beer::features::STYLE, 5).expect("styles");
+    let expert = top_skilled(&result.model, beer::features::STYLE, 5).expect("styles");
+    let mean_tier = |entries: &[upskill_core::analysis::DominanceEntry]| -> f64 {
+        entries
+            .iter()
+            .map(|e| data.style_tiers[e.value as usize] as f64)
+            .sum::<f64>()
+            / entries.len() as f64
+    };
+    assert!(
+        mean_tier(&expert) > mean_tier(&novice),
+        "expert styles should be higher-tier ({:.2} vs {:.2})",
+        mean_tier(&expert),
+        mean_tier(&novice)
+    );
+}
+
+#[test]
+fn film_pipeline_reproduces_lastness_and_its_fix() {
+    let mut cfg = FilmConfig::test_scale(19);
+
+    // Without the fix: the top movies at the highest level are recent.
+    cfg.apply_lastness_fix = false;
+    let raw = film::generate(&cfg).expect("generation");
+    let max_len = raw.dataset.sequences().iter().map(|s| s.len()).max().unwrap_or(1);
+    let train_cfg =
+        TrainConfig::new(film::FILM_LEVELS).with_min_init_actions(50.min(max_len));
+    let raw_result = train(&raw.dataset, &train_cfg).expect("training");
+    let mean_year = |data: &film::FilmData,
+                     model: &upskill_core::SkillModel,
+                     level: u8| {
+        let top = upskill_core::predict::top_items_for_level(
+            model,
+            film::features::ID,
+            level,
+            10,
+        )
+        .expect("top items");
+        top.iter().map(|&(i, _)| data.release_years[i as usize] as f64).sum::<f64>()
+            / top.len() as f64
+    };
+    let raw_gap = mean_year(&raw, &raw_result.model, 5) - mean_year(&raw, &raw_result.model, 1);
+    assert!(
+        raw_gap > 2.0,
+        "without the fix, high-skill movies should skew recent (gap {raw_gap:.1})"
+    );
+
+    // With the fix, the recency skew collapses.
+    cfg.apply_lastness_fix = true;
+    let fixed = film::generate(&cfg).expect("generation");
+    let max_len_fixed =
+        fixed.dataset.sequences().iter().map(|s| s.len()).max().unwrap_or(1);
+    let fixed_result = train(
+        &fixed.dataset,
+        &TrainConfig::new(film::FILM_LEVELS).with_min_init_actions(50.min(max_len_fixed)),
+    )
+    .expect("training");
+    let fixed_gap =
+        mean_year(&fixed, &fixed_result.model, 5) - mean_year(&fixed, &fixed_result.model, 1);
+    assert!(
+        fixed_gap < raw_gap,
+        "the preprocessing should reduce the recency skew ({fixed_gap:.1} vs {raw_gap:.1})"
+    );
+}
+
+#[test]
+fn filtering_respects_paper_thresholds() {
+    // The beer builder's support filter guarantees every surviving user
+    // has at least the configured number of unique beers.
+    let cfg = BeerConfig::test_scale(23);
+    let data = beer::generate(&cfg).expect("generation");
+    for seq in data.dataset.sequences() {
+        let unique: std::collections::HashSet<u32> =
+            seq.actions().iter().map(|a| a.item).collect();
+        assert!(unique.len() >= cfg.support.min_unique_items_per_user);
+    }
+    let support = data.dataset.item_support();
+    assert!(support.iter().all(|&s| s >= 1));
+}

@@ -1,0 +1,170 @@
+//! End-to-end integration test on the synthetic benchmark: generation →
+//! training → skill recovery → difficulty estimation → serialization.
+
+use upskill_core::baselines::{to_id_dataset, uniform_baseline};
+use upskill_core::difficulty::{
+    assignment_difficulty_all, generation_difficulty_all, SkillPrior,
+};
+use upskill_core::train::{train, TrainConfig};
+use upskill_core::SkillModel;
+use upskill_datasets::synthetic::{generate, SyntheticConfig};
+use upskill_eval::{pearson, rmse};
+
+fn small_config(seed: u64) -> SyntheticConfig {
+    SyntheticConfig {
+        n_users: 150,
+        n_items: 500,
+        n_levels: 5,
+        mean_sequence_len: 40.0,
+        p_at_level: 0.5,
+        p_advance: 0.1,
+        n_categories: 10,
+        seed,
+    }
+}
+
+#[test]
+fn multifaceted_recovers_skill_better_than_baselines() {
+    let data = generate(&small_config(1)).expect("generation");
+    let truth = data.flat_true_skills();
+    let cfg = TrainConfig::new(5).with_min_init_actions(40);
+
+    // Uniform baseline.
+    let (uniform_assign, _) = uniform_baseline(&data.dataset, 5, 0.01).expect("uniform");
+    let uniform_pred: Vec<f64> = uniform_assign
+        .per_user
+        .iter()
+        .flat_map(|s| s.iter().map(|&x| x as f64))
+        .collect();
+
+    // ID baseline.
+    let id_view = to_id_dataset(&data.dataset).expect("projection");
+    let id_result = train(&id_view, &cfg).expect("ID training");
+    let id_pred: Vec<f64> = id_result
+        .assignments
+        .per_user
+        .iter()
+        .flat_map(|s| s.iter().map(|&x| x as f64))
+        .collect();
+
+    // Multi-faceted.
+    let mf_result = train(&data.dataset, &cfg).expect("training");
+    let mf_pred: Vec<f64> = mf_result
+        .assignments
+        .per_user
+        .iter()
+        .flat_map(|s| s.iter().map(|&x| x as f64))
+        .collect();
+
+    let r_uniform = pearson(&uniform_pred, &truth).expect("r");
+    let r_id = pearson(&id_pred, &truth).expect("r");
+    let r_mf = pearson(&mf_pred, &truth).expect("r");
+    // Table VI ordering.
+    assert!(
+        r_uniform < r_id && r_id < r_mf,
+        "expected Uniform < ID < Multi-faceted, got {r_uniform:.3}, {r_id:.3}, {r_mf:.3}"
+    );
+    assert!(r_mf > 0.6, "multi-faceted recovery too weak: {r_mf:.3}");
+
+    let rmse_mf = rmse(&mf_pred, &truth).expect("rmse");
+    let rmse_uniform = rmse(&uniform_pred, &truth).expect("rmse");
+    assert!(rmse_mf < rmse_uniform);
+}
+
+#[test]
+fn difficulty_estimators_track_ground_truth() {
+    let data = generate(&small_config(2)).expect("generation");
+    let cfg = TrainConfig::new(5).with_min_init_actions(40);
+    let result = train(&data.dataset, &cfg).expect("training");
+
+    let assign = assignment_difficulty_all(&data.dataset, &result.assignments)
+        .expect("assignment difficulty");
+    let gen_emp = generation_difficulty_all(
+        &result.model,
+        &data.dataset,
+        SkillPrior::Empirical,
+        Some(&result.assignments),
+    )
+    .expect("generation difficulty");
+
+    // All generation estimates within [1, S].
+    assert!(gen_emp.iter().all(|&d| (1.0..=5.0).contains(&d)));
+
+    // Both estimators correlate with the truth; generation at least as well.
+    let assign_flat: Vec<f64> = assign.iter().map(|d| d.unwrap_or(3.0)).collect();
+    let r_assign = pearson(&assign_flat, &data.true_difficulty).expect("r");
+    let r_gen = pearson(&gen_emp, &data.true_difficulty).expect("r");
+    assert!(r_assign > 0.5, "assignment difficulty too weak: {r_assign:.3}");
+    assert!(r_gen > 0.7, "generation difficulty too weak: {r_gen:.3}");
+
+    // Table VII: generation-based (empirical) beats assignment-based RMSE.
+    let rmse_assign = rmse(&assign_flat, &data.true_difficulty).expect("rmse");
+    let rmse_gen = rmse(&gen_emp, &data.true_difficulty).expect("rmse");
+    assert!(
+        rmse_gen < rmse_assign,
+        "expected generation RMSE {rmse_gen:.3} < assignment RMSE {rmse_assign:.3}"
+    );
+}
+
+#[test]
+fn trained_model_serde_roundtrip_preserves_likelihoods() {
+    let data = generate(&small_config(3)).expect("generation");
+    let cfg = TrainConfig::new(5).with_min_init_actions(40);
+    let result = train(&data.dataset, &cfg).expect("training");
+
+    let json = serde_json::to_string(&result.model).expect("serialize");
+    let restored: SkillModel = serde_json::from_str(&json).expect("deserialize");
+    for item in (0..data.dataset.n_items() as u32).step_by(17) {
+        let features = data.dataset.item_features(item);
+        for s in 1..=5u8 {
+            let a = result.model.item_log_likelihood(features, s);
+            let b = restored.item_log_likelihood(features, s);
+            assert!((a - b).abs() < 1e-12 || (a.is_infinite() && b.is_infinite()));
+        }
+    }
+}
+
+#[test]
+fn dense_data_shrinks_the_multifaceted_advantage() {
+    // Sparse: 500 items for ~6000 actions; dense: 100 items.
+    let sparse = generate(&small_config(4)).expect("generation");
+    let dense = generate(&SyntheticConfig { n_items: 100, ..small_config(4) })
+        .expect("generation");
+    let cfg = TrainConfig::new(5).with_min_init_actions(40);
+
+    let gap = |data: &upskill_datasets::synthetic::SyntheticData| -> f64 {
+        let truth = data.flat_true_skills();
+        let id_view = to_id_dataset(&data.dataset).expect("projection");
+        let id_r = train(&id_view, &cfg).expect("train");
+        let mf_r = train(&data.dataset, &cfg).expect("train");
+        let flat = |a: &upskill_core::SkillAssignments| -> Vec<f64> {
+            a.per_user.iter().flat_map(|s| s.iter().map(|&x| x as f64)).collect()
+        };
+        pearson(&flat(&mf_r.assignments), &truth).expect("r")
+            - pearson(&flat(&id_r.assignments), &truth).expect("r")
+    };
+    let sparse_gap = gap(&sparse);
+    let dense_gap = gap(&dense);
+    // Tables VI vs VIII: the advantage shrinks when items are dense.
+    assert!(
+        sparse_gap > dense_gap,
+        "sparse gap {sparse_gap:.3} should exceed dense gap {dense_gap:.3}"
+    );
+}
+
+#[test]
+fn training_determinism_end_to_end() {
+    let a = {
+        let data = generate(&small_config(5)).expect("generation");
+        train(&data.dataset, &TrainConfig::new(5).with_min_init_actions(40))
+            .expect("training")
+            .log_likelihood
+    };
+    let b = {
+        let data = generate(&small_config(5)).expect("generation");
+        train(&data.dataset, &TrainConfig::new(5).with_min_init_actions(40))
+            .expect("training")
+            .log_likelihood
+    };
+    assert_eq!(a, b);
+}

@@ -1,0 +1,158 @@
+//! Integration tests for the downstream tasks: item prediction (Tables
+//! X–XI protocol) and FFM rating prediction with skill/difficulty features
+//! (Table XII protocol).
+
+use upskill_core::baselines::uniform_baseline;
+use upskill_core::difficulty::{generation_difficulty_all, SkillPrior};
+use upskill_core::predict::{
+    evaluate_item_prediction, holdout_split, HoldoutPosition, PredictionSplit,
+};
+use upskill_core::train::{train, TrainConfig};
+use upskill_datasets::beer::{generate as generate_beer, BeerConfig, BEER_LEVELS};
+use upskill_datasets::cooking::{generate as generate_cooking, CookingConfig};
+use upskill_eval::ranking::random_reciprocal_rank;
+use upskill_eval::{mean_acc_at_k, mean_reciprocal_rank};
+use upskill_ffm::{FeatureLayout, FfmConfig, FfmModel, Instance, InstanceBuilder};
+
+#[test]
+fn item_prediction_beats_random_guessing() {
+    let data = generate_cooking(&CookingConfig::test_scale(31)).expect("generation");
+    let split =
+        holdout_split(&data.dataset, HoldoutPosition::Random { seed: 3 }).expect("split");
+    let result = train(
+        &split.train,
+        &TrainConfig::new(5).with_min_init_actions(50),
+    )
+    .expect("training");
+    let outcomes =
+        evaluate_item_prediction(&result.model, &split, &result.assignments, 0)
+            .expect("evaluation");
+    assert!(!outcomes.is_empty());
+    let ranks: Vec<usize> = outcomes.iter().map(|o| o.rank).collect();
+    let rr = mean_reciprocal_rank(&ranks).expect("rr");
+    let random_rr = random_reciprocal_rank(split.train.n_items());
+    assert!(
+        rr > random_rr * 1.5,
+        "model RR {rr:.4} should clearly beat random {random_rr:.4}"
+    );
+    // Ranks are valid 1-based positions.
+    assert!(ranks.iter().all(|&r| r >= 1 && r <= split.train.n_items()));
+}
+
+#[test]
+fn multifaceted_beats_uniform_on_item_prediction() {
+    let data = generate_cooking(&CookingConfig::test_scale(37)).expect("generation");
+    let split = holdout_split(&data.dataset, HoldoutPosition::Last).expect("split");
+
+    let mf = train(&split.train, &TrainConfig::new(5).with_min_init_actions(50))
+        .expect("training");
+    let mf_ranks: Vec<usize> =
+        evaluate_item_prediction(&mf.model, &split, &mf.assignments, 0)
+            .expect("evaluation")
+            .iter()
+            .map(|o| o.rank)
+            .collect();
+
+    let (uni_assign, uni_model) =
+        uniform_baseline(&split.train, 5, 0.01).expect("uniform");
+    let uni_split = PredictionSplit { train: split.train.clone(), test: split.test.clone() };
+    let uni_ranks: Vec<usize> =
+        evaluate_item_prediction(&uni_model, &uni_split, &uni_assign, 0)
+            .expect("evaluation")
+            .iter()
+            .map(|o| o.rank)
+            .collect();
+
+    let mf_rr = mean_reciprocal_rank(&mf_ranks).expect("rr");
+    let uni_rr = mean_reciprocal_rank(&uni_ranks).expect("rr");
+    assert!(
+        mf_rr > uni_rr,
+        "Multi-faceted RR {mf_rr:.4} should beat Uniform RR {uni_rr:.4}"
+    );
+    let mf_acc = mean_acc_at_k(&mf_ranks, 10).expect("acc");
+    assert!((0.0..=1.0).contains(&mf_acc));
+}
+
+/// Builds FFM instances for one layout from the full beer dataset.
+fn beer_instances(
+    data: &upskill_datasets::beer::BeerData,
+    layout: FeatureLayout,
+) -> (InstanceBuilder, Vec<Instance>, Vec<Instance>, Vec<Instance>) {
+    let skill = train(
+        &data.dataset,
+        &TrainConfig::new(BEER_LEVELS).with_min_init_actions(50),
+    )
+    .expect("skill training");
+    let difficulty = generation_difficulty_all(
+        &skill.model,
+        &data.dataset,
+        SkillPrior::Empirical,
+        Some(&skill.assignments),
+    )
+    .expect("difficulty");
+    let builder = InstanceBuilder::new(
+        layout,
+        data.dataset.n_users(),
+        data.dataset.n_items(),
+        BEER_LEVELS,
+    )
+    .expect("builder");
+    let mut train_set = Vec::new();
+    let mut valid = Vec::new();
+    let mut test = Vec::new();
+    let mut k = 0usize;
+    for (u, seq) in data.dataset.sequences().iter().enumerate() {
+        let levels = &skill.assignments.per_user[u];
+        for ((action, &s), &rating) in
+            seq.actions().iter().zip(levels).zip(&data.ratings[u])
+        {
+            let inst = builder
+                .instance(u, action.item as usize, s, difficulty[action.item as usize], rating)
+                .expect("instance");
+            match k % 10 {
+                8 => valid.push(inst),
+                9 => test.push(inst),
+                _ => train_set.push(inst),
+            }
+            k += 1;
+        }
+    }
+    (builder, train_set, valid, test)
+}
+
+#[test]
+fn skill_and_difficulty_features_help_rating_prediction() {
+    let data = generate_beer(&BeerConfig::test_scale(41)).expect("generation");
+    let rmse_for = |layout: FeatureLayout| -> f64 {
+        let (builder, train_set, valid, test) = beer_instances(&data, layout);
+        let cfg = FfmConfig {
+            epochs: 15,
+            seed: 2,
+            ..FfmConfig::new(builder.n_features(), builder.n_fields())
+        };
+        FfmModel::train(cfg, &train_set, &valid).expect("ffm").rmse(&test)
+    };
+    let ui = rmse_for(FeatureLayout::ui());
+    let uisd = rmse_for(FeatureLayout::uisd());
+    // Table XII shape: the full feature set should not be worse.
+    assert!(
+        uisd <= ui + 0.01,
+        "U+I+S+D RMSE {uisd:.4} should be <= U+I RMSE {ui:.4}"
+    );
+    assert!(ui.is_finite() && uisd.is_finite());
+}
+
+#[test]
+fn holdout_protocols_are_consistent() {
+    let data = generate_beer(&BeerConfig::test_scale(43)).expect("generation");
+    let last = holdout_split(&data.dataset, HoldoutPosition::Last).expect("split");
+    // Every held-out action in the last setting is the chronologically
+    // final action of its user.
+    for &(u, action) in &last.test {
+        let seq = &last.train.sequences()[u];
+        assert!(seq.actions().iter().all(|a| a.time <= action.time));
+    }
+    // Action counts add back up.
+    let total: usize = last.train.n_actions() + last.test.len();
+    assert_eq!(total, data.dataset.n_actions());
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the extension modules: the forgetting DP, the
+//! online tracker, and the upskilling recommender.
+
+use proptest::prelude::*;
+use upskill_core::assign::assign_sequence;
+use upskill_core::dist::{Categorical, FeatureDistribution};
+use upskill_core::feature::{FeatureKind, FeatureSchema, FeatureValue};
+use upskill_core::forgetting::{assign_sequence_with_forgetting, ForgettingConfig};
+use upskill_core::model::SkillModel;
+use upskill_core::online::OnlineTracker;
+use upskill_core::recommend::{recommend_for_level, RecommendConfig};
+use upskill_core::types::{Action, ActionSequence, Dataset};
+
+fn model_from_weights(weights: &[Vec<f64>]) -> SkillModel {
+    let n_levels = weights.len();
+    let cardinality = weights[0].len() as u32;
+    let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality }]).unwrap();
+    let cells = weights
+        .iter()
+        .map(|w| {
+            let total: f64 = w.iter().sum();
+            let probs: Vec<f64> = w.iter().map(|x| x / total).collect();
+            vec![FeatureDistribution::Categorical(Categorical::from_probs(probs).unwrap())]
+        })
+        .collect();
+    SkillModel::new(schema, n_levels, cells).unwrap()
+}
+
+fn dataset_with_times(cardinality: u32, actions: &[(u32, i64)]) -> (Dataset, ActionSequence) {
+    let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality }]).unwrap();
+    let items: Vec<Vec<FeatureValue>> =
+        (0..cardinality).map(|c| vec![FeatureValue::Categorical(c)]).collect();
+    let mut sorted = actions.to_vec();
+    sorted.sort_by_key(|&(_, t)| t);
+    let acts: Vec<Action> = sorted.iter().map(|&(c, t)| Action::new(t, 0, c)).collect();
+    let seq = ActionSequence::new(0, acts).unwrap();
+    let ds = Dataset::new(schema, items, vec![seq.clone()]).unwrap();
+    (ds, seq)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn forgetting_dp_levels_valid_and_steps_bounded(
+        weights in proptest::collection::vec(
+            proptest::collection::vec(0.05f64..5.0, 4), 2..5),
+        actions in proptest::collection::vec((0u32..4, 0i64..10_000), 1..20),
+        halflife in 1.0f64..5_000.0,
+        max_decay in 0.0f64..0.9,
+    ) {
+        let model = model_from_weights(&weights);
+        let (ds, seq) = dataset_with_times(4, &actions);
+        let cfg = ForgettingConfig { halflife, max_decay, advance_prob: 0.3 };
+        let a = assign_sequence_with_forgetting(&model, &cfg, &ds, &seq).unwrap();
+        prop_assert_eq!(a.levels.len(), seq.len());
+        let s_max = weights.len() as u8;
+        prop_assert!(a.levels.iter().all(|&s| 1 <= s && s <= s_max));
+        // Steps never exceed ±1 per transition.
+        let steps_ok = a
+            .levels
+            .windows(2)
+            .all(|w| (w[1] as i16 - w[0] as i16).abs() <= 1);
+        prop_assert!(steps_ok);
+        prop_assert!(a.log_likelihood.is_finite());
+    }
+
+    #[test]
+    fn forgetting_with_zero_decay_is_monotone(
+        weights in proptest::collection::vec(
+            proptest::collection::vec(0.05f64..5.0, 3), 2..4),
+        actions in proptest::collection::vec((0u32..3, 0i64..100_000), 1..15),
+    ) {
+        let model = model_from_weights(&weights);
+        let (ds, seq) = dataset_with_times(3, &actions);
+        let cfg = ForgettingConfig { halflife: 10.0, max_decay: 0.0, advance_prob: 0.4 };
+        let a = assign_sequence_with_forgetting(&model, &cfg, &ds, &seq).unwrap();
+        prop_assert!(a.levels.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn online_tracker_best_score_matches_batch_dp(
+        weights in proptest::collection::vec(
+            proptest::collection::vec(0.05f64..5.0, 3), 2..5),
+        cats in proptest::collection::vec(0u32..3, 1..15),
+    ) {
+        let model = model_from_weights(&weights);
+        let actions: Vec<(u32, i64)> =
+            cats.iter().enumerate().map(|(t, &c)| (c, t as i64)).collect();
+        let (ds, seq) = dataset_with_times(3, &actions);
+        let batch = assign_sequence(&model, &ds, &seq).unwrap();
+        let mut tracker = OnlineTracker::new(weights.len()).unwrap();
+        for &c in &cats {
+            tracker.observe(&model, &[FeatureValue::Categorical(c)]).unwrap();
+        }
+        let online_best = tracker
+            .level_scores()
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((online_best - batch.log_likelihood).abs() < 1e-9);
+        // Weights normalize.
+        let w = tracker.level_weights();
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recommendations_respect_band_order_and_k(
+        weights in proptest::collection::vec(
+            proptest::collection::vec(0.05f64..5.0, 5), 2..5),
+        difficulties in proptest::collection::vec(1.0f64..5.0, 5..40),
+        level_pick in 0usize..4,
+        k in 1usize..8,
+        interest in 0.0f64..1.0,
+    ) {
+        let n_levels = weights.len();
+        let level = (level_pick % n_levels) as u8 + 1;
+        let model = model_from_weights(&weights);
+        // Dataset items cycle through the 5 categories.
+        let schema =
+            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 5 }]).unwrap();
+        let items: Vec<Vec<FeatureValue>> = (0..difficulties.len() as u32)
+            .map(|i| vec![FeatureValue::Categorical(i % 5)])
+            .collect();
+        let seq = ActionSequence::new(0, vec![Action::new(0, 0, 0)]).unwrap();
+        let ds = Dataset::new(schema, items, vec![seq]).unwrap();
+        let cfg = RecommendConfig {
+            target_offset: 0.3,
+            lower_slack: 0.4,
+            upper_slack: 0.9,
+            interest_weight: interest,
+            k,
+        };
+        let recs =
+            recommend_for_level(&model, &ds, &difficulties, level, &|_| false, &cfg)
+                .unwrap();
+        prop_assert!(recs.len() <= k);
+        let lo = level as f64 - cfg.lower_slack;
+        let hi = level as f64 + cfg.upper_slack;
+        for r in &recs {
+            prop_assert!(r.difficulty >= lo - 1e-9 && r.difficulty <= hi + 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&r.difficulty_fit));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&r.interest));
+        }
+        prop_assert!(recs.windows(2).all(|w| w[0].score >= w[1].score - 1e-12));
+        // Exclusion of everything yields nothing.
+        let none =
+            recommend_for_level(&model, &ds, &difficulties, level, &|_| true, &cfg)
+                .unwrap();
+        prop_assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Statistical validation of the dataset simulators' samplers using the
+//! goodness-of-fit machinery: the gamma/Poisson/categorical samplers must
+//! actually produce the distributions the generators configure, and the
+//! fitted model distributions must pass a GOF test against fresh samples.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use upskill_core::dist::{special::ln_gamma, Gamma, Poisson};
+use upskill_datasets::sampling::{sample_categorical, sample_gamma, sample_poisson};
+use upskill_eval::{chi_square_gof, ks_statistic};
+
+#[test]
+fn categorical_sampler_passes_chi_square() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let weights = [2.0, 5.0, 1.0, 2.0];
+    let probs: Vec<f64> = weights.iter().map(|w| w / 10.0).collect();
+    let mut counts = [0u64; 4];
+    for _ in 0..20_000 {
+        counts[sample_categorical(&mut rng, &weights)] += 1;
+    }
+    let r = chi_square_gof(&counts, &probs).expect("test");
+    assert!(r.p_value > 0.001, "sampler failed GOF: {r:?}");
+}
+
+#[test]
+fn poisson_sampler_matches_poisson_pmf() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let mean = 6.0;
+    let dist = Poisson::new(mean).expect("poisson");
+    let max_k = 25usize;
+    let mut counts = vec![0u64; max_k + 1];
+    for _ in 0..30_000 {
+        let k = sample_poisson(&mut rng, mean) as usize;
+        counts[k.min(max_k)] += 1;
+    }
+    // Expected probabilities with the tail folded into the last bucket.
+    let mut probs: Vec<f64> = (0..max_k).map(|k| dist.pmf(k as u64)).collect();
+    let tail = 1.0 - probs.iter().sum::<f64>();
+    probs.push(tail.max(0.0));
+    let total: f64 = probs.iter().sum();
+    for p in probs.iter_mut() {
+        *p /= total;
+    }
+    let r = chi_square_gof(&counts, &probs).expect("test");
+    assert!(r.p_value > 0.001, "Poisson sampler failed GOF: {r:?}");
+}
+
+/// Regularized lower incomplete gamma via series/continued fraction —
+/// enough accuracy for a KS test CDF.
+fn gamma_cdf(shape: f64, scale: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let a = shape;
+    let x = x / scale;
+    if x < a + 1.0 {
+        // Series expansion.
+        let mut sum = 1.0 / a;
+        let mut term = sum;
+        for n in 1..500 {
+            term *= x / (a + n as f64);
+            sum += term;
+            if term.abs() < sum.abs() * 1e-12 {
+                break;
+            }
+        }
+        (sum * (-x + a * x.ln() - ln_gamma(a)).exp()).clamp(0.0, 1.0)
+    } else {
+        // Continued fraction for the upper tail (Lentz).
+        let mut b = x + 1.0 - a;
+        let mut c = 1e300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-12 {
+                break;
+            }
+        }
+        let upper = (-x + a * x.ln() - ln_gamma(a)).exp() * h;
+        (1.0 - upper).clamp(0.0, 1.0)
+    }
+}
+
+#[test]
+fn gamma_sampler_passes_ks_test() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let (shape, scale) = (3.5, 1.8);
+    let samples: Vec<f64> =
+        (0..4_000).map(|_| sample_gamma(&mut rng, shape, scale)).collect();
+    let (d, p) = ks_statistic(&samples, |x| gamma_cdf(shape, scale, x)).expect("ks");
+    assert!(p > 0.001, "gamma sampler failed KS: D = {d}, p = {p}");
+}
+
+#[test]
+fn fitted_gamma_passes_ks_against_fresh_samples() {
+    // Fit on one sample, test on an independent one — validates both the
+    // sampler and the MLE jointly.
+    let mut rng = StdRng::seed_from_u64(104);
+    let (shape, scale) = (2.2, 0.9);
+    let train: Vec<f64> =
+        (0..8_000).map(|_| sample_gamma(&mut rng, shape, scale)).collect();
+    let fitted = Gamma::fit(&train).expect("fit");
+    let test: Vec<f64> =
+        (0..3_000).map(|_| sample_gamma(&mut rng, shape, scale)).collect();
+    let (d, p) = ks_statistic(&test, |x| gamma_cdf(fitted.shape(), fitted.scale(), x))
+        .expect("ks");
+    assert!(p > 0.001, "fitted gamma failed KS: D = {d}, p = {p}");
+}
+
+#[test]
+fn gamma_cdf_reference_values() {
+    // Exponential special case: CDF(x) = 1 − e^{−x}.
+    for &x in &[0.5f64, 1.0, 3.0] {
+        let want = 1.0 - (-x).exp();
+        let got = gamma_cdf(1.0, 1.0, x);
+        assert!((got - want).abs() < 1e-9, "x={x}: {got} vs {want}");
+    }
+    // Erlang(2): CDF(x) = 1 − e^{−x}(1 + x).
+    for &x in &[0.5f64, 2.0, 6.0] {
+        let want = 1.0 - (-x).exp() * (1.0 + x);
+        let got = gamma_cdf(2.0, 1.0, x);
+        assert!((got - want).abs() < 1e-9, "x={x}: {got} vs {want}");
+    }
+}
