@@ -3,7 +3,8 @@
 //! number of skill levels, and measures the user-parallel variant.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use upskill_core::assign::{assign_all, assign_sequence};
+use upskill_core::assign::{assign_all, assign_all_direct, assign_all_with_table, assign_sequence};
+use upskill_core::emission::EmissionTable;
 use upskill_core::init::initialize_model;
 use upskill_core::parallel::{assign_all_parallel, ParallelConfig};
 use upskill_datasets::synthetic::{generate, SyntheticConfig};
@@ -57,7 +58,11 @@ fn bench_parallel_assignment(c: &mut Criterion) {
     let data = generate(&config(100, 50.0, 5)).expect("generation");
     let model = initialize_model(&data.dataset, 5, 30, 0.01).expect("init");
     for threads in [1usize, 2, 4] {
-        let pc = ParallelConfig { users: true, skills: false, features: false, threads };
+        let pc = ParallelConfig {
+            users: true,
+            threads,
+            ..ParallelConfig::sequential()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             b.iter(|| assign_all_parallel(&model, &data.dataset, &pc).expect("assignment"))
         });
@@ -65,9 +70,36 @@ fn bench_parallel_assignment(c: &mut Criterion) {
     group.finish();
 }
 
+/// Table-backed vs direct assignment at the acceptance workload: 200 items,
+/// 500 users × 100 mean actions, S=5, mixed feature kinds. The table turns
+/// O(total_actions) emission evaluations into O(n_items) per pass; with
+/// ~50k actions over 200 items the direct path re-evaluates each item's
+/// distributions ~250× per sweep.
+fn bench_emission_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assign_all/emission");
+    let cfg = SyntheticConfig {
+        n_items: 200,
+        ..config(500, 100.0, 5)
+    };
+    let data = generate(&cfg).expect("generation");
+    let model = initialize_model(&data.dataset, 5, 30, 0.01).expect("init");
+    group.sample_size(10);
+    group.bench_function("direct", |b| {
+        b.iter(|| assign_all_direct(&model, &data.dataset).expect("assignment"))
+    });
+    group.bench_function("table", |b| {
+        b.iter(|| {
+            let table = EmissionTable::build(&model, &data.dataset);
+            assign_all_with_table(&table, &data.dataset).expect("assignment")
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_sequence_length, bench_skill_levels, bench_parallel_assignment
+    targets = bench_sequence_length, bench_skill_levels, bench_parallel_assignment,
+        bench_emission_table
 }
 criterion_main!(benches);

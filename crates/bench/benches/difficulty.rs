@@ -9,7 +9,10 @@ use upskill_core::difficulty::{
 use upskill_core::train::{train, TrainConfig};
 use upskill_datasets::synthetic::{generate, SyntheticConfig};
 
-fn trained() -> (upskill_datasets::synthetic::SyntheticData, upskill_core::TrainResult) {
+fn trained() -> (
+    upskill_datasets::synthetic::SyntheticData,
+    upskill_core::TrainResult,
+) {
     let data = generate(&SyntheticConfig {
         n_users: 100,
         n_items: 1_000,
@@ -21,8 +24,11 @@ fn trained() -> (upskill_datasets::synthetic::SyntheticData, upskill_core::Train
         seed: 6,
     })
     .expect("generation");
-    let result = train(&data.dataset, &TrainConfig::new(5).with_min_init_actions(30))
-        .expect("training");
+    let result = train(
+        &data.dataset,
+        &TrainConfig::new(5).with_min_init_actions(30),
+    )
+    .expect("training");
     (data, result)
 }
 

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use upskill_core::dist::{Categorical, Gamma, LogNormal, Poisson};
 
 fn samples(n: usize) -> Vec<f64> {
-    (0..n).map(|i| 0.1 + (i as f64 * 0.7919).sin().abs() * 9.0 + (i % 7) as f64).collect()
+    (0..n)
+        .map(|i| 0.1 + (i as f64 * 0.7919).sin().abs() * 9.0 + (i % 7) as f64)
+        .collect()
 }
 
 fn bench_scoring(c: &mut Criterion) {
@@ -38,7 +40,9 @@ fn bench_fitting(c: &mut Criterion) {
     group.bench_function("categorical_5000", |b| {
         b.iter(|| Categorical::fit_from_counts(&counts, 0.01).expect("fit"))
     });
-    group.bench_function("poisson_5000", |b| b.iter(|| Poisson::fit(&ks).expect("fit")));
+    group.bench_function("poisson_5000", |b| {
+        b.iter(|| Poisson::fit(&ks).expect("fit"))
+    });
     group.bench_function("gamma_newton_5000", |b| {
         b.iter(|| Gamma::fit(&xs).expect("fit"))
     });

@@ -8,7 +8,9 @@ use upskill_eval::{pearson, rmse, spearman, wilcoxon_signed_rank};
 fn series(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
     let mut state = seed;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) % 1000) as f64 / 100.0
     };
     let x: Vec<f64> = (0..n).map(|_| next()).collect();
@@ -20,7 +22,9 @@ fn bench_correlations(c: &mut Criterion) {
     let mut group = c.benchmark_group("metrics/correlation");
     let (x, y) = series(10_000, 1);
     group.bench_function("pearson_10k", |b| b.iter(|| pearson(&x, &y).expect("r")));
-    group.bench_function("spearman_10k", |b| b.iter(|| spearman(&x, &y).expect("rho")));
+    group.bench_function("spearman_10k", |b| {
+        b.iter(|| spearman(&x, &y).expect("rho"))
+    });
     group.bench_function("kendall_fast_10k", |b| {
         b.iter(|| kendall_tau(&x, &y).expect("tau"))
     });

@@ -30,8 +30,12 @@ fn bench_id_vs_multifaceted(c: &mut Criterion) {
     let mut group = c.benchmark_group("train/model");
     let data = data(60);
     let id_view = to_id_dataset(&data.dataset).expect("projection");
-    let cfg = TrainConfig::new(5).with_min_init_actions(30).with_max_iterations(10);
-    group.bench_function("ID", |b| b.iter(|| train(&id_view, &cfg).expect("training")));
+    let cfg = TrainConfig::new(5)
+        .with_min_init_actions(30)
+        .with_max_iterations(10);
+    group.bench_function("ID", |b| {
+        b.iter(|| train(&id_view, &cfg).expect("training"))
+    });
     group.bench_function("Multi-faceted", |b| {
         b.iter(|| train(&data.dataset, &cfg).expect("training"))
     });
@@ -41,10 +45,18 @@ fn bench_id_vs_multifaceted(c: &mut Criterion) {
 fn bench_parallel_flags(c: &mut Criterion) {
     let mut group = c.benchmark_group("train/parallel");
     let data = data(60);
-    let cfg = TrainConfig::new(5).with_min_init_actions(30).with_max_iterations(5);
+    let cfg = TrainConfig::new(5)
+        .with_min_init_actions(30)
+        .with_max_iterations(5);
     for (label, pc) in [
         ("sequential", ParallelConfig::sequential()),
-        ("users", ParallelConfig { users: true, ..ParallelConfig::sequential() }),
+        (
+            "users",
+            ParallelConfig {
+                users: true,
+                ..ParallelConfig::sequential()
+            },
+        ),
         ("all@4", ParallelConfig::all(4)),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &pc, |b, pc| {
@@ -58,14 +70,15 @@ fn bench_hard_vs_em(c: &mut Criterion) {
     let mut group = c.benchmark_group("train/hard_vs_em");
     group.sample_size(10);
     let data = data(30);
-    let cfg = TrainConfig::new(5).with_min_init_actions(30).with_max_iterations(5);
+    let cfg = TrainConfig::new(5)
+        .with_min_init_actions(30)
+        .with_max_iterations(5);
     group.bench_function("hard", |b| {
         b.iter(|| train(&data.dataset, &cfg).expect("training"))
     });
     group.bench_function("em", |b| {
         b.iter(|| {
-            let initial =
-                initialize_model(&data.dataset, 5, 30, 0.01).expect("initialization");
+            let initial = initialize_model(&data.dataset, 5, 30, 0.01).expect("initialization");
             let transitions = TransitionModel::uninformative(5).expect("transitions");
             train_em(&data.dataset, initial, &transitions, 0.01, 5, 1e-8).expect("EM")
         })

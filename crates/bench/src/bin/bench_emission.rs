@@ -1,0 +1,132 @@
+//! Emission-table microbenchmark — wall time of one full assignment sweep
+//! (the dominant cost of each training iteration) with and without the
+//! shared [`EmissionTable`], at the acceptance workload: 200 items,
+//! 500 users × 100 mean actions, S=5, mixed feature kinds (ID +
+//! categorical + gamma + count).
+//!
+//! The direct path evaluates every item's emission distributions once per
+//! *action* (~50k evaluations per sweep); the table path evaluates them
+//! once per *item* (200 evaluations) and the DP reads cached rows. The
+//! report records the per-sweep times, the speedup, and a result-equality
+//! check (the two paths must agree bitwise).
+
+use serde::Serialize;
+use std::time::Instant;
+use upskill_bench::{banner, write_report, Scale, TextTable};
+use upskill_core::assign::{assign_all_direct, assign_all_with_table};
+use upskill_core::emission::EmissionTable;
+use upskill_core::init::initialize_model;
+use upskill_datasets::synthetic::{generate, SyntheticConfig};
+
+#[derive(Serialize)]
+struct Report {
+    scale: String,
+    n_users: usize,
+    n_items: usize,
+    n_levels: usize,
+    mean_sequence_len: f64,
+    n_actions: usize,
+    repeats: usize,
+    direct_seconds_median: f64,
+    table_seconds_median: f64,
+    table_build_seconds_median: f64,
+    speedup: f64,
+    results_identical: bool,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Emission table: assignment sweep, direct vs table-backed");
+
+    let (n_users, mean_len, repeats) = match scale {
+        Scale::Quick => (50, 30.0, 3),
+        _ => (500, 100.0, 5),
+    };
+    let cfg = SyntheticConfig {
+        n_users,
+        n_items: 200,
+        n_levels: 5,
+        mean_sequence_len: mean_len,
+        p_at_level: 0.5,
+        p_advance: 0.1,
+        n_categories: 10,
+        seed: 9,
+    };
+    let data = generate(&cfg).expect("generation");
+    let model = initialize_model(&data.dataset, 5, 30, 0.01).expect("init");
+    eprintln!(
+        "workload: {} users, {} items, {} actions, S=5",
+        data.dataset.n_users(),
+        data.dataset.n_items(),
+        data.dataset.n_actions()
+    );
+
+    // Warm-up plus result-equality check.
+    let direct_result = assign_all_direct(&model, &data.dataset).expect("direct");
+    let table = EmissionTable::build(&model, &data.dataset);
+    let table_result = assign_all_with_table(&table, &data.dataset).expect("table");
+    let identical = direct_result == table_result;
+
+    let mut direct_times = Vec::with_capacity(repeats);
+    let mut table_times = Vec::with_capacity(repeats);
+    let mut build_times = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        assign_all_direct(&model, &data.dataset).expect("direct");
+        direct_times.push(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        let table = EmissionTable::build(&model, &data.dataset);
+        build_times.push(t1.elapsed().as_secs_f64());
+        assign_all_with_table(&table, &data.dataset).expect("table");
+        table_times.push(t1.elapsed().as_secs_f64());
+    }
+    let direct_s = median(&mut direct_times);
+    let table_s = median(&mut table_times);
+    let build_s = median(&mut build_times);
+    let speedup = direct_s / table_s;
+
+    let mut out = TextTable::new(&["Path", "Per-sweep (s)"]);
+    out.row(vec![
+        "direct (per-action emissions)".into(),
+        format!("{direct_s:.4}"),
+    ]);
+    out.row(vec![
+        "table (build + cached rows)".into(),
+        format!("{table_s:.4}"),
+    ]);
+    out.row(vec![
+        "  of which table build".into(),
+        format!("{build_s:.4}"),
+    ]);
+    out.print();
+    println!("\nSpeedup: {speedup:.1}x (acceptance floor: 3x)");
+    println!("Results identical: {identical}");
+    if !identical {
+        eprintln!("ERROR: table-backed assignment diverged from direct evaluation");
+        std::process::exit(1);
+    }
+
+    write_report(
+        "BENCH_emission",
+        &Report {
+            scale: format!("{scale:?}"),
+            n_users: data.dataset.n_users(),
+            n_items: data.dataset.n_items(),
+            n_levels: 5,
+            mean_sequence_len: mean_len,
+            n_actions: data.dataset.n_actions(),
+            repeats,
+            direct_seconds_median: direct_s,
+            table_seconds_median: table_s,
+            table_build_seconds_median: build_s,
+            speedup,
+            results_identical: identical,
+        },
+    );
+}

@@ -35,13 +35,15 @@ fn main() {
     let truth = data.flat_true_skills();
 
     let mut rows = Vec::new();
-    let mut table =
-        TextTable::new(&["N", "#init users", "Pearson r", "note"]);
+    let mut table = TextTable::new(&["N", "#init users", "Pearson r", "note"]);
     for n in [1usize, 5, 10, 25, 40, 50, 60, 80, 200] {
-        let n_init =
-            data.dataset.sequences().iter().filter(|s| s.len() >= n).count();
-        let train_cfg =
-            TrainConfig::new(cfg.n_levels).with_min_init_actions(n);
+        let n_init = data
+            .dataset
+            .sequences()
+            .iter()
+            .filter(|s| s.len() >= n)
+            .count();
+        let train_cfg = TrainConfig::new(cfg.n_levels).with_min_init_actions(n);
         match train(&data.dataset, &train_cfg) {
             Ok(result) => {
                 let pred: Vec<f64> = result
@@ -65,7 +67,12 @@ fn main() {
                 });
             }
             Err(e) => {
-                table.row(vec![n.to_string(), n_init.to_string(), "-".into(), e.to_string()]);
+                table.row(vec![
+                    n.to_string(),
+                    n_init.to_string(),
+                    "-".into(),
+                    e.to_string(),
+                ]);
                 rows.push(Row {
                     min_init_actions: n,
                     pearson_r: None,
@@ -92,5 +99,11 @@ fn main() {
             - r_at(50)
             < 0.05
     );
-    write_report("ablation_init_threshold", &Report { scale: format!("{scale:?}"), rows });
+    write_report(
+        "ablation_init_threshold",
+        &Report {
+            scale: format!("{scale:?}"),
+            rows,
+        },
+    );
 }

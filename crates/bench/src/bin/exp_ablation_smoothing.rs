@@ -85,7 +85,10 @@ fn main() {
     table.print();
 
     let r_at = |l: f64| {
-        rows.iter().find(|r| r.lambda == l).and_then(|r| r.pearson_r).unwrap_or(f64::NAN)
+        rows.iter()
+            .find(|r| r.lambda == l)
+            .and_then(|r| r.pearson_r)
+            .unwrap_or(f64::NAN)
     };
     println!("\nShape check (ablation):");
     println!(
@@ -101,5 +104,11 @@ fn main() {
         r_at(10.0),
         r_at(0.01)
     );
-    write_report("ablation_smoothing", &Report { scale: format!("{scale:?}"), rows });
+    write_report(
+        "ablation_smoothing",
+        &Report {
+            scale: format!("{scale:?}"),
+            rows,
+        },
+    );
 }

@@ -70,11 +70,10 @@ fn main() {
     let mut monotone_pred = Vec::with_capacity(truth.len());
     let mut forgetting_pred = Vec::with_capacity(truth.len());
     for seq in scenario.dataset.sequences() {
-        let mono = assign_sequence(&result.model, &scenario.dataset, seq)
-            .expect("monotone assignment");
-        let forg =
-            assign_sequence_with_forgetting(&result.model, &fcfg, &scenario.dataset, seq)
-                .expect("forgetting assignment");
+        let mono =
+            assign_sequence(&result.model, &scenario.dataset, seq).expect("monotone assignment");
+        let forg = assign_sequence_with_forgetting(&result.model, &fcfg, &scenario.dataset, seq)
+            .expect("forgetting assignment");
         monotone_pred.extend(mono.levels.iter().map(|&s| s as f64));
         forgetting_pred.extend(forg.levels.iter().map(|&s| s as f64));
     }
@@ -85,8 +84,16 @@ fn main() {
     let forgetting_rmse = rmse(&forgetting_pred, &truth).expect("rmse");
 
     let mut table = TextTable::new(&["Assignment DP", "Pearson r", "RMSE"]);
-    table.row(vec!["monotone (paper base)".into(), f3(monotone_r), f3(monotone_rmse)]);
-    table.row(vec!["forgetting-aware (§VII)".into(), f3(forgetting_r), f3(forgetting_rmse)]);
+    table.row(vec![
+        "monotone (paper base)".into(),
+        f3(monotone_r),
+        f3(monotone_rmse),
+    ]);
+    table.row(vec![
+        "forgetting-aware (§VII)".into(),
+        f3(forgetting_r),
+        f3(forgetting_rmse),
+    ]);
     table.print();
 
     println!("\nShape check (extension):");

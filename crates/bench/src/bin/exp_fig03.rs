@@ -42,11 +42,9 @@ fn main() {
     );
     let base = TrainConfig::new(5).with_min_init_actions(50);
     let candidates: Vec<usize> = (2..=8).collect();
-    let sweep =
-        sweep_skill_counts(&data.dataset, &candidates, &base, 0.1, 7).expect("sweep");
+    let sweep = sweep_skill_counts(&data.dataset, &candidates, &base, 0.1, 7).expect("sweep");
 
-    let mut table =
-        TextTable::new(&["S", "held-out LL", "LL per action", "#scored"]);
+    let mut table = TextTable::new(&["S", "held-out LL", "LL per action", "#scored"]);
     for c in &sweep {
         table.row(vec![
             c.n_levels.to_string(),

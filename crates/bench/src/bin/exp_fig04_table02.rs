@@ -47,11 +47,29 @@ fn main() {
     let pct_means = level_means(&result.model, features::PCT_CORRECTED).expect("means");
 
     println!("Fig. 4a — sentence-count mean per level (paper: 10.8, 11.6, 10.3):");
-    println!("  {:?}", sentence_means.iter().map(|m| format!("{m:.2}")).collect::<Vec<_>>());
+    println!(
+        "  {:?}",
+        sentence_means
+            .iter()
+            .map(|m| format!("{m:.2}"))
+            .collect::<Vec<_>>()
+    );
     println!("Fig. 4b — corrections-per-corrector mean per level (paper: 5.06, 4.85, 2.64):");
-    println!("  {:?}", correction_means.iter().map(|m| format!("{m:.2}")).collect::<Vec<_>>());
+    println!(
+        "  {:?}",
+        correction_means
+            .iter()
+            .map(|m| format!("{m:.2}"))
+            .collect::<Vec<_>>()
+    );
     println!("      — pct-corrected mean per level (decreasing expected):");
-    println!("  {:?}", pct_means.iter().map(|m| format!("{m:.2}")).collect::<Vec<_>>());
+    println!(
+        "  {:?}",
+        pct_means
+            .iter()
+            .map(|m| format!("{m:.2}"))
+            .collect::<Vec<_>>()
+    );
 
     let unskilled = top_unskilled(&result.model, features::RULE, 10).expect("dominance");
     let skilled = top_skilled(&result.model, features::RULE, 10).expect("dominance");
@@ -59,14 +77,20 @@ fn main() {
     println!("\nTable IIa — rules dominated by the lowest skill level:");
     let mut ta = TextTable::new(&["Rule", "Score"]);
     for e in &unskilled {
-        ta.row(vec![data.rule_names[e.value as usize].clone(), format!("{:+.4}", e.score)]);
+        ta.row(vec![
+            data.rule_names[e.value as usize].clone(),
+            format!("{:+.4}", e.score),
+        ]);
     }
     ta.print();
 
     println!("\nTable IIb — rules dominated by the highest skill level:");
     let mut tb = TextTable::new(&["Rule", "Score"]);
     for e in &skilled {
-        tb.row(vec![data.rule_names[e.value as usize].clone(), format!("{:+.4}", e.score)]);
+        tb.row(vec![
+            data.rule_names[e.value as usize].clone(),
+            format!("{:+.4}", e.score),
+        ]);
     }
     tb.print();
 

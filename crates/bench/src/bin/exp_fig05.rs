@@ -10,9 +10,7 @@ use upskill_bench::{banner, write_report, Scale, TextTable};
 use upskill_core::analysis::level_means;
 use upskill_core::dist::FeatureDistribution;
 use upskill_core::train::{train, TrainConfig};
-use upskill_datasets::cooking::{
-    self, features, generate, CookingConfig, TIME_CLASSES,
-};
+use upskill_datasets::cooking::{self, features, generate, CookingConfig, TIME_CLASSES};
 
 #[derive(Serialize)]
 struct Report {
@@ -57,14 +55,22 @@ fn main() {
     ta.print();
 
     let step_means = level_means(&result.model, features::N_STEPS).expect("means");
-    let ingredient_means =
-        level_means(&result.model, features::N_INGREDIENTS).expect("means");
+    let ingredient_means = level_means(&result.model, features::N_INGREDIENTS).expect("means");
     println!("\nFig. 5b — step-count mean per level:");
-    println!("  {:?}", step_means.iter().map(|m| format!("{m:.2}")).collect::<Vec<_>>());
+    println!(
+        "  {:?}",
+        step_means
+            .iter()
+            .map(|m| format!("{m:.2}"))
+            .collect::<Vec<_>>()
+    );
     println!("      — ingredient-count mean per level:");
     println!(
         "  {:?}",
-        ingredient_means.iter().map(|m| format!("{m:.2}")).collect::<Vec<_>>()
+        ingredient_means
+            .iter()
+            .map(|m| format!("{m:.2}"))
+            .collect::<Vec<_>>()
     );
 
     // Shape checks. (1) Complexity increases from s=2 upward. (2) The
@@ -105,6 +111,11 @@ fn main() {
 
     write_report(
         "fig05_cooking",
-        &Report { scale: format!("{scale:?}"), time_probs, step_means, ingredient_means },
+        &Report {
+            scale: format!("{scale:?}"),
+            time_probs,
+            step_means,
+            ingredient_means,
+        },
     );
 }

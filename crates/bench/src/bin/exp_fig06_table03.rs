@@ -41,7 +41,13 @@ fn main() {
 
     let abv_means = level_means(&result.model, features::ABV).expect("means");
     println!("Fig. 6 — ABV mean per level (paper: 5.85 → 7.46, increasing):");
-    println!("  {:?}", abv_means.iter().map(|m| format!("{m:.2}")).collect::<Vec<_>>());
+    println!(
+        "  {:?}",
+        abv_means
+            .iter()
+            .map(|m| format!("{m:.2}"))
+            .collect::<Vec<_>>()
+    );
 
     let unskilled = top_unskilled(&result.model, features::STYLE, 10).expect("dominance");
     let skilled = top_skilled(&result.model, features::STYLE, 10).expect("dominance");

@@ -36,7 +36,13 @@ struct Run {
 fn recovery(data: &upskill_datasets::synthetic::SyntheticData, v: SkillVariant) -> f64 {
     // Adapt the initialization threshold to the setting's sequence lengths
     // (the "short sequences" variant has no 40-action users).
-    let max_len = data.dataset.sequences().iter().map(|s| s.len()).max().unwrap_or(1);
+    let max_len = data
+        .dataset
+        .sequences()
+        .iter()
+        .map(|s| s.len())
+        .max()
+        .unwrap_or(1);
     let cfg = TrainConfig::new(5).with_min_init_actions(40.min(max_len * 3 / 5));
     let trained = train_variant(data, v, &cfg).expect("training");
     let pred: Vec<f64> = trained
@@ -56,38 +62,70 @@ fn main() {
     let base = SyntheticConfig::scaled(factor, false, 0);
     // Varied settings: seeds, selection/advance probabilities, vocabulary.
     let settings: Vec<(String, SyntheticConfig)> = vec![
-        ("baseline/seed 1".into(), SyntheticConfig { seed: 1, ..base }),
-        ("baseline/seed 2".into(), SyntheticConfig { seed: 2, ..base }),
-        ("baseline/seed 3".into(), SyntheticConfig { seed: 3, ..base }),
+        (
+            "baseline/seed 1".into(),
+            SyntheticConfig { seed: 1, ..base },
+        ),
+        (
+            "baseline/seed 2".into(),
+            SyntheticConfig { seed: 2, ..base },
+        ),
+        (
+            "baseline/seed 3".into(),
+            SyntheticConfig { seed: 3, ..base },
+        ),
         (
             "p_at_level 0.7".into(),
-            SyntheticConfig { p_at_level: 0.7, seed: 4, ..base },
+            SyntheticConfig {
+                p_at_level: 0.7,
+                seed: 4,
+                ..base
+            },
         ),
         (
             "p_at_level 0.3".into(),
-            SyntheticConfig { p_at_level: 0.3, seed: 5, ..base },
+            SyntheticConfig {
+                p_at_level: 0.3,
+                seed: 5,
+                ..base
+            },
         ),
         (
             "p_advance 0.05".into(),
-            SyntheticConfig { p_advance: 0.05, seed: 6, ..base },
+            SyntheticConfig {
+                p_advance: 0.05,
+                seed: 6,
+                ..base
+            },
         ),
         (
             "p_advance 0.2".into(),
-            SyntheticConfig { p_advance: 0.2, seed: 7, ..base },
+            SyntheticConfig {
+                p_advance: 0.2,
+                seed: 7,
+                ..base
+            },
         ),
         (
             "20 categories".into(),
-            SyntheticConfig { n_categories: 20, seed: 8, ..base },
+            SyntheticConfig {
+                n_categories: 20,
+                seed: 8,
+                ..base
+            },
         ),
         (
             "short sequences".into(),
-            SyntheticConfig { mean_sequence_len: 25.0, seed: 9, ..base },
+            SyntheticConfig {
+                mean_sequence_len: 25.0,
+                seed: 9,
+                ..base
+            },
         ),
     ];
 
     let mut runs = Vec::new();
-    let mut table =
-        TextTable::new(&["Setting", "Uniform r", "ID r", "Multi-faceted r", "trend"]);
+    let mut table = TextTable::new(&["Setting", "Uniform r", "ID r", "Multi-faceted r", "trend"]);
     for (label, cfg) in &settings {
         eprintln!("  {label} ...");
         let data = generate(cfg).expect("generation");
@@ -100,7 +138,11 @@ fn main() {
             f3(u),
             f3(i),
             f3(m),
-            if trend { "ok".into() } else { "VIOLATED".into() },
+            if trend {
+                "ok".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
         runs.push(Run {
             label: label.clone(),
@@ -115,7 +157,9 @@ fn main() {
     let gaps: Vec<f64> = runs.iter().map(|r| r.multifaceted_r - r.id_r).collect();
     let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
     let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
-    let all_hold = runs.iter().all(|r| r.uniform_r < r.id_r && r.id_r < r.multifaceted_r);
+    let all_hold = runs
+        .iter()
+        .all(|r| r.uniform_r < r.id_r && r.id_r < r.multifaceted_r);
     println!(
         "\nTrend Uniform < ID < Multi-faceted holds in {}/{} runs; \
          Multi-faceted − ID gap = {:.3} ± {:.3}",

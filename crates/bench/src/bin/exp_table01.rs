@@ -58,8 +58,7 @@ fn main() {
     let film_data = film::generate(&film_cfg).expect("film generation");
     stats.push(DatasetStats::of("Film", &film_data.dataset));
 
-    let syn_cfg =
-        synthetic::SyntheticConfig::scaled(scale.synthetic_factor(), false, seed);
+    let syn_cfg = synthetic::SyntheticConfig::scaled(scale.synthetic_factor(), false, seed);
     let syn = synthetic::generate(&syn_cfg).expect("synthetic generation");
     stats.push(DatasetStats::of("Synthetic", &syn.dataset));
 
@@ -88,5 +87,11 @@ fn main() {
          Film has fewer items than the others after filtering.",
         stats[0].n_items == stats[0].n_actions
     );
-    write_report("table01_datasets", &Report { scale: format!("{scale:?}"), rows });
+    write_report(
+        "table01_datasets",
+        &Report {
+            scale: format!("{scale:?}"),
+            rows,
+        },
+    );
 }

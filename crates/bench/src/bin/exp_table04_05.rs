@@ -11,9 +11,7 @@ use serde::Serialize;
 use upskill_bench::{banner, write_report, Scale, TextTable};
 use upskill_core::predict::top_items_for_level;
 use upskill_core::train::{train, TrainConfig};
-use upskill_datasets::film::{
-    self, features, generate, FilmConfig, FilmData, MovieClass,
-};
+use upskill_datasets::film::{self, features, generate, FilmConfig, FilmData, MovieClass};
 
 #[derive(Serialize)]
 struct Report {
@@ -35,17 +33,24 @@ fn top_lists(data: &FilmData, label: &str) -> Lists {
     // The lastness preprocessing can shorten sequences dramatically at
     // small scales; adapt the initialization threshold so at least the
     // longest sequences qualify.
-    let max_len =
-        data.dataset.sequences().iter().map(|s| s.len()).max().unwrap_or(1);
-    let train_cfg =
-        TrainConfig::new(film::FILM_LEVELS).with_min_init_actions(50.min(max_len));
+    let max_len = data
+        .dataset
+        .sequences()
+        .iter()
+        .map(|s| s.len())
+        .max()
+        .unwrap_or(1);
+    let train_cfg = TrainConfig::new(film::FILM_LEVELS).with_min_init_actions(50.min(max_len));
     let result = train(&data.dataset, &train_cfg).expect("training");
     let top = |level: u8| -> Vec<(String, i32)> {
         top_items_for_level(&result.model, features::ID, level, 10)
             .expect("ranking")
             .into_iter()
             .map(|(item, _)| {
-                (data.titles[item as usize].clone(), data.release_years[item as usize])
+                (
+                    data.titles[item as usize].clone(),
+                    data.release_years[item as usize],
+                )
             })
             .collect()
     };
@@ -55,16 +60,12 @@ fn top_lists(data: &FilmData, label: &str) -> Lists {
         list.iter().map(|(_, y)| *y as f64).sum::<f64>() / list.len().max(1) as f64
     };
     let classic_fraction = {
-        let ids: Vec<u32> = top_items_for_level(
-            &result.model,
-            features::ID,
-            film::FILM_LEVELS as u8,
-            10,
-        )
-        .expect("ranking")
-        .into_iter()
-        .map(|(i, _)| i)
-        .collect();
+        let ids: Vec<u32> =
+            top_items_for_level(&result.model, features::ID, film::FILM_LEVELS as u8, 10)
+                .expect("ranking")
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
         ids.iter()
             .filter(|&&i| data.classes[i as usize] == MovieClass::Classic)
             .count() as f64
@@ -112,10 +113,8 @@ fn main() {
     // share of each user's actions; relax the support filter accordingly so
     // the surviving data stays comparable (the paper's MovieLens snapshot
     // had a decade of pre-window history, ours is fully simulated).
-    cfg.support.min_unique_items_per_user =
-        (cfg.support.min_unique_items_per_user / 3).max(3);
-    cfg.support.min_unique_users_per_item =
-        (cfg.support.min_unique_users_per_item / 3).max(2);
+    cfg.support.min_unique_items_per_user = (cfg.support.min_unique_items_per_user / 3).max(3);
+    cfg.support.min_unique_users_per_item = (cfg.support.min_unique_users_per_item / 3).max(2);
     let fixed = generate(&cfg).expect("film generation");
     let with_fix = top_lists(&fixed, "Table V: WITH lastness preprocessing");
 
@@ -144,6 +143,10 @@ fn main() {
 
     write_report(
         "table04_05_film",
-        &Report { scale: format!("{scale:?}"), without_fix, with_fix },
+        &Report {
+            scale: format!("{scale:?}"),
+            without_fix,
+            with_fix,
+        },
     );
 }

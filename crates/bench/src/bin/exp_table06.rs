@@ -28,14 +28,23 @@ fn main() {
     banner("Table VI: skill-assignment accuracy (Synthetic)");
 
     let cfg = SyntheticConfig::scaled(scale.synthetic_factor(), false, 42);
-    eprintln!("generating synthetic data ({} users, {} items)...", cfg.n_users, cfg.n_items);
+    eprintln!(
+        "generating synthetic data ({} users, {} items)...",
+        cfg.n_users, cfg.n_items
+    );
     let data = generate(&cfg).expect("synthetic generation");
     let train_cfg = TrainConfig::new(cfg.n_levels).with_min_init_actions(50);
 
     let (rows, _) = skill_accuracy_table(&data, &train_cfg).expect("evaluation");
 
     let mut table = TextTable::new(&[
-        "Model", "Pearson r", "95% CI", "Spearman rho", "Kendall tau", "RMSE", "p (vs MF)",
+        "Model",
+        "Pearson r",
+        "95% CI",
+        "Spearman rho",
+        "Kendall tau",
+        "RMSE",
+        "p (vs MF)",
     ]);
     for r in &rows {
         table.row(vec![
@@ -46,7 +55,13 @@ fn main() {
             f3(r.kendall),
             f3(r.rmse),
             r.p_vs_multifaceted
-                .map(|p| if p < 0.01 { "<0.01".to_string() } else { format!("{p:.3}") })
+                .map(|p| {
+                    if p < 0.01 {
+                        "<0.01".to_string()
+                    } else {
+                        format!("{p:.3}")
+                    }
+                })
                 .unwrap_or_else(|| "-".to_string()),
         ]);
     }
@@ -76,6 +91,10 @@ fn main() {
     );
     write_report(
         "table06_skill_accuracy",
-        &Report { scale: format!("{scale:?}"), config: format!("{cfg:?}"), rows },
+        &Report {
+            scale: format!("{scale:?}"),
+            config: format!("{cfg:?}"),
+            rows,
+        },
     );
 }

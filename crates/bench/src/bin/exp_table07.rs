@@ -29,7 +29,10 @@ fn main() {
     banner("Table VII: difficulty-estimation accuracy (Synthetic)");
 
     let cfg = SyntheticConfig::scaled(scale.synthetic_factor(), false, 42);
-    eprintln!("generating synthetic data ({} users, {} items)...", cfg.n_users, cfg.n_items);
+    eprintln!(
+        "generating synthetic data ({} users, {} items)...",
+        cfg.n_users, cfg.n_items
+    );
     let data = generate(&cfg).expect("synthetic generation");
     let train_cfg = TrainConfig::new(cfg.n_levels).with_min_init_actions(50);
 
@@ -42,8 +45,7 @@ fn main() {
         .collect();
 
     let rare_threshold = 3;
-    let rows =
-        difficulty_accuracy_table(&data, &trained, rare_threshold).expect("evaluation");
+    let rows = difficulty_accuracy_table(&data, &trained, rare_threshold).expect("evaluation");
     let n_rare = data
         .dataset
         .item_support()
@@ -52,7 +54,13 @@ fn main() {
         .count();
 
     let mut table = TextTable::new(&[
-        "Skill", "Difficulty", "Pearson r", "95% CI", "Spearman", "Kendall", "RMSE",
+        "Skill",
+        "Difficulty",
+        "Pearson r",
+        "95% CI",
+        "Spearman",
+        "Kendall",
+        "RMSE",
         "Rare RMSE",
     ]);
     for r in &rows {
@@ -97,7 +105,9 @@ fn main() {
         println!(
             "  Rare items: generation-based more robust than assignment-based: {} \
              ({:.3} vs {:.3})",
-            re < ra, re, ra
+            re < ra,
+            re,
+            ra
         );
     }
     write_report(

@@ -8,8 +8,8 @@
 
 use serde::Serialize;
 use upskill_bench::synthetic_eval::{
-    difficulty_accuracy_table, skill_accuracy_table, DifficultyAccuracyRow,
-    SkillAccuracyRow, SkillVariant,
+    difficulty_accuracy_table, skill_accuracy_table, DifficultyAccuracyRow, SkillAccuracyRow,
+    SkillVariant,
 };
 use upskill_bench::{banner, f3, write_report, Scale, TextTable};
 use upskill_core::train::TrainConfig;
@@ -27,7 +27,10 @@ fn main() {
     banner("Tables VIII & IX: accuracy on Synthetic_dense");
 
     let cfg = SyntheticConfig::scaled(scale.synthetic_factor(), true, 42);
-    eprintln!("generating dense synthetic data ({} users, {} items)...", cfg.n_users, cfg.n_items);
+    eprintln!(
+        "generating dense synthetic data ({} users, {} items)...",
+        cfg.n_users, cfg.n_items
+    );
     let data = generate(&cfg).expect("synthetic generation");
     let train_cfg = TrainConfig::new(cfg.n_levels).with_min_init_actions(50);
 
@@ -54,8 +57,14 @@ fn main() {
     let difficulty_rows = difficulty_accuracy_table(&data, &trio, 3).expect("difficulty eval");
 
     println!("\nTable IX (difficulty accuracy, dense):");
-    let mut t9 =
-        TextTable::new(&["Skill", "Difficulty", "Pearson r", "Spearman", "Kendall", "RMSE"]);
+    let mut t9 = TextTable::new(&[
+        "Skill",
+        "Difficulty",
+        "Pearson r",
+        "Spearman",
+        "Kendall",
+        "RMSE",
+    ]);
     for r in &difficulty_rows {
         t9.row(vec![
             r.skill_model.clone(),
@@ -84,6 +93,10 @@ fn main() {
     );
     write_report(
         "table08_09_dense",
-        &Report { scale: format!("{scale:?}"), skill_rows, difficulty_rows },
+        &Report {
+            scale: format!("{scale:?}"),
+            skill_rows,
+            difficulty_rows,
+        },
     );
 }

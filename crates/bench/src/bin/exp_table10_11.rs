@@ -35,11 +35,7 @@ struct Row {
     n_predictions: usize,
 }
 
-fn ranks_for_model(
-    split: &PredictionSplit,
-    model_kind: &str,
-    n_levels: usize,
-) -> Vec<usize> {
+fn ranks_for_model(split: &PredictionSplit, model_kind: &str, n_levels: usize) -> Vec<usize> {
     let train_cfg = TrainConfig::new(n_levels).with_min_init_actions(50);
     let (model, assignments, dataset) = match model_kind {
         "Uniform" => {
@@ -57,7 +53,10 @@ fn ranks_for_model(
         }
         other => panic!("unknown model kind {other}"),
     };
-    let eval_split = PredictionSplit { train: dataset, test: split.test.clone() };
+    let eval_split = PredictionSplit {
+        train: dataset,
+        test: split.test.clone(),
+    };
     evaluate_item_prediction(&model, &eval_split, &assignments, 0)
         .expect("evaluation")
         .into_iter()
@@ -114,41 +113,60 @@ fn main() {
                 &upskill_datasets::cooking::CookingConfig::test_scale(seed),
             )
             .expect("cooking"),
-            upskill_datasets::beer::generate(
-                &upskill_datasets::beer::BeerConfig::test_scale(seed),
-            )
-            .expect("beer"),
-            upskill_datasets::film::generate(
-                &upskill_datasets::film::FilmConfig::test_scale(seed),
-            )
-            .expect("film"),
+            upskill_datasets::beer::generate(&upskill_datasets::beer::BeerConfig::test_scale(seed))
+                .expect("beer"),
+            upskill_datasets::film::generate(&upskill_datasets::film::FilmConfig::test_scale(seed))
+                .expect("film"),
         ),
         _ => (
             upskill_datasets::cooking::generate(
                 &upskill_datasets::cooking::CookingConfig::default_scale(seed),
             )
             .expect("cooking"),
-            upskill_datasets::beer::generate(
-                &upskill_datasets::beer::BeerConfig::default_scale(seed),
-            )
+            upskill_datasets::beer::generate(&upskill_datasets::beer::BeerConfig::default_scale(
+                seed,
+            ))
             .expect("beer"),
-            upskill_datasets::film::generate(
-                &upskill_datasets::film::FilmConfig::default_scale(seed),
-            )
+            upskill_datasets::film::generate(&upskill_datasets::film::FilmConfig::default_scale(
+                seed,
+            ))
             .expect("film"),
         ),
     };
 
     let mut rows = Vec::new();
-    let mut table =
-        TextTable::new(&["Position", "Domain", "Model", "Acc@10", "RR"]);
+    let mut table = TextTable::new(&["Position", "Domain", "Model", "Acc@10", "RR"]);
     for (position, label) in [
         (HoldoutPosition::Random { seed: 7 }, "random"),
         (HoldoutPosition::Last, "last"),
     ] {
-        run_domain(&mut rows, &mut table, "Cooking", &cook.dataset, 5, position, label);
-        run_domain(&mut rows, &mut table, "Beer", &beer.dataset, 5, position, label);
-        run_domain(&mut rows, &mut table, "Film", &film.dataset, 5, position, label);
+        run_domain(
+            &mut rows,
+            &mut table,
+            "Cooking",
+            &cook.dataset,
+            5,
+            position,
+            label,
+        );
+        run_domain(
+            &mut rows,
+            &mut table,
+            "Beer",
+            &beer.dataset,
+            5,
+            position,
+            label,
+        );
+        run_domain(
+            &mut rows,
+            &mut table,
+            "Film",
+            &film.dataset,
+            5,
+            position,
+            label,
+        );
     }
     table.print();
 
@@ -192,5 +210,11 @@ fn main() {
         cook_gain("random"),
         cook_gain("last")
     );
-    write_report("table10_11_item_prediction", &Report { scale: format!("{scale:?}"), rows });
+    write_report(
+        "table10_11_item_prediction",
+        &Report {
+            scale: format!("{scale:?}"),
+            rows,
+        },
+    );
 }

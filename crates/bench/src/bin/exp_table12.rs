@@ -71,8 +71,7 @@ fn run_position(
         FeatureLayout::uid(),
         FeatureLayout::uisd(),
     ] {
-        let builder =
-            InstanceBuilder::new(layout, n_users, n_items, BEER_LEVELS).expect("builder");
+        let builder = InstanceBuilder::new(layout, n_users, n_items, BEER_LEVELS).expect("builder");
         // Training instances: every remaining action with its assigned
         // skill and its item's difficulty.
         let mut train_insts: Vec<Instance> = Vec::new();
@@ -109,7 +108,9 @@ fn run_position(
             let seq = &split.train.sequences()[u];
             let levels = &skill.assignments.per_user[u];
             let times: Vec<i64> = seq.actions().iter().map(|a| a.time).collect();
-            let Some(s) = nearest_skill(&times, levels, action.time) else { continue };
+            let Some(s) = nearest_skill(&times, levels, action.time) else {
+                continue;
+            };
             let rating = ratings[&(seq.user, action.time)];
             test_insts.push(
                 builder
@@ -162,7 +163,13 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut table = TextTable::new(&["Position", "Features", "RMSE"]);
-    run_position(&data, HoldoutPosition::Random { seed: 7 }, "random", &mut rows, &mut table);
+    run_position(
+        &data,
+        HoldoutPosition::Random { seed: 7 },
+        "random",
+        &mut rows,
+        &mut table,
+    );
     run_position(&data, HoldoutPosition::Last, "last", &mut rows, &mut table);
     table.print();
 
@@ -183,5 +190,11 @@ fn main() {
             ui
         );
     }
-    write_report("table12_rating_prediction", &Report { scale: format!("{scale:?}"), rows });
+    write_report(
+        "table12_rating_prediction",
+        &Report {
+            scale: format!("{scale:?}"),
+            rows,
+        },
+    );
 }

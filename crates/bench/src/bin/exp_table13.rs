@@ -31,6 +31,7 @@ struct Row {
     users: bool,
     features: bool,
     skills: bool,
+    emission: bool,
     id_seconds: f64,
     multi_seconds: f64,
     id_iterations: usize,
@@ -56,36 +57,53 @@ fn main() {
     let train_cfg = TrainConfig::new(FILM_LEVELS).with_min_init_actions(50);
     let threads = 5;
 
-    // (users, features, skills) rows in the paper's order. The paper's
-    // "feature-parallel ID" cell is N/A (one feature); we run it anyway
-    // (it degenerates to sequential).
+    // (users, features, skills, emission) rows in the paper's order. The
+    // paper's "feature-parallel ID" cell is N/A (one feature); we run it
+    // anyway (it degenerates to sequential). The first row disables the
+    // shared emission table to quantify its contribution independent of
+    // thread count (it is the only technique that pays off on one core).
     let conditions = [
-        (false, false, false),
-        (true, false, false),
-        (false, true, false),
-        (false, false, true),
-        (true, true, true),
+        (false, false, false, false),
+        (false, false, false, true),
+        (true, false, false, true),
+        (false, true, false, true),
+        (false, false, true, true),
+        (true, true, true, true),
     ];
 
     let mut rows = Vec::new();
     let mut table = TextTable::new(&[
-        "User", "Feature", "Skill", "ID (s)", "Multi-faceted (s)", "iters (ID/MF)",
+        "User",
+        "Feature",
+        "Skill",
+        "Emission",
+        "ID (s)",
+        "Multi-faceted (s)",
+        "iters (ID/MF)",
     ]);
-    for (users, features, skills) in conditions {
-        let pc = ParallelConfig { users, skills, features, threads };
-        eprintln!("  condition users={users} features={features} skills={skills} ...");
+    for (users, features, skills, emission) in conditions {
+        let pc = ParallelConfig {
+            users,
+            skills,
+            features,
+            threads,
+            emission,
+        };
+        eprintln!(
+            "  condition users={users} features={features} skills={skills} emission={emission} ..."
+        );
         let t0 = Instant::now();
         let id_result = train_with_parallelism(&id_view, &train_cfg, &pc).expect("ID");
         let id_secs = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let multi_result =
-            train_with_parallelism(&data.dataset, &train_cfg, &pc).expect("multi");
+        let multi_result = train_with_parallelism(&data.dataset, &train_cfg, &pc).expect("multi");
         let multi_secs = t1.elapsed().as_secs_f64();
         let mark = |b: bool| if b { "yes" } else { "no" }.to_string();
         table.row(vec![
             mark(users),
             mark(features),
             mark(skills),
+            mark(emission),
             format!("{id_secs:.2}"),
             format!("{multi_secs:.2}"),
             format!("{}/{}", id_result.trace.len(), multi_result.trace.len()),
@@ -94,6 +112,7 @@ fn main() {
             users,
             features,
             skills,
+            emission,
             id_seconds: id_secs,
             multi_seconds: multi_secs,
             id_iterations: id_result.trace.len(),
@@ -111,6 +130,14 @@ fn main() {
         seq.multi_seconds,
         seq.id_seconds
     );
+    let cached = &rows[1];
+    println!(
+        "  Shared emission table speeds up sequential Multi-faceted training: \
+         {} ({:.2}s direct vs {:.2}s cached)",
+        cached.multi_seconds < seq.multi_seconds,
+        seq.multi_seconds,
+        cached.multi_seconds
+    );
     println!(
         "  (single-core host: parallel rows measure overhead, not speedup; \
          see EXPERIMENTS.md)"
@@ -120,7 +147,9 @@ fn main() {
         &Report {
             scale: format!("{scale:?}"),
             threads,
-            host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            host_cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             rows,
         },
     );

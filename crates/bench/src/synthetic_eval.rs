@@ -5,9 +5,7 @@
 
 use serde::Serialize;
 use upskill_core::baselines::{project_features, uniform_baseline};
-use upskill_core::difficulty::{
-    assignment_difficulty_all, generation_difficulty_all, SkillPrior,
-};
+use upskill_core::difficulty::{assignment_difficulty_all, generation_difficulty_all, SkillPrior};
 use upskill_core::error::Result;
 use upskill_core::train::{train, TrainConfig};
 use upskill_core::types::{Dataset, SkillAssignments};
@@ -47,7 +45,11 @@ impl SkillVariant {
 
     /// The three variants used in the difficulty comparison (Table VII).
     pub fn difficulty_trio() -> [SkillVariant; 3] {
-        [SkillVariant::Uniform, SkillVariant::Id, SkillVariant::MultiFaceted]
+        [
+            SkillVariant::Uniform,
+            SkillVariant::Id,
+            SkillVariant::MultiFaceted,
+        ]
     }
 
     /// Display name matching the paper's tables.
@@ -168,8 +170,7 @@ pub fn skill_accuracy_table(
         eprintln!("  training {} ...", variant.name());
         trained.push(train_variant(data, variant, config)?);
     }
-    let predictions: Vec<Vec<f64>> =
-        trained.iter().map(|t| flatten(&t.assignments)).collect();
+    let predictions: Vec<Vec<f64>> = trained.iter().map(|t| flatten(&t.assignments)).collect();
     let multi_idx = trained.len() - 1;
     let multi_se: Vec<f64> = predictions[multi_idx]
         .iter()
@@ -195,8 +196,11 @@ pub fn skill_accuracy_table(
         let p = if t.variant == SkillVariant::MultiFaceted {
             None
         } else {
-            let se: Vec<f64> =
-                pred.iter().zip(&truth).map(|(&p, &t)| (p - t) * (p - t)).collect();
+            let se: Vec<f64> = pred
+                .iter()
+                .zip(&truth)
+                .map(|(&p, &t)| (p - t) * (p - t))
+                .collect();
             let w = wilcoxon_signed_rank(&se, &multi_se).map(|r| r.p_value).ok();
             if let Some(p) = w {
                 raw_p.push(p);

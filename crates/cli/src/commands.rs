@@ -3,9 +3,7 @@
 use std::fs;
 
 use serde::{Deserialize, Serialize};
-use upskill_core::difficulty::{
-    assignment_difficulty_all, generation_difficulty_all, SkillPrior,
-};
+use upskill_core::difficulty::{assignment_difficulty_all, generation_difficulty_all, SkillPrior};
 use upskill_core::recommend::{recommend_for_level, RecommendConfig};
 use upskill_core::train::{train, TrainConfig};
 use upskill_core::types::{Dataset, SkillAssignments};
@@ -60,8 +58,7 @@ fn read_json<T: for<'de> Deserialize<'de>>(path: &str) -> Result<T, String> {
 }
 
 fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
-    let text =
-        serde_json::to_string(value).map_err(|e| format!("cannot serialize: {e}"))?;
+    let text = serde_json::to_string(value).map_err(|e| format!("cannot serialize: {e}"))?;
     fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
@@ -108,7 +105,9 @@ fn generate(args: &Args) -> Result<(), String> {
             } else {
                 upskill_datasets::beer::BeerConfig::default_scale(seed)
             };
-            upskill_datasets::beer::generate(&cfg).map_err(|e| e.to_string())?.dataset
+            upskill_datasets::beer::generate(&cfg)
+                .map_err(|e| e.to_string())?
+                .dataset
         }
         "film" => {
             let cfg = if quick {
@@ -116,7 +115,9 @@ fn generate(args: &Args) -> Result<(), String> {
             } else {
                 upskill_datasets::film::FilmConfig::default_scale(seed)
             };
-            upskill_datasets::film::generate(&cfg).map_err(|e| e.to_string())?.dataset
+            upskill_datasets::film::generate(&cfg)
+                .map_err(|e| e.to_string())?
+                .dataset
         }
         other => return Err(format!("unknown domain {other:?}")),
     };
@@ -227,7 +228,10 @@ fn evaluate(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let hist = assignments.level_histogram(model.n_levels());
     let total: usize = hist.iter().sum();
-    println!("log-likelihood: {ll:.1} ({:.3} per action)", ll / total.max(1) as f64);
+    println!(
+        "log-likelihood: {ll:.1} ({:.3} per action)",
+        ll / total.max(1) as f64
+    );
     println!("actions per level:");
     for (i, &c) in hist.iter().enumerate() {
         let frac = c as f64 / total.max(1) as f64;
@@ -260,10 +264,9 @@ fn sweep(args: &Args) -> Result<(), String> {
     }
     let candidates: Vec<usize> = (lo..=hi).collect();
     let base = TrainConfig::new(lo).with_min_init_actions(min_init);
-    let sweep = upskill_core::model_selection::sweep_skill_counts(
-        &dataset, &candidates, &base, frac, seed,
-    )
-    .map_err(|e| e.to_string())?;
+    let sweep =
+        upskill_core::model_selection::sweep_skill_counts(&dataset, &candidates, &base, frac, seed)
+            .map_err(|e| e.to_string())?;
     println!("S   held-out LL     per action");
     for c in &sweep {
         println!(
@@ -272,10 +275,14 @@ fn sweep(args: &Args) -> Result<(), String> {
         );
     }
     match upskill_core::model_selection::best_skill_count(&sweep) {
-        Some(best) => println!("
-selected S = {best}"),
-        None => println!("
-no candidate evaluated"),
+        Some(best) => println!(
+            "
+selected S = {best}"
+        ),
+        None => println!(
+            "
+no candidate evaluated"
+        ),
     }
     Ok(())
 }
@@ -291,14 +298,20 @@ fn recommend(args: &Args) -> Result<(), String> {
         .iter()
         .map(|d| d.unwrap_or((1 + model.n_levels()) as f64 / 2.0))
         .collect();
-    let config = RecommendConfig { k, ..RecommendConfig::default() };
+    let config = RecommendConfig {
+        k,
+        ..RecommendConfig::default()
+    };
     let recs = recommend_for_level(&model, &dataset, &filled, level, &|_| false, &config)
         .map_err(|e| e.to_string())?;
     if recs.is_empty() {
         println!("no items in the difficulty band for level {level}");
         return Ok(());
     }
-    println!("top {} upskilling items for a level-{level} user:", recs.len());
+    println!(
+        "top {} upskilling items for a level-{level} user:",
+        recs.len()
+    );
     for r in recs {
         println!(
             "  item {:6}  difficulty {:.2}  fit {:.2}  interest {:.2}  score {:.3}",

@@ -23,12 +23,23 @@ fn full_pipeline_runs() {
 
     let out = bin()
         .args([
-            "generate", "--domain", "synthetic", "--scale", "quick", "--seed", "3",
-            "--out", data.to_str().unwrap(),
+            "generate",
+            "--domain",
+            "synthetic",
+            "--scale",
+            "quick",
+            "--seed",
+            "3",
+            "--out",
+            data.to_str().unwrap(),
         ])
         .output()
         .expect("generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin()
         .args(["stats", "--data", data.to_str().unwrap()])
@@ -41,37 +52,70 @@ fn full_pipeline_runs() {
 
     let out = bin()
         .args([
-            "train", "--data", data.to_str().unwrap(), "--levels", "5",
-            "--min-init", "40", "--out", model.to_str().unwrap(),
-            "--assignments", assignments.to_str().unwrap(),
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--levels",
+            "5",
+            "--min-init",
+            "40",
+            "--out",
+            model.to_str().unwrap(),
+            "--assignments",
+            assignments.to_str().unwrap(),
         ])
         .output()
         .expect("train");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists() && assignments.exists());
 
     let out = bin()
         .args([
-            "difficulty", "--data", data.to_str().unwrap(),
-            "--model", model.to_str().unwrap(),
-            "--assignments", assignments.to_str().unwrap(),
-            "--method", "empirical",
-            "--out", difficulty.to_str().unwrap(),
+            "difficulty",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--assignments",
+            assignments.to_str().unwrap(),
+            "--method",
+            "empirical",
+            "--out",
+            difficulty.to_str().unwrap(),
         ])
         .output()
         .expect("difficulty");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin()
         .args([
-            "recommend", "--data", data.to_str().unwrap(),
-            "--model", model.to_str().unwrap(),
-            "--difficulty", difficulty.to_str().unwrap(),
-            "--level", "2", "--k", "3",
+            "recommend",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--difficulty",
+            difficulty.to_str().unwrap(),
+            "--level",
+            "2",
+            "--k",
+            "3",
         ])
         .output()
         .expect("recommend");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("difficulty"), "{text}");
 }
@@ -94,16 +138,19 @@ fn helpful_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown domain"));
 
     let out = bin()
-        .args(["train", "--data", "/nonexistent/file.json", "--out", "/tmp/m.json"])
+        .args([
+            "train",
+            "--data",
+            "/nonexistent/file.json",
+            "--out",
+            "/tmp/m.json",
+        ])
         .output()
         .expect("missing file");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 
-    let out = bin()
-        .args(["help"])
-        .output()
-        .expect("help");
+    let out = bin().args(["help"]).output().expect("help");
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("commands:"));
 }
@@ -113,25 +160,51 @@ fn sweep_selects_a_skill_count() {
     let data = tmp("sweep_data.json");
     let out = bin()
         .args([
-            "generate", "--domain", "synthetic", "--scale", "quick", "--seed", "9",
-            "--out", data.to_str().unwrap(),
+            "generate",
+            "--domain",
+            "synthetic",
+            "--scale",
+            "quick",
+            "--seed",
+            "9",
+            "--out",
+            data.to_str().unwrap(),
         ])
         .output()
         .expect("generate");
     assert!(out.status.success());
     let out = bin()
         .args([
-            "sweep", "--data", data.to_str().unwrap(), "--min", "2", "--max", "4",
-            "--min-init", "30",
+            "sweep",
+            "--data",
+            data.to_str().unwrap(),
+            "--min",
+            "2",
+            "--max",
+            "4",
+            "--min-init",
+            "30",
         ])
         .output()
         .expect("sweep");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("selected S ="), "{text}");
     // Invalid range errors cleanly.
     let out = bin()
-        .args(["sweep", "--data", data.to_str().unwrap(), "--min", "5", "--max", "2"])
+        .args([
+            "sweep",
+            "--data",
+            data.to_str().unwrap(),
+            "--min",
+            "5",
+            "--max",
+            "2",
+        ])
         .output()
         .expect("sweep bad range");
     assert!(!out.status.success());

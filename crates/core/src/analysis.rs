@@ -42,26 +42,33 @@ pub fn dominance_scores(model: &SkillModel, feature: usize) -> Result<Vec<Domina
         });
     }
     Ok((0..lo.cardinality())
-        .map(|c| DominanceEntry { value: c, score: hi.prob(c) - lo.prob(c) })
+        .map(|c| DominanceEntry {
+            value: c,
+            score: hi.prob(c) - lo.prob(c),
+        })
         .collect())
 }
 
 /// Top-`k` values dominated by *skilled* users (most positive scores).
 pub fn top_skilled(model: &SkillModel, feature: usize, k: usize) -> Result<Vec<DominanceEntry>> {
     let mut scores = dominance_scores(model, feature)?;
-    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    scores.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     scores.truncate(k);
     Ok(scores)
 }
 
 /// Top-`k` values dominated by *unskilled* users (most negative scores).
-pub fn top_unskilled(
-    model: &SkillModel,
-    feature: usize,
-    k: usize,
-) -> Result<Vec<DominanceEntry>> {
+pub fn top_unskilled(model: &SkillModel, feature: usize, k: usize) -> Result<Vec<DominanceEntry>> {
     let mut scores = dominance_scores(model, feature)?;
-    scores.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal));
+    scores.sort_by(|a, b| {
+        a.score
+            .partial_cmp(&b.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     scores.truncate(k);
     Ok(scores)
 }
@@ -90,11 +97,7 @@ pub fn level_means(model: &SkillModel, feature: usize) -> Result<Vec<f64>> {
 
 /// Densities/masses of a non-categorical feature evaluated on a grid, one
 /// series per skill level — the raw material for Figs. 4–6 style plots.
-pub fn level_densities(
-    model: &SkillModel,
-    feature: usize,
-    grid: &[f64],
-) -> Result<Vec<Vec<f64>>> {
+pub fn level_densities(model: &SkillModel, feature: usize, grid: &[f64]) -> Result<Vec<Vec<f64>>> {
     model
         .levels()
         .map(|s| {
@@ -110,13 +113,11 @@ pub fn level_densities(
                     }
                     FeatureDistribution::Gamma(d) => Ok(d.pdf(x)),
                     FeatureDistribution::LogNormal(d) => Ok(d.pdf(x)),
-                    FeatureDistribution::Categorical(_) => {
-                        Err(CoreError::FeatureKindMismatch {
-                            feature,
-                            expected: "count or positive",
-                            got: "categorical",
-                        })
-                    }
+                    FeatureDistribution::Categorical(_) => Err(CoreError::FeatureKindMismatch {
+                        feature,
+                        expected: "count or positive",
+                        got: "categorical",
+                    }),
                 })
                 .collect()
         })
@@ -133,7 +134,9 @@ mod tests {
         let schema = FeatureSchema::new(vec![
             FeatureKind::Categorical { cardinality: 3 },
             FeatureKind::Count,
-            FeatureKind::Positive { model: PositiveModel::Gamma },
+            FeatureKind::Positive {
+                model: PositiveModel::Gamma,
+            },
         ])
         .unwrap();
         let cells = vec![
@@ -304,7 +307,9 @@ mod progression_tests {
 
     #[test]
     fn no_progression_yields_nan_mean() {
-        let a = SkillAssignments { per_user: vec![vec![2, 2, 2]] };
+        let a = SkillAssignments {
+            per_user: vec![vec![2, 2, 2]],
+        };
         let s = progression_stats(&a, 3);
         assert_eq!(s.n_progressed, 0);
         assert!(s.mean_actions_to_first_advance.is_nan());

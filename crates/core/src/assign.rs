@@ -7,6 +7,7 @@
 //! assignment that maximizes the sequence log-likelihood under the current
 //! model parameters. Complexity: `O(|A_u| · F · S)`.
 
+use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
 use crate::model::SkillModel;
 use crate::types::{ActionSequence, Dataset, SkillAssignments, SkillLevel};
@@ -21,42 +22,35 @@ pub struct SequenceAssignment {
     pub log_likelihood: f64,
 }
 
-/// Assigns skill levels to one sequence via the monotone DP.
+/// The monotone Viterbi DP over abstract emission rows.
 ///
-/// The initial skill is unconstrained (users may enter the data already
-/// skilled); between consecutive actions the level either stays or
-/// increments by one.
-pub fn assign_sequence(
-    model: &SkillModel,
-    dataset: &Dataset,
-    sequence: &ActionSequence,
-) -> Result<SequenceAssignment> {
-    let s_max = model.n_levels();
-    let n = sequence.len();
-    if n == 0 {
-        return Ok(SequenceAssignment { levels: Vec::new(), log_likelihood: 0.0 });
-    }
-
-    // Per-action emission scores: emit[t * s_max + (s-1)].
-    let mut emit = vec![0.0f64; n * s_max];
-    for (t, action) in sequence.actions().iter().enumerate() {
-        let features = dataset.item_features(action.item);
-        for s in 0..s_max {
-            emit[t * s_max + s] = model.item_log_likelihood(features, (s + 1) as SkillLevel);
-        }
-    }
-
+/// `row_of(t)` yields the length-`s_max` emission vector of action `t`
+/// (`row[s - 1] = log P(i_t | s)`). Both the direct path (a per-sequence
+/// emission buffer) and the table-backed path (rows borrowed straight from
+/// an [`EmissionTable`], no per-action allocation) funnel through this one
+/// implementation, so their tie-breaking and backtracking are identical by
+/// construction.
+fn dp_over_rows<'a, F>(s_max: usize, n: usize, row_of: F) -> Result<SequenceAssignment>
+where
+    F: Fn(usize) -> &'a [f64],
+{
+    debug_assert!(n > 0);
     // Forward pass. `prev[s]` = best score ending at level s+1.
-    let mut prev: Vec<f64> = emit[..s_max].to_vec();
+    let mut prev: Vec<f64> = row_of(0).to_vec();
     let mut curr = vec![f64::NEG_INFINITY; s_max];
     // backpointer[t][s] = true if the level advanced (came from s-1).
     let mut advanced = vec![false; n * s_max];
     for t in 1..n {
+        let emit_t = row_of(t);
         for s in 0..s_max {
             let stay = prev[s];
-            let up = if s > 0 { prev[s - 1] } else { f64::NEG_INFINITY };
+            let up = if s > 0 {
+                prev[s - 1]
+            } else {
+                f64::NEG_INFINITY
+            };
             let (best, from_below) = if up > stay { (up, true) } else { (stay, false) };
-            curr[s] = best + emit[t * s_max + s];
+            curr[s] = best + emit_t[s];
             advanced[t * s_max + s] = from_below;
         }
         std::mem::swap(&mut prev, &mut curr);
@@ -89,14 +83,117 @@ pub fn assign_sequence(
         }
     }
     debug_assert!(levels.windows(2).all(|w| w[0] <= w[1]));
-    Ok(SequenceAssignment { levels, log_likelihood: best_ll })
+    Ok(SequenceAssignment {
+        levels,
+        log_likelihood: best_ll,
+    })
+}
+
+/// Assigns skill levels to one sequence via the monotone DP.
+///
+/// The initial skill is unconstrained (users may enter the data already
+/// skilled); between consecutive actions the level either stays or
+/// increments by one.
+///
+/// Evaluates emissions directly (`O(n · F · S)` distribution calls). When
+/// assigning many sequences against one model, build an [`EmissionTable`]
+/// and use [`assign_sequence_with_table`] instead.
+pub fn assign_sequence(
+    model: &SkillModel,
+    dataset: &Dataset,
+    sequence: &ActionSequence,
+) -> Result<SequenceAssignment> {
+    let s_max = model.n_levels();
+    let n = sequence.len();
+    if n == 0 {
+        return Ok(SequenceAssignment {
+            levels: Vec::new(),
+            log_likelihood: 0.0,
+        });
+    }
+
+    // Per-action emission scores: emit[t * s_max + (s-1)].
+    let mut emit = vec![0.0f64; n * s_max];
+    for (t, action) in sequence.actions().iter().enumerate() {
+        let features = dataset.item_features(action.item);
+        for s in 0..s_max {
+            emit[t * s_max + s] = model.item_log_likelihood(features, (s + 1) as SkillLevel);
+        }
+    }
+    dp_over_rows(s_max, n, |t| &emit[t * s_max..(t + 1) * s_max])
+}
+
+/// Assigns skill levels to one sequence, reading emissions from a
+/// precomputed [`EmissionTable`].
+///
+/// The DP inner loop walks table rows in place — no per-action emission
+/// buffer is allocated and no distribution is evaluated. Produces exactly
+/// the same assignment as [`assign_sequence`] with the model the table was
+/// built from.
+pub fn assign_sequence_with_table(
+    table: &EmissionTable,
+    sequence: &ActionSequence,
+) -> Result<SequenceAssignment> {
+    let n = sequence.len();
+    if n == 0 {
+        return Ok(SequenceAssignment {
+            levels: Vec::new(),
+            log_likelihood: 0.0,
+        });
+    }
+    let actions = sequence.actions();
+    for action in actions {
+        if action.item as usize >= table.n_items() {
+            return Err(CoreError::FeatureIndexOutOfBounds {
+                index: action.item as usize,
+                len: table.n_items(),
+            });
+        }
+    }
+    dp_over_rows(table.n_levels(), n, |t| table.row(actions[t].item))
 }
 
 /// Assigns every sequence in the dataset sequentially.
 ///
 /// Returns the assignments plus the total data log-likelihood (Eq. 3
 /// evaluated at the optimum of the assignment step).
+///
+/// Builds a shared [`EmissionTable`] once and reuses it for every
+/// sequence — `O(n_items · F · S)` distribution evaluations instead of
+/// `O(Σ_u |A_u| · F · S)`. Use [`assign_all_direct`] to skip the table
+/// (e.g. when a model is consulted for a single pass over few actions).
 pub fn assign_all(model: &SkillModel, dataset: &Dataset) -> Result<(SkillAssignments, f64)> {
+    let table = EmissionTable::build(model, dataset);
+    assign_all_with_table(&table, dataset)
+}
+
+/// Assigns every sequence against an existing [`EmissionTable`].
+pub fn assign_all_with_table(
+    table: &EmissionTable,
+    dataset: &Dataset,
+) -> Result<(SkillAssignments, f64)> {
+    if table.n_items() < dataset.n_items() {
+        return Err(CoreError::LengthMismatch {
+            context: "emission table items vs dataset items",
+            left: table.n_items(),
+            right: dataset.n_items(),
+        });
+    }
+    let mut per_user = Vec::with_capacity(dataset.n_users());
+    let mut total_ll = 0.0;
+    for seq in dataset.sequences() {
+        let a = assign_sequence_with_table(table, seq)?;
+        total_ll += a.log_likelihood;
+        per_user.push(a.levels);
+    }
+    Ok((SkillAssignments { per_user }, total_ll))
+}
+
+/// Assigns every sequence without the shared emission table, evaluating
+/// distributions per action. Kept as the measurable baseline for the
+/// table-backed path (see `ParallelConfig::emission` and the assignment
+/// benches); semantically identical to [`assign_all`].
+pub fn assign_all_direct(model: &SkillModel, dataset: &Dataset) -> Result<(SkillAssignments, f64)> {
     let mut per_user = Vec::with_capacity(dataset.n_users());
     let mut total_ll = 0.0;
     for seq in dataset.sequences() {
@@ -121,7 +218,10 @@ pub fn assign_sequence_bruteforce(
     let s_max = model.n_levels();
     let n = sequence.len();
     if n == 0 {
-        return Ok(SequenceAssignment { levels: Vec::new(), log_likelihood: 0.0 });
+        return Ok(SequenceAssignment {
+            levels: Vec::new(),
+            log_likelihood: 0.0,
+        });
     }
     let emissions: Vec<Vec<f64>> = sequence
         .actions()
@@ -148,7 +248,10 @@ pub fn assign_sequence_bruteforce(
                 None => true,
             };
             if better {
-                *best = Some(SequenceAssignment { levels: path.clone(), log_likelihood: ll });
+                *best = Some(SequenceAssignment {
+                    levels: path.clone(),
+                    log_likelihood: ll,
+                });
             }
         } else {
             recurse(emissions, s_max, t + 1, s, ll, path, best);
@@ -199,8 +302,9 @@ mod tests {
             cardinality: s_max as u32,
         }])
         .unwrap();
-        let items: Vec<Vec<FeatureValue>> =
-            (0..s_max as u32).map(|c| vec![FeatureValue::Categorical(c)]).collect();
+        let items: Vec<Vec<FeatureValue>> = (0..s_max as u32)
+            .map(|c| vec![FeatureValue::Categorical(c)])
+            .collect();
         let actions: Vec<Action> = item_cats
             .iter()
             .enumerate()
@@ -291,12 +395,12 @@ mod tests {
     #[test]
     fn assign_all_sums_loglikelihoods() {
         let model = diagonal_model(2);
-        let schema =
-            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
-        let items =
-            vec![vec![FeatureValue::Categorical(0)], vec![FeatureValue::Categorical(1)]];
-        let s0 = ActionSequence::new(0, vec![Action::new(0, 0, 0), Action::new(1, 0, 1)])
-            .unwrap();
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
+        let items = vec![
+            vec![FeatureValue::Categorical(0)],
+            vec![FeatureValue::Categorical(1)],
+        ];
+        let s0 = ActionSequence::new(0, vec![Action::new(0, 0, 0), Action::new(1, 0, 1)]).unwrap();
         let s1 = ActionSequence::new(1, vec![Action::new(0, 1, 1)]).unwrap();
         let ds = Dataset::new(schema, items, vec![s0.clone(), s1.clone()]).unwrap();
         let (assignments, total) = assign_all(&model, &ds).unwrap();
@@ -305,5 +409,39 @@ mod tests {
         assert!((total - (a0.log_likelihood + a1.log_likelihood)).abs() < 1e-12);
         assert!(assignments.is_monotone());
         assert_eq!(assignments.n_actions(), 3);
+    }
+
+    #[test]
+    fn table_backed_assignment_is_bitwise_identical() {
+        let model = diagonal_model(4);
+        let (ds, seq) = dataset_for(4, &[0, 1, 1, 3, 2, 0, 3]);
+        let table = EmissionTable::build(&model, &ds);
+        let direct = assign_sequence(&model, &ds, &seq).unwrap();
+        let tabled = assign_sequence_with_table(&table, &seq).unwrap();
+        assert_eq!(direct.levels, tabled.levels);
+        assert_eq!(direct.log_likelihood, tabled.log_likelihood);
+
+        let (a_direct, ll_direct) = assign_all_direct(&model, &ds).unwrap();
+        let (a_table, ll_table) = assign_all(&model, &ds).unwrap();
+        assert_eq!(a_direct, a_table);
+        assert_eq!(ll_direct, ll_table);
+    }
+
+    #[test]
+    fn table_assignment_rejects_unknown_items() {
+        let model = diagonal_model(2);
+        let (ds, _) = dataset_for(2, &[0, 1]);
+        let table = EmissionTable::build(&model, &ds);
+        // A sequence that references an item the table does not cover.
+        let rogue = ActionSequence::new(5, vec![Action::new(0, 5, 7)]).unwrap();
+        assert!(matches!(
+            assign_sequence_with_table(&table, &rogue),
+            Err(CoreError::FeatureIndexOutOfBounds { .. })
+        ));
+        // Empty sequences stay trivial through the table path too.
+        let empty = ActionSequence::new(6, vec![]).unwrap();
+        let a = assign_sequence_with_table(&table, &empty).unwrap();
+        assert!(a.levels.is_empty());
+        assert_eq!(a.log_likelihood, 0.0);
     }
 }

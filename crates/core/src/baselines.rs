@@ -52,15 +52,14 @@ pub fn uniform_baseline(
 /// - `project_features(ds, &[], true)` — the **ID** baseline's view.
 /// - `project_features(ds, &[2], true)` — an **ID+feature** ablation.
 /// - `project_features(ds, &(0..F), false)` — identity (sans ID).
-pub fn project_features(
-    dataset: &Dataset,
-    keep: &[usize],
-    include_id: bool,
-) -> Result<Dataset> {
+pub fn project_features(dataset: &Dataset, keep: &[usize], include_id: bool) -> Result<Dataset> {
     let schema = dataset.schema();
     for &f in keep {
         if f >= schema.len() {
-            return Err(CoreError::FeatureIndexOutOfBounds { index: f, len: schema.len() });
+            return Err(CoreError::FeatureIndexOutOfBounds {
+                index: f,
+                len: schema.len(),
+            });
         }
     }
     if keep.is_empty() && !include_id {
@@ -114,7 +113,12 @@ mod tests {
         ])
         .unwrap();
         let items: Vec<Vec<FeatureValue>> = (0..3u32)
-            .map(|c| vec![FeatureValue::Categorical(c), FeatureValue::Count(c as u64 * 2)])
+            .map(|c| {
+                vec![
+                    FeatureValue::Categorical(c),
+                    FeatureValue::Count(c as u64 * 2),
+                ]
+            })
             .collect();
         let seq = ActionSequence::new(
             0,

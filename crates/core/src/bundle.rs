@@ -92,12 +92,16 @@ impl ModelBundle {
         }
         if let Some(a) = &self.assignments {
             if !a.is_monotone() {
-                return Err(CoreError::UnsortedSequence { user: 0, position: 0 });
+                return Err(CoreError::UnsortedSequence {
+                    user: 0,
+                    position: 0,
+                });
             }
-            let max_level =
-                a.iter().map(|(_, _, s)| s).max().unwrap_or(1) as usize;
+            let max_level = a.iter().map(|(_, _, s)| s).max().unwrap_or(1) as usize;
             if max_level > self.model.n_levels() {
-                return Err(CoreError::InvalidSkillCount { requested: max_level });
+                return Err(CoreError::InvalidSkillCount {
+                    requested: max_level,
+                });
             }
         }
         Ok(())
@@ -112,15 +116,18 @@ mod tests {
     use crate::types::{Action, ActionSequence, Dataset};
 
     fn trained() -> (TrainResult, TrainConfig) {
-        let schema =
-            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
-        let items =
-            vec![vec![FeatureValue::Categorical(0)], vec![FeatureValue::Categorical(1)]];
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
+        let items = vec![
+            vec![FeatureValue::Categorical(0)],
+            vec![FeatureValue::Categorical(1)],
+        ];
         let sequences: Vec<ActionSequence> = (0..4u32)
             .map(|u| {
                 ActionSequence::new(
                     u,
-                    (0..8).map(|t| Action::new(t, u, u32::from(t >= 4))).collect(),
+                    (0..8)
+                        .map(|t| Action::new(t, u, u32::from(t >= 4)))
+                        .collect(),
                 )
                 .unwrap()
             })

@@ -56,7 +56,8 @@ pub fn symmetric_kl(p: &FeatureDistribution, q: &FeatureDistribution) -> Result<
             // KL(Γ(k₁,θ₁) ‖ Γ(k₂,θ₂)) closed form via digamma/lnΓ.
             use crate::dist::special::{digamma, ln_gamma};
             let kl = |k1: f64, t1: f64, k2: f64, t2: f64| {
-                (k1 - k2) * digamma(k1) - ln_gamma(k1) + ln_gamma(k2)
+                (k1 - k2) * digamma(k1) - ln_gamma(k1)
+                    + ln_gamma(k2)
                     + k2 * (t2 / t1).ln()
                     + k1 * (t1 - t2) / t2
             };
@@ -99,7 +100,11 @@ pub fn feature_informativeness(model: &SkillModel, feature: usize) -> Result<f64
             count += 1;
         }
     }
-    Ok(if count > 0 { total / count as f64 } else { f64::INFINITY })
+    Ok(if count > 0 {
+        total / count as f64
+    } else {
+        f64::INFINITY
+    })
 }
 
 /// Informativeness of every feature, as `(feature index, score)` sorted
@@ -154,9 +159,20 @@ pub fn convergence_summary(trace: &[IterationStats]) -> ConvergenceSummary {
         .all(|w| w[1].log_likelihood >= w[0].log_likelihood - 1e-6);
     let final_churn = trace
         .last()
-        .map(|s| if s.n_changed == usize::MAX { 0 } else { s.n_changed })
+        .map(|s| {
+            if s.n_changed == usize::MAX {
+                0
+            } else {
+                s.n_changed
+            }
+        })
         .unwrap_or(0);
-    ConvergenceSummary { iterations, total_gain, monotone, final_churn }
+    ConvergenceSummary {
+        iterations,
+        total_gain,
+        monotone,
+        final_churn,
+    }
 }
 
 #[cfg(test)]
@@ -167,9 +183,7 @@ mod tests {
 
     #[test]
     fn kl_zero_for_identical_distributions() {
-        let c = FeatureDistribution::Categorical(
-            Categorical::from_probs(vec![0.3, 0.7]).unwrap(),
-        );
+        let c = FeatureDistribution::Categorical(Categorical::from_probs(vec![0.3, 0.7]).unwrap());
         assert!(symmetric_kl(&c, &c).unwrap().abs() < 1e-12);
         let p = FeatureDistribution::Poisson(Poisson::new(4.0).unwrap());
         assert!(symmetric_kl(&p, &p).unwrap().abs() < 1e-12);
@@ -227,20 +241,14 @@ mod tests {
 
     #[test]
     fn kl_disjoint_categorical_support_is_infinite() {
-        let a = FeatureDistribution::Categorical(
-            Categorical::from_probs(vec![1.0, 0.0]).unwrap(),
-        );
-        let b = FeatureDistribution::Categorical(
-            Categorical::from_probs(vec![0.0, 1.0]).unwrap(),
-        );
+        let a = FeatureDistribution::Categorical(Categorical::from_probs(vec![1.0, 0.0]).unwrap());
+        let b = FeatureDistribution::Categorical(Categorical::from_probs(vec![0.0, 1.0]).unwrap());
         assert!(symmetric_kl(&a, &b).unwrap().is_infinite());
     }
 
     #[test]
     fn mixed_families_rejected() {
-        let c = FeatureDistribution::Categorical(
-            Categorical::from_probs(vec![0.5, 0.5]).unwrap(),
-        );
+        let c = FeatureDistribution::Categorical(Categorical::from_probs(vec![0.5, 0.5]).unwrap());
         let p = FeatureDistribution::Poisson(Poisson::new(1.0).unwrap());
         assert!(symmetric_kl(&c, &p).is_err());
     }
@@ -256,7 +264,11 @@ mod tests {
         let cells = (0..3)
             .map(|s| {
                 let p = 0.1 + 0.4 * s as f64;
-                let rate = if flat_counts { 5.0 } else { 2.0 + 4.0 * s as f64 };
+                let rate = if flat_counts {
+                    5.0
+                } else {
+                    2.0 + 4.0 * s as f64
+                };
                 vec![
                     FeatureDistribution::Categorical(
                         Categorical::from_probs(vec![1.0 - p, p]).unwrap(),
@@ -272,7 +284,10 @@ mod tests {
     fn informativeness_ranks_features_correctly() {
         let m = two_feature_model(true); // Poisson flat → uninformative
         let ranking = rank_features(&m).unwrap();
-        assert_eq!(ranking[0].0, 0, "categorical should rank first: {ranking:?}");
+        assert_eq!(
+            ranking[0].0, 0,
+            "categorical should rank first: {ranking:?}"
+        );
         assert!(ranking[1].1 < 1e-9, "flat Poisson should score ~0");
 
         let m2 = two_feature_model(false);
@@ -282,8 +297,12 @@ mod tests {
 
     #[test]
     fn occupancy_entropy_ranges() {
-        let balanced = SkillAssignments { per_user: vec![vec![1, 2, 3], vec![1, 2, 3]] };
-        let collapsed = SkillAssignments { per_user: vec![vec![2, 2, 2, 2, 2, 2]] };
+        let balanced = SkillAssignments {
+            per_user: vec![vec![1, 2, 3], vec![1, 2, 3]],
+        };
+        let collapsed = SkillAssignments {
+            per_user: vec![vec![2, 2, 2, 2, 2, 2]],
+        };
         let h_bal = level_occupancy_entropy(&balanced, 3);
         let h_col = level_occupancy_entropy(&collapsed, 3);
         assert!((h_bal - 3f64.ln()).abs() < 1e-12);
@@ -293,9 +312,21 @@ mod tests {
     #[test]
     fn convergence_summary_reads_trace() {
         let trace = vec![
-            IterationStats { iteration: 1, log_likelihood: -100.0, n_changed: usize::MAX },
-            IterationStats { iteration: 2, log_likelihood: -90.0, n_changed: 12 },
-            IterationStats { iteration: 3, log_likelihood: -89.5, n_changed: 0 },
+            IterationStats {
+                iteration: 1,
+                log_likelihood: -100.0,
+                n_changed: usize::MAX,
+            },
+            IterationStats {
+                iteration: 2,
+                log_likelihood: -90.0,
+                n_changed: 12,
+            },
+            IterationStats {
+                iteration: 3,
+                log_likelihood: -89.5,
+                n_changed: 0,
+            },
         ];
         let s = convergence_summary(&trace);
         assert_eq!(s.iterations, 3);

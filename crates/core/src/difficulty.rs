@@ -13,6 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
 use crate::feature::FeatureValue;
 use crate::model::SkillModel;
@@ -99,7 +100,11 @@ pub fn generation_difficulty_with_prior(
     prior: &[f64],
 ) -> Result<f64> {
     let posterior = model.skill_posterior(features, prior)?;
-    Ok(posterior.iter().enumerate().map(|(idx, &p)| (idx + 1) as f64 * p).sum())
+    Ok(posterior
+        .iter()
+        .enumerate()
+        .map(|(idx, &p)| (idx + 1) as f64 * p)
+        .sum())
 }
 
 /// Generation-based difficulty for one feature tuple under the chosen prior
@@ -122,13 +127,28 @@ pub fn generation_difficulty(
 }
 
 /// Generation-based difficulty of every item in a dataset.
+///
+/// Builds a shared [`EmissionTable`] once: the posterior `P(s | i)` of
+/// Eq. 10 is exactly one table row combined with the prior, so the per-item
+/// cost drops to a row read plus a normalization.
 pub fn generation_difficulty_all(
     model: &SkillModel,
     dataset: &Dataset,
     prior: SkillPrior,
     assignments: Option<&SkillAssignments>,
 ) -> Result<Vec<f64>> {
-    let s = model.n_levels();
+    let table = EmissionTable::build(model, dataset);
+    generation_difficulty_all_with_table(&table, prior, assignments)
+}
+
+/// Generation-based difficulty of every table item from an existing
+/// [`EmissionTable`] — e.g. the one the final training iteration built.
+pub fn generation_difficulty_all_with_table(
+    table: &EmissionTable,
+    prior: SkillPrior,
+    assignments: Option<&SkillAssignments>,
+) -> Result<Vec<f64>> {
+    let s = table.n_levels();
     let prior_vec = match prior {
         SkillPrior::Uniform => vec![1.0 / s as f64; s],
         SkillPrior::Empirical => {
@@ -136,10 +156,8 @@ pub fn generation_difficulty_all(
             empirical_prior(assignments, s)?
         }
     };
-    dataset
-        .items()
-        .iter()
-        .map(|features| generation_difficulty_with_prior(model, features, &prior_vec))
+    (0..table.n_items())
+        .map(|item| table.expected_level(item as ItemId, &prior_vec))
         .collect()
 }
 
@@ -151,8 +169,7 @@ mod tests {
     use crate::types::{Action, ActionSequence};
 
     fn two_level_setup() -> (Dataset, SkillAssignments, SkillModel) {
-        let schema =
-            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
         let items = vec![
             vec![FeatureValue::Categorical(0)], // item 0: "easy"
             vec![FeatureValue::Categorical(1)], // item 1: "hard"
@@ -161,12 +178,18 @@ mod tests {
         // user 0: item0@s1, item0@s1, item1@s2; user 1: item1@s2.
         let s0 = ActionSequence::new(
             0,
-            vec![Action::new(0, 0, 0), Action::new(1, 0, 0), Action::new(2, 0, 1)],
+            vec![
+                Action::new(0, 0, 0),
+                Action::new(1, 0, 0),
+                Action::new(2, 0, 1),
+            ],
         )
         .unwrap();
         let s1 = ActionSequence::new(1, vec![Action::new(0, 1, 1)]).unwrap();
         let ds = Dataset::new(schema.clone(), items, vec![s0, s1]).unwrap();
-        let assignments = SkillAssignments { per_user: vec![vec![1, 1, 2], vec![2]] };
+        let assignments = SkillAssignments {
+            per_user: vec![vec![1, 1, 2], vec![2]],
+        };
         let cells = vec![
             vec![FeatureDistribution::Categorical(
                 Categorical::from_probs(vec![0.9, 0.1]).unwrap(),
@@ -190,7 +213,9 @@ mod tests {
     #[test]
     fn assignment_difficulty_mixed_levels_averages() {
         let (ds, _, _) = two_level_setup();
-        let a = SkillAssignments { per_user: vec![vec![1, 1, 1], vec![2]] };
+        let a = SkillAssignments {
+            per_user: vec![vec![1, 1, 1], vec![2]],
+        };
         // Item 1 selected at levels 1 and 2 → 1.5.
         assert!((assignment_difficulty(&ds, &a, 1).unwrap() - 1.5).abs() < 1e-12);
     }
@@ -209,13 +234,8 @@ mod tests {
     #[test]
     fn generation_estimator_handles_unseen_items() {
         let (ds, a, model) = two_level_setup();
-        let d = generation_difficulty(
-            &model,
-            ds.item_features(2),
-            SkillPrior::Empirical,
-            Some(&a),
-        )
-        .unwrap();
+        let d = generation_difficulty(&model, ds.item_features(2), SkillPrior::Empirical, Some(&a))
+            .unwrap();
         assert!((1.0..=2.0).contains(&d));
         // A "hard" feature tuple should land above the midpoint.
         assert!(d > 1.5);
@@ -225,13 +245,9 @@ mod tests {
     fn generation_difficulty_bounds() {
         let (ds, _, model) = two_level_setup();
         for item in 0..ds.n_items() as u32 {
-            let d = generation_difficulty(
-                &model,
-                ds.item_features(item),
-                SkillPrior::Uniform,
-                None,
-            )
-            .unwrap();
+            let d =
+                generation_difficulty(&model, ds.item_features(item), SkillPrior::Uniform, None)
+                    .unwrap();
             assert!((1.0..=2.0).contains(&d), "difficulty {d} out of [1,S]");
         }
     }
@@ -249,38 +265,26 @@ mod tests {
     fn empirical_prior_shifts_difficulty() {
         let (ds, _, model) = two_level_setup();
         // Heavily skewed prior toward level 1 should pull difficulty down.
-        let d_flat = generation_difficulty_with_prior(
-            &model,
-            ds.item_features(1),
-            &[0.5, 0.5],
-        )
-        .unwrap();
-        let d_skew = generation_difficulty_with_prior(
-            &model,
-            ds.item_features(1),
-            &[0.95, 0.05],
-        )
-        .unwrap();
+        let d_flat =
+            generation_difficulty_with_prior(&model, ds.item_features(1), &[0.5, 0.5]).unwrap();
+        let d_skew =
+            generation_difficulty_with_prior(&model, ds.item_features(1), &[0.95, 0.05]).unwrap();
         assert!(d_skew < d_flat);
     }
 
     #[test]
     fn empirical_without_assignments_errors() {
         let (ds, _, model) = two_level_setup();
-        assert!(generation_difficulty(
-            &model,
-            ds.item_features(0),
-            SkillPrior::Empirical,
-            None
-        )
-        .is_err());
+        assert!(
+            generation_difficulty(&model, ds.item_features(0), SkillPrior::Empirical, None)
+                .is_err()
+        );
     }
 
     #[test]
     fn all_items_at_once_matches_single_calls() {
         let (ds, a, model) = two_level_setup();
-        let all =
-            generation_difficulty_all(&model, &ds, SkillPrior::Empirical, Some(&a)).unwrap();
+        let all = generation_difficulty_all(&model, &ds, SkillPrior::Empirical, Some(&a)).unwrap();
         for (i, &d) in all.iter().enumerate() {
             let single = generation_difficulty(
                 &model,
@@ -290,6 +294,24 @@ mod tests {
             )
             .unwrap();
             assert!((d - single).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn table_backed_difficulty_matches_direct() {
+        let (ds, a, model) = two_level_setup();
+        let table = EmissionTable::build(&model, &ds);
+        for (prior, assignments) in [
+            (SkillPrior::Uniform, None),
+            (SkillPrior::Empirical, Some(&a)),
+        ] {
+            let tabled = generation_difficulty_all_with_table(&table, prior, assignments).unwrap();
+            for (i, &d) in tabled.iter().enumerate() {
+                let direct =
+                    generation_difficulty(&model, ds.item_features(i as u32), prior, assignments)
+                        .unwrap();
+                assert_eq!(d, direct);
+            }
         }
     }
 }

@@ -83,7 +83,10 @@ impl Categorical {
                 reason: "no observations and no smoothing",
             });
         }
-        let probs: Vec<f64> = counts.iter().map(|&c| (lambda + c as f64) / denom).collect();
+        let probs: Vec<f64> = counts
+            .iter()
+            .map(|&c| (lambda + c as f64) / denom)
+            .collect();
         let log_probs = probs.iter().map(|&p| p.ln()).collect();
         Ok(Self { probs, log_probs })
     }
@@ -105,7 +108,10 @@ impl Categorical {
 
     /// Log-probability of category `c` (`-inf` if out of range).
     pub fn log_prob(&self, c: u32) -> f64 {
-        self.log_probs.get(c as usize).copied().unwrap_or(f64::NEG_INFINITY)
+        self.log_probs
+            .get(c as usize)
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY)
     }
 
     /// Full probability vector.
@@ -115,7 +121,11 @@ impl Categorical {
 
     /// Mean of the category index (used by reports, not by the model).
     pub fn mean_index(&self) -> f64 {
-        self.probs.iter().enumerate().map(|(c, &p)| c as f64 * p).sum()
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(c, &p)| c as f64 * p)
+            .sum()
     }
 }
 
@@ -193,9 +203,8 @@ mod tests {
         // The unsmoothed MLE should beat small perturbations of itself.
         let counts = [7u64, 2, 1];
         let d = Categorical::fit_from_counts(&counts, 0.0).unwrap();
-        let ll = |p: &[f64]| -> f64 {
-            counts.iter().zip(p).map(|(&c, &p)| c as f64 * p.ln()).sum()
-        };
+        let ll =
+            |p: &[f64]| -> f64 { counts.iter().zip(p).map(|(&c, &p)| c as f64 * p.ln()).sum() };
         let best = ll(d.probs());
         let mut perturbed = d.probs().to_vec();
         perturbed[0] -= 0.05;

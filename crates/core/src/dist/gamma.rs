@@ -33,13 +33,23 @@ impl Gamma {
     /// Creates a gamma distribution with the given shape and scale.
     pub fn new(shape: f64, scale: f64) -> Result<Self> {
         if !shape.is_finite() || shape <= 0.0 {
-            return Err(CoreError::InvalidProbability { context: "gamma shape", value: shape });
+            return Err(CoreError::InvalidProbability {
+                context: "gamma shape",
+                value: shape,
+            });
         }
         if !scale.is_finite() || scale <= 0.0 {
-            return Err(CoreError::InvalidProbability { context: "gamma scale", value: scale });
+            return Err(CoreError::InvalidProbability {
+                context: "gamma scale",
+                value: scale,
+            });
         }
         let log_norm = -ln_gamma(shape) - shape * scale.ln();
-        Ok(Self { shape, scale, log_norm })
+        Ok(Self {
+            shape,
+            scale,
+            log_norm,
+        })
     }
 
     /// Maximum-likelihood fit via generalized Newton on the shape.
@@ -89,7 +99,10 @@ impl Gamma {
         if k.is_finite() && k > 0.0 {
             Gamma::new(k, m / k)
         } else {
-            Err(CoreError::NoConvergence { routine: "gamma shape MLE", iterations: MAX_ITER })
+            Err(CoreError::NoConvergence {
+                routine: "gamma shape MLE",
+                iterations: MAX_ITER,
+            })
         }
     }
 
@@ -153,7 +166,10 @@ impl SufficientStats {
     /// Accumulates one positive observation with unit weight.
     pub fn push(&mut self, x: f64) -> Result<()> {
         if !x.is_finite() || x <= 0.0 {
-            return Err(CoreError::InvalidProbability { context: "gamma sample", value: x });
+            return Err(CoreError::InvalidProbability {
+                context: "gamma sample",
+                value: x,
+            });
         }
         self.sum += x;
         self.sum_ln += x.ln();
@@ -165,7 +181,10 @@ impl SufficientStats {
     /// Builds statistics from a slice of samples.
     pub fn from_samples(samples: &[f64]) -> Result<Self> {
         if samples.is_empty() {
-            return Err(CoreError::DegenerateFit { distribution: "gamma", reason: "no samples" });
+            return Err(CoreError::DegenerateFit {
+                distribution: "gamma",
+                reason: "no samples",
+            });
         }
         let mut stats = Self::default();
         for &x in samples {
@@ -257,7 +276,9 @@ mod tests {
         // sum of exponentials (shape 4 is integer: Erlang).
         let mut state = 0x12345678u64;
         let mut unif = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let samples: Vec<f64> = (0..20_000)
@@ -276,8 +297,9 @@ mod tests {
 
     #[test]
     fn fit_beats_method_of_moments_in_likelihood() {
-        let samples: Vec<f64> =
-            (1..200).map(|i| 0.2 + (i as f64 * 0.37).sin().abs() * 4.0 + i as f64 * 0.01).collect();
+        let samples: Vec<f64> = (1..200)
+            .map(|i| 0.2 + (i as f64 * 0.37).sin().abs() * 4.0 + i as f64 * 0.01)
+            .collect();
         let mle = Gamma::fit(&samples).unwrap();
         let mom = Gamma::fit_moments(&samples).unwrap();
         let ll = |g: &Gamma| samples.iter().map(|&x| g.log_pdf(x)).sum::<f64>();

@@ -20,7 +20,10 @@ impl LogNormal {
     /// Creates a log-normal with log-mean `mu` and log-std `sigma > 0`.
     pub fn new(mu: f64, sigma: f64) -> Result<Self> {
         if !mu.is_finite() {
-            return Err(CoreError::InvalidProbability { context: "lognormal mu", value: mu });
+            return Err(CoreError::InvalidProbability {
+                context: "lognormal mu",
+                value: mu,
+            });
         }
         if !sigma.is_finite() || sigma <= 0.0 {
             return Err(CoreError::InvalidProbability {
@@ -108,7 +111,9 @@ mod tests {
     #[test]
     fn fit_recovers_parameters_of_logspace_normal() {
         // Deterministic samples whose logs have known mean/std.
-        let logs: Vec<f64> = (0..1000).map(|i| 1.0 + ((i as f64) / 999.0 - 0.5) * 2.0).collect();
+        let logs: Vec<f64> = (0..1000)
+            .map(|i| 1.0 + ((i as f64) / 999.0 - 0.5) * 2.0)
+            .collect();
         let samples: Vec<f64> = logs.iter().map(|&l| l.exp()).collect();
         let d = LogNormal::fit(&samples).unwrap();
         let mean: f64 = logs.iter().sum::<f64>() / logs.len() as f64;

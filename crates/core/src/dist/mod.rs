@@ -42,9 +42,7 @@ impl FeatureDistribution {
     /// treat them as zero-probability paths.
     pub fn log_likelihood(&self, value: &FeatureValue) -> f64 {
         match (self, value) {
-            (FeatureDistribution::Categorical(d), FeatureValue::Categorical(c)) => {
-                d.log_prob(*c)
-            }
+            (FeatureDistribution::Categorical(d), FeatureValue::Categorical(c)) => d.log_prob(*c),
             (FeatureDistribution::Poisson(d), FeatureValue::Count(k)) => d.log_pmf(*k),
             (FeatureDistribution::Gamma(d), FeatureValue::Real(x)) => d.log_pdf(*x),
             (FeatureDistribution::LogNormal(d), FeatureValue::Real(x)) => d.log_pdf(*x),
@@ -56,16 +54,16 @@ impl FeatureDistribution {
     /// when a skill level received no observations in an update step.
     pub fn fallback(kind: FeatureKind) -> Result<Self> {
         match kind {
-            FeatureKind::Categorical { cardinality } => {
-                Ok(FeatureDistribution::Categorical(Categorical::uniform(cardinality)?))
-            }
+            FeatureKind::Categorical { cardinality } => Ok(FeatureDistribution::Categorical(
+                Categorical::uniform(cardinality)?,
+            )),
             FeatureKind::Count => Ok(FeatureDistribution::Poisson(Poisson::new(1.0)?)),
-            FeatureKind::Positive { model: PositiveModel::Gamma } => {
-                Ok(FeatureDistribution::Gamma(Gamma::new(1.0, 1.0)?))
-            }
-            FeatureKind::Positive { model: PositiveModel::LogNormal } => {
-                Ok(FeatureDistribution::LogNormal(LogNormal::new(0.0, 1.0)?))
-            }
+            FeatureKind::Positive {
+                model: PositiveModel::Gamma,
+            } => Ok(FeatureDistribution::Gamma(Gamma::new(1.0, 1.0)?)),
+            FeatureKind::Positive {
+                model: PositiveModel::LogNormal,
+            } => Ok(FeatureDistribution::LogNormal(LogNormal::new(0.0, 1.0)?)),
         }
     }
 }
@@ -101,9 +99,9 @@ impl FeatureAccumulator {
     /// Creates an empty accumulator for the given feature kind.
     pub fn new(kind: FeatureKind) -> Self {
         match kind {
-            FeatureKind::Categorical { cardinality } => {
-                FeatureAccumulator::Categorical { counts: vec![0; cardinality as usize] }
-            }
+            FeatureKind::Categorical { cardinality } => FeatureAccumulator::Categorical {
+                counts: vec![0; cardinality as usize],
+            },
             FeatureKind::Count => FeatureAccumulator::Count { sum: 0.0, n: 0.0 },
             FeatureKind::Positive { model } => FeatureAccumulator::Positive {
                 model,
@@ -134,7 +132,11 @@ impl FeatureAccumulator {
                 Ok(())
             }
             (
-                FeatureAccumulator::Positive { model, stats, log_values },
+                FeatureAccumulator::Positive {
+                    model,
+                    stats,
+                    log_values,
+                },
                 FeatureValue::Real(x),
             ) => {
                 stats.push(*x)?;
@@ -179,8 +181,14 @@ impl FeatureAccumulator {
                 Ok(())
             }
             (
-                FeatureAccumulator::Positive { stats, log_values, .. },
-                FeatureAccumulator::Positive { stats: ostats, log_values: olog, .. },
+                FeatureAccumulator::Positive {
+                    stats, log_values, ..
+                },
+                FeatureAccumulator::Positive {
+                    stats: ostats,
+                    log_values: olog,
+                    ..
+                },
             ) => {
                 stats.merge(ostats);
                 log_values.extend_from_slice(olog);
@@ -197,9 +205,7 @@ impl FeatureAccumulator {
     /// Number of accumulated observations.
     pub fn n_observations(&self) -> f64 {
         match self {
-            FeatureAccumulator::Categorical { counts } => {
-                counts.iter().sum::<u64>() as f64
-            }
+            FeatureAccumulator::Categorical { counts } => counts.iter().sum::<u64>() as f64,
             FeatureAccumulator::Count { n, .. } => *n,
             FeatureAccumulator::Positive { stats, .. } => stats.count(),
         }
@@ -217,14 +223,18 @@ impl FeatureAccumulator {
             FeatureAccumulator::Categorical { counts } => Ok(FeatureDistribution::Categorical(
                 Categorical::fit_from_counts(counts, lambda)?,
             )),
-            FeatureAccumulator::Count { sum, n } => {
-                Ok(FeatureDistribution::Poisson(Poisson::fit_from_moments(*sum, *n)?))
-            }
-            FeatureAccumulator::Positive { model: PositiveModel::Gamma, stats, .. } => {
-                Ok(FeatureDistribution::Gamma(Gamma::fit_from_stats(stats)?))
-            }
+            FeatureAccumulator::Count { sum, n } => Ok(FeatureDistribution::Poisson(
+                Poisson::fit_from_moments(*sum, *n)?,
+            )),
             FeatureAccumulator::Positive {
-                model: PositiveModel::LogNormal, log_values, ..
+                model: PositiveModel::Gamma,
+                stats,
+                ..
+            } => Ok(FeatureDistribution::Gamma(Gamma::fit_from_stats(stats)?)),
+            FeatureAccumulator::Positive {
+                model: PositiveModel::LogNormal,
+                log_values,
+                ..
             } => {
                 let n = log_values.len() as f64;
                 let mu = log_values.iter().sum::<f64>() / n;
@@ -239,13 +249,11 @@ impl FeatureAccumulator {
 
     fn kind(&self) -> FeatureKind {
         match self {
-            FeatureAccumulator::Categorical { counts } => {
-                FeatureKind::Categorical { cardinality: counts.len() as u32 }
-            }
+            FeatureAccumulator::Categorical { counts } => FeatureKind::Categorical {
+                cardinality: counts.len() as u32,
+            },
             FeatureAccumulator::Count { .. } => FeatureKind::Count,
-            FeatureAccumulator::Positive { model, .. } => {
-                FeatureKind::Positive { model: *model }
-            }
+            FeatureAccumulator::Positive { model, .. } => FeatureKind::Positive { model: *model },
         }
     }
 
@@ -260,19 +268,27 @@ mod tests {
 
     #[test]
     fn log_likelihood_dispatches_by_kind() {
-        let cat = FeatureDistribution::Categorical(
-            Categorical::from_probs(vec![0.25, 0.75]).unwrap(),
-        );
+        let cat =
+            FeatureDistribution::Categorical(Categorical::from_probs(vec![0.25, 0.75]).unwrap());
         assert!((cat.log_likelihood(&FeatureValue::Categorical(1)) - 0.75f64.ln()).abs() < 1e-12);
-        assert_eq!(cat.log_likelihood(&FeatureValue::Count(1)), f64::NEG_INFINITY);
+        assert_eq!(
+            cat.log_likelihood(&FeatureValue::Count(1)),
+            f64::NEG_INFINITY
+        );
 
         let poi = FeatureDistribution::Poisson(Poisson::new(2.0).unwrap());
         assert!(poi.log_likelihood(&FeatureValue::Count(3)).is_finite());
-        assert_eq!(poi.log_likelihood(&FeatureValue::Real(3.0)), f64::NEG_INFINITY);
+        assert_eq!(
+            poi.log_likelihood(&FeatureValue::Real(3.0)),
+            f64::NEG_INFINITY
+        );
 
         let gam = FeatureDistribution::Gamma(Gamma::new(2.0, 1.0).unwrap());
         assert!(gam.log_likelihood(&FeatureValue::Real(1.5)).is_finite());
-        assert_eq!(gam.log_likelihood(&FeatureValue::Categorical(0)), f64::NEG_INFINITY);
+        assert_eq!(
+            gam.log_likelihood(&FeatureValue::Categorical(0)),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]
@@ -303,8 +319,9 @@ mod tests {
 
     #[test]
     fn accumulator_roundtrip_gamma() {
-        let mut acc =
-            FeatureAccumulator::new(FeatureKind::Positive { model: PositiveModel::Gamma });
+        let mut acc = FeatureAccumulator::new(FeatureKind::Positive {
+            model: PositiveModel::Gamma,
+        });
         for &x in &[1.0, 2.0, 3.0, 4.0, 2.5, 1.5] {
             acc.push(&FeatureValue::Real(x)).unwrap();
         }
@@ -316,8 +333,9 @@ mod tests {
 
     #[test]
     fn accumulator_roundtrip_lognormal() {
-        let mut acc =
-            FeatureAccumulator::new(FeatureKind::Positive { model: PositiveModel::LogNormal });
+        let mut acc = FeatureAccumulator::new(FeatureKind::Positive {
+            model: PositiveModel::LogNormal,
+        });
         for &x in &[1.0, std::f64::consts::E] {
             acc.push(&FeatureValue::Real(x)).unwrap();
         }
@@ -332,8 +350,12 @@ mod tests {
         for kind in [
             FeatureKind::Categorical { cardinality: 4 },
             FeatureKind::Count,
-            FeatureKind::Positive { model: PositiveModel::Gamma },
-            FeatureKind::Positive { model: PositiveModel::LogNormal },
+            FeatureKind::Positive {
+                model: PositiveModel::Gamma,
+            },
+            FeatureKind::Positive {
+                model: PositiveModel::LogNormal,
+            },
         ] {
             let acc = FeatureAccumulator::new(kind);
             let dist = acc.fit(0.01).unwrap();
@@ -368,7 +390,9 @@ mod tests {
         b.push(&FeatureValue::Categorical(2)).unwrap();
         b.push(&FeatureValue::Categorical(2)).unwrap();
         a.merge(&b).unwrap();
-        let FeatureAccumulator::Categorical { counts } = &a else { panic!() };
+        let FeatureAccumulator::Categorical { counts } = &a else {
+            panic!()
+        };
         assert_eq!(counts, &vec![1, 0, 2]);
     }
 

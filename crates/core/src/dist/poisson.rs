@@ -24,9 +24,15 @@ impl Poisson {
     /// Creates a Poisson with the given rate.
     pub fn new(rate: f64) -> Result<Self> {
         if !rate.is_finite() || rate <= 0.0 {
-            return Err(CoreError::InvalidProbability { context: "poisson rate", value: rate });
+            return Err(CoreError::InvalidProbability {
+                context: "poisson rate",
+                value: rate,
+            });
         }
-        Ok(Self { rate, ln_rate: rate.ln() })
+        Ok(Self {
+            rate,
+            ln_rate: rate.ln(),
+        })
     }
 
     /// Closed-form MLE (Eq. 7): the sample mean, floored at [`MIN_RATE`].

@@ -56,10 +56,9 @@ pub fn digamma(x: f64) -> f64 {
     // Asymptotic: ψ(x) ≈ ln x − 1/(2x) − Σ B_{2k}/(2k x^{2k})
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    acc + x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 / 240.0)))
+    acc + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 / 240.0)))
 }
 
 /// Trigamma function ψ′(x), for `x > 0`.
@@ -78,9 +77,7 @@ pub fn trigamma(x: f64) -> f64 {
         * (1.0
             + inv
                 * (0.5
-                    + inv
-                        * (1.0 / 6.0
-                            - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0)))))
+                    + inv * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0)))))
 }
 
 /// Exact `ln(n!)` for small `n`; `ln_gamma(n + 1)` otherwise.

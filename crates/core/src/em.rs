@@ -9,11 +9,12 @@
 //! benchmarks quantify the hard-vs-soft trade-off on the same substrate.
 
 use crate::dist::{Categorical, FeatureDistribution, Gamma, LogNormal, Poisson};
+use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
 use crate::feature::{FeatureKind, FeatureValue, PositiveModel};
 use crate::model::SkillModel;
 use crate::transition::TransitionModel;
-use crate::types::{Dataset, SkillLevel};
+use crate::types::{ActionSequence, Dataset, SkillLevel};
 
 /// Numerically stable `log(Σ exp(x_i))`.
 fn log_sum_exp(xs: &[f64]) -> f64 {
@@ -25,11 +26,15 @@ fn log_sum_exp(xs: &[f64]) -> f64 {
 }
 
 /// Posterior skill marginals for one sequence: `gammas[n][s-1]`.
+///
+/// Evaluates emissions directly. When running forward–backward over many
+/// sequences against one model (as [`train_em`] does every iteration),
+/// prefer [`forward_backward_with_table`].
 pub fn forward_backward(
     model: &SkillModel,
     transitions: &TransitionModel,
     dataset: &Dataset,
-    sequence: &crate::types::ActionSequence,
+    sequence: &ActionSequence,
 ) -> Result<(Vec<Vec<f64>>, f64)> {
     let s_max = model.n_levels();
     if transitions.n_levels() != s_max {
@@ -48,6 +53,55 @@ pub fn forward_backward(
         .iter()
         .map(|a| model.item_log_likelihoods(dataset.item_features(a.item)))
         .collect();
+    forward_backward_rows(s_max, transitions, n, |t| emit[t].as_slice())
+}
+
+/// Forward–backward reading emissions from a precomputed [`EmissionTable`].
+///
+/// Produces exactly the same marginals and evidence as
+/// [`forward_backward`] with the model the table was built from, without
+/// the per-action `item_log_likelihoods` allocations.
+pub fn forward_backward_with_table(
+    table: &EmissionTable,
+    transitions: &TransitionModel,
+    sequence: &ActionSequence,
+) -> Result<(Vec<Vec<f64>>, f64)> {
+    let s_max = table.n_levels();
+    if transitions.n_levels() != s_max {
+        return Err(CoreError::LengthMismatch {
+            context: "transitions vs model levels",
+            left: transitions.n_levels(),
+            right: s_max,
+        });
+    }
+    let n = sequence.len();
+    if n == 0 {
+        return Ok((Vec::new(), 0.0));
+    }
+    let actions = sequence.actions();
+    for action in actions {
+        if action.item as usize >= table.n_items() {
+            return Err(CoreError::FeatureIndexOutOfBounds {
+                index: action.item as usize,
+                len: table.n_items(),
+            });
+        }
+    }
+    forward_backward_rows(s_max, transitions, n, |t| table.row(actions[t].item))
+}
+
+/// The forward–backward recursion over abstract emission rows; both the
+/// direct and table-backed entry points funnel through this implementation.
+fn forward_backward_rows<'a, F>(
+    s_max: usize,
+    transitions: &TransitionModel,
+    n: usize,
+    row_of: F,
+) -> Result<(Vec<Vec<f64>>, f64)>
+where
+    F: Fn(usize) -> &'a [f64],
+{
+    let emit: Vec<&[f64]> = (0..n).map(&row_of).collect();
 
     // Forward (log alpha).
     let mut alpha = vec![vec![f64::NEG_INFINITY; s_max]; n];
@@ -77,9 +131,8 @@ pub fn forward_backward(
     let mut beta = vec![vec![0.0f64; s_max]; n];
     for t in (0..n - 1).rev() {
         for s in 0..s_max {
-            let stay = transitions.log_stay((s + 1) as SkillLevel)
-                + emit[t + 1][s]
-                + beta[t + 1][s];
+            let stay =
+                transitions.log_stay((s + 1) as SkillLevel) + emit[t + 1][s] + beta[t + 1][s];
             let up = if s + 1 < s_max {
                 transitions.log_advance((s + 1) as SkillLevel)
                     + emit[t + 1][s + 1]
@@ -106,21 +159,39 @@ pub fn forward_backward(
 
 /// Weighted per-cell statistics for the M-step.
 enum WeightedAcc {
-    Categorical { weights: Vec<f64> },
-    Count { sum: f64, weight: f64 },
-    Positive { model: PositiveModel, w: f64, wx: f64, wlnx: f64, wlnx2: f64 },
+    Categorical {
+        weights: Vec<f64>,
+    },
+    Count {
+        sum: f64,
+        weight: f64,
+    },
+    Positive {
+        model: PositiveModel,
+        w: f64,
+        wx: f64,
+        wlnx: f64,
+        wlnx2: f64,
+    },
 }
 
 impl WeightedAcc {
     fn new(kind: FeatureKind) -> Self {
         match kind {
-            FeatureKind::Categorical { cardinality } => {
-                WeightedAcc::Categorical { weights: vec![0.0; cardinality as usize] }
-            }
-            FeatureKind::Count => WeightedAcc::Count { sum: 0.0, weight: 0.0 },
-            FeatureKind::Positive { model } => {
-                WeightedAcc::Positive { model, w: 0.0, wx: 0.0, wlnx: 0.0, wlnx2: 0.0 }
-            }
+            FeatureKind::Categorical { cardinality } => WeightedAcc::Categorical {
+                weights: vec![0.0; cardinality as usize],
+            },
+            FeatureKind::Count => WeightedAcc::Count {
+                sum: 0.0,
+                weight: 0.0,
+            },
+            FeatureKind::Positive { model } => WeightedAcc::Positive {
+                model,
+                w: 0.0,
+                wx: 0.0,
+                wlnx: 0.0,
+                wlnx2: 0.0,
+            },
         }
     }
 
@@ -143,7 +214,12 @@ impl WeightedAcc {
                 *w += weight;
                 Ok(())
             }
-            (WeightedAcc::Positive { w, wx, wlnx, wlnx2, .. }, FeatureValue::Real(x)) => {
+            (
+                WeightedAcc::Positive {
+                    w, wx, wlnx, wlnx2, ..
+                },
+                FeatureValue::Real(x),
+            ) => {
                 let lx = x.ln();
                 *w += weight;
                 *wx += weight * x;
@@ -170,7 +246,9 @@ impl WeightedAcc {
                     });
                 }
                 let probs: Vec<f64> = weights.iter().map(|&w| (w + lambda) / denom).collect();
-                Ok(FeatureDistribution::Categorical(Categorical::from_probs(probs)?))
+                Ok(FeatureDistribution::Categorical(Categorical::from_probs(
+                    probs,
+                )?))
             }
             WeightedAcc::Count { sum, weight } => {
                 if *weight <= 0.0 {
@@ -180,11 +258,15 @@ impl WeightedAcc {
                     (sum / weight).max(crate::dist::poisson::MIN_RATE),
                 )?))
             }
-            WeightedAcc::Positive { model, w, wx, wlnx, wlnx2 } => {
+            WeightedAcc::Positive {
+                model,
+                w,
+                wx,
+                wlnx,
+                wlnx2,
+            } => {
                 if *w <= 0.0 {
-                    return FeatureDistribution::fallback(FeatureKind::Positive {
-                        model: *model,
-                    });
+                    return FeatureDistribution::fallback(FeatureKind::Positive { model: *model });
                 }
                 match model {
                     PositiveModel::Gamma => {
@@ -193,19 +275,13 @@ impl WeightedAcc {
                         let s = (m.ln() - mean_ln).max(0.0);
                         if s < 1e-12 {
                             let shape = 1e6;
-                            return Ok(FeatureDistribution::Gamma(Gamma::new(
-                                shape,
-                                m / shape,
-                            )?));
+                            return Ok(FeatureDistribution::Gamma(Gamma::new(shape, m / shape)?));
                         }
                         // Same generalized-Newton iteration as the unweighted fit.
-                        let mut k =
-                            (3.0 - s + ((s - 3.0).powi(2) + 24.0 * s).sqrt()) / (12.0 * s);
+                        let mut k = (3.0 - s + ((s - 3.0).powi(2) + 24.0 * s).sqrt()) / (12.0 * s);
                         for _ in 0..200 {
-                            let num = m.ln() - mean_ln + k.ln()
-                                - crate::dist::special::digamma(k);
-                            let den =
-                                k * k * (1.0 / k - crate::dist::special::trigamma(k));
+                            let num = m.ln() - mean_ln + k.ln() - crate::dist::special::digamma(k);
+                            let den = k * k * (1.0 / k - crate::dist::special::trigamma(k));
                             let inv = 1.0 / k + num / den;
                             if !inv.is_finite() || inv <= 0.0 {
                                 break;
@@ -270,11 +346,20 @@ pub fn train_em(
     for _ in 0..max_iterations {
         // E-step: accumulate weighted stats over all sequences.
         let mut grid: Vec<Vec<WeightedAcc>> = (0..n_levels)
-            .map(|_| schema.kinds().iter().map(|&k| WeightedAcc::new(k)).collect())
+            .map(|_| {
+                schema
+                    .kinds()
+                    .iter()
+                    .map(|&k| WeightedAcc::new(k))
+                    .collect()
+            })
             .collect();
+        // One emission table per iteration: the E-step revisits every
+        // action but only n_items × S distinct emission values exist.
+        let table = EmissionTable::build(&model, dataset);
         let mut evidence = 0.0;
         for seq in dataset.sequences() {
-            let (gammas, log_ev) = forward_backward(&model, transitions, dataset, seq)?;
+            let (gammas, log_ev) = forward_backward_with_table(&table, transitions, seq)?;
             evidence += log_ev;
             for (action, gamma) in seq.actions().iter().zip(&gammas) {
                 let features = dataset.item_features(action.item);
@@ -306,7 +391,11 @@ pub fn train_em(
             }
         }
     }
-    Ok(EmResult { model, evidence_trace: trace, converged })
+    Ok(EmResult {
+        model,
+        evidence_trace: trace,
+        converged,
+    })
 }
 
 #[cfg(test)]
@@ -317,10 +406,11 @@ mod tests {
     use crate::types::{Action, ActionSequence};
 
     fn progression_dataset() -> Dataset {
-        let schema =
-            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
-        let items =
-            vec![vec![FeatureValue::Categorical(0)], vec![FeatureValue::Categorical(1)]];
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
+        let items = vec![
+            vec![FeatureValue::Categorical(0)],
+            vec![FeatureValue::Categorical(1)],
+        ];
         let sequences: Vec<ActionSequence> = (0..6u32)
             .map(|u| {
                 ActionSequence::new(
@@ -338,7 +428,10 @@ mod tests {
     #[test]
     fn log_sum_exp_basics() {
         assert!((log_sum_exp(&[0.0, 0.0]) - 2.0f64.ln()).abs() < 1e-12);
-        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert_eq!(
+            log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
         let big = log_sum_exp(&[1000.0, 1000.0]);
         assert!((big - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
     }
@@ -360,6 +453,23 @@ mod tests {
     }
 
     #[test]
+    fn table_backed_forward_backward_matches_direct() {
+        let ds = progression_dataset();
+        let model = initialize_model(&ds, 2, 5, 0.01).unwrap();
+        let trans = TransitionModel::uninformative(2).unwrap();
+        let table = EmissionTable::build(&model, &ds);
+        for seq in ds.sequences() {
+            let (g_direct, ev_direct) = forward_backward(&model, &trans, &ds, seq).unwrap();
+            let (g_table, ev_table) = forward_backward_with_table(&table, &trans, seq).unwrap();
+            assert_eq!(g_direct, g_table);
+            assert_eq!(ev_direct, ev_table);
+        }
+        // Item ids outside the table are rejected, not read out of bounds.
+        let rogue = ActionSequence::new(99, vec![Action::new(0, 99, 77)]).unwrap();
+        assert!(forward_backward_with_table(&table, &trans, &rogue).is_err());
+    }
+
+    #[test]
     fn em_evidence_is_monotone_without_smoothing() {
         // With λ = 0 the M-step is the exact evidence maximizer, so EM's
         // classic monotonicity guarantee holds. (With λ > 0 the M-step
@@ -369,7 +479,11 @@ mod tests {
         let trans = TransitionModel::uninformative(2).unwrap();
         let result = train_em(&ds, initial, &trans, 0.0, 20, 1e-9).unwrap();
         for w in result.evidence_trace.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "evidence decreased: {:?}", result.evidence_trace);
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "evidence decreased: {:?}",
+                result.evidence_trace
+            );
         }
     }
 
@@ -381,8 +495,7 @@ mod tests {
         let result = train_em(&ds, initial, &trans, 0.01, 50, 1e-9).unwrap();
         assert!(result.converged);
         let last = result.evidence_trace.len() - 1;
-        let delta =
-            (result.evidence_trace[last] - result.evidence_trace[last - 1]).abs();
+        let delta = (result.evidence_trace[last] - result.evidence_trace[last - 1]).abs();
         assert!(delta < 1e-6, "trace: {:?}", result.evidence_trace);
     }
 
@@ -395,12 +508,10 @@ mod tests {
         let easy = vec![FeatureValue::Categorical(0)];
         let hard = vec![FeatureValue::Categorical(1)];
         assert!(
-            result.model.item_log_likelihood(&easy, 1)
-                > result.model.item_log_likelihood(&easy, 2)
+            result.model.item_log_likelihood(&easy, 1) > result.model.item_log_likelihood(&easy, 2)
         );
         assert!(
-            result.model.item_log_likelihood(&hard, 2)
-                > result.model.item_log_likelihood(&hard, 1)
+            result.model.item_log_likelihood(&hard, 2) > result.model.item_log_likelihood(&hard, 1)
         );
     }
 
@@ -441,7 +552,9 @@ mod tests {
         let model = SkillModel::new(
             schema,
             1,
-            vec![vec![FeatureDistribution::Poisson(Poisson::new(1.0).unwrap())]],
+            vec![vec![FeatureDistribution::Poisson(
+                Poisson::new(1.0).unwrap(),
+            )]],
         )
         .unwrap();
         let trans = TransitionModel::uninformative(1).unwrap();

@@ -1,0 +1,434 @@
+//! Shared emission table: `log P(i | s)` for every item × skill level.
+//!
+//! The assignment DP, the EM posteriors, generation difficulty, prediction
+//! and recommendation all evaluate the same emission score
+//! `log P(i | s) = Σ_f log P_f(i_f | θ_f(s))` (Eq. 2). That score depends
+//! only on the *item*, not on where the action sits in a sequence — and a
+//! dataset has far more actions than distinct items (`Σ_u |A_u| ≫ n_items`).
+//! Building the full `n_items × S` matrix once per training iteration and
+//! reading rows during the DP replaces `O(Σ_u |A_u| · F · S)` distribution
+//! evaluations with `O(n_items · F · S)` plus cheap memory reads.
+//!
+//! The table is a flat row-major `Vec<f64>`: `data[item * S + (s - 1)]`.
+//! One row is the emission vector of one item at all levels, contiguous in
+//! memory, so the DP inner loop walks a cache line instead of re-deriving
+//! log-PMFs. Values are produced by the exact same
+//! [`SkillModel::item_log_likelihood`] calls the direct paths make, so
+//! table-backed and direct computations agree *bitwise*, not approximately.
+
+use crate::error::{CoreError, Result};
+use crate::model::SkillModel;
+use crate::types::{Dataset, ItemId, SkillLevel};
+
+/// Minimum items per stolen work unit in [`EmissionTable::build_parallel`].
+const PARALLEL_CHUNK: usize = 64;
+
+/// Precomputed `n_items × S` matrix of emission log-likelihoods.
+///
+/// Build it once per training iteration (the table is a pure function of
+/// the current model parameters and the item feature matrix) and share it
+/// across every sequence. After an online or forgetting-path model update
+/// that only touches some items, refresh just those rows with
+/// [`EmissionTable::refresh_items`] instead of rebuilding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmissionTable {
+    n_items: usize,
+    n_levels: usize,
+    /// Row-major scores: `data[item * n_levels + (s - 1)]`.
+    data: Vec<f64>,
+}
+
+impl EmissionTable {
+    /// Builds the full table sequentially.
+    ///
+    /// Cost: `n_items · S` calls to [`SkillModel::item_log_likelihood`] —
+    /// the same work the direct assignment path spends on a *single* pass
+    /// over `n_items` actions, amortized here over the whole dataset.
+    pub fn build(model: &SkillModel, dataset: &Dataset) -> Self {
+        let n_items = dataset.n_items();
+        let n_levels = model.n_levels();
+        let mut data = Vec::with_capacity(n_items * n_levels);
+        for item in 0..n_items {
+            let features = dataset.item_features(item as ItemId);
+            for s in 1..=n_levels {
+                data.push(model.item_log_likelihood(features, s as SkillLevel));
+            }
+        }
+        EmissionTable {
+            n_items,
+            n_levels,
+            data,
+        }
+    }
+
+    /// Builds the table with `threads` workers stealing item chunks.
+    ///
+    /// Mirrors the work-stealing pattern of
+    /// [`assign_all_parallel`](crate::parallel::assign_all_parallel): a
+    /// shared atomic cursor hands out chunks of [`PARALLEL_CHUNK`] items so
+    /// uneven feature counts cannot stall a static partition. Falls back to
+    /// the sequential build when one thread (or one chunk) suffices.
+    pub fn build_parallel(model: &SkillModel, dataset: &Dataset, threads: usize) -> Result<Self> {
+        if threads == 0 {
+            return Err(CoreError::InvalidParallelism { threads: 0 });
+        }
+        let n_items = dataset.n_items();
+        let n_levels = model.n_levels();
+        let n_chunks = n_items.div_ceil(PARALLEL_CHUNK).max(1);
+        if threads <= 1 || n_chunks <= 1 {
+            return Ok(Self::build(model, dataset));
+        }
+
+        let n_workers = threads.min(n_chunks);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        type ChunkRows = Vec<(usize, Vec<f64>)>;
+        let results: Vec<Result<ChunkRows>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || -> Result<ChunkRows> {
+                        let mut out: ChunkRows = Vec::new();
+                        loop {
+                            let chunk = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if chunk >= n_chunks {
+                                break;
+                            }
+                            let start = chunk * PARALLEL_CHUNK;
+                            let end = (start + PARALLEL_CHUNK).min(n_items);
+                            let mut rows = Vec::with_capacity((end - start) * n_levels);
+                            for item in start..end {
+                                let features = dataset.item_features(item as ItemId);
+                                for s in 1..=n_levels {
+                                    rows.push(model.item_log_likelihood(features, s as SkillLevel));
+                                }
+                            }
+                            out.push((start, rows));
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or(Err(CoreError::WorkerPanicked {
+                        step: "emission table",
+                    }))
+                })
+                .collect()
+        });
+
+        let mut data = vec![0.0f64; n_items * n_levels];
+        for worker in results {
+            for (start, rows) in worker? {
+                let offset = start * n_levels;
+                data[offset..offset + rows.len()].copy_from_slice(&rows);
+            }
+        }
+        Ok(EmissionTable {
+            n_items,
+            n_levels,
+            data,
+        })
+    }
+
+    /// Number of items (table rows).
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of skill levels `S` (table columns).
+    pub fn n_levels(&self) -> usize {
+        self.n_levels
+    }
+
+    /// The emission vector of one item at all levels (`row[s - 1]`).
+    ///
+    /// # Panics
+    /// Panics if `item` is out of range; use [`EmissionTable::checked_row`]
+    /// when the item id is not already dataset-validated.
+    pub fn row(&self, item: ItemId) -> &[f64] {
+        let i = item as usize;
+        &self.data[i * self.n_levels..(i + 1) * self.n_levels]
+    }
+
+    /// Bounds-checked variant of [`EmissionTable::row`].
+    pub fn checked_row(&self, item: ItemId) -> Option<&[f64]> {
+        let i = item as usize;
+        if i >= self.n_items {
+            return None;
+        }
+        Some(&self.data[i * self.n_levels..(i + 1) * self.n_levels])
+    }
+
+    /// `log P(item | s)`, mirroring [`SkillModel::item_log_likelihood`]:
+    /// out-of-range items or levels score `-inf` (a forbidden DP path)
+    /// rather than erroring.
+    pub fn log_likelihood(&self, item: ItemId, s: SkillLevel) -> f64 {
+        let level = s as usize;
+        if level == 0 || level > self.n_levels {
+            return f64::NEG_INFINITY;
+        }
+        match self.checked_row(item) {
+            Some(row) => row[level - 1],
+            None => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Incremental invalidation: recomputes only the rows of `items`.
+    ///
+    /// Online and forgetting paths that re-fit a handful of item-touching
+    /// distributions can keep the rest of the table warm. The model and
+    /// dataset must have the shapes the table was built with; a stale item
+    /// id is reported, not silently skipped.
+    pub fn refresh_items(
+        &mut self,
+        model: &SkillModel,
+        dataset: &Dataset,
+        items: &[ItemId],
+    ) -> Result<()> {
+        if model.n_levels() != self.n_levels {
+            return Err(CoreError::LengthMismatch {
+                context: "emission table levels vs model levels",
+                left: self.n_levels,
+                right: model.n_levels(),
+            });
+        }
+        if dataset.n_items() != self.n_items {
+            return Err(CoreError::LengthMismatch {
+                context: "emission table items vs dataset items",
+                left: self.n_items,
+                right: dataset.n_items(),
+            });
+        }
+        for &item in items {
+            let i = item as usize;
+            if i >= self.n_items {
+                return Err(CoreError::FeatureIndexOutOfBounds {
+                    index: i,
+                    len: self.n_items,
+                });
+            }
+            let features = dataset.item_features(item);
+            for s in 1..=self.n_levels {
+                self.data[i * self.n_levels + (s - 1)] =
+                    model.item_log_likelihood(features, s as SkillLevel);
+            }
+        }
+        Ok(())
+    }
+
+    /// Posterior `P(s | item)` under a prior `P(s)` (Eq. 10), read from the
+    /// table row. Replicates [`SkillModel::skill_posterior`] step for step
+    /// (same log-space max trick, same impossible-item fallback to the
+    /// normalized prior) so both paths produce identical distributions.
+    pub fn posterior(&self, item: ItemId, prior: &[f64]) -> Result<Vec<f64>> {
+        if prior.len() != self.n_levels {
+            return Err(CoreError::LengthMismatch {
+                context: "skill prior vs levels",
+                left: prior.len(),
+                right: self.n_levels,
+            });
+        }
+        let row = self
+            .checked_row(item)
+            .ok_or(CoreError::FeatureIndexOutOfBounds {
+                index: item as usize,
+                len: self.n_items,
+            })?;
+        let mut log_post: Vec<f64> = row
+            .iter()
+            .zip(prior)
+            .map(|(&ll, &p)| {
+                if p > 0.0 {
+                    ll + p.ln()
+                } else {
+                    f64::NEG_INFINITY
+                }
+            })
+            .collect();
+        let max = log_post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if !max.is_finite() {
+            // The item is impossible under every level; fall back to the
+            // prior itself so downstream code still gets a distribution.
+            let total: f64 = prior.iter().sum();
+            if total <= 0.0 {
+                return Err(CoreError::InvalidProbability {
+                    context: "skill prior sum",
+                    value: total,
+                });
+            }
+            return Ok(prior.iter().map(|&p| p / total).collect());
+        }
+        let mut total = 0.0;
+        for lp in log_post.iter_mut() {
+            *lp = (*lp - max).exp();
+            total += *lp;
+        }
+        for lp in log_post.iter_mut() {
+            *lp /= total;
+        }
+        Ok(log_post)
+    }
+
+    /// Expected skill level `Σ_s s · P(s | item)` — the generation-based
+    /// difficulty of Eq. 11, evaluated from one table row.
+    pub fn expected_level(&self, item: ItemId, prior: &[f64]) -> Result<f64> {
+        let post = self.posterior(item, prior)?;
+        Ok(post
+            .iter()
+            .enumerate()
+            .map(|(idx, &p)| (idx + 1) as f64 * p)
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Categorical, FeatureDistribution, Poisson};
+    use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
+    use crate::types::{Action, ActionSequence};
+
+    fn mixed_setup() -> (SkillModel, Dataset) {
+        let schema = FeatureSchema::new(vec![
+            FeatureKind::Categorical { cardinality: 2 },
+            FeatureKind::Count,
+        ])
+        .unwrap();
+        let cells = vec![
+            vec![
+                FeatureDistribution::Categorical(Categorical::from_probs(vec![0.9, 0.1]).unwrap()),
+                FeatureDistribution::Poisson(Poisson::new(2.0).unwrap()),
+            ],
+            vec![
+                FeatureDistribution::Categorical(Categorical::from_probs(vec![0.1, 0.9]).unwrap()),
+                FeatureDistribution::Poisson(Poisson::new(6.0).unwrap()),
+            ],
+        ];
+        let model = SkillModel::new(schema.clone(), 2, cells).unwrap();
+        let items = vec![
+            vec![FeatureValue::Categorical(0), FeatureValue::Count(2)],
+            vec![FeatureValue::Categorical(1), FeatureValue::Count(7)],
+            vec![FeatureValue::Categorical(0), FeatureValue::Count(5)],
+        ];
+        let seq = ActionSequence::new(
+            0,
+            vec![
+                Action::new(0, 0, 0),
+                Action::new(1, 0, 2),
+                Action::new(2, 0, 1),
+            ],
+        )
+        .unwrap();
+        let ds = Dataset::new(schema, items, vec![seq]).unwrap();
+        (model, ds)
+    }
+
+    #[test]
+    fn table_matches_direct_evaluation_bitwise() {
+        let (model, ds) = mixed_setup();
+        let table = EmissionTable::build(&model, &ds);
+        assert_eq!(table.n_items(), 3);
+        assert_eq!(table.n_levels(), 2);
+        for item in 0..3u32 {
+            let features = ds.item_features(item);
+            for s in 1..=2u8 {
+                let direct = model.item_log_likelihood(features, s);
+                assert_eq!(table.log_likelihood(item, s), direct);
+                assert_eq!(table.row(item)[s as usize - 1], direct);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let (model, ds) = mixed_setup();
+        let seq_table = EmissionTable::build(&model, &ds);
+        // Few items → falls back to sequential, still exact.
+        let par_table = EmissionTable::build_parallel(&model, &ds, 4).unwrap();
+        assert_eq!(seq_table, par_table);
+        assert!(EmissionTable::build_parallel(&model, &ds, 0).is_err());
+    }
+
+    #[test]
+    fn parallel_build_matches_on_many_items() {
+        // More items than one chunk so real workers engage.
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 4 }]).unwrap();
+        let cells = vec![
+            vec![FeatureDistribution::Categorical(
+                Categorical::from_probs(vec![0.4, 0.3, 0.2, 0.1]).unwrap(),
+            )],
+            vec![FeatureDistribution::Categorical(
+                Categorical::from_probs(vec![0.1, 0.2, 0.3, 0.4]).unwrap(),
+            )],
+        ];
+        let model = SkillModel::new(schema.clone(), 2, cells).unwrap();
+        let n_items = 3 * super::PARALLEL_CHUNK + 7;
+        let items: Vec<Vec<FeatureValue>> = (0..n_items)
+            .map(|i| vec![FeatureValue::Categorical((i % 4) as u32)])
+            .collect();
+        let actions: Vec<Action> = (0..n_items)
+            .map(|t| Action::new(t as i64, 0, t as u32))
+            .collect();
+        let seq = ActionSequence::new(0, actions).unwrap();
+        let ds = Dataset::new(schema, items, vec![seq]).unwrap();
+        let seq_table = EmissionTable::build(&model, &ds);
+        let par_table = EmissionTable::build_parallel(&model, &ds, 3).unwrap();
+        assert_eq!(seq_table, par_table);
+    }
+
+    #[test]
+    fn out_of_range_scores_neg_inf_or_none() {
+        let (model, ds) = mixed_setup();
+        let table = EmissionTable::build(&model, &ds);
+        assert!(table.checked_row(99).is_none());
+        assert_eq!(table.log_likelihood(99, 1), f64::NEG_INFINITY);
+        assert_eq!(table.log_likelihood(0, 0), f64::NEG_INFINITY);
+        assert_eq!(table.log_likelihood(0, 3), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn posterior_matches_model_posterior() {
+        let (model, ds) = mixed_setup();
+        let table = EmissionTable::build(&model, &ds);
+        let prior = [0.3, 0.7];
+        for item in 0..3u32 {
+            let direct = model
+                .skill_posterior(ds.item_features(item), &prior)
+                .unwrap();
+            let tabled = table.posterior(item, &prior).unwrap();
+            assert_eq!(direct, tabled);
+        }
+        assert!(table.posterior(0, &[1.0]).is_err());
+        assert!(table.posterior(42, &prior).is_err());
+    }
+
+    #[test]
+    fn expected_level_is_prior_weighted_mean() {
+        let (model, ds) = mixed_setup();
+        let table = EmissionTable::build(&model, &ds);
+        let prior = [0.5, 0.5];
+        let e = table.expected_level(1, &prior).unwrap();
+        let post = table.posterior(1, &prior).unwrap();
+        assert!((e - (post[0] + 2.0 * post[1])).abs() < 1e-15);
+        assert!((1.0..=2.0).contains(&e));
+    }
+
+    #[test]
+    fn refresh_items_updates_only_requested_rows() {
+        let (model, ds) = mixed_setup();
+        let mut table = EmissionTable::build(&model, &ds);
+        // Perturb two rows, then refresh one of them.
+        let s = table.n_levels();
+        table.data[0] = 123.0;
+        table.data[s] = 456.0; // item 1, level 1
+        table.refresh_items(&model, &ds, &[0]).unwrap();
+        let fresh = EmissionTable::build(&model, &ds);
+        assert_eq!(table.row(0), fresh.row(0));
+        assert_eq!(table.row(1)[0], 456.0);
+        table.refresh_items(&model, &ds, &[1]).unwrap();
+        assert_eq!(table, fresh);
+        assert!(table.refresh_items(&model, &ds, &[9]).is_err());
+    }
+}

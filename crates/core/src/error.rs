@@ -98,6 +98,12 @@ pub enum CoreError {
         /// Requested worker count.
         threads: usize,
     },
+    /// A worker thread panicked during a parallel step. The panic payload is
+    /// lost at the join boundary; the step name identifies where it happened.
+    WorkerPanicked {
+        /// Which parallel step lost a worker.
+        step: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -145,6 +151,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParallelism { threads } => {
                 write!(f, "invalid parallelism: {threads} worker threads requested")
             }
+            CoreError::WorkerPanicked { step } => {
+                write!(f, "a worker thread panicked during the {step} step")
+            }
         }
     }
 }
@@ -158,9 +167,15 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         let cases: Vec<(CoreError, &str)> = vec![
-            (CoreError::InvalidSkillCount { requested: 0 }, "skill count 0"),
             (
-                CoreError::UnsortedSequence { user: 7, position: 3 },
+                CoreError::InvalidSkillCount { requested: 0 },
+                "skill count 0",
+            ),
+            (
+                CoreError::UnsortedSequence {
+                    user: 7,
+                    position: 3,
+                },
                 "user 7",
             ),
             (
@@ -169,10 +184,17 @@ mod tests {
             ),
             (CoreError::EmptyDataset, "no actions"),
             (
-                CoreError::NoConvergence { routine: "gamma MLE", iterations: 100 },
+                CoreError::NoConvergence {
+                    routine: "gamma MLE",
+                    iterations: 100,
+                },
                 "gamma MLE",
             ),
             (CoreError::ItemNeverSelected { item: 42 }, "item 42"),
+            (
+                CoreError::WorkerPanicked { step: "assignment" },
+                "assignment",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

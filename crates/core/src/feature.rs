@@ -99,7 +99,10 @@ impl FeatureSchema {
                 });
             }
         }
-        Ok(Self { kinds, names: Vec::new() })
+        Ok(Self {
+            kinds,
+            names: Vec::new(),
+        })
     }
 
     /// Creates a schema with display names for reports and plots.
@@ -131,7 +134,10 @@ impl FeatureSchema {
         self.kinds
             .get(f)
             .copied()
-            .ok_or(CoreError::FeatureIndexOutOfBounds { index: f, len: self.kinds.len() })
+            .ok_or(CoreError::FeatureIndexOutOfBounds {
+                index: f,
+                len: self.kinds.len(),
+            })
     }
 
     /// All feature kinds in order.
@@ -141,7 +147,10 @@ impl FeatureSchema {
 
     /// Display name of the `f`-th feature, or `"feature <f>"` if unnamed.
     pub fn name(&self, f: usize) -> String {
-        self.names.get(f).cloned().unwrap_or_else(|| format!("feature {f}"))
+        self.names
+            .get(f)
+            .cloned()
+            .unwrap_or_else(|| format!("feature {f}"))
     }
 
     /// Validates that an item's feature tuple conforms to this schema.
@@ -189,7 +198,9 @@ impl FeatureSchema {
     /// the representation used by the ID baseline (Yang et al. 2014).
     pub fn id_only(n_items: u32) -> Result<Self> {
         Self::with_names(
-            vec![FeatureKind::Categorical { cardinality: n_items }],
+            vec![FeatureKind::Categorical {
+                cardinality: n_items,
+            }],
             vec!["item id".to_string()],
         )
     }
@@ -208,16 +219,16 @@ mod tests {
     fn zero_cardinality_rejected() {
         let err =
             FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 0 }]).unwrap_err();
-        assert!(matches!(err, CoreError::CategoryOutOfBounds { cardinality: 0, .. }));
+        assert!(matches!(
+            err,
+            CoreError::CategoryOutOfBounds { cardinality: 0, .. }
+        ));
     }
 
     #[test]
     fn names_must_match_kinds() {
-        let err = FeatureSchema::with_names(
-            vec![FeatureKind::Count],
-            vec!["a".into(), "b".into()],
-        )
-        .unwrap_err();
+        let err = FeatureSchema::with_names(vec![FeatureKind::Count], vec!["a".into(), "b".into()])
+            .unwrap_err();
         assert!(matches!(err, CoreError::LengthMismatch { .. }));
     }
 
@@ -226,7 +237,9 @@ mod tests {
         let schema = FeatureSchema::new(vec![
             FeatureKind::Categorical { cardinality: 4 },
             FeatureKind::Count,
-            FeatureKind::Positive { model: PositiveModel::Gamma },
+            FeatureKind::Positive {
+                model: PositiveModel::Gamma,
+            },
         ])
         .unwrap();
         let item = vec![
@@ -246,16 +259,22 @@ mod tests {
 
     #[test]
     fn validate_rejects_out_of_range_category() {
-        let schema =
-            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
-        let err = schema.validate_item(&[FeatureValue::Categorical(2)]).unwrap_err();
-        assert!(matches!(err, CoreError::CategoryOutOfBounds { value: 2, .. }));
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
+        let err = schema
+            .validate_item(&[FeatureValue::Categorical(2)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::CategoryOutOfBounds { value: 2, .. }
+        ));
     }
 
     #[test]
     fn validate_rejects_kind_mismatch() {
         let schema = FeatureSchema::new(vec![FeatureKind::Count]).unwrap();
-        let err = schema.validate_item(&[FeatureValue::Real(1.0)]).unwrap_err();
+        let err = schema
+            .validate_item(&[FeatureValue::Real(1.0)])
+            .unwrap_err();
         assert!(matches!(err, CoreError::FeatureKindMismatch { .. }));
     }
 

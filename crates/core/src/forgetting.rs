@@ -20,9 +20,10 @@
 use serde::{Deserialize, Serialize};
 
 use crate::assign::SequenceAssignment;
+use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
 use crate::model::SkillModel;
-use crate::types::{ActionSequence, Dataset, SkillLevel};
+use crate::types::{Action, ActionSequence, Dataset, SkillLevel};
 
 /// Ebbinghaus-style decay parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,9 +71,17 @@ impl ForgettingConfig {
 
     /// `(log stay, log advance, log decay)` for a gap of `delta`.
     fn log_transitions(&self, delta: i64, at_top: bool, at_bottom: bool) -> (f64, f64, f64) {
-        let decay = if at_bottom { 0.0 } else { self.decay_prob(delta) };
+        let decay = if at_bottom {
+            0.0
+        } else {
+            self.decay_prob(delta)
+        };
         let rest = 1.0 - decay;
-        let advance = if at_top { 0.0 } else { rest * self.advance_prob };
+        let advance = if at_top {
+            0.0
+        } else {
+            rest * self.advance_prob
+        };
         let stay = rest - advance;
         let ln = |p: f64| if p > 0.0 { p.ln() } else { f64::NEG_INFINITY };
         (ln(stay), ln(advance), ln(decay))
@@ -83,6 +92,10 @@ impl ForgettingConfig {
 ///
 /// Note: transition semantics are attached to the *destination* action's
 /// level: the tuple at step `t` uses the gap `t_n − t_{n−1}`.
+///
+/// Evaluates emissions directly; use
+/// [`assign_sequence_with_forgetting_table`] to share a precomputed
+/// [`EmissionTable`] across many sequences.
 pub fn assign_sequence_with_forgetting(
     model: &SkillModel,
     config: &ForgettingConfig,
@@ -93,17 +106,68 @@ pub fn assign_sequence_with_forgetting(
     let s_max = model.n_levels();
     let n = sequence.len();
     if n == 0 {
-        return Ok(SequenceAssignment { levels: Vec::new(), log_likelihood: 0.0 });
+        return Ok(SequenceAssignment {
+            levels: Vec::new(),
+            log_likelihood: 0.0,
+        });
     }
     let actions = sequence.actions();
     let emit: Vec<Vec<f64>> = actions
         .iter()
         .map(|a| model.item_log_likelihoods(dataset.item_features(a.item)))
         .collect();
+    forgetting_dp(s_max, config, actions, |t| emit[t].as_slice())
+}
+
+/// Forgetting DP reading emissions from a precomputed [`EmissionTable`].
+///
+/// Identical result to [`assign_sequence_with_forgetting`] with the model
+/// the table was built from; no per-action emission allocation.
+pub fn assign_sequence_with_forgetting_table(
+    table: &EmissionTable,
+    config: &ForgettingConfig,
+    sequence: &ActionSequence,
+) -> Result<SequenceAssignment> {
+    config.validate()?;
+    let n = sequence.len();
+    if n == 0 {
+        return Ok(SequenceAssignment {
+            levels: Vec::new(),
+            log_likelihood: 0.0,
+        });
+    }
+    let actions = sequence.actions();
+    for action in actions {
+        if action.item as usize >= table.n_items() {
+            return Err(CoreError::FeatureIndexOutOfBounds {
+                index: action.item as usize,
+                len: table.n_items(),
+            });
+        }
+    }
+    forgetting_dp(table.n_levels(), config, actions, |t| {
+        table.row(actions[t].item)
+    })
+}
+
+/// The three-predecessor (stay / advance / decay) DP over abstract emission
+/// rows; both forgetting entry points funnel through this implementation.
+fn forgetting_dp<'a, F>(
+    s_max: usize,
+    config: &ForgettingConfig,
+    actions: &[Action],
+    row_of: F,
+) -> Result<SequenceAssignment>
+where
+    F: Fn(usize) -> &'a [f64],
+{
+    let n = actions.len();
+    let emit: Vec<&[f64]> = (0..n).map(&row_of).collect();
 
     // prev[s] = best prefix score ending at level s+1.
-    let mut prev: Vec<f64> =
-        (0..s_max).map(|s| emit[0][s] - (s_max as f64).ln()).collect();
+    let mut prev: Vec<f64> = (0..s_max)
+        .map(|s| emit[0][s] - (s_max as f64).ln())
+        .collect();
     let mut curr = vec![f64::NEG_INFINITY; s_max];
     /// Backpointer: where the path came from, relative to the current level.
     #[derive(Clone, Copy, PartialEq)]
@@ -122,8 +186,7 @@ pub fn assign_sequence_with_forgetting(
             let mut from = From::Same;
             // Stay: source s.
             {
-                let (stay, _, _) =
-                    config.log_transitions(delta, s + 1 == s_max, s == 0);
+                let (stay, _, _) = config.log_transitions(delta, s + 1 == s_max, s == 0);
                 let cand = prev[s] + stay;
                 if cand > best {
                     best = cand;
@@ -132,8 +195,7 @@ pub fn assign_sequence_with_forgetting(
             }
             // Advance: source s−1.
             if s > 0 {
-                let (_, advance, _) =
-                    config.log_transitions(delta, s == s_max, s - 1 == 0);
+                let (_, advance, _) = config.log_transitions(delta, s == s_max, s - 1 == 0);
                 let cand = prev[s - 1] + advance;
                 if cand > best {
                     best = cand;
@@ -142,8 +204,7 @@ pub fn assign_sequence_with_forgetting(
             }
             // Decay: source s+1.
             if s + 1 < s_max {
-                let (_, _, decay) =
-                    config.log_transitions(delta, s + 2 == s_max + 1, s + 1 == 0);
+                let (_, _, decay) = config.log_transitions(delta, s + 2 == s_max + 1, s + 1 == 0);
                 let cand = prev[s + 1] + decay;
                 if cand > best {
                     best = cand;
@@ -180,7 +241,10 @@ pub fn assign_sequence_with_forgetting(
             }
         }
     }
-    Ok(SequenceAssignment { levels, log_likelihood: best_ll })
+    Ok(SequenceAssignment {
+        levels,
+        log_likelihood: best_ll,
+    })
 }
 
 #[cfg(test)]
@@ -205,8 +269,9 @@ mod tests {
             })
             .collect();
         let model = SkillModel::new(schema.clone(), s_max, cells).unwrap();
-        let items: Vec<Vec<FeatureValue>> =
-            (0..s_max as u32).map(|c| vec![FeatureValue::Categorical(c)]).collect();
+        let items: Vec<Vec<FeatureValue>> = (0..s_max as u32)
+            .map(|c| vec![FeatureValue::Categorical(c)])
+            .collect();
         let actions: Vec<Action> = cats_and_times
             .iter()
             .map(|&(c, t)| Action::new(t, 0, c))
@@ -218,16 +283,39 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let ok = ForgettingConfig { halflife: 10.0, max_decay: 0.3, advance_prob: 0.2 };
+        let ok = ForgettingConfig {
+            halflife: 10.0,
+            max_decay: 0.3,
+            advance_prob: 0.2,
+        };
         assert!(ok.validate().is_ok());
-        assert!(ForgettingConfig { halflife: 0.0, ..ok }.validate().is_err());
-        assert!(ForgettingConfig { max_decay: 1.0, ..ok }.validate().is_err());
-        assert!(ForgettingConfig { advance_prob: -0.1, ..ok }.validate().is_err());
+        assert!(ForgettingConfig {
+            halflife: 0.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(ForgettingConfig {
+            max_decay: 1.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(ForgettingConfig {
+            advance_prob: -0.1,
+            ..ok
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn decay_prob_follows_retention_curve() {
-        let cfg = ForgettingConfig { halflife: 10.0, max_decay: 0.4, advance_prob: 0.2 };
+        let cfg = ForgettingConfig {
+            halflife: 10.0,
+            max_decay: 0.4,
+            advance_prob: 0.2,
+        };
         assert_eq!(cfg.decay_prob(0), 0.0);
         // At one halflife, half the ceiling.
         assert!((cfg.decay_prob(10) - 0.2).abs() < 1e-9);
@@ -240,12 +328,18 @@ mod tests {
     #[test]
     fn no_gaps_reduces_to_monotone_paths() {
         // Consecutive timestamps → decay probability ~0 → monotone result.
-        let seq: Vec<(u32, i64)> =
-            [0u32, 0, 1, 1, 2, 2].iter().enumerate().map(|(t, &c)| (c, t as i64)).collect();
+        let seq: Vec<(u32, i64)> = [0u32, 0, 1, 1, 2, 2]
+            .iter()
+            .enumerate()
+            .map(|(t, &c)| (c, t as i64))
+            .collect();
         let (model, ds) = diagonal_setup(3, &seq);
-        let cfg = ForgettingConfig { halflife: 1e9, max_decay: 0.3, advance_prob: 0.3 };
-        let a = assign_sequence_with_forgetting(&model, &cfg, &ds, &ds.sequences()[0])
-            .unwrap();
+        let cfg = ForgettingConfig {
+            halflife: 1e9,
+            max_decay: 0.3,
+            advance_prob: 0.3,
+        };
+        let a = assign_sequence_with_forgetting(&model, &cfg, &ds, &ds.sequences()[0]).unwrap();
         assert!(a.levels.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(a.levels, vec![1, 1, 2, 2, 3, 3]);
     }
@@ -264,9 +358,12 @@ mod tests {
             (0, 10_005),
         ];
         let (model, ds) = diagonal_setup(3, seq);
-        let cfg = ForgettingConfig { halflife: 100.0, max_decay: 0.45, advance_prob: 0.3 };
-        let a = assign_sequence_with_forgetting(&model, &cfg, &ds, &ds.sequences()[0])
-            .unwrap();
+        let cfg = ForgettingConfig {
+            halflife: 100.0,
+            max_decay: 0.45,
+            advance_prob: 0.3,
+        };
+        let a = assign_sequence_with_forgetting(&model, &cfg, &ds, &ds.sequences()[0]).unwrap();
         // The path should climb then descend after the break.
         // Only one decay step is possible per gap, so the DP may prefer a
         // lower peak over multiple post-break drops; what must hold is that
@@ -281,16 +378,18 @@ mod tests {
 
     #[test]
     fn short_break_does_not_drop() {
-        let seq: &[(u32, i64)] =
-            &[(0, 0), (1, 1), (2, 2), (2, 3), (0, 5), (0, 6), (0, 7)];
+        let seq: &[(u32, i64)] = &[(0, 0), (1, 1), (2, 2), (2, 3), (0, 5), (0, 6), (0, 7)];
         let (model, ds) = diagonal_setup(3, seq);
         // Same config; gaps of 1–2 units make decay essentially free-…
         // impossible: p_decay(2) ≈ 0.006 ⇒ ln ≈ −5; the emission gain of
         // dropping two levels (≈ +3 per action × 3 actions) can still win,
         // so use a tiny max_decay to pin the behaviour.
-        let cfg = ForgettingConfig { halflife: 1e6, max_decay: 0.01, advance_prob: 0.3 };
-        let a = assign_sequence_with_forgetting(&model, &cfg, &ds, &ds.sequences()[0])
-            .unwrap();
+        let cfg = ForgettingConfig {
+            halflife: 1e6,
+            max_decay: 0.01,
+            advance_prob: 0.3,
+        };
+        let a = assign_sequence_with_forgetting(&model, &cfg, &ds, &ds.sequences()[0]).unwrap();
         assert!(a.levels.windows(2).all(|w| w[0] <= w[1]), "{:?}", a.levels);
     }
 
@@ -302,21 +401,57 @@ mod tests {
             .map(|(t, &c)| (c, (t * 50) as i64))
             .collect();
         let (model, ds) = diagonal_setup(3, &seq);
-        let cfg = ForgettingConfig { halflife: 1.0, max_decay: 0.0, advance_prob: 0.5 };
+        let cfg = ForgettingConfig {
+            halflife: 1.0,
+            max_decay: 0.0,
+            advance_prob: 0.5,
+        };
         let forgetting =
             assign_sequence_with_forgetting(&model, &cfg, &ds, &ds.sequences()[0]).unwrap();
-        let base =
-            crate::assign::assign_sequence(&model, &ds, &ds.sequences()[0]).unwrap();
+        let base = crate::assign::assign_sequence(&model, &ds, &ds.sequences()[0]).unwrap();
         // With max_decay = 0 and advance = stay = 0.5, the path preferences
         // match the base DP (constant per-step transition cost).
         assert_eq!(forgetting.levels, base.levels);
     }
 
     #[test]
+    fn table_backed_forgetting_matches_direct() {
+        let seq: &[(u32, i64)] = &[
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (2, 3),
+            (0, 10_003),
+            (0, 10_004),
+            (1, 10_200),
+        ];
+        let (model, ds) = diagonal_setup(3, seq);
+        let cfg = ForgettingConfig {
+            halflife: 100.0,
+            max_decay: 0.45,
+            advance_prob: 0.3,
+        };
+        let table = EmissionTable::build(&model, &ds);
+        let direct =
+            assign_sequence_with_forgetting(&model, &cfg, &ds, &ds.sequences()[0]).unwrap();
+        let tabled =
+            assign_sequence_with_forgetting_table(&table, &cfg, &ds.sequences()[0]).unwrap();
+        assert_eq!(direct.levels, tabled.levels);
+        assert_eq!(direct.log_likelihood, tabled.log_likelihood);
+        // Out-of-table items are rejected.
+        let rogue = ActionSequence::new(9, vec![Action::new(0, 9, 50)]).unwrap();
+        assert!(assign_sequence_with_forgetting_table(&table, &cfg, &rogue).is_err());
+    }
+
+    #[test]
     fn empty_sequence_handled() {
         let (model, ds) = diagonal_setup(3, &[(0, 0)]);
         let empty = ActionSequence::new(1, vec![]).unwrap();
-        let cfg = ForgettingConfig { halflife: 10.0, max_decay: 0.2, advance_prob: 0.3 };
+        let cfg = ForgettingConfig {
+            halflife: 10.0,
+            max_decay: 0.2,
+            advance_prob: 0.3,
+        };
         let a = assign_sequence_with_forgetting(&model, &cfg, &ds, &empty).unwrap();
         assert!(a.levels.is_empty());
     }

@@ -65,10 +65,15 @@ pub fn initialize_model(
     }
     let long = dataset.subset_users(|s| s.len() >= min_actions)?;
     if long.n_actions() == 0 {
-        return Err(CoreError::NoInitializationUsers { threshold: min_actions });
+        return Err(CoreError::NoInitializationUsers {
+            threshold: min_actions,
+        });
     }
-    let per_user: Vec<Vec<SkillLevel>> =
-        long.sequences().iter().map(|s| segment_uniform(s, n_levels)).collect();
+    let per_user: Vec<Vec<SkillLevel>> = long
+        .sequences()
+        .iter()
+        .map(|s| segment_uniform(s, n_levels))
+        .collect();
     let assignments = SkillAssignments { per_user };
     fit_model(&long, &assignments, n_levels, lambda)
 }
@@ -80,11 +85,7 @@ mod tests {
     use crate::types::Action;
 
     fn seq_with_times(times: &[i64]) -> ActionSequence {
-        ActionSequence::new(
-            0,
-            times.iter().map(|&t| Action::new(t, 0, 0)).collect(),
-        )
-        .unwrap()
+        ActionSequence::new(0, times.iter().map(|&t| Action::new(t, 0, 0)).collect()).unwrap()
     }
 
     #[test]
@@ -133,10 +134,11 @@ mod tests {
     }
 
     fn small_dataset() -> Dataset {
-        let schema =
-            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
-        let items =
-            vec![vec![FeatureValue::Categorical(0)], vec![FeatureValue::Categorical(1)]];
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
+        let items = vec![
+            vec![FeatureValue::Categorical(0)],
+            vec![FeatureValue::Categorical(1)],
+        ];
         // User 0: long sequence (easy items first, hard later).
         let s0 = ActionSequence::new(
             0,

@@ -73,6 +73,7 @@
 //! | [`dist`] | §IV-A | categorical/Poisson/gamma/log-normal families |
 //! | [`model`] | §IV-A (Eq. 2) | the `S × F` skill model |
 //! | [`assign`] | §IV-B (Eq. 4) | monotone DP assignment |
+//! | [`emission`] | §IV (Eq. 2) | shared item × skill emission table |
 //! | [`update`] | §IV-B (Eq. 5–7) | closed-form parameter updates |
 //! | [`init`] | §IV-B | uniform-segmentation initialization |
 //! | [`mod@train`] | §IV-B | the alternating trainer |
@@ -101,6 +102,7 @@ pub mod diagnostics;
 pub mod difficulty;
 pub mod dist;
 pub mod em;
+pub mod emission;
 pub mod error;
 pub mod feature;
 pub mod forgetting;
@@ -117,6 +119,7 @@ pub mod transition;
 pub mod types;
 pub mod update;
 
+pub use emission::EmissionTable;
 pub use error::{CoreError, Result};
 pub use model::SkillModel;
 pub use train::{train, train_with_parallelism, TrainConfig, TrainResult};

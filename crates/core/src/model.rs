@@ -50,7 +50,11 @@ impl SkillModel {
                 });
             }
         }
-        Ok(Self { schema, n_levels, cells })
+        Ok(Self {
+            schema,
+            n_levels,
+            cells,
+        })
     }
 
     /// The feature schema this model was trained on.
@@ -78,7 +82,9 @@ impl SkillModel {
         let row = self
             .cells
             .get(s as usize - 1)
-            .ok_or(CoreError::InvalidSkillCount { requested: s as usize })?;
+            .ok_or(CoreError::InvalidSkillCount {
+                requested: s as usize,
+            })?;
         row.get(f).ok_or(CoreError::FeatureIndexOutOfBounds {
             index: f,
             len: row.len(),
@@ -125,7 +131,13 @@ impl SkillModel {
             .item_log_likelihoods(features)
             .into_iter()
             .zip(prior)
-            .map(|(ll, &p)| if p > 0.0 { ll + p.ln() } else { f64::NEG_INFINITY })
+            .map(|(ll, &p)| {
+                if p > 0.0 {
+                    ll + p.ln()
+                } else {
+                    f64::NEG_INFINITY
+                }
+            })
             .collect();
         let max = log_post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         if !max.is_finite() {
@@ -156,7 +168,9 @@ impl SkillModel {
         self.cells
             .get(s as usize - 1)
             .map(Vec::as_slice)
-            .ok_or(CoreError::InvalidSkillCount { requested: s as usize })
+            .ok_or(CoreError::InvalidSkillCount {
+                requested: s as usize,
+            })
     }
 }
 
@@ -176,15 +190,11 @@ mod tests {
         .unwrap();
         let cells = vec![
             vec![
-                FeatureDistribution::Categorical(
-                    Categorical::from_probs(vec![0.9, 0.1]).unwrap(),
-                ),
+                FeatureDistribution::Categorical(Categorical::from_probs(vec![0.9, 0.1]).unwrap()),
                 FeatureDistribution::Poisson(Poisson::new(2.0).unwrap()),
             ],
             vec![
-                FeatureDistribution::Categorical(
-                    Categorical::from_probs(vec![0.1, 0.9]).unwrap(),
-                ),
+                FeatureDistribution::Categorical(Categorical::from_probs(vec![0.1, 0.9]).unwrap()),
                 FeatureDistribution::Poisson(Poisson::new(6.0).unwrap()),
             ],
         ];
@@ -245,8 +255,7 @@ mod tests {
     #[test]
     fn posterior_falls_back_to_prior_for_impossible_items() {
         // Unsmoothed categorical: category 1 impossible at both levels.
-        let schema =
-            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
         let cells = vec![
             vec![FeatureDistribution::Categorical(
                 Categorical::from_probs(vec![1.0, 0.0]).unwrap(),
@@ -256,7 +265,9 @@ mod tests {
             )],
         ];
         let m = SkillModel::new(schema, 2, cells).unwrap();
-        let post = m.skill_posterior(&[FeatureValue::Categorical(1)], &[0.3, 0.7]).unwrap();
+        let post = m
+            .skill_posterior(&[FeatureValue::Categorical(1)], &[0.3, 0.7])
+            .unwrap();
         assert!((post[0] - 0.3).abs() < 1e-12);
         assert!((post[1] - 0.7).abs() < 1e-12);
     }

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
 use crate::model::SkillModel;
 use crate::rng::SplitMix64;
@@ -58,7 +59,11 @@ pub fn split_actions(dataset: &Dataset, test_fraction: f64, seed: u64) -> Result
         train_seqs.push(ActionSequence::new(seq.user, train_actions)?);
         test.push(test_actions);
     }
-    let train = Dataset::new(dataset.schema().clone(), dataset.items().to_vec(), train_seqs)?;
+    let train = Dataset::new(
+        dataset.schema().clone(),
+        dataset.items().to_vec(),
+        train_seqs,
+    )?;
     Ok(ActionSplit { train, test })
 }
 
@@ -99,6 +104,11 @@ pub fn nearest_skill(
 ///
 /// Returns `(log_likelihood, n_scored)`; test actions whose user has no
 /// training actions are skipped (possible only for empty sequences).
+///
+/// Emission scores come from one shared [`EmissionTable`] over the
+/// training item set, so each held-out action costs a table lookup rather
+/// than a fresh distribution evaluation (every candidate `S` in
+/// [`sweep_skill_counts`] rescores the same items many times).
 pub fn heldout_log_likelihood(
     model: &SkillModel,
     split: &ActionSplit,
@@ -111,6 +121,7 @@ pub fn heldout_log_likelihood(
             right: split.train.n_users(),
         });
     }
+    let table = EmissionTable::build(model, &split.train);
     let mut total = 0.0;
     let mut scored = 0usize;
     for ((seq, levels), test_actions) in split
@@ -125,7 +136,7 @@ pub fn heldout_log_likelihood(
             let Some(s) = nearest_skill(&times, levels, action.time) else {
                 continue;
             };
-            let ll = model.item_log_likelihood(split.train.item_features(action.item), s);
+            let ll = table.log_likelihood(action.item, s);
             total += ll;
             scored += 1;
         }
@@ -161,13 +172,25 @@ pub fn sweep_skill_counts(
     let split = split_actions(dataset, test_fraction, seed)?;
     let mut out = Vec::with_capacity(candidates.len());
     for &n_levels in candidates {
-        let config = TrainConfig { n_levels, ..*base_config };
-        let TrainResult { model, assignments, trace, .. } = train(&split.train, &config)?;
+        let config = TrainConfig {
+            n_levels,
+            ..*base_config
+        };
+        let TrainResult {
+            model,
+            assignments,
+            trace,
+            ..
+        } = train(&split.train, &config)?;
         let (ll, scored) = heldout_log_likelihood(&model, &split, &assignments)?;
         out.push(SkillCountCandidate {
             n_levels,
             heldout_ll: ll,
-            heldout_ll_per_action: if scored > 0 { ll / scored as f64 } else { f64::NAN },
+            heldout_ll_per_action: if scored > 0 {
+                ll / scored as f64
+            } else {
+                f64::NAN
+            },
             n_scored: scored,
             train_iterations: trace.len(),
         });
@@ -193,10 +216,13 @@ mod tests {
     use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
 
     fn progression_dataset(n_users: usize, len: usize, n_cats: u32) -> Dataset {
-        let schema =
-            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: n_cats }]).unwrap();
-        let items: Vec<Vec<FeatureValue>> =
-            (0..n_cats).map(|c| vec![FeatureValue::Categorical(c)]).collect();
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical {
+            cardinality: n_cats,
+        }])
+        .unwrap();
+        let items: Vec<Vec<FeatureValue>> = (0..n_cats)
+            .map(|c| vec![FeatureValue::Categorical(c)])
+            .collect();
         let sequences: Vec<ActionSequence> = (0..n_users as u32)
             .map(|u| {
                 let actions: Vec<Action> = (0..len)
@@ -216,9 +242,8 @@ mod tests {
         let ds = progression_dataset(10, 20, 4);
         let a = split_actions(&ds, 0.1, 99).unwrap();
         let b = split_actions(&ds, 0.1, 99).unwrap();
-        let count = |s: &ActionSplit| {
-            s.train.n_actions() + s.test.iter().map(Vec::len).sum::<usize>()
-        };
+        let count =
+            |s: &ActionSplit| s.train.n_actions() + s.test.iter().map(Vec::len).sum::<usize>();
         assert_eq!(count(&a), ds.n_actions());
         assert_eq!(a.train.n_actions(), b.train.n_actions());
         // About 10% held out.

@@ -9,10 +9,11 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
 use crate::feature::FeatureValue;
 use crate::model::SkillModel;
-use crate::types::SkillLevel;
+use crate::types::{ItemId, SkillLevel};
 
 /// Incremental skill estimator for a single user.
 ///
@@ -59,7 +60,10 @@ impl OnlineTracker {
         if n_levels == 0 {
             return Err(CoreError::InvalidSkillCount { requested: 0 });
         }
-        Ok(Self { scores: vec![0.0; n_levels], n_observed: 0 })
+        Ok(Self {
+            scores: vec![0.0; n_levels],
+            n_observed: 0,
+        })
     }
 
     /// Number of actions observed so far.
@@ -69,29 +73,61 @@ impl OnlineTracker {
 
     /// Feeds one action's item features; returns the current MAP level.
     pub fn observe(&mut self, model: &SkillModel, features: &[FeatureValue]) -> Result<SkillLevel> {
-        let s_max = self.scores.len();
-        if model.n_levels() != s_max {
+        if model.n_levels() != self.scores.len() {
             return Err(CoreError::LengthMismatch {
                 context: "tracker levels vs model levels",
-                left: s_max,
+                left: self.scores.len(),
                 right: model.n_levels(),
             });
         }
         let emissions = model.item_log_likelihoods(features);
+        self.advance(&emissions);
+        self.current_level()
+    }
+
+    /// Feeds one action by item id, reading emissions from a precomputed
+    /// [`EmissionTable`] — no per-action allocation or distribution
+    /// evaluation, so a deployed tracker costs `O(S)` per action between
+    /// table refreshes. Identical result to [`OnlineTracker::observe`] with
+    /// the model the table was built from.
+    pub fn observe_item(&mut self, table: &EmissionTable, item: ItemId) -> Result<SkillLevel> {
+        if table.n_levels() != self.scores.len() {
+            return Err(CoreError::LengthMismatch {
+                context: "tracker levels vs table levels",
+                left: self.scores.len(),
+                right: table.n_levels(),
+            });
+        }
+        let row = table
+            .checked_row(item)
+            .ok_or(CoreError::FeatureIndexOutOfBounds {
+                index: item as usize,
+                len: table.n_items(),
+            })?;
+        self.advance(row);
+        self.current_level()
+    }
+
+    /// Folds one emission vector into the prefix scores.
+    fn advance(&mut self, emissions: &[f64]) {
+        let s_max = self.scores.len();
         if self.n_observed == 0 {
-            self.scores.copy_from_slice(&emissions);
+            self.scores.copy_from_slice(emissions);
         } else {
             // In-place right-to-left update: scores[s] = max(scores[s],
             // scores[s-1]) + emit[s]. Right-to-left keeps scores[s-1]
             // un-updated when read.
             for s in (0..s_max).rev() {
                 let stay = self.scores[s];
-                let up = if s > 0 { self.scores[s - 1] } else { f64::NEG_INFINITY };
+                let up = if s > 0 {
+                    self.scores[s - 1]
+                } else {
+                    f64::NEG_INFINITY
+                };
                 self.scores[s] = stay.max(up) + emissions[s];
             }
         }
         self.n_observed += 1;
-        self.current_level()
     }
 
     /// The current maximum-likelihood level (ties break low).
@@ -122,7 +158,11 @@ impl OnlineTracker {
 
     /// Posterior-like normalized weights over levels (softmax of scores).
     pub fn level_weights(&self) -> Vec<f64> {
-        let max = self.scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .scores
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         if !max.is_finite() {
             return vec![1.0 / self.scores.len() as f64; self.scores.len()];
         }
@@ -170,7 +210,10 @@ mod tests {
         let mut t = OnlineTracker::new(3).unwrap();
         let mut levels = Vec::new();
         for cat in [0u32, 0, 1, 1, 2, 2] {
-            levels.push(t.observe(&model, &[FeatureValue::Categorical(cat)]).unwrap());
+            levels.push(
+                t.observe(&model, &[FeatureValue::Categorical(cat)])
+                    .unwrap(),
+            );
         }
         // Filtering levels are monotone here and end at the top.
         assert_eq!(*levels.last().unwrap(), 3);
@@ -183,10 +226,10 @@ mod tests {
         let model = diagonal_model(4);
         let cats = [0u32, 1, 1, 2, 3, 3, 2, 1];
         // Batch DP.
-        let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 4 }])
-            .unwrap();
-        let items: Vec<Vec<FeatureValue>> =
-            (0..4u32).map(|c| vec![FeatureValue::Categorical(c)]).collect();
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 4 }]).unwrap();
+        let items: Vec<Vec<FeatureValue>> = (0..4u32)
+            .map(|c| vec![FeatureValue::Categorical(c)])
+            .collect();
         let seq = ActionSequence::new(
             0,
             cats.iter()
@@ -201,7 +244,9 @@ mod tests {
         let mut tracker = OnlineTracker::new(4).unwrap();
         let mut last = 1;
         for &c in &cats {
-            last = tracker.observe(&model, &[FeatureValue::Categorical(c)]).unwrap();
+            last = tracker
+                .observe(&model, &[FeatureValue::Categorical(c)])
+                .unwrap();
         }
         let online_best = tracker
             .level_scores()
@@ -222,6 +267,31 @@ mod tests {
         let w = t.level_weights();
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(w[2] > w[0] && w[2] > w[1]);
+    }
+
+    #[test]
+    fn observe_item_matches_observe() {
+        let model = diagonal_model(3);
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 3 }]).unwrap();
+        let items: Vec<Vec<FeatureValue>> = (0..3u32)
+            .map(|c| vec![FeatureValue::Categorical(c)])
+            .collect();
+        let seq = ActionSequence::new(0, vec![Action::new(0, 0, 0)]).unwrap();
+        let ds = Dataset::new(schema, items, vec![seq]).unwrap();
+        let table = EmissionTable::build(&model, &ds);
+        let mut by_features = OnlineTracker::new(3).unwrap();
+        let mut by_item = OnlineTracker::new(3).unwrap();
+        for item in [0u32, 0, 1, 2, 2, 1] {
+            let a = by_features
+                .observe(&model, &[FeatureValue::Categorical(item)])
+                .unwrap();
+            let b = by_item.observe_item(&table, item).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(by_features.level_scores(), by_item.level_scores());
+        }
+        assert!(by_item.observe_item(&table, 42).is_err());
+        let mut wrong_size = OnlineTracker::new(4).unwrap();
+        assert!(wrong_size.observe_item(&table, 0).is_err());
     }
 
     #[test]

@@ -11,13 +11,20 @@
 //!    decomposes by feature (not available to the ID baseline); workers own
 //!    disjoint feature sets.
 //!
+//! Orthogonally, [`ParallelConfig::emission`] toggles the shared
+//! [`EmissionTable`]: when enabled (the default) the assignment step reads
+//! precomputed `log P(i | s)` rows instead of re-evaluating distributions
+//! per action; when disabled it runs the direct per-action path, so the
+//! table's contribution can be measured in isolation.
+//!
 //! Workers are plain `std::thread::scope` threads; no shared mutable state,
 //! results are merged on the calling thread.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::assign::{assign_sequence, SequenceAssignment};
+use crate::assign::{assign_sequence, assign_sequence_with_table, SequenceAssignment};
 use crate::dist::{FeatureAccumulator, FeatureDistribution};
+use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
 use crate::model::SkillModel;
 use crate::types::{Dataset, SkillAssignments, SkillLevel};
@@ -34,17 +41,33 @@ pub struct ParallelConfig {
     pub features: bool,
     /// Number of worker threads (≥ 1).
     pub threads: usize,
+    /// Share one precomputed [`EmissionTable`] across the assignment step
+    /// (on by default). Disable to re-evaluate `log P(i | s)` per action —
+    /// the measurable baseline for the efficiency experiments.
+    pub emission: bool,
 }
 
 impl ParallelConfig {
-    /// Fully sequential execution.
+    /// Fully sequential execution (emission table still enabled).
     pub fn sequential() -> Self {
-        Self { users: false, skills: false, features: false, threads: 1 }
+        Self {
+            users: false,
+            skills: false,
+            features: false,
+            threads: 1,
+            emission: true,
+        }
     }
 
     /// All three techniques enabled on `threads` workers.
     pub fn all(threads: usize) -> Self {
-        Self { users: true, skills: true, features: true, threads }
+        Self {
+            users: true,
+            skills: true,
+            features: true,
+            threads,
+            emission: true,
+        }
     }
 
     /// Validates the configuration.
@@ -79,8 +102,25 @@ pub fn assign_all_parallel(
     config.validate()?;
     let n_users = dataset.n_users();
     if !config.users || config.threads <= 1 || n_users <= 1 {
-        return crate::assign::assign_all(model, dataset);
+        return if config.emission {
+            crate::assign::assign_all(model, dataset)
+        } else {
+            crate::assign::assign_all_direct(model, dataset)
+        };
     }
+
+    // The emission table is itself filled in parallel (partitioned over
+    // items), then shared read-only by every assignment worker.
+    let table = if config.emission {
+        Some(EmissionTable::build_parallel(
+            model,
+            dataset,
+            config.threads,
+        )?)
+    } else {
+        None
+    };
+    let table = table.as_ref();
 
     let n_workers = config.threads.min(n_users);
     let next = AtomicUsize::new(0);
@@ -99,7 +139,10 @@ pub fn assign_all_parallel(
                         if idx >= n_users {
                             break;
                         }
-                        let a = assign_sequence(model, dataset, &sequences[idx])?;
+                        let a = match table {
+                            Some(t) => assign_sequence_with_table(t, &sequences[idx])?,
+                            None => assign_sequence(model, dataset, &sequences[idx])?,
+                        };
                         out.push((idx, a));
                     }
                     Ok(out)
@@ -108,7 +151,10 @@ pub fn assign_all_parallel(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or(Err(CoreError::EmptyDataset)))
+            .map(|h| {
+                h.join()
+                    .unwrap_or(Err(CoreError::WorkerPanicked { step: "assignment" }))
+            })
             .collect()
     });
 
@@ -142,15 +188,18 @@ pub fn fit_model_parallel(
     }
 
     // Partition the cell grid. Workers own whole levels and/or features.
-    let level_parts = if config.skills { config.threads.min(n_levels) } else { 1 };
+    let level_parts = if config.skills {
+        config.threads.min(n_levels)
+    } else {
+        1
+    };
     let feature_parts = if config.features {
         (config.threads / level_parts).max(1).min(n_features)
     } else {
         1
     };
-    let owner = |s: usize, f: usize| -> usize {
-        (s % level_parts) * feature_parts + (f % feature_parts)
-    };
+    let owner =
+        |s: usize, f: usize| -> usize { (s % level_parts) * feature_parts + (f % feature_parts) };
     let n_workers = level_parts * feature_parts;
 
     let schema = dataset.schema();
@@ -158,59 +207,66 @@ pub fn fit_model_parallel(
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_workers)
                 .map(|worker| {
-                    scope.spawn(move || -> Result<Vec<(usize, usize, FeatureDistribution)>> {
-                        // Accumulators only for owned cells.
-                        let mut cells: Vec<(usize, usize, FeatureAccumulator)> = Vec::new();
-                        let mut index = vec![usize::MAX; n_levels * n_features];
-                        for s in 0..n_levels {
-                            for f in 0..n_features {
-                                if owner(s, f) == worker {
-                                    index[s * n_features + f] = cells.len();
-                                    cells.push((s, f, FeatureAccumulator::new(
-                                        schema.kind(f)?,
-                                    )));
-                                }
-                            }
-                        }
-                        if cells.is_empty() {
-                            return Ok(Vec::new());
-                        }
-                        for (seq, levels) in
-                            dataset.sequences().iter().zip(&assignments.per_user)
-                        {
-                            if seq.len() != levels.len() {
-                                return Err(CoreError::LengthMismatch {
-                                    context: "assignment vs sequence length",
-                                    left: levels.len(),
-                                    right: seq.len(),
-                                });
-                            }
-                            for (action, &level) in seq.actions().iter().zip(levels) {
-                                let s = level as usize - 1;
-                                if s >= n_levels {
-                                    return Err(CoreError::InvalidSkillCount {
-                                        requested: level as usize,
-                                    });
-                                }
-                                let features = dataset.item_features(action.item);
+                    scope.spawn(
+                        move || -> Result<Vec<(usize, usize, FeatureDistribution)>> {
+                            // Accumulators only for owned cells.
+                            let mut cells: Vec<(usize, usize, FeatureAccumulator)> = Vec::new();
+                            let mut index = vec![usize::MAX; n_levels * n_features];
+                            for s in 0..n_levels {
                                 for f in 0..n_features {
-                                    let slot = index[s * n_features + f];
-                                    if slot != usize::MAX {
-                                        cells[slot].2.push(&features[f])?;
+                                    if owner(s, f) == worker {
+                                        index[s * n_features + f] = cells.len();
+                                        cells.push((
+                                            s,
+                                            f,
+                                            FeatureAccumulator::new(schema.kind(f)?),
+                                        ));
                                     }
                                 }
                             }
-                        }
-                        cells
-                            .into_iter()
-                            .map(|(s, f, acc)| Ok((s, f, acc.fit(lambda)?)))
-                            .collect()
-                    })
+                            if cells.is_empty() {
+                                return Ok(Vec::new());
+                            }
+                            for (seq, levels) in
+                                dataset.sequences().iter().zip(&assignments.per_user)
+                            {
+                                if seq.len() != levels.len() {
+                                    return Err(CoreError::LengthMismatch {
+                                        context: "assignment vs sequence length",
+                                        left: levels.len(),
+                                        right: seq.len(),
+                                    });
+                                }
+                                for (action, &level) in seq.actions().iter().zip(levels) {
+                                    let s = level as usize - 1;
+                                    if s >= n_levels {
+                                        return Err(CoreError::InvalidSkillCount {
+                                            requested: level as usize,
+                                        });
+                                    }
+                                    let features = dataset.item_features(action.item);
+                                    for f in 0..n_features {
+                                        let slot = index[s * n_features + f];
+                                        if slot != usize::MAX {
+                                            cells[slot].2.push(&features[f])?;
+                                        }
+                                    }
+                                }
+                            }
+                            cells
+                                .into_iter()
+                                .map(|(s, f, acc)| Ok((s, f, acc.fit(lambda)?)))
+                                .collect()
+                        },
+                    )
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().unwrap_or(Err(CoreError::EmptyDataset)))
+                .map(|h| {
+                    h.join()
+                        .unwrap_or(Err(CoreError::WorkerPanicked { step: "update" }))
+                })
                 .collect()
         });
 
@@ -262,7 +318,12 @@ mod tests {
         ])
         .unwrap();
         let items: Vec<Vec<FeatureValue>> = (0..4u32)
-            .map(|c| vec![FeatureValue::Categorical(c), FeatureValue::Count(2 + c as u64 * 3)])
+            .map(|c| {
+                vec![
+                    FeatureValue::Categorical(c),
+                    FeatureValue::Count(2 + c as u64 * 3),
+                ]
+            })
             .collect();
         let sequences: Vec<ActionSequence> = (0..n_users as u32)
             .map(|u| {
@@ -281,9 +342,12 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(ParallelConfig { threads: 0, ..ParallelConfig::sequential() }
-            .validate()
-            .is_err());
+        assert!(ParallelConfig {
+            threads: 0,
+            ..ParallelConfig::sequential()
+        }
+        .validate()
+        .is_err());
         assert!(ParallelConfig::all(4).validate().is_ok());
         assert!(!ParallelConfig::sequential().update_parallel());
         assert!(ParallelConfig::all(2).update_parallel());
@@ -295,18 +359,43 @@ mod tests {
         let model = initialize_model(&ds, 3, 4, 0.01).unwrap();
         let (seq_a, seq_ll) = crate::assign::assign_all(&model, &ds).unwrap();
         for threads in [2, 3, 5] {
-            let cfg = ParallelConfig { users: true, skills: false, features: false, threads };
-            let (par_a, par_ll) = assign_all_parallel(&model, &ds, &cfg).unwrap();
-            assert_eq!(seq_a, par_a, "threads={threads}");
-            assert!((seq_ll - par_ll).abs() < 1e-9);
+            for emission in [true, false] {
+                let cfg = ParallelConfig {
+                    users: true,
+                    threads,
+                    emission,
+                    ..ParallelConfig::sequential()
+                };
+                let (par_a, par_ll) = assign_all_parallel(&model, &ds, &cfg).unwrap();
+                assert_eq!(seq_a, par_a, "threads={threads} emission={emission}");
+                assert!((seq_ll - par_ll).abs() < 1e-9);
+            }
         }
+    }
+
+    #[test]
+    fn emission_toggle_is_bitwise_equivalent_sequentially() {
+        let ds = build_dataset(5, 9);
+        let model = initialize_model(&ds, 3, 4, 0.01).unwrap();
+        let with_table = ParallelConfig::sequential();
+        let direct = ParallelConfig {
+            emission: false,
+            ..ParallelConfig::sequential()
+        };
+        let (a_t, ll_t) = assign_all_parallel(&model, &ds, &with_table).unwrap();
+        let (a_d, ll_d) = assign_all_parallel(&model, &ds, &direct).unwrap();
+        assert_eq!(a_t, a_d);
+        assert_eq!(ll_t, ll_d);
     }
 
     #[test]
     fn parallel_assignment_disabled_flag_falls_through() {
         let ds = build_dataset(3, 8);
         let model = initialize_model(&ds, 2, 4, 0.01).unwrap();
-        let cfg = ParallelConfig { users: false, skills: false, features: false, threads: 4 };
+        let cfg = ParallelConfig {
+            threads: 4,
+            ..ParallelConfig::sequential()
+        };
         let (a, _) = assign_all_parallel(&model, &ds, &cfg).unwrap();
         assert!(a.is_monotone());
     }
@@ -316,20 +405,21 @@ mod tests {
         let ds = build_dataset(6, 10);
         let model = initialize_model(&ds, 3, 4, 0.01).unwrap();
         let (assignments, _) = crate::assign::assign_all(&model, &ds).unwrap();
-        let sequential =
-            crate::update::fit_model(&ds, &assignments, 3, 0.01).unwrap();
+        let sequential = crate::update::fit_model(&ds, &assignments, 3, 0.01).unwrap();
         for (skills, features) in [(true, false), (false, true), (true, true)] {
             for threads in [2, 3, 6] {
-                let cfg = ParallelConfig { users: false, skills, features, threads };
-                let parallel =
-                    fit_model_parallel(&ds, &assignments, 3, 0.01, &cfg).unwrap();
+                let cfg = ParallelConfig {
+                    skills,
+                    features,
+                    threads,
+                    ..ParallelConfig::sequential()
+                };
+                let parallel = fit_model_parallel(&ds, &assignments, 3, 0.01, &cfg).unwrap();
                 // Compare via likelihood of every item at every level.
                 for item in 0..ds.n_items() {
                     for s in 1..=3u8 {
-                        let a = sequential
-                            .item_log_likelihood(ds.item_features(item as u32), s);
-                        let b =
-                            parallel.item_log_likelihood(ds.item_features(item as u32), s);
+                        let a = sequential.item_log_likelihood(ds.item_features(item as u32), s);
+                        let b = parallel.item_log_likelihood(ds.item_features(item as u32), s);
                         assert!(
                             (a - b).abs() < 1e-12,
                             "skills={skills} features={features} threads={threads}"
@@ -345,7 +435,11 @@ mod tests {
         let ds = build_dataset(2, 6);
         let model = initialize_model(&ds, 2, 4, 0.01).unwrap();
         let (assignments, _) = crate::assign::assign_all(&model, &ds).unwrap();
-        let cfg = ParallelConfig { users: false, skills: true, features: true, threads: 1 };
+        let cfg = ParallelConfig {
+            skills: true,
+            features: true,
+            ..ParallelConfig::sequential()
+        };
         let m = fit_model_parallel(&ds, &assignments, 2, 0.01, &cfg).unwrap();
         assert_eq!(m.n_levels(), 2);
     }

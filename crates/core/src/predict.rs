@@ -7,6 +7,7 @@
 //! true item (Acc@10 and reciprocal rank).
 
 use crate::dist::FeatureDistribution;
+use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
 use crate::model::SkillModel;
 use crate::model_selection::nearest_skill;
@@ -59,7 +60,11 @@ pub fn holdout_split(dataset: &Dataset, position: HoldoutPosition) -> Result<Pre
         train_seqs.push(ActionSequence::new(seq.user, actions)?);
         test.push((u, held));
     }
-    let train = Dataset::new(dataset.schema().clone(), dataset.items().to_vec(), train_seqs)?;
+    let train = Dataset::new(
+        dataset.schema().clone(),
+        dataset.items().to_vec(),
+        train_seqs,
+    )?;
     Ok(PredictionSplit { train, test })
 }
 
@@ -98,6 +103,40 @@ pub fn rank_of_item(
     Ok(rank)
 }
 
+/// The 1-based rank of `target` among all table items by the *full*
+/// emission log-likelihood `log P(i | level)` — the multi-faceted
+/// generalization of [`rank_of_item`], read from a precomputed
+/// [`EmissionTable`].
+///
+/// For a model whose only feature is the item-ID categorical this coincides
+/// with the paper's §VI-E protocol (log is monotone, so the ordering is the
+/// same); with richer schemas it ranks by the whole generative likelihood.
+/// Ties break by item ID, matching [`rank_of_item`].
+pub fn rank_of_item_by_emission(
+    table: &EmissionTable,
+    level: SkillLevel,
+    target: ItemId,
+) -> Result<usize> {
+    if target as usize >= table.n_items() {
+        return Err(CoreError::FeatureIndexOutOfBounds {
+            index: target as usize,
+            len: table.n_items(),
+        });
+    }
+    let ll_target = table.log_likelihood(target, level);
+    let mut rank = 1usize;
+    for i in 0..table.n_items() as u32 {
+        if i == target {
+            continue;
+        }
+        let ll = table.log_likelihood(i, level);
+        if ll > ll_target || (ll == ll_target && i < target) {
+            rank += 1;
+        }
+    }
+    Ok(rank)
+}
+
 /// Top-`k` items for a skill level by item-ID probability (descending,
 /// ties by ID). Useful for qualitative tables (Tables IV–V).
 pub fn top_items_for_level(
@@ -114,10 +153,17 @@ pub fn top_items_for_level(
             got: "non-categorical",
         });
     };
-    let mut scored: Vec<(ItemId, f64)> =
-        dist.probs().iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-        .then(a.0.cmp(&b.0)));
+    let mut scored: Vec<(ItemId, f64)> = dist
+        .probs()
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i as u32, p))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     scored.truncate(k);
     Ok(scored)
 }
@@ -162,7 +208,12 @@ pub fn evaluate_item_prediction(
             continue;
         };
         let rank = rank_of_item(model, id_feature, level, action.item, n_items)?;
-        out.push(PredictionOutcome { sequence_index: u, item: action.item, level, rank });
+        out.push(PredictionOutcome {
+            sequence_index: u,
+            item: action.item,
+            level,
+            rank,
+        });
     }
     Ok(out)
 }
@@ -179,7 +230,9 @@ mod tests {
         let cells = probs_per_level
             .into_iter()
             .map(|p| {
-                vec![FeatureDistribution::Categorical(Categorical::from_probs(p).unwrap())]
+                vec![FeatureDistribution::Categorical(
+                    Categorical::from_probs(p).unwrap(),
+                )]
             })
             .collect();
         SkillModel::new(schema, 2, cells).unwrap()
@@ -188,8 +241,9 @@ mod tests {
     fn id_dataset(seq_items: &[&[u32]]) -> Dataset {
         let n_items = seq_items.iter().flat_map(|s| s.iter()).max().unwrap() + 1;
         let schema = FeatureSchema::id_only(n_items).unwrap();
-        let items: Vec<Vec<FeatureValue>> =
-            (0..n_items).map(|i| vec![FeatureValue::Categorical(i)]).collect();
+        let items: Vec<Vec<FeatureValue>> = (0..n_items)
+            .map(|i| vec![FeatureValue::Categorical(i)])
+            .collect();
         let sequences: Vec<ActionSequence> = seq_items
             .iter()
             .enumerate()
@@ -221,6 +275,23 @@ mod tests {
     }
 
     #[test]
+    fn emission_rank_matches_id_rank_for_id_only_models() {
+        let m = id_model(vec![vec![0.5, 0.2, 0.2, 0.1], vec![0.1, 0.2, 0.2, 0.5]]);
+        let ds = id_dataset(&[&[0, 1, 2, 3]]);
+        let table = EmissionTable::build(&m, &ds);
+        for level in 1..=2u8 {
+            for target in 0..4u32 {
+                assert_eq!(
+                    rank_of_item_by_emission(&table, level, target).unwrap(),
+                    rank_of_item(&m, 0, level, target, 4).unwrap(),
+                    "level {level} target {target}"
+                );
+            }
+        }
+        assert!(rank_of_item_by_emission(&table, 1, 99).is_err());
+    }
+
+    #[test]
     fn top_items_sorted_descending() {
         let m = id_model(vec![vec![0.1, 0.6, 0.3], vec![0.4, 0.3, 0.3]]);
         let top = top_items_for_level(&m, 0, 1, 2).unwrap();
@@ -244,8 +315,10 @@ mod tests {
         let ds = id_dataset(&[&[0, 1, 2, 0, 1], &[2, 0, 1]]);
         let a = holdout_split(&ds, HoldoutPosition::Random { seed: 4 }).unwrap();
         let b = holdout_split(&ds, HoldoutPosition::Random { seed: 4 }).unwrap();
-        assert_eq!(a.test.iter().map(|t| t.1).collect::<Vec<_>>(),
-                   b.test.iter().map(|t| t.1).collect::<Vec<_>>());
+        assert_eq!(
+            a.test.iter().map(|t| t.1).collect::<Vec<_>>(),
+            b.test.iter().map(|t| t.1).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -273,8 +346,12 @@ mod tests {
     fn rank_errors_on_noncategorical_feature() {
         let schema = FeatureSchema::new(vec![FeatureKind::Count]).unwrap();
         let cells = vec![
-            vec![FeatureDistribution::Poisson(crate::dist::Poisson::new(1.0).unwrap())],
-            vec![FeatureDistribution::Poisson(crate::dist::Poisson::new(2.0).unwrap())],
+            vec![FeatureDistribution::Poisson(
+                crate::dist::Poisson::new(1.0).unwrap(),
+            )],
+            vec![FeatureDistribution::Poisson(
+                crate::dist::Poisson::new(2.0).unwrap(),
+            )],
         ];
         let m = SkillModel::new(schema, 2, cells).unwrap();
         assert!(rank_of_item(&m, 0, 1, 0, 3).is_err());

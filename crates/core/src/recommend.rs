@@ -18,6 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
 use crate::model::SkillModel;
 use crate::types::{Dataset, ItemId, SkillLevel};
@@ -100,7 +101,6 @@ pub fn recommend_for_level(
     exclude: &dyn Fn(ItemId) -> bool,
     config: &RecommendConfig,
 ) -> Result<Vec<Recommendation>> {
-    config.validate()?;
     if difficulty.len() != dataset.n_items() {
         return Err(CoreError::LengthMismatch {
             context: "difficulty vector vs items",
@@ -108,6 +108,42 @@ pub fn recommend_for_level(
             right: dataset.n_items(),
         });
     }
+    recommend_with_interest(difficulty, level, exclude, config, &|item| {
+        model.item_log_likelihood(dataset.item_features(item), level)
+    })
+}
+
+/// [`recommend_for_level`] with the interest signal read from a precomputed
+/// [`EmissionTable`] row instead of fresh distribution evaluations —
+/// identical output for a table built from the same model and dataset.
+pub fn recommend_for_level_with_table(
+    table: &EmissionTable,
+    difficulty: &[f64],
+    level: SkillLevel,
+    exclude: &dyn Fn(ItemId) -> bool,
+    config: &RecommendConfig,
+) -> Result<Vec<Recommendation>> {
+    if difficulty.len() != table.n_items() {
+        return Err(CoreError::LengthMismatch {
+            context: "difficulty vector vs items",
+            left: difficulty.len(),
+            right: table.n_items(),
+        });
+    }
+    recommend_with_interest(difficulty, level, exclude, config, &|item| {
+        table.log_likelihood(item, level)
+    })
+}
+
+/// Shared scoring core; `interest_ll(item)` supplies `log P(item | level)`.
+fn recommend_with_interest(
+    difficulty: &[f64],
+    level: SkillLevel,
+    exclude: &dyn Fn(ItemId) -> bool,
+    config: &RecommendConfig,
+    interest_ll: &dyn Fn(ItemId) -> f64,
+) -> Result<Vec<Recommendation>> {
+    config.validate()?;
     let s = level as f64;
     let target = s + config.target_offset;
     let lo = s - config.lower_slack;
@@ -129,7 +165,7 @@ pub fn recommend_for_level(
         } else {
             1.0 - (d - target) / right_width
         };
-        let ll = model.item_log_likelihood(dataset.item_features(item), level);
+        let ll = interest_ll(item);
         if ll > max_ll {
             max_ll = ll;
         }
@@ -145,8 +181,11 @@ pub fn recommend_for_level(
     let mut recs: Vec<Recommendation> = candidates
         .into_iter()
         .map(|(item, fit, ll)| {
-            let interest =
-                if max_ll.is_finite() { (ll - max_ll).exp() } else { 0.0 };
+            let interest = if max_ll.is_finite() {
+                (ll - max_ll).exp()
+            } else {
+                0.0
+            };
             Recommendation {
                 item,
                 difficulty: difficulty[item as usize],
@@ -177,10 +216,18 @@ pub fn upskilling_ladder(
     exclude: &dyn Fn(ItemId) -> bool,
     config: &RecommendConfig,
 ) -> Result<Vec<(SkillLevel, Vec<Recommendation>)>> {
+    if difficulty.len() != dataset.n_items() {
+        return Err(CoreError::LengthMismatch {
+            context: "difficulty vector vs items",
+            left: difficulty.len(),
+            right: dataset.n_items(),
+        });
+    }
+    // One emission table serves every rung of the ladder.
+    let table = EmissionTable::build(model, dataset);
     let mut ladder = Vec::new();
     for level in from..=(model.n_levels() as SkillLevel) {
-        let recs =
-            recommend_for_level(model, dataset, difficulty, level, exclude, config)?;
+        let recs = recommend_for_level_with_table(&table, difficulty, level, exclude, config)?;
         ladder.push((level, recs));
     }
     Ok(ladder)
@@ -195,13 +242,17 @@ mod tests {
 
     /// Three items with difficulties 1.0 / 2.1 / 2.9, model with 3 levels.
     fn setup() -> (SkillModel, Dataset, Vec<f64>) {
-        let schema =
-            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 3 }]).unwrap();
-        let items: Vec<Vec<FeatureValue>> =
-            (0..3u32).map(|c| vec![FeatureValue::Categorical(c)]).collect();
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 3 }]).unwrap();
+        let items: Vec<Vec<FeatureValue>> = (0..3u32)
+            .map(|c| vec![FeatureValue::Categorical(c)])
+            .collect();
         let seq = ActionSequence::new(
             0,
-            vec![Action::new(0, 0, 0), Action::new(1, 0, 1), Action::new(2, 0, 2)],
+            vec![
+                Action::new(0, 0, 0),
+                Action::new(1, 0, 1),
+                Action::new(2, 0, 2),
+            ],
         )
         .unwrap();
         let ds = Dataset::new(schema.clone(), items, vec![seq]).unwrap();
@@ -221,13 +272,24 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(RecommendConfig::default().validate().is_ok());
-        assert!(RecommendConfig { interest_weight: 1.5, ..Default::default() }
-            .validate()
-            .is_err());
-        assert!(RecommendConfig { upper_slack: 0.0, ..Default::default() }
-            .validate()
-            .is_err());
-        assert!(RecommendConfig { k: 0, ..Default::default() }.validate().is_err());
+        assert!(RecommendConfig {
+            interest_weight: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RecommendConfig {
+            upper_slack: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RecommendConfig {
+            k: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -242,9 +304,7 @@ mod tests {
         };
         // A level-2 user: item 1 (d=2.1) is the near-perfect fit; item 2
         // (d=2.9) is within slack; item 0 (d=1.0) is out of band.
-        let recs =
-            recommend_for_level(&model, &ds, &difficulty, 2, &|_| false, &config)
-                .unwrap();
+        let recs = recommend_for_level(&model, &ds, &difficulty, 2, &|_| false, &config).unwrap();
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].item, 1);
         assert!(recs[0].difficulty_fit > recs[1].difficulty_fit);
@@ -254,11 +314,12 @@ mod tests {
     #[test]
     fn exclusion_removes_consumed_items() {
         let (model, ds, difficulty) = setup();
-        let config =
-            RecommendConfig { interest_weight: 0.0, upper_slack: 1.0, ..Default::default() };
-        let recs =
-            recommend_for_level(&model, &ds, &difficulty, 2, &|i| i == 1, &config)
-                .unwrap();
+        let config = RecommendConfig {
+            interest_weight: 0.0,
+            upper_slack: 1.0,
+            ..Default::default()
+        };
+        let recs = recommend_for_level(&model, &ds, &difficulty, 2, &|i| i == 1, &config).unwrap();
         assert!(recs.iter().all(|r| r.item != 1));
     }
 
@@ -281,7 +342,10 @@ mod tests {
             &difficulty,
             3,
             &|_| false,
-            &RecommendConfig { interest_weight: 1.0, ..base },
+            &RecommendConfig {
+                interest_weight: 1.0,
+                ..base
+            },
         )
         .unwrap();
         // With pure interest, item 2 (category 2, most likely at level 3)
@@ -308,19 +372,19 @@ mod tests {
         // Level 1 with a razor-thin band around 1.1: no item qualifies
         // (item 0 has d=1.0 < lo=0.95? no: lo = 1-0.05=0.95, hi=1.15, so
         // item 0 qualifies). Use level 3 instead: band [2.95, 3.15] — empty.
-        let recs =
-            recommend_for_level(&model, &ds, &difficulty, 3, &|_| false, &config)
-                .unwrap();
+        let recs = recommend_for_level(&model, &ds, &difficulty, 3, &|_| false, &config).unwrap();
         assert!(recs.is_empty());
     }
 
     #[test]
     fn ladder_covers_levels_up_to_top() {
         let (model, ds, difficulty) = setup();
-        let config =
-            RecommendConfig { interest_weight: 0.2, upper_slack: 1.0, ..Default::default() };
-        let ladder =
-            upskilling_ladder(&model, &ds, &difficulty, 1, &|_| false, &config).unwrap();
+        let config = RecommendConfig {
+            interest_weight: 0.2,
+            upper_slack: 1.0,
+            ..Default::default()
+        };
+        let ladder = upskilling_ladder(&model, &ds, &difficulty, 1, &|_| false, &config).unwrap();
         assert_eq!(ladder.len(), 3);
         assert_eq!(ladder[0].0, 1);
         assert_eq!(ladder[2].0, 3);
@@ -328,9 +392,40 @@ mod tests {
         let mean = |recs: &[Recommendation]| {
             recs.iter().map(|r| r.difficulty).sum::<f64>() / recs.len().max(1) as f64
         };
-        let nonempty: Vec<f64> =
-            ladder.iter().filter(|(_, r)| !r.is_empty()).map(|(_, r)| mean(r)).collect();
+        let nonempty: Vec<f64> = ladder
+            .iter()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(_, r)| mean(r))
+            .collect();
         assert!(nonempty.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    }
+
+    #[test]
+    fn table_backed_recommendations_match_direct() {
+        let (model, ds, difficulty) = setup();
+        let table = EmissionTable::build(&model, &ds);
+        let config = RecommendConfig {
+            interest_weight: 0.5,
+            lower_slack: 2.0,
+            upper_slack: 2.0,
+            ..Default::default()
+        };
+        for level in 1..=3u8 {
+            let direct =
+                recommend_for_level(&model, &ds, &difficulty, level, &|_| false, &config).unwrap();
+            let tabled =
+                recommend_for_level_with_table(&table, &difficulty, level, &|_| false, &config)
+                    .unwrap();
+            assert_eq!(direct, tabled);
+        }
+        assert!(recommend_for_level_with_table(
+            &table,
+            &[1.0],
+            1,
+            &|_| false,
+            &RecommendConfig::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -357,9 +452,7 @@ mod tests {
             upper_slack: 2.0,
             ..Default::default()
         };
-        let recs =
-            recommend_for_level(&model, &ds, &difficulty, 2, &|_| false, &config)
-                .unwrap();
+        let recs = recommend_for_level(&model, &ds, &difficulty, 2, &|_| false, &config).unwrap();
         assert!(!recs.is_empty());
         assert!(recs.iter().all(|r| (0.0..=1.0 + 1e-12).contains(&r.score)));
         assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));

@@ -83,6 +83,9 @@ mod tests {
             assert!(k < 5);
             seen[k] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear: {seen:?}"
+        );
     }
 }

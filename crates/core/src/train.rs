@@ -8,6 +8,12 @@
 //! exact ascent (the smoothed MLE differs infinitesimally from the MLE), so
 //! the trainer also accepts an iteration cap and an assignment-stability
 //! stopping rule, which is what terminates in practice.
+//!
+//! Each assignment step builds one shared
+//! [`EmissionTable`](crate::emission::EmissionTable) (inside
+//! [`assign_all_parallel`]) from the current parameters, so every iteration
+//! evaluates each item's emission vector once instead of once per action;
+//! see [`crate::parallel::ParallelConfig::emission`] to disable it.
 
 use serde::{Deserialize, Serialize};
 
@@ -76,7 +82,10 @@ impl TrainConfig {
             });
         }
         if self.max_iterations == 0 {
-            return Err(CoreError::NoConvergence { routine: "training", iterations: 0 });
+            return Err(CoreError::NoConvergence {
+                routine: "training",
+                iterations: 0,
+            });
         }
         Ok(())
     }
@@ -127,8 +136,12 @@ pub fn train_with_parallelism(
         return Err(CoreError::EmptyDataset);
     }
 
-    let mut model =
-        initialize_model(dataset, config.n_levels, config.min_init_actions, config.lambda)?;
+    let mut model = initialize_model(
+        dataset,
+        config.n_levels,
+        config.min_init_actions,
+        config.lambda,
+    )?;
     let mut prev_assignments: Option<SkillAssignments> = None;
     let mut prev_ll = f64::NEG_INFINITY;
     let mut trace = Vec::new();
@@ -142,7 +155,11 @@ pub fn train_with_parallelism(
             Some(prev) => count_changed(prev, &assignments),
             None => usize::MAX,
         };
-        trace.push(IterationStats { iteration, log_likelihood: ll, n_changed });
+        trace.push(IterationStats {
+            iteration,
+            log_likelihood: ll,
+            n_changed,
+        });
 
         let stable = n_changed == 0;
         let small_gain = prev_ll.is_finite()
@@ -179,7 +196,13 @@ pub fn train_with_parallelism(
 
     // Iteration cap reached; produce a consistent final state.
     let (assignments, ll) = assign_all_parallel(&model, dataset, parallel)?;
-    Ok(TrainResult { model, assignments, log_likelihood: ll, trace, converged })
+    Ok(TrainResult {
+        model,
+        assignments,
+        log_likelihood: ll,
+        trace,
+        converged,
+    })
 }
 
 fn count_changed(a: &SkillAssignments, b: &SkillAssignments) -> usize {
@@ -199,13 +222,18 @@ mod tests {
     /// Dataset where users progress through item categories over time.
     fn progression_dataset(n_users: usize, len: usize, n_cats: u32) -> Dataset {
         let schema = FeatureSchema::new(vec![
-            FeatureKind::Categorical { cardinality: n_cats },
+            FeatureKind::Categorical {
+                cardinality: n_cats,
+            },
             FeatureKind::Count,
         ])
         .unwrap();
         let items: Vec<Vec<FeatureValue>> = (0..n_cats)
             .map(|c| {
-                vec![FeatureValue::Categorical(c), FeatureValue::Count(1 + 4 * c as u64)]
+                vec![
+                    FeatureValue::Categorical(c),
+                    FeatureValue::Count(1 + 4 * c as u64),
+                ]
             })
             .collect();
         let sequences: Vec<ActionSequence> = (0..n_users as u32)
@@ -226,7 +254,10 @@ mod tests {
     fn config_validation() {
         assert!(TrainConfig::new(0).validate().is_err());
         assert!(TrainConfig::new(3).with_lambda(-1.0).validate().is_err());
-        assert!(TrainConfig::new(3).with_max_iterations(0).validate().is_err());
+        assert!(TrainConfig::new(3)
+            .with_max_iterations(0)
+            .validate()
+            .is_err());
         assert!(TrainConfig::new(3).validate().is_ok());
     }
 
@@ -249,12 +280,10 @@ mod tests {
         let easy = vec![FeatureValue::Categorical(0), FeatureValue::Count(1)];
         let hard = vec![FeatureValue::Categorical(2), FeatureValue::Count(9)];
         assert!(
-            result.model.item_log_likelihood(&easy, 1)
-                > result.model.item_log_likelihood(&easy, 3)
+            result.model.item_log_likelihood(&easy, 1) > result.model.item_log_likelihood(&easy, 3)
         );
         assert!(
-            result.model.item_log_likelihood(&hard, 3)
-                > result.model.item_log_likelihood(&hard, 1)
+            result.model.item_log_likelihood(&hard, 3) > result.model.item_log_likelihood(&hard, 1)
         );
     }
 
@@ -305,8 +334,12 @@ mod tests {
 
     #[test]
     fn count_changed_counts_pointwise() {
-        let a = SkillAssignments { per_user: vec![vec![1, 1, 2], vec![3]] };
-        let b = SkillAssignments { per_user: vec![vec![1, 2, 2], vec![3]] };
+        let a = SkillAssignments {
+            per_user: vec![vec![1, 1, 2], vec![3]],
+        };
+        let b = SkillAssignments {
+            per_user: vec![vec![1, 2, 2], vec![3]],
+        };
         assert_eq!(count_changed(&a, &b), 1);
         assert_eq!(count_changed(&a, &a), 0);
     }

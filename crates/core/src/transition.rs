@@ -186,7 +186,10 @@ pub fn assign_sequence_with_transitions(
             s -= 1;
         }
     }
-    Ok(crate::assign::SequenceAssignment { levels, log_likelihood: best_ll })
+    Ok(crate::assign::SequenceAssignment {
+        levels,
+        log_likelihood: best_ll,
+    })
 }
 
 /// Re-estimates transition parameters from hard assignments with additive
@@ -213,7 +216,9 @@ pub fn fit_transitions(
         if let Some(&first) = seq.first() {
             let idx = first as usize - 1;
             if idx >= n_levels {
-                return Err(CoreError::InvalidSkillCount { requested: first as usize });
+                return Err(CoreError::InvalidSkillCount {
+                    requested: first as usize,
+                });
             }
             init_counts[idx] += 1.0;
         }
@@ -224,7 +229,10 @@ pub fn fit_transitions(
             } else if b == a + 1 {
                 advance_counts[a] += 1.0;
             } else {
-                return Err(CoreError::UnsortedSequence { user: 0, position: 0 });
+                return Err(CoreError::UnsortedSequence {
+                    user: 0,
+                    position: 0,
+                });
             }
         }
     }
@@ -278,8 +286,9 @@ mod tests {
             })
             .collect();
         let model = SkillModel::new(schema.clone(), s_max, cells).unwrap();
-        let items: Vec<Vec<FeatureValue>> =
-            (0..s_max as u32).map(|c| vec![FeatureValue::Categorical(c)]).collect();
+        let items: Vec<Vec<FeatureValue>> = (0..s_max as u32)
+            .map(|c| vec![FeatureValue::Categorical(c)])
+            .collect();
         let seq = ActionSequence::new(
             0,
             (0..s_max * 2)
@@ -322,8 +331,7 @@ mod tests {
         let (model, ds) = diagonal_setup(3);
         let seq = &ds.sequences()[0];
         // Extremely sticky: advancing costs ln(0.0001).
-        let sticky =
-            TransitionModel::new(vec![0.9999, 0.9999, 1.0], vec![1.0 / 3.0; 3]).unwrap();
+        let sticky = TransitionModel::new(vec![0.9999, 0.9999, 1.0], vec![1.0 / 3.0; 3]).unwrap();
         let ext = assign_sequence_with_transitions(&model, &sticky, &ds, seq).unwrap();
         // The path should advance fewer times than the emission-optimal 2.
         let advances = ext.levels.windows(2).filter(|w| w[1] > w[0]).count();
@@ -347,13 +355,17 @@ mod tests {
 
     #[test]
     fn fit_transitions_rejects_nonmonotone_jumps() {
-        let a = SkillAssignments { per_user: vec![vec![1, 3]] };
+        let a = SkillAssignments {
+            per_user: vec![vec![1, 3]],
+        };
         assert!(fit_transitions(&a, 3, 0.01).is_err());
     }
 
     #[test]
     fn fit_transitions_smoothing_keeps_probabilities_interior() {
-        let a = SkillAssignments { per_user: vec![vec![1, 1, 1]] };
+        let a = SkillAssignments {
+            per_user: vec![vec![1, 1, 1]],
+        };
         let m = fit_transitions(&a, 2, 0.5).unwrap();
         assert!(m.stay_probs()[0] > 0.0 && m.stay_probs()[0] < 1.0);
         assert!(m.init_probs()[1] > 0.0);

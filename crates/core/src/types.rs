@@ -59,11 +59,17 @@ impl ActionSequence {
     pub fn new(user: UserId, actions: Vec<Action>) -> Result<Self> {
         for (pos, window) in actions.windows(2).enumerate() {
             if window[1].time < window[0].time {
-                return Err(CoreError::UnsortedSequence { user, position: pos + 1 });
+                return Err(CoreError::UnsortedSequence {
+                    user,
+                    position: pos + 1,
+                });
             }
         }
         if let Some(pos) = actions.iter().position(|a| a.user != user) {
-            return Err(CoreError::UnsortedSequence { user, position: pos });
+            return Err(CoreError::UnsortedSequence {
+                user,
+                position: pos,
+            });
         }
         Ok(Self { user, actions })
     }
@@ -131,7 +137,12 @@ impl Dataset {
             }
             n_actions += seq.len();
         }
-        Ok(Self { schema, items, sequences, n_actions })
+        Ok(Self {
+            schema,
+            items,
+            sequences,
+            n_actions,
+        })
     }
 
     /// The feature schema shared by all items.
@@ -171,7 +182,9 @@ impl Dataset {
 
     /// Iterates over every action in the dataset, sequence by sequence.
     pub fn actions(&self) -> impl Iterator<Item = Action> + '_ {
-        self.sequences.iter().flat_map(|s| s.actions().iter().copied())
+        self.sequences
+            .iter()
+            .flat_map(|s| s.actions().iter().copied())
     }
 
     /// Earliest timestamp over all actions, if any.
@@ -216,7 +229,9 @@ impl SkillAssignments {
     /// Verifies the monotone non-decreasing constraint (Eq. 1) holds for
     /// every sequence. Used in tests and debug assertions.
     pub fn is_monotone(&self) -> bool {
-        self.per_user.iter().all(|seq| seq.windows(2).all(|w| w[0] <= w[1]))
+        self.per_user
+            .iter()
+            .all(|seq| seq.windows(2).all(|w| w[0] <= w[1]))
     }
 
     /// Iterates `(sequence index, action index, skill)` triples.
@@ -251,12 +266,15 @@ mod tests {
 
     #[test]
     fn sequence_rejects_unsorted_actions() {
-        let err = ActionSequence::new(
-            0,
-            vec![Action::new(5, 0, 0), Action::new(3, 0, 1)],
-        )
-        .unwrap_err();
-        assert_eq!(err, CoreError::UnsortedSequence { user: 0, position: 1 });
+        let err =
+            ActionSequence::new(0, vec![Action::new(5, 0, 0), Action::new(3, 0, 1)]).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::UnsortedSequence {
+                user: 0,
+                position: 1
+            }
+        );
     }
 
     #[test]
@@ -269,7 +287,11 @@ mod tests {
     fn from_unsorted_sorts_stably() {
         let seq = ActionSequence::from_unsorted(
             1,
-            vec![Action::new(5, 1, 2), Action::new(1, 1, 0), Action::new(3, 1, 1)],
+            vec![
+                Action::new(5, 1, 2),
+                Action::new(1, 1, 0),
+                Action::new(3, 1, 1),
+            ],
         )
         .unwrap();
         let times: Vec<_> = seq.actions().iter().map(|a| a.time).collect();
@@ -282,7 +304,10 @@ mod tests {
         let items = vec![vec![FeatureValue::Categorical(0)]];
         let seq = ActionSequence::new(0, vec![Action::new(0, 0, 7)]).unwrap();
         let err = Dataset::new(schema, items, vec![seq]).unwrap_err();
-        assert!(matches!(err, CoreError::FeatureIndexOutOfBounds { index: 7, .. }));
+        assert!(matches!(
+            err,
+            CoreError::FeatureIndexOutOfBounds { index: 7, .. }
+        ));
     }
 
     #[test]
@@ -294,7 +319,11 @@ mod tests {
         ];
         let s0 = ActionSequence::new(
             0,
-            vec![Action::new(0, 0, 0), Action::new(1, 0, 1), Action::new(2, 0, 1)],
+            vec![
+                Action::new(0, 0, 0),
+                Action::new(1, 0, 1),
+                Action::new(2, 0, 1),
+            ],
         )
         .unwrap();
         let s1 = ActionSequence::new(1, vec![Action::new(0, 1, 0)]).unwrap();
@@ -308,15 +337,21 @@ mod tests {
 
     #[test]
     fn assignments_monotonicity_check() {
-        let ok = SkillAssignments { per_user: vec![vec![1, 1, 2, 3], vec![2, 2]] };
+        let ok = SkillAssignments {
+            per_user: vec![vec![1, 1, 2, 3], vec![2, 2]],
+        };
         assert!(ok.is_monotone());
-        let bad = SkillAssignments { per_user: vec![vec![1, 3, 2]] };
+        let bad = SkillAssignments {
+            per_user: vec![vec![1, 3, 2]],
+        };
         assert!(!bad.is_monotone());
     }
 
     #[test]
     fn level_histogram_counts_all_levels() {
-        let a = SkillAssignments { per_user: vec![vec![1, 1, 2], vec![3]] };
+        let a = SkillAssignments {
+            per_user: vec![vec![1, 1, 2], vec![3]],
+        };
         assert_eq!(a.level_histogram(3), vec![2, 1, 1]);
         assert_eq!(a.n_actions(), 4);
     }
@@ -326,8 +361,7 @@ mod tests {
         let schema = tiny_schema();
         let items = vec![vec![FeatureValue::Categorical(0)]];
         let mk = |u: UserId, n: usize| {
-            ActionSequence::new(u, (0..n).map(|t| Action::new(t as i64, u, 0)).collect())
-                .unwrap()
+            ActionSequence::new(u, (0..n).map(|t| Action::new(t as i64, u, 0)).collect()).unwrap()
         };
         let ds = Dataset::new(schema, items, vec![mk(0, 2), mk(1, 5)]).unwrap();
         let long = ds.subset_users(|s| s.len() >= 4).unwrap();

@@ -28,7 +28,13 @@ pub fn accumulate(
     }
     let schema = dataset.schema();
     let mut grid: Vec<Vec<FeatureAccumulator>> = (0..n_levels)
-        .map(|_| schema.kinds().iter().map(|&k| FeatureAccumulator::new(k)).collect())
+        .map(|_| {
+            schema
+                .kinds()
+                .iter()
+                .map(|&k| FeatureAccumulator::new(k))
+                .collect()
+        })
         .collect();
 
     for (seq, levels) in dataset.sequences().iter().zip(&assignments.per_user) {
@@ -40,9 +46,11 @@ pub fn accumulate(
             });
         }
         for (action, &s) in seq.actions().iter().zip(levels) {
-            let row = grid.get_mut(s as usize - 1).ok_or(CoreError::InvalidSkillCount {
-                requested: s as usize,
-            })?;
+            let row = grid
+                .get_mut(s as usize - 1)
+                .ok_or(CoreError::InvalidSkillCount {
+                    requested: s as usize,
+                })?;
             let features = dataset.item_features(action.item);
             for (acc, value) in row.iter_mut().zip(features) {
                 acc.push(value)?;
@@ -133,22 +141,32 @@ mod tests {
     #[test]
     fn accumulate_groups_by_level() {
         let ds = toy_dataset();
-        let assignments = SkillAssignments { per_user: vec![vec![1, 1, 2, 2]] };
+        let assignments = SkillAssignments {
+            per_user: vec![vec![1, 1, 2, 2]],
+        };
         let grid = accumulate(&ds, &assignments, 2).unwrap();
         // Level 1 saw two category-0 items; level 2 two category-1 items.
-        let FeatureAccumulator::Categorical { counts } = &grid[0][0] else { panic!() };
+        let FeatureAccumulator::Categorical { counts } = &grid[0][0] else {
+            panic!()
+        };
         assert_eq!(counts, &vec![2, 0]);
-        let FeatureAccumulator::Categorical { counts } = &grid[1][0] else { panic!() };
+        let FeatureAccumulator::Categorical { counts } = &grid[1][0] else {
+            panic!()
+        };
         assert_eq!(counts, &vec![0, 2]);
         // Count feature means.
-        let FeatureAccumulator::Count { sum, n } = &grid[0][1] else { panic!() };
+        let FeatureAccumulator::Count { sum, n } = &grid[0][1] else {
+            panic!()
+        };
         assert_eq!((*sum, *n), (4.0, 2.0));
     }
 
     #[test]
     fn fit_model_recovers_per_level_parameters() {
         let ds = toy_dataset();
-        let assignments = SkillAssignments { per_user: vec![vec![1, 1, 2, 2]] };
+        let assignments = SkillAssignments {
+            per_user: vec![vec![1, 1, 2, 2]],
+        };
         let model = fit_model(&ds, &assignments, 2, 0.01).unwrap();
         // Level 1 should strongly prefer category 0 and rate 2.
         let ll_easy_1 = model.item_log_likelihood(ds.item_features(0), 1);
@@ -163,9 +181,13 @@ mod tests {
     fn unobserved_level_gets_fallback() {
         let ds = toy_dataset();
         // Everything assigned to level 1; level 2 cells unobserved.
-        let assignments = SkillAssignments { per_user: vec![vec![1, 1, 1, 1]] };
+        let assignments = SkillAssignments {
+            per_user: vec![vec![1, 1, 1, 1]],
+        };
         let model = fit_model(&ds, &assignments, 2, 0.01).unwrap();
-        assert!(model.item_log_likelihood(ds.item_features(0), 2).is_finite());
+        assert!(model
+            .item_log_likelihood(ds.item_features(0), 2)
+            .is_finite());
     }
 
     #[test]
@@ -173,16 +195,22 @@ mod tests {
         let ds = toy_dataset();
         let too_few = SkillAssignments { per_user: vec![] };
         assert!(accumulate(&ds, &too_few, 2).is_err());
-        let wrong_len = SkillAssignments { per_user: vec![vec![1, 1]] };
+        let wrong_len = SkillAssignments {
+            per_user: vec![vec![1, 1]],
+        };
         assert!(accumulate(&ds, &wrong_len, 2).is_err());
-        let bad_level = SkillAssignments { per_user: vec![vec![1, 1, 3, 3]] };
+        let bad_level = SkillAssignments {
+            per_user: vec![vec![1, 1, 3, 3]],
+        };
         assert!(accumulate(&ds, &bad_level, 2).is_err());
     }
 
     #[test]
     fn log_likelihood_matches_manual_sum() {
         let ds = toy_dataset();
-        let assignments = SkillAssignments { per_user: vec![vec![1, 1, 2, 2]] };
+        let assignments = SkillAssignments {
+            per_user: vec![vec![1, 1, 2, 2]],
+        };
         let model = fit_model(&ds, &assignments, 2, 0.01).unwrap();
         let ll = log_likelihood(&ds, &assignments, &model).unwrap();
         let manual = 2.0 * model.item_log_likelihood(ds.item_features(0), 1)
@@ -194,7 +222,9 @@ mod tests {
     fn update_step_does_not_decrease_objective() {
         // Refitting parameters at fixed assignments must not lower Eq. 3.
         let ds = toy_dataset();
-        let assignments = SkillAssignments { per_user: vec![vec![1, 2, 2, 2]] };
+        let assignments = SkillAssignments {
+            per_user: vec![vec![1, 2, 2, 2]],
+        };
         let rough = fit_model(&ds, &assignments, 2, 1.0).unwrap(); // heavy smoothing
         let refit = fit_model(&ds, &assignments, 2, 0.0).unwrap(); // exact MLE
         let ll_rough = log_likelihood(&ds, &assignments, &rough).unwrap();

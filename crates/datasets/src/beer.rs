@@ -164,7 +164,9 @@ pub fn generate(config: &BeerConfig) -> Result<BeerData> {
     // Some tiers could be empty at tiny scales; backfill from neighbours.
     for t in 0..BEER_LEVELS {
         if pools[t].is_empty() {
-            let donor = (0..BEER_LEVELS).find(|&d| !pools[d].is_empty()).unwrap_or(0);
+            let donor = (0..BEER_LEVELS)
+                .find(|&d| !pools[d].is_empty())
+                .unwrap_or(0);
             let fallback = pools[donor].clone();
             pools[t] = fallback;
         }
@@ -191,8 +193,8 @@ pub fn generate(config: &BeerConfig) -> Result<BeerData> {
             // Rating: quality + generosity + match bonus + noise.
             let match_bonus = if tier == level { 0.3 } else { 0.0 };
             let noise = sample_gamma(&mut rng, 4.0, 0.1) - 0.4;
-            let rating = (beer_quality[item as usize] + generosity + match_bonus + noise)
-                .clamp(0.0, 5.0);
+            let rating =
+                (beer_quality[item as usize] + generosity + match_bonus + noise).clamp(0.0, 5.0);
             rating_of.insert((user, t as i64), rating);
             skill_of.insert((user, t as i64), (level + 1) as SkillLevel);
             if level + 1 < BEER_LEVELS && rng.gen::<f64>() < config.p_advance {
@@ -205,9 +207,15 @@ pub fn generate(config: &BeerConfig) -> Result<BeerData> {
     let filtered = iterative_support_filter(&actions, config.support);
     let assembled = assemble(
         vec![
-            FeatureKind::Categorical { cardinality: config.n_brewers as u32 },
-            FeatureKind::Categorical { cardinality: STYLES.len() as u32 },
-            FeatureKind::Positive { model: PositiveModel::Gamma },
+            FeatureKind::Categorical {
+                cardinality: config.n_brewers as u32,
+            },
+            FeatureKind::Categorical {
+                cardinality: STYLES.len() as u32,
+            },
+            FeatureKind::Positive {
+                model: PositiveModel::Gamma,
+            },
         ],
         vec!["brewer".into(), "style".into(), "abv".into()],
         true,
@@ -288,7 +296,12 @@ mod tests {
         let mean = |i: usize| sums[i] / counts[i].max(1) as f64;
         // Level 5 (if populated) or level 4 should beat level 1.
         let top = if counts[4] > 20 { 4 } else { 3 };
-        assert!(mean(top) > mean(0) + 0.3, "means {:?} counts {:?}", sums, counts);
+        assert!(
+            mean(top) > mean(0) + 0.3,
+            "means {:?} counts {:?}",
+            sums,
+            counts
+        );
     }
 
     #[test]
@@ -302,10 +315,7 @@ mod tests {
                     let tier = data.style_tiers[style as usize];
                     // Tier pools may be backfilled at tiny scales, so allow
                     // slack of one tier.
-                    assert!(
-                        tier <= s + 1,
-                        "tier {tier} above skill {s} (style {style})"
-                    );
+                    assert!(tier <= s + 1, "tier {tier} above skill {s} (style {style})");
                 }
             }
         }

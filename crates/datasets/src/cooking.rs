@@ -26,28 +26,84 @@ pub const COOKING_LEVELS: usize = 5;
 
 /// Recipe categories (categorical feature values, by index).
 pub const CATEGORIES: &[&str] = &[
-    "rice bowls", "noodles", "salads", "soups", "stir fry", "grilled fish",
-    "stews", "bento", "breads", "cakes", "cookies", "curry", "hot pot",
-    "sushi", "tempura", "dumplings", "pickles", "tofu dishes", "egg dishes",
+    "rice bowls",
+    "noodles",
+    "salads",
+    "soups",
+    "stir fry",
+    "grilled fish",
+    "stews",
+    "bento",
+    "breads",
+    "cakes",
+    "cookies",
+    "curry",
+    "hot pot",
+    "sushi",
+    "tempura",
+    "dumplings",
+    "pickles",
+    "tofu dishes",
+    "egg dishes",
     "confectionery",
 ];
 
 /// Cooking-time classes (ordered by duration).
-pub const TIME_CLASSES: &[&str] =
-    &["~5 min", "~15 min", "~30 min", "~1 hour", "~2 hours", "2 hours+"];
+pub const TIME_CLASSES: &[&str] = &[
+    "~5 min", "~15 min", "~30 min", "~1 hour", "~2 hours", "2 hours+",
+];
 
 /// Cooking-cost classes (ordered by price).
-pub const COST_CLASSES: &[&str] =
-    &["~JPY 300", "~JPY 500", "~JPY 1,000", "~JPY 2,000", "JPY 2,000+"];
+pub const COST_CLASSES: &[&str] = &[
+    "~JPY 300",
+    "~JPY 500",
+    "~JPY 1,000",
+    "~JPY 2,000",
+    "JPY 2,000+",
+];
 
 /// Main-ingredient vocabulary.
 pub const INGREDIENTS: &[&str] = &[
-    "rice", "egg", "chicken", "pork", "beef", "salmon", "tuna", "shrimp",
-    "tofu", "cabbage", "onion", "potato", "carrot", "daikon", "mushroom",
-    "spinach", "eggplant", "cucumber", "tomato", "seaweed", "miso", "soy",
-    "flour", "butter", "milk", "cheese", "cream", "chocolate", "apple",
-    "strawberry", "matcha", "sesame", "ginger", "garlic", "scallion",
-    "lotus root", "burdock", "octopus", "squid", "crab",
+    "rice",
+    "egg",
+    "chicken",
+    "pork",
+    "beef",
+    "salmon",
+    "tuna",
+    "shrimp",
+    "tofu",
+    "cabbage",
+    "onion",
+    "potato",
+    "carrot",
+    "daikon",
+    "mushroom",
+    "spinach",
+    "eggplant",
+    "cucumber",
+    "tomato",
+    "seaweed",
+    "miso",
+    "soy",
+    "flour",
+    "butter",
+    "milk",
+    "cheese",
+    "cream",
+    "chocolate",
+    "apple",
+    "strawberry",
+    "matcha",
+    "sesame",
+    "ginger",
+    "garlic",
+    "scallion",
+    "lotus root",
+    "burdock",
+    "octopus",
+    "squid",
+    "crab",
 ];
 
 /// Index of each feature in the cooking schema (ID is feature 0).
@@ -168,8 +224,11 @@ pub fn generate(config: &CookingConfig) -> Result<CookingData> {
     let mut skills_by_user = Vec::with_capacity(config.n_users);
     for user in 0..config.n_users as u32 {
         let dedicated = rng.gen::<f64>() < config.dedicated_fraction;
-        let mean_len =
-            if dedicated { config.dedicated_mean_len } else { config.casual_mean_len };
+        let mean_len = if dedicated {
+            config.dedicated_mean_len
+        } else {
+            config.casual_mean_len
+        };
         let len = sample_poisson(&mut rng, mean_len).max(1) as usize;
         let mut level = sample_categorical(&mut rng, &[0.45, 0.20, 0.15, 0.12, 0.08]);
         let mut skills = Vec::with_capacity(len);
@@ -200,8 +259,11 @@ pub fn generate(config: &CookingConfig) -> Result<CookingData> {
             // to complex recipes); the quick early advancement is also what
             // lets the monotone DP pin their early, too-complex actions at
             // the lowest level — reproducing the §VI-C anomaly.
-            let advance_p =
-                if level == 0 { 1.5 * config.p_advance } else { config.p_advance };
+            let advance_p = if level == 0 {
+                1.5 * config.p_advance
+            } else {
+                config.p_advance
+            };
             if level + 1 < COOKING_LEVELS && rng.gen::<f64>() < advance_p {
                 level += 1;
             }
@@ -211,10 +273,18 @@ pub fn generate(config: &CookingConfig) -> Result<CookingData> {
 
     let assembled = assemble(
         vec![
-            FeatureKind::Categorical { cardinality: CATEGORIES.len() as u32 },
-            FeatureKind::Categorical { cardinality: TIME_CLASSES.len() as u32 },
-            FeatureKind::Categorical { cardinality: COST_CLASSES.len() as u32 },
-            FeatureKind::Categorical { cardinality: INGREDIENTS.len() as u32 },
+            FeatureKind::Categorical {
+                cardinality: CATEGORIES.len() as u32,
+            },
+            FeatureKind::Categorical {
+                cardinality: TIME_CLASSES.len() as u32,
+            },
+            FeatureKind::Categorical {
+                cardinality: COST_CLASSES.len() as u32,
+            },
+            FeatureKind::Categorical {
+                cardinality: INGREDIENTS.len() as u32,
+            },
             FeatureKind::Count,
             FeatureKind::Count,
         ],
@@ -242,7 +312,11 @@ pub fn generate(config: &CookingConfig) -> Result<CookingData> {
         .iter()
         .map(|&old| skills_by_user[old as usize].clone())
         .collect();
-    Ok(CookingData { dataset: assembled.dataset, recipe_complexity, true_skills })
+    Ok(CookingData {
+        dataset: assembled.dataset,
+        recipe_complexity,
+        true_skills,
+    })
 }
 
 /// Picks an ordered class index concentrated near the complexity's

@@ -33,9 +33,24 @@ pub const FILM_LEVELS: usize = 5;
 
 /// Genre vocabulary.
 pub const GENRES: &[&str] = &[
-    "Action", "Adventure", "Sci-Fi", "Fantasy", "Comedy", "Romance", "Drama",
-    "Thriller", "Crime", "Mystery", "Horror", "War", "Western", "Film-Noir",
-    "Musical", "Documentary", "Animation", "Family",
+    "Action",
+    "Adventure",
+    "Sci-Fi",
+    "Fantasy",
+    "Comedy",
+    "Romance",
+    "Drama",
+    "Thriller",
+    "Crime",
+    "Mystery",
+    "Horror",
+    "War",
+    "Western",
+    "Film-Noir",
+    "Musical",
+    "Documentary",
+    "Animation",
+    "Family",
 ];
 
 /// Latent movie class.
@@ -183,9 +198,8 @@ pub fn generate(config: &FilmConfig) -> Result<FilmData> {
         } else {
             config.first_year + rng.gen_range(0..=config.year_span)
         };
-        let age = (config.first_year + config.year_span - year) as f64
-            / config.year_span as f64; // 1 = oldest
-        // Old movies are more likely to be classics, new ones blockbusters.
+        let age = (config.first_year + config.year_span - year) as f64 / config.year_span as f64; // 1 = oldest
+                                                                                                  // Old movies are more likely to be classics, new ones blockbusters.
         let p_classic = 0.05 + 0.35 * age;
         let p_blockbuster = 0.05 + 0.35 * (1.0 - age);
         let roll: f64 = rng.gen();
@@ -199,9 +213,9 @@ pub fn generate(config: &FilmConfig) -> Result<FilmData> {
         let genre = match class {
             // Classics skew Drama/Film-Noir/Mystery; blockbusters skew
             // Action/Adventure/Sci-Fi.
-            MovieClass::Classic => {
-                *[6usize, 13, 9, 5, 14].get(rng.gen_range(0..5)).unwrap_or(&6)
-            }
+            MovieClass::Classic => *[6usize, 13, 9, 5, 14]
+                .get(rng.gen_range(0..5))
+                .unwrap_or(&6),
             MovieClass::Blockbuster => {
                 *[0usize, 1, 2, 3, 16].get(rng.gen_range(0..5)).unwrap_or(&0)
             }
@@ -219,7 +233,10 @@ pub fn generate(config: &FilmConfig) -> Result<FilmData> {
             MovieClass::Blockbuster => "Blockbuster",
             MovieClass::Regular => "Feature",
         };
-        titles.push(format!("{} {} #{} ({})", GENRES[genre as usize], label, id, year));
+        titles.push(format!(
+            "{} {} #{} ({})",
+            GENRES[genre as usize], label, id, year
+        ));
         years.push(year);
         classes.push(class);
         release_day.push(((year - window_start_year) as i64) * days_per_year);
@@ -243,8 +260,9 @@ pub fn generate(config: &FilmConfig) -> Result<FilmData> {
         let len = sample_poisson(&mut rng, config.mean_len).max(5) as usize;
         let mut level = sample_categorical(&mut rng, &[0.35, 0.25, 0.18, 0.13, 0.09]);
         // Action times spread over the window, sorted.
-        let mut times: Vec<i64> =
-            (0..len).map(|_| rng.gen_range(0..config.window_days)).collect();
+        let mut times: Vec<i64> = (0..len)
+            .map(|_| rng.gen_range(0..config.window_days))
+            .collect();
         times.sort_unstable();
         times.dedup();
         for &t in &times {
@@ -290,9 +308,15 @@ pub fn generate(config: &FilmConfig) -> Result<FilmData> {
     let filtered = iterative_support_filter(&preprocessed, config.support);
     let assembled = assemble(
         vec![
-            FeatureKind::Categorical { cardinality: GENRES.len() as u32 },
-            FeatureKind::Categorical { cardinality: config.n_directors as u32 },
-            FeatureKind::Categorical { cardinality: config.n_actors as u32 },
+            FeatureKind::Categorical {
+                cardinality: GENRES.len() as u32,
+            },
+            FeatureKind::Categorical {
+                cardinality: config.n_directors as u32,
+            },
+            FeatureKind::Categorical {
+                cardinality: config.n_actors as u32,
+            },
         ],
         vec!["genre".into(), "director".into(), "actor".into()],
         true,
@@ -307,15 +331,26 @@ pub fn generate(config: &FilmConfig) -> Result<FilmData> {
         .iter()
         .map(|&o| titles[remap(o)].clone())
         .collect();
-    let compact_years: Vec<i32> =
-        assembled.items.new_to_old.iter().map(|&o| years[remap(o)]).collect();
-    let compact_classes: Vec<MovieClass> =
-        assembled.items.new_to_old.iter().map(|&o| classes[remap(o)]).collect();
+    let compact_years: Vec<i32> = assembled
+        .items
+        .new_to_old
+        .iter()
+        .map(|&o| years[remap(o)])
+        .collect();
+    let compact_classes: Vec<MovieClass> = assembled
+        .items
+        .new_to_old
+        .iter()
+        .map(|&o| classes[remap(o)])
+        .collect();
     let mut true_skills = Vec::with_capacity(assembled.dataset.n_users());
     for seq in assembled.dataset.sequences() {
         let old_user = assembled.users.new_to_old[seq.user as usize];
         true_skills.push(
-            seq.actions().iter().map(|a| skill_of[&(old_user, a.time)]).collect(),
+            seq.actions()
+                .iter()
+                .map(|a| skill_of[&(old_user, a.time)])
+                .collect(),
         );
     }
 
@@ -388,8 +423,7 @@ mod tests {
         let mut cfg = FilmConfig::test_scale(4);
         cfg.apply_lastness_fix = true;
         let data = generate(&cfg).unwrap();
-        let earliest_action =
-            data.dataset.actions().map(|a| a.time).min().unwrap_or(0);
+        let earliest_action = data.dataset.actions().map(|a| a.time).min().unwrap_or(0);
         let window_start_year = cfg.first_year + cfg.year_span - cfg.observed_years;
         for (&year, title) in data.release_years.iter().zip(&data.titles) {
             let release_day = ((year - window_start_year) as i64) * 365;
@@ -414,7 +448,10 @@ mod tests {
             }
         }
         let frac = |i: usize| classic_by_level[i] as f64 / total_by_level[i].max(1) as f64;
-        let top = (0..FILM_LEVELS).rev().find(|&i| total_by_level[i] > 50).unwrap_or(4);
+        let top = (0..FILM_LEVELS)
+            .rev()
+            .find(|&i| total_by_level[i] > 50)
+            .unwrap_or(4);
         assert!(
             frac(top) > frac(0),
             "classic fractions: {:?} / {:?}",

@@ -35,16 +35,16 @@ pub struct SupportFilter {
 impl SupportFilter {
     /// The paper's Beer/Film setting: both thresholds 50.
     pub fn paper() -> Self {
-        Self { min_unique_items_per_user: 50, min_unique_users_per_item: 50 }
+        Self {
+            min_unique_items_per_user: 50,
+            min_unique_users_per_item: 50,
+        }
     }
 }
 
 /// Applies the user/item support filter until a fixpoint and returns the
 /// surviving actions (original ids, original order).
-pub fn iterative_support_filter(
-    actions: &[RawAction],
-    filter: SupportFilter,
-) -> Vec<RawAction> {
+pub fn iterative_support_filter(actions: &[RawAction], filter: SupportFilter) -> Vec<RawAction> {
     let mut current: Vec<RawAction> = actions.to_vec();
     loop {
         // Unique items per user / unique users per item.
@@ -79,7 +79,11 @@ pub fn iterative_support_filter(
 /// Drops actions whose item fails a predicate (e.g. the Film lastness fix:
 /// keep only items released no later than the earliest action).
 pub fn filter_items(actions: &[RawAction], keep: impl Fn(u32) -> bool) -> Vec<RawAction> {
-    actions.iter().copied().filter(|&(_, _, i)| keep(i)).collect()
+    actions
+        .iter()
+        .copied()
+        .filter(|&(_, _, i)| keep(i))
+        .collect()
 }
 
 /// Mapping between original and compacted ids after [`assemble`].
@@ -105,7 +109,10 @@ impl IdRemap {
                 new_to_old.push(old as u32);
             }
         }
-        Self { new_to_old, old_to_new }
+        Self {
+            new_to_old,
+            old_to_new,
+        }
     }
 }
 
@@ -136,14 +143,24 @@ pub fn assemble(
     if actions.is_empty() {
         return Err(CoreError::EmptyDataset);
     }
-    let max_item = actions.iter().map(|&(_, _, i)| i as usize).max().unwrap_or(0) + 1;
+    let max_item = actions
+        .iter()
+        .map(|&(_, _, i)| i as usize)
+        .max()
+        .unwrap_or(0)
+        + 1;
     if max_item > item_features.len() {
         return Err(CoreError::FeatureIndexOutOfBounds {
             index: max_item - 1,
             len: item_features.len(),
         });
     }
-    let max_user = actions.iter().map(|&(_, u, _)| u as usize).max().unwrap_or(0) + 1;
+    let max_user = actions
+        .iter()
+        .map(|&(_, u, _)| u as usize)
+        .max()
+        .unwrap_or(0)
+        + 1;
     let items = IdRemap::build(actions.iter().map(|&(_, _, i)| i), max_item);
     let users = IdRemap::build(actions.iter().map(|&(_, u, _)| u), max_user);
     let n_items = items.new_to_old.len() as u32;
@@ -152,7 +169,9 @@ pub fn assemble(
     let mut all_kinds = Vec::with_capacity(kinds.len() + usize::from(include_id));
     let mut all_names = Vec::with_capacity(all_kinds.capacity());
     if include_id {
-        all_kinds.push(FeatureKind::Categorical { cardinality: n_items });
+        all_kinds.push(FeatureKind::Categorical {
+            cardinality: n_items,
+        });
         all_names.push("item id".to_string());
     }
     all_kinds.extend(kinds);
@@ -189,7 +208,11 @@ pub fn assemble(
         .collect::<Result<_>>()?;
 
     let dataset = Dataset::new(schema, table, sequences)?;
-    Ok(Assembled { dataset, items, users })
+    Ok(Assembled {
+        dataset,
+        items,
+        users,
+    })
 }
 
 #[cfg(test)]
@@ -203,7 +226,10 @@ mod tests {
     #[test]
     fn support_filter_no_op_when_all_pass() {
         let actions = vec![act(0, 0, 0), act(1, 0, 1), act(0, 1, 0), act(1, 1, 1)];
-        let f = SupportFilter { min_unique_items_per_user: 2, min_unique_users_per_item: 2 };
+        let f = SupportFilter {
+            min_unique_items_per_user: 2,
+            min_unique_users_per_item: 2,
+        };
         assert_eq!(iterative_support_filter(&actions, f), actions);
     }
 
@@ -215,10 +241,13 @@ mod tests {
             act(1, 0, 1),
             act(0, 1, 0),
             act(1, 1, 1),
-            act(0, 2, 0),  // user 2: 1 unique item → dropped
-            act(2, 0, 2),  // item 2: 1 unique user → dropped
+            act(0, 2, 0), // user 2: 1 unique item → dropped
+            act(2, 0, 2), // item 2: 1 unique user → dropped
         ];
-        let f = SupportFilter { min_unique_items_per_user: 2, min_unique_users_per_item: 2 };
+        let f = SupportFilter {
+            min_unique_items_per_user: 2,
+            min_unique_users_per_item: 2,
+        };
         let kept = iterative_support_filter(&actions, f);
         assert!(kept.iter().all(|&(_, u, i)| u != 2 && i != 2));
         assert_eq!(kept.len(), 4);
@@ -236,7 +265,10 @@ mod tests {
             act(0, 2, 0),
             act(1, 2, 2),
         ];
-        let f = SupportFilter { min_unique_items_per_user: 2, min_unique_users_per_item: 2 };
+        let f = SupportFilter {
+            min_unique_items_per_user: 2,
+            min_unique_users_per_item: 2,
+        };
         let kept = iterative_support_filter(&actions, f);
         // Item 1 goes; then user 1 has only item 0 → goes too.
         assert!(kept.iter().all(|&(_, u, i)| u != 1 && i != 1));
@@ -281,8 +313,14 @@ mod tests {
         let seq0 = &out.dataset.sequences()[0];
         assert!(seq0.actions().windows(2).all(|w| w[0].time <= w[1].time));
         // Remap round-trips.
-        assert_eq!(out.items.old_to_new[7].map(|n| out.items.new_to_old[n as usize]), Some(7));
-        assert_eq!(out.users.old_to_new[9].map(|n| out.users.new_to_old[n as usize]), Some(9));
+        assert_eq!(
+            out.items.old_to_new[7].map(|n| out.items.new_to_old[n as usize]),
+            Some(7)
+        );
+        assert_eq!(
+            out.users.old_to_new[9].map(|n| out.users.new_to_old[n as usize]),
+            Some(9)
+        );
         assert_eq!(out.items.old_to_new[3], None);
     }
 
@@ -300,13 +338,15 @@ mod tests {
         .unwrap();
         assert_eq!(out.dataset.schema().len(), 2);
         assert_eq!(out.dataset.schema().name(0), "item id");
-        assert_eq!(out.dataset.item_features(1)[0], FeatureValue::Categorical(1));
+        assert_eq!(
+            out.dataset.item_features(1)[0],
+            FeatureValue::Categorical(1)
+        );
     }
 
     #[test]
     fn assemble_rejects_empty_and_missing_features() {
-        assert!(assemble(vec![FeatureKind::Count], vec!["x".into()], false, &[], &[])
-            .is_err());
+        assert!(assemble(vec![FeatureKind::Count], vec!["x".into()], false, &[], &[]).is_err());
         let actions = vec![act(0, 0, 3)];
         let features = vec![vec![FeatureValue::Count(1)]];
         assert!(assemble(

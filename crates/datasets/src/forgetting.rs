@@ -71,7 +71,10 @@ pub struct ForgettingScenario {
 impl ForgettingScenario {
     /// Flattened ground-truth skills in action order.
     pub fn flat_true_skills(&self) -> Vec<f64> {
-        self.true_skills.iter().flat_map(|s| s.iter().map(|&x| x as f64)).collect()
+        self.true_skills
+            .iter()
+            .flat_map(|s| s.iter().map(|&x| x as f64))
+            .collect()
     }
 }
 
@@ -91,8 +94,7 @@ pub fn generate(config: &ForgettingScenarioConfig) -> Result<ForgettingScenario>
         for _ in 0..per_level {
             let id = features.len() as u32;
             let cat = sample_categorical(&mut rng, &cat_weights) as u32;
-            let g = sample_gamma(&mut rng, 2.0 + level as f64, 1.0 + 0.5 * level as f64)
-                .max(1e-6);
+            let g = sample_gamma(&mut rng, 2.0 + level as f64, 1.0 + 0.5 * level as f64).max(1e-6);
             let k = sample_poisson(&mut rng, 3.0 + 4.0 * level as f64);
             features.push(vec![
                 FeatureValue::Categorical(cat),
@@ -125,7 +127,11 @@ pub fn generate(config: &ForgettingScenarioConfig) -> Result<ForgettingScenario>
                 time += 1;
             }
             let at_level = skill == 0 || rng.gen::<f64>() < 0.5;
-            let pool_level = if at_level { skill } else { rng.gen_range(0..skill) };
+            let pool_level = if at_level {
+                skill
+            } else {
+                rng.gen_range(0..skill)
+            };
             let item = pools[pool_level][rng.gen_range(0..per_level)];
             actions.push((time, user, item));
             skills.push((skill + 1) as SkillLevel);
@@ -139,7 +145,9 @@ pub fn generate(config: &ForgettingScenarioConfig) -> Result<ForgettingScenario>
     let assembled = assemble(
         vec![
             FeatureKind::Categorical { cardinality: 10 },
-            FeatureKind::Positive { model: PositiveModel::Gamma },
+            FeatureKind::Positive {
+                model: PositiveModel::Gamma,
+            },
             FeatureKind::Count,
         ],
         vec!["categorical".into(), "gamma".into(), "poisson".into()],

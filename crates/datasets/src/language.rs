@@ -40,38 +40,128 @@ struct Rule {
 /// insertions/deletions.
 const RULES: &[Rule] = &[
     // Novice-typical: capitalization & basic punctuation.
-    Rule { name: "\"i\" -> \"I\"", weights: [9.0, 4.0, 1.0] },
-    Rule { name: "ε -> \"I\"", weights: [7.0, 3.5, 1.0] },
-    Rule { name: "\"english\" -> \"English\"", weights: [6.0, 3.0, 0.8] },
-    Rule { name: "ε -> \"a\"", weights: [6.0, 3.5, 1.2] },
-    Rule { name: "ε -> \".\"", weights: [5.5, 3.0, 1.0] },
-    Rule { name: "ε -> \"my\"", weights: [4.5, 2.5, 1.0] },
-    Rule { name: "\".\" -> ε", weights: [4.5, 2.8, 1.1] },
-    Rule { name: "ε -> \"English\"", weights: [4.0, 2.2, 0.9] },
-    Rule { name: "\",\" -> ε", weights: [4.0, 2.5, 1.0] },
-    Rule { name: "\"i\" -> ε", weights: [3.8, 2.0, 0.8] },
+    Rule {
+        name: "\"i\" -> \"I\"",
+        weights: [9.0, 4.0, 1.0],
+    },
+    Rule {
+        name: "ε -> \"I\"",
+        weights: [7.0, 3.5, 1.0],
+    },
+    Rule {
+        name: "\"english\" -> \"English\"",
+        weights: [6.0, 3.0, 0.8],
+    },
+    Rule {
+        name: "ε -> \"a\"",
+        weights: [6.0, 3.5, 1.2],
+    },
+    Rule {
+        name: "ε -> \".\"",
+        weights: [5.5, 3.0, 1.0],
+    },
+    Rule {
+        name: "ε -> \"my\"",
+        weights: [4.5, 2.5, 1.0],
+    },
+    Rule {
+        name: "\".\" -> ε",
+        weights: [4.5, 2.8, 1.1],
+    },
+    Rule {
+        name: "ε -> \"English\"",
+        weights: [4.0, 2.2, 0.9],
+    },
+    Rule {
+        name: "\",\" -> ε",
+        weights: [4.0, 2.5, 1.0],
+    },
+    Rule {
+        name: "\"i\" -> ε",
+        weights: [3.8, 2.0, 0.8],
+    },
     // Expert-typical: articles, prepositions, annotator comments.
-    Rule { name: "ε -> \"the\"", weights: [1.0, 3.0, 8.0] },
-    Rule { name: "ε -> \"(\"", weights: [0.6, 2.0, 6.0] },
-    Rule { name: "ε -> \")\"", weights: [0.6, 2.0, 6.0] },
-    Rule { name: "\"the\" -> ε", weights: [1.0, 2.5, 6.0] },
-    Rule { name: "ε -> \"of\"", weights: [0.9, 2.2, 5.0] },
-    Rule { name: "\"of\" -> ε", weights: [0.8, 1.8, 4.0] },
-    Rule { name: "ε -> \"[\"", weights: [0.5, 1.5, 3.5] },
-    Rule { name: "ε -> \"]\"", weights: [0.5, 1.5, 3.5] },
-    Rule { name: "\"a\" -> \"the\"", weights: [0.8, 2.0, 4.5] },
-    Rule { name: "ε -> \"/\"", weights: [0.4, 1.2, 3.0] },
+    Rule {
+        name: "ε -> \"the\"",
+        weights: [1.0, 3.0, 8.0],
+    },
+    Rule {
+        name: "ε -> \"(\"",
+        weights: [0.6, 2.0, 6.0],
+    },
+    Rule {
+        name: "ε -> \")\"",
+        weights: [0.6, 2.0, 6.0],
+    },
+    Rule {
+        name: "\"the\" -> ε",
+        weights: [1.0, 2.5, 6.0],
+    },
+    Rule {
+        name: "ε -> \"of\"",
+        weights: [0.9, 2.2, 5.0],
+    },
+    Rule {
+        name: "\"of\" -> ε",
+        weights: [0.8, 1.8, 4.0],
+    },
+    Rule {
+        name: "ε -> \"[\"",
+        weights: [0.5, 1.5, 3.5],
+    },
+    Rule {
+        name: "ε -> \"]\"",
+        weights: [0.5, 1.5, 3.5],
+    },
+    Rule {
+        name: "\"a\" -> \"the\"",
+        weights: [0.8, 2.0, 4.5],
+    },
+    Rule {
+        name: "ε -> \"/\"",
+        weights: [0.4, 1.2, 3.0],
+    },
     // Neutral rules: common at every level.
-    Rule { name: "\"is\" -> \"was\"", weights: [3.0, 3.0, 3.0] },
-    Rule { name: "\"go\" -> \"went\"", weights: [2.8, 2.8, 2.8] },
-    Rule { name: "\"in\" -> \"on\"", weights: [2.5, 2.5, 2.5] },
-    Rule { name: "\"on\" -> \"at\"", weights: [2.5, 2.5, 2.5] },
-    Rule { name: "\"very\" -> \"really\"", weights: [2.0, 2.0, 2.0] },
-    Rule { name: "\"much\" -> \"many\"", weights: [2.0, 2.0, 2.0] },
-    Rule { name: "\"make\" -> \"do\"", weights: [1.8, 1.8, 1.8] },
-    Rule { name: "\"say\" -> \"tell\"", weights: [1.8, 1.8, 1.8] },
-    Rule { name: "\"fun\" -> \"funny\"", weights: [1.5, 1.5, 1.5] },
-    Rule { name: "\"their\" -> \"there\"", weights: [1.5, 1.5, 1.5] },
+    Rule {
+        name: "\"is\" -> \"was\"",
+        weights: [3.0, 3.0, 3.0],
+    },
+    Rule {
+        name: "\"go\" -> \"went\"",
+        weights: [2.8, 2.8, 2.8],
+    },
+    Rule {
+        name: "\"in\" -> \"on\"",
+        weights: [2.5, 2.5, 2.5],
+    },
+    Rule {
+        name: "\"on\" -> \"at\"",
+        weights: [2.5, 2.5, 2.5],
+    },
+    Rule {
+        name: "\"very\" -> \"really\"",
+        weights: [2.0, 2.0, 2.0],
+    },
+    Rule {
+        name: "\"much\" -> \"many\"",
+        weights: [2.0, 2.0, 2.0],
+    },
+    Rule {
+        name: "\"make\" -> \"do\"",
+        weights: [1.8, 1.8, 1.8],
+    },
+    Rule {
+        name: "\"say\" -> \"tell\"",
+        weights: [1.8, 1.8, 1.8],
+    },
+    Rule {
+        name: "\"fun\" -> \"funny\"",
+        weights: [1.5, 1.5, 1.5],
+    },
+    Rule {
+        name: "\"their\" -> \"there\"",
+        weights: [1.5, 1.5, 1.5],
+    },
 ];
 
 /// Mean corrections-per-corrector per level (paper Fig. 4b: 5.06, 4.85, 2.64).
@@ -158,8 +248,11 @@ pub fn generate(config: &LanguageConfig) -> Result<LanguageData> {
 
     for user in 0..config.n_users as u32 {
         let dedicated = rng.gen::<f64>() < config.dedicated_fraction;
-        let mean_len =
-            if dedicated { config.dedicated_mean_len } else { config.casual_mean_len };
+        let mean_len = if dedicated {
+            config.dedicated_mean_len
+        } else {
+            config.casual_mean_len
+        };
         let len = sample_poisson(&mut rng, mean_len).max(1) as usize;
         // Learners start low; a few arrive already proficient.
         let mut level = sample_categorical(&mut rng, &[0.7, 0.22, 0.08]); // 0-based
@@ -168,8 +261,7 @@ pub fn generate(config: &LanguageConfig) -> Result<LanguageData> {
             let rule_weights: Vec<f64> = RULES.iter().map(|r| r.weights[level]).collect();
             let rule = sample_categorical(&mut rng, &rule_weights) as u32;
             let sentences = sample_poisson(&mut rng, SENTENCE_MEANS[level]).max(1);
-            let corrections =
-                sample_gamma(&mut rng, 2.0, CORRECTION_MEANS[level] / 2.0).max(1e-3);
+            let corrections = sample_gamma(&mut rng, 2.0, CORRECTION_MEANS[level] / 2.0).max(1e-3);
             let pct =
                 sample_gamma(&mut rng, 4.0, PCT_CORRECTED_MEANS[level] / 4.0).clamp(1e-3, 1.0);
             let article = item_features.len() as u32;
@@ -190,10 +282,16 @@ pub fn generate(config: &LanguageConfig) -> Result<LanguageData> {
 
     let assembled = assemble(
         vec![
-            FeatureKind::Categorical { cardinality: RULES.len() as u32 },
+            FeatureKind::Categorical {
+                cardinality: RULES.len() as u32,
+            },
             FeatureKind::Count,
-            FeatureKind::Positive { model: PositiveModel::Gamma },
-            FeatureKind::Positive { model: PositiveModel::Gamma },
+            FeatureKind::Positive {
+                model: PositiveModel::Gamma,
+            },
+            FeatureKind::Positive {
+                model: PositiveModel::Gamma,
+            },
         ],
         vec![
             "correction rule".into(),
@@ -252,8 +350,11 @@ mod tests {
                 }
             }
         }
-        let means: Vec<f64> =
-            sums.iter().zip(&counts).map(|(&s, &c)| s / c.max(1) as f64).collect();
+        let means: Vec<f64> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(&s, &c)| s / c.max(1) as f64)
+            .collect();
         assert!(counts.iter().all(|&c| c > 10), "counts {counts:?}");
         assert!(means[0] > means[2], "means {means:?}");
     }
@@ -285,7 +386,12 @@ mod tests {
     #[test]
     fn some_users_qualify_for_initialization() {
         let data = generate(&LanguageConfig::test_scale(1)).unwrap();
-        let long = data.dataset.sequences().iter().filter(|s| s.len() >= 50).count();
+        let long = data
+            .dataset
+            .sequences()
+            .iter()
+            .filter(|s| s.len() >= 50)
+            .count();
         assert!(long > 0, "need some users with ≥50 articles for init");
     }
 

@@ -9,7 +9,10 @@ use rand::Rng;
 /// Draws from a gamma distribution with the given `shape` and `scale`
 /// (Marsaglia & Tsang 2000; shape < 1 handled by the boosting trick).
 pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
-    assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma parameters must be positive"
+    );
     if shape < 1.0 {
         // X ~ Gamma(a+1), U^(1/a) boost.
         let x = sample_gamma(rng, shape + 1.0, 1.0);
@@ -65,7 +68,10 @@ pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
 pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     assert!(!weights.is_empty(), "empty weight vector");
     let total: f64 = weights.iter().sum();
-    assert!(total > 0.0 && total.is_finite(), "weights must have positive finite sum");
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "weights must have positive finite sum"
+    );
     let mut target = rng.gen_range(0.0..total);
     for (i, &w) in weights.iter().enumerate() {
         if target < w {
@@ -113,10 +119,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let (shape, scale) = (3.0, 2.0);
         let n = 50_000;
-        let samples: Vec<f64> = (0..n).map(|_| sample_gamma(&mut rng, shape, scale)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_gamma(&mut rng, shape, scale))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
         assert!((var - 12.0).abs() < 0.6, "var {var}");
         assert!(samples.iter().all(|&x| x > 0.0));
@@ -125,8 +136,9 @@ mod tests {
     #[test]
     fn gamma_small_shape_works() {
         let mut rng = StdRng::seed_from_u64(2);
-        let samples: Vec<f64> =
-            (0..20_000).map(|_| sample_gamma(&mut rng, 0.5, 1.0)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sample_gamma(&mut rng, 0.5, 1.0))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
         assert!(samples.iter().all(|&x| x > 0.0));

@@ -45,15 +45,12 @@ mod tests {
 
     #[test]
     fn stats_count_correctly() {
-        let schema =
-            FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
-        let items =
-            vec![vec![FeatureValue::Categorical(0)], vec![FeatureValue::Categorical(1)]];
-        let s0 = ActionSequence::new(
-            0,
-            vec![Action::new(0, 0, 0), Action::new(1, 0, 1)],
-        )
-        .unwrap();
+        let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }]).unwrap();
+        let items = vec![
+            vec![FeatureValue::Categorical(0)],
+            vec![FeatureValue::Categorical(1)],
+        ];
+        let s0 = ActionSequence::new(0, vec![Action::new(0, 0, 0), Action::new(1, 0, 1)]).unwrap();
         let s1 = ActionSequence::new(1, vec![Action::new(0, 1, 1)]).unwrap();
         let ds = Dataset::new(schema, items, vec![s0, s1]).unwrap();
         let stats = DatasetStats::of("toy", &ds);

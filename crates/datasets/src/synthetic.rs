@@ -67,13 +67,20 @@ impl SyntheticConfig {
 
     /// The paper's Synthetic_dense variant: identical except 10,000 items.
     pub fn paper_dense(seed: u64) -> Self {
-        Self { n_items: 10_000, ..Self::paper(seed) }
+        Self {
+            n_items: 10_000,
+            ..Self::paper(seed)
+        }
     }
 
     /// A scaled-down configuration for fast experiments/tests: sizes divide
     /// the paper's by `factor` (sparse/dense item ratio preserved).
     pub fn scaled(factor: usize, dense: bool, seed: u64) -> Self {
-        let base = if dense { Self::paper_dense(seed) } else { Self::paper(seed) };
+        let base = if dense {
+            Self::paper_dense(seed)
+        } else {
+            Self::paper(seed)
+        };
         Self {
             n_users: (base.n_users / factor).max(10),
             n_items: (base.n_items / factor).max(base.n_levels * 2),
@@ -97,7 +104,10 @@ pub struct SyntheticData {
 impl SyntheticData {
     /// Flattened ground-truth skills in action order (for correlations).
     pub fn flat_true_skills(&self) -> Vec<f64> {
-        self.true_skills.iter().flat_map(|s| s.iter().map(|&x| x as f64)).collect()
+        self.true_skills
+            .iter()
+            .flat_map(|s| s.iter().map(|&x| x as f64))
+            .collect()
     }
 }
 
@@ -129,8 +139,9 @@ struct LevelParams {
 pub fn generate(config: &SyntheticConfig) -> Result<SyntheticData> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let s_max = config.n_levels;
-    let params: Vec<LevelParams> =
-        (0..s_max).map(|l| level_params(l, s_max, config.n_categories)).collect();
+    let params: Vec<LevelParams> = (0..s_max)
+        .map(|l| level_params(l, s_max, config.n_categories))
+        .collect();
 
     // Step 1–2: items, evenly split across levels.
     let per_level = config.n_items / s_max;
@@ -164,8 +175,11 @@ pub fn generate(config: &SyntheticConfig) -> Result<SyntheticData> {
         let mut skills = Vec::with_capacity(len);
         for t in 0..len {
             let at_level = skill == 0 || rng.gen::<f64>() < config.p_at_level;
-            let pool_level =
-                if at_level { skill } else { rng.gen_range(0..skill) };
+            let pool_level = if at_level {
+                skill
+            } else {
+                rng.gen_range(0..skill)
+            };
             let item = pools[pool_level][rng.gen_range(0..per_level)];
             actions.push((t as i64, user, item));
             skills.push((skill + 1) as SkillLevel);
@@ -180,8 +194,12 @@ pub fn generate(config: &SyntheticConfig) -> Result<SyntheticData> {
     // may not be selected; remap ground truth through the compaction.
     let assembled = assemble(
         vec![
-            FeatureKind::Categorical { cardinality: config.n_categories },
-            FeatureKind::Positive { model: PositiveModel::Gamma },
+            FeatureKind::Categorical {
+                cardinality: config.n_categories,
+            },
+            FeatureKind::Positive {
+                model: PositiveModel::Gamma,
+            },
             FeatureKind::Count,
         ],
         vec!["categorical".into(), "gamma".into(), "poisson".into()],
@@ -201,7 +219,11 @@ pub fn generate(config: &SyntheticConfig) -> Result<SyntheticData> {
         .iter()
         .map(|&old| skills_by_user[old as usize].clone())
         .collect();
-    Ok(SyntheticData { dataset: assembled.dataset, true_skills, true_difficulty })
+    Ok(SyntheticData {
+        dataset: assembled.dataset,
+        true_skills,
+        true_difficulty,
+    })
 }
 
 #[cfg(test)]

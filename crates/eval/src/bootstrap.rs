@@ -36,16 +36,26 @@ where
     F: Fn(&[f64], &[f64]) -> Result<f64, EvalError>,
 {
     if x.len() != y.len() {
-        return Err(EvalError::LengthMismatch { left: x.len(), right: y.len() });
+        return Err(EvalError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
     }
     if x.len() < 2 {
-        return Err(EvalError::TooFewSamples { needed: 2, got: x.len() });
+        return Err(EvalError::TooFewSamples {
+            needed: 2,
+            got: x.len(),
+        });
     }
     if !(0.0..1.0).contains(&level) {
-        return Err(EvalError::InvalidParameter { what: "confidence level" });
+        return Err(EvalError::InvalidParameter {
+            what: "confidence level",
+        });
     }
     if n_resamples < 10 {
-        return Err(EvalError::InvalidParameter { what: "bootstrap resamples" });
+        return Err(EvalError::InvalidParameter {
+            what: "bootstrap resamples",
+        });
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let n = x.len();
@@ -68,21 +78,30 @@ where
     stats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((stats.len() as f64 * alpha).floor() as usize).min(stats.len() - 1);
-    let hi_idx =
-        ((stats.len() as f64 * (1.0 - alpha)).ceil() as usize).saturating_sub(1).min(stats.len() - 1);
-    Ok(ConfidenceInterval { lo: stats[lo_idx], hi: stats[hi_idx], level })
+    let hi_idx = ((stats.len() as f64 * (1.0 - alpha)).ceil() as usize)
+        .saturating_sub(1)
+        .min(stats.len() - 1);
+    Ok(ConfidenceInterval {
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        level,
+    })
 }
 
 /// Analytic Fisher-z CI for Pearson's `r`.
 pub fn fisher_z_ci(r: f64, n: usize, level: f64) -> Result<ConfidenceInterval, EvalError> {
     if !(-1.0..=1.0).contains(&r) {
-        return Err(EvalError::InvalidParameter { what: "correlation r" });
+        return Err(EvalError::InvalidParameter {
+            what: "correlation r",
+        });
     }
     if n < 4 {
         return Err(EvalError::TooFewSamples { needed: 4, got: n });
     }
     if !(0.0..1.0).contains(&level) {
-        return Err(EvalError::InvalidParameter { what: "confidence level" });
+        return Err(EvalError::InvalidParameter {
+            what: "confidence level",
+        });
     }
     let z = 0.5 * ((1.0 + r) / (1.0 - r)).ln();
     let se = 1.0 / ((n as f64) - 3.0).sqrt();
@@ -203,7 +222,12 @@ mod tests {
         let y: Vec<f64> = (0..200).map(|i| i as f64 + ((i * 7) % 13) as f64).collect();
         let r = pearson(&x, &y).unwrap();
         let ci = bootstrap_ci(&x, &y, pearson, 200, 0.95, 42).unwrap();
-        assert!(ci.lo <= r && r <= ci.hi, "r={r} not in [{}, {}]", ci.lo, ci.hi);
+        assert!(
+            ci.lo <= r && r <= ci.hi,
+            "r={r} not in [{}, {}]",
+            ci.lo,
+            ci.hi
+        );
         assert!(ci.lo > 0.9, "lower bound {}", ci.lo);
     }
 
@@ -228,7 +252,9 @@ mod tests {
     #[test]
     fn pearson_ci_convenience_matches_manual() {
         let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let y: Vec<f64> = (0..100).map(|i| 2.0 * i as f64 + ((i % 5) as f64)).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| 2.0 * i as f64 + ((i % 5) as f64))
+            .collect();
         let r = pearson(&x, &y).unwrap();
         let a = pearson_ci(&x, &y, 0.95).unwrap();
         let b = fisher_z_ci(r, 100, 0.95).unwrap();

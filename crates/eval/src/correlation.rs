@@ -215,10 +215,16 @@ pub fn kendall_tau_naive(x: &[f64], y: &[f64]) -> Result<f64, EvalError> {
 
 fn check_paired(x: &[f64], y: &[f64]) -> Result<(), EvalError> {
     if x.len() != y.len() {
-        return Err(EvalError::LengthMismatch { left: x.len(), right: y.len() });
+        return Err(EvalError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
     }
     if x.len() < 2 {
-        return Err(EvalError::TooFewSamples { needed: 2, got: x.len() });
+        return Err(EvalError::TooFewSamples {
+            needed: 2,
+            got: x.len(),
+        });
     }
     if x.iter().chain(y).any(|v| !v.is_finite()) {
         return Err(EvalError::NonFiniteInput);
@@ -342,14 +348,8 @@ mod tests {
     fn correlations_are_symmetric() {
         let x = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
         let y = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0, 1.0];
-        assert!(
-            (pearson(&x, &y).unwrap() - pearson(&y, &x).unwrap()).abs() < 1e-12
-        );
-        assert!(
-            (kendall_tau(&x, &y).unwrap() - kendall_tau(&y, &x).unwrap()).abs() < 1e-12
-        );
-        assert!(
-            (spearman(&x, &y).unwrap() - spearman(&y, &x).unwrap()).abs() < 1e-12
-        );
+        assert!((pearson(&x, &y).unwrap() - pearson(&y, &x).unwrap()).abs() < 1e-12);
+        assert!((kendall_tau(&x, &y).unwrap() - kendall_tau(&y, &x).unwrap()).abs() < 1e-12);
+        assert!((spearman(&x, &y).unwrap() - spearman(&y, &x).unwrap()).abs() < 1e-12);
     }
 }

@@ -11,25 +11,42 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> Result<f64, EvalError> {
 pub fn mse(pred: &[f64], truth: &[f64]) -> Result<f64, EvalError> {
     check(pred, truth)?;
     let n = pred.len() as f64;
-    Ok(pred.iter().zip(truth).map(|(&p, &t)| (p - t) * (p - t)).sum::<f64>() / n)
+    Ok(pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / n)
 }
 
 /// Mean absolute error.
 pub fn mae(pred: &[f64], truth: &[f64]) -> Result<f64, EvalError> {
     check(pred, truth)?;
     let n = pred.len() as f64;
-    Ok(pred.iter().zip(truth).map(|(&p, &t)| (p - t).abs()).sum::<f64>() / n)
+    Ok(pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f64>()
+        / n)
 }
 
 /// Per-pair squared errors (input to significance tests on SE).
 pub fn squared_errors(pred: &[f64], truth: &[f64]) -> Result<Vec<f64>, EvalError> {
     check(pred, truth)?;
-    Ok(pred.iter().zip(truth).map(|(&p, &t)| (p - t) * (p - t)).collect())
+    Ok(pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .collect())
 }
 
 fn check(pred: &[f64], truth: &[f64]) -> Result<(), EvalError> {
     if pred.len() != truth.len() {
-        return Err(EvalError::LengthMismatch { left: pred.len(), right: truth.len() });
+        return Err(EvalError::LengthMismatch {
+            left: pred.len(),
+            right: truth.len(),
+        });
     }
     if pred.is_empty() {
         return Err(EvalError::TooFewSamples { needed: 1, got: 0 });
@@ -50,9 +67,7 @@ mod tests {
         // errors [1, -1] → mse 1 → rmse 1
         assert!((rmse(&[2.0, 1.0], &[1.0, 2.0]).unwrap() - 1.0).abs() < 1e-12);
         // errors [3, 4] → mse 12.5 → rmse √12.5
-        assert!(
-            (rmse(&[3.0, 4.0], &[0.0, 0.0]).unwrap() - 12.5f64.sqrt()).abs() < 1e-12
-        );
+        assert!((rmse(&[3.0, 4.0], &[0.0, 0.0]).unwrap() - 12.5f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct ChiSquareResult {
 /// Pearson chi-square test of observed counts against expected
 /// probabilities. Categories with expected count < 5 are pooled into the
 /// smallest-expectation bucket (the classical validity rule).
-pub fn chi_square_gof(observed: &[u64], expected_probs: &[f64]) -> Result<ChiSquareResult, EvalError> {
+pub fn chi_square_gof(
+    observed: &[u64],
+    expected_probs: &[f64],
+) -> Result<ChiSquareResult, EvalError> {
     if observed.len() != expected_probs.len() {
         return Err(EvalError::LengthMismatch {
             left: observed.len(),
@@ -29,16 +32,24 @@ pub fn chi_square_gof(observed: &[u64], expected_probs: &[f64]) -> Result<ChiSqu
         });
     }
     if observed.len() < 2 {
-        return Err(EvalError::TooFewSamples { needed: 2, got: observed.len() });
+        return Err(EvalError::TooFewSamples {
+            needed: 2,
+            got: observed.len(),
+        });
     }
     let total: f64 = observed.iter().map(|&o| o as f64).sum();
     if total <= 0.0 {
         return Err(EvalError::ZeroVariance);
     }
     let psum: f64 = expected_probs.iter().sum();
-    if expected_probs.iter().any(|&p| !(0.0..=1.0 + 1e-9).contains(&p)) || (psum - 1.0).abs() > 1e-6
+    if expected_probs
+        .iter()
+        .any(|&p| !(0.0..=1.0 + 1e-9).contains(&p))
+        || (psum - 1.0).abs() > 1e-6
     {
-        return Err(EvalError::InvalidParameter { what: "expected probabilities" });
+        return Err(EvalError::InvalidParameter {
+            what: "expected probabilities",
+        });
     }
 
     // Pool low-expectation categories.
@@ -57,17 +68,25 @@ pub fn chi_square_gof(observed: &[u64], expected_probs: &[f64]) -> Result<ChiSqu
         cells.push(pooled);
     }
     if cells.len() < 2 {
-        return Err(EvalError::TooFewSamples { needed: 2, got: cells.len() });
+        return Err(EvalError::TooFewSamples {
+            needed: 2,
+            got: cells.len(),
+        });
     }
-    let statistic: f64 =
-        cells.iter().map(|&(o, e)| (o - e) * (o - e) / e.max(1e-12)).sum();
+    let statistic: f64 = cells
+        .iter()
+        .map(|&(o, e)| (o - e) * (o - e) / e.max(1e-12))
+        .sum();
     let dof = cells.len() - 1;
     // Wilson–Hilferty: (X²/k)^(1/3) ≈ Normal(1 − 2/(9k), 2/(9k)).
     let k = dof as f64;
-    let z = ((statistic / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k)))
-        / (2.0 / (9.0 * k)).sqrt();
+    let z = ((statistic / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k))) / (2.0 / (9.0 * k)).sqrt();
     let p_value = 1.0 - normal_cdf(z);
-    Ok(ChiSquareResult { statistic, dof, p_value: p_value.clamp(0.0, 1.0) })
+    Ok(ChiSquareResult {
+        statistic,
+        dof,
+        p_value: p_value.clamp(0.0, 1.0),
+    })
 }
 
 /// One-sample Kolmogorov–Smirnov statistic `D_n = sup |F_n(x) − F(x)|`
@@ -75,7 +94,10 @@ pub fn chi_square_gof(observed: &[u64], expected_probs: &[f64]) -> Result<ChiSqu
 /// (Kolmogorov distribution, two-term series).
 pub fn ks_statistic<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> Result<(f64, f64), EvalError> {
     if samples.len() < 5 {
-        return Err(EvalError::TooFewSamples { needed: 5, got: samples.len() });
+        return Err(EvalError::TooFewSamples {
+            needed: 5,
+            got: samples.len(),
+        });
     }
     if samples.iter().any(|v| !v.is_finite()) {
         return Err(EvalError::NonFiniteInput);

@@ -28,7 +28,10 @@ pub struct WilcoxonResult {
 /// (the paper's comparisons have hundreds of pairs).
 pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<WilcoxonResult, EvalError> {
     if a.len() != b.len() {
-        return Err(EvalError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(EvalError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     if a.iter().chain(b).any(|v| !v.is_finite()) {
         return Err(EvalError::NonFiniteInput);
@@ -80,7 +83,13 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<WilcoxonResult, Eval
     // Continuity correction toward the mean.
     let z = (w - mean + 0.5) / var.sqrt();
     let p = 2.0 * normal_cdf(z);
-    Ok(WilcoxonResult { w_plus, w_minus, z, p_value: p.min(1.0), n_used: n })
+    Ok(WilcoxonResult {
+        w_plus,
+        w_minus,
+        z,
+        p_value: p.min(1.0),
+        n_used: n,
+    })
 }
 
 /// Standard normal CDF via `erfc` (Abramowitz–Stegun 7.1.26 rational
@@ -135,8 +144,9 @@ mod tests {
     fn wilcoxon_no_difference_is_insignificant() {
         // Symmetric differences around zero.
         let a: Vec<f64> = (0..40).map(|i| i as f64).collect();
-        let b: Vec<f64> =
-            (0..40).map(|i| i as f64 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let b: Vec<f64> = (0..40)
+            .map(|i| i as f64 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
         let r = wilcoxon_signed_rank(&a, &b).unwrap();
         assert!(r.p_value > 0.5, "p = {}", r.p_value);
     }

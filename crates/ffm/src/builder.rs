@@ -21,22 +21,34 @@ pub struct FeatureLayout {
 impl FeatureLayout {
     /// The `U+I` baseline.
     pub fn ui() -> Self {
-        Self { use_skill: false, use_difficulty: false }
+        Self {
+            use_skill: false,
+            use_difficulty: false,
+        }
     }
 
     /// `U+I+S`.
     pub fn uis() -> Self {
-        Self { use_skill: true, use_difficulty: false }
+        Self {
+            use_skill: true,
+            use_difficulty: false,
+        }
     }
 
     /// `U+I+D`.
     pub fn uid() -> Self {
-        Self { use_skill: false, use_difficulty: true }
+        Self {
+            use_skill: false,
+            use_difficulty: true,
+        }
     }
 
     /// `U+I+S+D`.
     pub fn uisd() -> Self {
-        Self { use_skill: true, use_difficulty: true }
+        Self {
+            use_skill: true,
+            use_difficulty: true,
+        }
     }
 
     /// Short display name ("U+I+S+D" etc.).
@@ -72,7 +84,13 @@ impl InstanceBuilder {
         if n_users == 0 || n_items == 0 || n_levels == 0 {
             return Err(FfmError::InvalidConfig("empty universe"));
         }
-        Ok(Self { layout, n_users, n_items, n_levels, n_buckets: 2 * n_levels })
+        Ok(Self {
+            layout,
+            n_users,
+            n_items,
+            n_levels,
+            n_buckets: 2 * n_levels,
+        })
     }
 
     /// Total number of features in this layout.
@@ -112,10 +130,16 @@ impl InstanceBuilder {
         target: f64,
     ) -> Result<Instance, FfmError> {
         if user >= self.n_users {
-            return Err(FfmError::FeatureOutOfBounds { field: 0, feature: user });
+            return Err(FfmError::FeatureOutOfBounds {
+                field: 0,
+                feature: user,
+            });
         }
         if item >= self.n_items {
-            return Err(FfmError::FeatureOutOfBounds { field: 1, feature: item });
+            return Err(FfmError::FeatureOutOfBounds {
+                field: 1,
+                feature: item,
+            });
         }
         let mut features = Vec::with_capacity(self.n_fields());
         features.push((0, user, 1.0));

@@ -131,7 +131,7 @@ impl FfmModel {
                 let inst = &train[idx];
                 let pred = model.predict(inst);
                 let err = pred - inst.target; // d(0.5·err²)/dŷ = err
-                // Bias.
+                                              // Bias.
                 g_w0 += err * err;
                 model.w0 -= config.eta / g_w0.sqrt() * err;
                 // Linear terms.
@@ -162,11 +162,17 @@ impl FfmModel {
                 }
             }
             let train_rmse = model.rmse(train);
-            let valid_rmse =
-                if valid.is_empty() { train_rmse } else { model.rmse(valid) };
+            let valid_rmse = if valid.is_empty() {
+                train_rmse
+            } else {
+                model.rmse(valid)
+            };
             model.history.push((train_rmse, valid_rmse));
             if config.patience > 0 {
-                let improved = best.as_ref().map(|(b, _, _, _)| valid_rmse < *b).unwrap_or(true);
+                let improved = best
+                    .as_ref()
+                    .map(|(b, _, _, _)| valid_rmse < *b)
+                    .unwrap_or(true);
                 if improved {
                     best = Some((valid_rmse, model.w.clone(), model.v.clone(), model.w0));
                     stale = 0;
@@ -254,10 +260,7 @@ mod tests {
                     let affinity = if (u + i) % 2 == 0 { 0.4 } else { -0.4 };
                     let noise = rng.gen_range(-0.05..0.05);
                     let target = 2.5 + u_bias[u] + i_bias[i] + affinity + noise;
-                    all.push(inst(
-                        vec![(0, u, 1.0), (1, n_users + i, 1.0)],
-                        target,
-                    ));
+                    all.push(inst(vec![(0, u, 1.0), (1, n_users + i, 1.0)], target));
                 }
             }
         }
@@ -276,9 +279,24 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(FfmConfig { k: 0, ..FfmConfig::new(10, 2) }.validate().is_err());
-        assert!(FfmConfig { eta: 0.0, ..FfmConfig::new(10, 2) }.validate().is_err());
-        assert!(FfmConfig { epochs: 0, ..FfmConfig::new(10, 2) }.validate().is_err());
+        assert!(FfmConfig {
+            k: 0,
+            ..FfmConfig::new(10, 2)
+        }
+        .validate()
+        .is_err());
+        assert!(FfmConfig {
+            eta: 0.0,
+            ..FfmConfig::new(10, 2)
+        }
+        .validate()
+        .is_err());
+        assert!(FfmConfig {
+            epochs: 0,
+            ..FfmConfig::new(10, 2)
+        }
+        .validate()
+        .is_err());
         assert!(FfmConfig::new(10, 2).validate().is_ok());
     }
 
@@ -291,7 +309,11 @@ mod tests {
         assert!(model.rmse(&train) < first, "no improvement over epoch 1");
         // The interaction term is ±0.4; a bias-only model can't go below
         // ~0.4 RMSE, FFM with factors should.
-        assert!(model.rmse(&valid) < 0.3, "validation rmse {}", model.rmse(&valid));
+        assert!(
+            model.rmse(&valid) < 0.3,
+            "validation rmse {}",
+            model.rmse(&valid)
+        );
     }
 
     #[test]
@@ -301,7 +323,10 @@ mod tests {
         // model whose factors are frozen at ~zero via huge regularization.
         let good = FfmModel::train(FfmConfig::new(11, 2), &train, &valid).unwrap();
         let crippled = FfmModel::train(
-            FfmConfig { lambda: 10.0, ..FfmConfig::new(11, 2) },
+            FfmConfig {
+                lambda: 10.0,
+                ..FfmConfig::new(11, 2)
+            },
             &train,
             &valid,
         )
@@ -341,10 +366,17 @@ mod tests {
     #[test]
     fn early_stopping_restores_best_epoch() {
         let (train, valid) = toy_data(7);
-        let config = FfmConfig { patience: 2, epochs: 50, ..FfmConfig::new(11, 2) };
+        let config = FfmConfig {
+            patience: 2,
+            epochs: 50,
+            ..FfmConfig::new(11, 2)
+        };
         let model = FfmModel::train(config, &train, &valid).unwrap();
-        let best_hist =
-            model.history.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+        let best_hist = model
+            .history
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::INFINITY, f64::min);
         // The final model's validation RMSE equals the best seen (within
         // floating tolerance).
         assert!((model.rmse(&valid) - best_hist).abs() < 1e-9);
@@ -352,11 +384,11 @@ mod tests {
 
     #[test]
     fn bias_initialized_to_target_mean() {
-        let train = vec![
-            inst(vec![(0, 0, 1.0)], 4.0),
-            inst(vec![(0, 1, 1.0)], 2.0),
-        ];
-        let config = FfmConfig { epochs: 1, ..FfmConfig::new(2, 1) };
+        let train = vec![inst(vec![(0, 0, 1.0)], 4.0), inst(vec![(0, 1, 1.0)], 2.0)];
+        let config = FfmConfig {
+            epochs: 1,
+            ..FfmConfig::new(2, 1)
+        };
         let model = FfmModel::train(config, &train, &[]).unwrap();
         // After one epoch the prediction should already be near 3 ± biases.
         let p = model.predict(&inst(vec![(0, 0, 1.0)], 0.0));
@@ -372,7 +404,10 @@ mod gradient_tests {
     /// parameter by ±h must change 0.5·err² by approximately gradient·h.
     #[test]
     fn analytic_gradients_match_finite_differences() {
-        let config = FfmConfig { k: 3, ..FfmConfig::new(6, 2) };
+        let config = FfmConfig {
+            k: 3,
+            ..FfmConfig::new(6, 2)
+        };
         let inst = Instance {
             features: vec![(0, 1, 1.0), (1, 4, 1.0)],
             target: 3.0,
@@ -383,7 +418,9 @@ mod gradient_tests {
         let model = FfmModel {
             config,
             w0: 0.5,
-            w: (0..config.n_features).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+            w: (0..config.n_features)
+                .map(|_| rng.gen_range(-0.5..0.5))
+                .collect(),
             v: (0..vk).map(|_| rng.gen_range(-0.5..0.5)).collect(),
             history: Vec::new(),
         };

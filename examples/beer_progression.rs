@@ -40,18 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for e in &novice {
         println!(
             "  {:24} score {:+.3} (tier {})",
-            data.style_names[e.value as usize],
-            e.score,
-            data.style_tiers[e.value as usize]
+            data.style_names[e.value as usize], e.score, data.style_tiers[e.value as usize]
         );
     }
     println!("styles dominated by connoisseurs:");
     for e in &expert {
         println!(
             "  {:24} score {:+.3} (tier {})",
-            data.style_names[e.value as usize],
-            e.score,
-            data.style_tiers[e.value as usize]
+            data.style_names[e.value as usize], e.score, data.style_tiers[e.value as usize]
         );
     }
 

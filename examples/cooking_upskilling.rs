@@ -6,13 +6,11 @@
 //! cargo run --release --example cooking_upskilling
 //! ```
 
-use upskill_core::difficulty::{empirical_prior, generation_difficulty_with_prior};
-use upskill_core::train::{train, TrainConfig};
-use upskill_datasets::cooking::{
-    features, generate, CookingConfig, COOKING_LEVELS, TIME_CLASSES,
-};
 use upskill_core::analysis::level_means;
+use upskill_core::difficulty::{empirical_prior, generation_difficulty_with_prior};
 use upskill_core::feature::FeatureValue;
+use upskill_core::train::{train, TrainConfig};
+use upskill_datasets::cooking::{features, generate, CookingConfig, COOKING_LEVELS, TIME_CLASSES};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Simulate a recipe-sharing community (a stand-in for Rakuten Recipe).
@@ -43,19 +41,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // What did the model learn? Step counts should grow with skill
     // (with the paper's level-1 over-reach anomaly).
     let step_means = level_means(&result.model, features::N_STEPS)?;
-    println!("mean recipe steps per skill level: {:?}",
-        step_means.iter().map(|m| format!("{m:.1}")).collect::<Vec<_>>());
+    println!(
+        "mean recipe steps per skill level: {:?}",
+        step_means
+            .iter()
+            .map(|m| format!("{m:.1}"))
+            .collect::<Vec<_>>()
+    );
 
     // Estimate every recipe's difficulty with the empirical-prior
     // generation estimator (robust for rarely-cooked recipes).
     let prior = empirical_prior(&result.assignments, COOKING_LEVELS)?;
     let difficulty: Vec<f64> = (0..data.dataset.n_items() as u32)
         .map(|i| {
-            generation_difficulty_with_prior(
-                &result.model,
-                data.dataset.item_features(i),
-                &prior,
-            )
+            generation_difficulty_with_prior(&result.model, data.dataset.item_features(i), &prior)
         })
         .collect::<Result<_, _>>()?;
 
@@ -76,9 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut candidates: Vec<(u32, f64)> = difficulty
         .iter()
         .enumerate()
-        .filter(|&(i, &d)| {
-            !cooked.contains(&(i as u32)) && d > skill + 0.15 && d <= skill + 0.7
-        })
+        .filter(|&(i, &d)| !cooked.contains(&(i as u32)) && d > skill + 0.15 && d <= skill + 0.7)
         .map(|(i, &d)| (i as u32, d))
         .collect();
     candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -87,7 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\ncook #{cook} is at skill level {skill:.0} after {} reports",
         data.dataset.sequences()[cook].len()
     );
-    println!("recommended recipes to level up (difficulty in ({skill:.0}, {:.1}]):", skill + 0.7);
+    println!(
+        "recommended recipes to level up (difficulty in ({skill:.0}, {:.1}]):",
+        skill + 0.7
+    );
     for &(recipe, d) in candidates.iter().take(5) {
         let feats = data.dataset.item_features(recipe);
         let time = match feats[features::TIME] {
@@ -107,8 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sanity: estimated difficulty should track the simulator's hidden
     // recipe complexity.
-    let complexity: Vec<f64> =
-        data.recipe_complexity.iter().map(|&c| c as f64).collect();
+    let complexity: Vec<f64> = data.recipe_complexity.iter().map(|&c| c as f64).collect();
     println!(
         "\ndifficulty vs hidden complexity: Pearson r = {:.3}",
         upskill_eval::pearson(&difficulty, &complexity)?

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .flat_map(|seq| seq.iter().map(|&s| s as f64))
         .collect();
     let truth = data.flat_true_skills();
-    println!("skill recovery: Pearson r = {:.3}", pearson(&predicted, &truth)?);
+    println!(
+        "skill recovery: Pearson r = {:.3}",
+        pearson(&predicted, &truth)?
+    );
 
     // 4. Estimate item difficulty on the same 1..=S scale (paper §V) and
     //    check it tracks the ground-truth difficulty.

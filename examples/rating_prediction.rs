@@ -49,9 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (u, seq) in data.dataset.sequences().iter().enumerate() {
             let levels = &skill.assignments.per_user[u];
             let ratings = &data.ratings[u];
-            for ((action, &s), &rating) in
-                seq.actions().iter().zip(levels).zip(ratings)
-            {
+            for ((action, &s), &rating) in seq.actions().iter().zip(levels).zip(ratings) {
                 let inst = builder.instance(
                     u,
                     action.item as usize,

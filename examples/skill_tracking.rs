@@ -48,15 +48,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut tracker = OnlineTracker::new(cfg.n_levels)?;
     let mut online_levels = Vec::new();
     for action in seq.actions() {
-        let level =
-            tracker.observe(&result.model, scenario.dataset.item_features(action.item))?;
+        let level = tracker.observe(&result.model, scenario.dataset.item_features(action.item))?;
         online_levels.push(level);
     }
     let weights = tracker.level_weights();
     println!(
         "  final online level: {} (posterior weights {:?})",
         online_levels.last().unwrap(),
-        weights.iter().map(|w| format!("{w:.2}")).collect::<Vec<_>>()
+        weights
+            .iter()
+            .map(|w| format!("{w:.2}"))
+            .collect::<Vec<_>>()
     );
 
     // 2. Batch monotone vs forgetting-aware assignment.
@@ -66,8 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_decay: 0.45,
         advance_prob: 0.3,
     };
-    let forgetting =
-        assign_sequence_with_forgetting(&result.model, &fcfg, &scenario.dataset, seq)?;
+    let forgetting = assign_sequence_with_forgetting(&result.model, &fcfg, &scenario.dataset, seq)?;
 
     // Render the three trajectories side by side for the first 40 actions.
     println!("\n  t   truth  monotone  forgetting  gap-before");

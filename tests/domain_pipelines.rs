@@ -19,8 +19,7 @@ fn language_pipeline_finds_correction_trend_and_rule_split() {
     .expect("training");
 
     // Fig. 4b: corrections per corrector decrease with skill.
-    let corrections =
-        level_means(&result.model, language::features::CORRECTIONS).expect("means");
+    let corrections = level_means(&result.model, language::features::CORRECTIONS).expect("means");
     assert!(
         corrections.first().unwrap() > corrections.last().unwrap(),
         "corrections should decrease with skill: {corrections:?}"
@@ -30,12 +29,18 @@ fn language_pipeline_finds_correction_trend_and_rule_split() {
     // expert list contains an article or bracket rule.
     let novice = top_unskilled(&result.model, language::features::RULE, 10).expect("rules");
     let expert = top_skilled(&result.model, language::features::RULE, 10).expect("rules");
-    let novice_names: Vec<&str> =
-        novice.iter().map(|e| data.rule_names[e.value as usize].as_str()).collect();
-    let expert_names: Vec<&str> =
-        expert.iter().map(|e| data.rule_names[e.value as usize].as_str()).collect();
+    let novice_names: Vec<&str> = novice
+        .iter()
+        .map(|e| data.rule_names[e.value as usize].as_str())
+        .collect();
+    let expert_names: Vec<&str> = expert
+        .iter()
+        .map(|e| data.rule_names[e.value as usize].as_str())
+        .collect();
     assert!(
-        novice_names.iter().any(|n| n.contains("\"i\" -> \"I\"") || n.contains("\".\"")),
+        novice_names
+            .iter()
+            .any(|n| n.contains("\"i\" -> \"I\"") || n.contains("\".\"")),
         "novice rules missing capitalization/punctuation: {novice_names:?}"
     );
     assert!(
@@ -123,21 +128,21 @@ fn film_pipeline_reproduces_lastness_and_its_fix() {
     // Without the fix: the top movies at the highest level are recent.
     cfg.apply_lastness_fix = false;
     let raw = film::generate(&cfg).expect("generation");
-    let max_len = raw.dataset.sequences().iter().map(|s| s.len()).max().unwrap_or(1);
-    let train_cfg =
-        TrainConfig::new(film::FILM_LEVELS).with_min_init_actions(50.min(max_len));
+    let max_len = raw
+        .dataset
+        .sequences()
+        .iter()
+        .map(|s| s.len())
+        .max()
+        .unwrap_or(1);
+    let train_cfg = TrainConfig::new(film::FILM_LEVELS).with_min_init_actions(50.min(max_len));
     let raw_result = train(&raw.dataset, &train_cfg).expect("training");
-    let mean_year = |data: &film::FilmData,
-                     model: &upskill_core::SkillModel,
-                     level: u8| {
-        let top = upskill_core::predict::top_items_for_level(
-            model,
-            film::features::ID,
-            level,
-            10,
-        )
-        .expect("top items");
-        top.iter().map(|&(i, _)| data.release_years[i as usize] as f64).sum::<f64>()
+    let mean_year = |data: &film::FilmData, model: &upskill_core::SkillModel, level: u8| {
+        let top = upskill_core::predict::top_items_for_level(model, film::features::ID, level, 10)
+            .expect("top items");
+        top.iter()
+            .map(|&(i, _)| data.release_years[i as usize] as f64)
+            .sum::<f64>()
             / top.len() as f64
     };
     let raw_gap = mean_year(&raw, &raw_result.model, 5) - mean_year(&raw, &raw_result.model, 1);
@@ -149,8 +154,13 @@ fn film_pipeline_reproduces_lastness_and_its_fix() {
     // With the fix, the recency skew collapses.
     cfg.apply_lastness_fix = true;
     let fixed = film::generate(&cfg).expect("generation");
-    let max_len_fixed =
-        fixed.dataset.sequences().iter().map(|s| s.len()).max().unwrap_or(1);
+    let max_len_fixed = fixed
+        .dataset
+        .sequences()
+        .iter()
+        .map(|s| s.len())
+        .max()
+        .unwrap_or(1);
     let fixed_result = train(
         &fixed.dataset,
         &TrainConfig::new(film::FILM_LEVELS).with_min_init_actions(50.min(max_len_fixed)),
@@ -171,8 +181,7 @@ fn filtering_respects_paper_thresholds() {
     let cfg = BeerConfig::test_scale(23);
     let data = beer::generate(&cfg).expect("generation");
     for seq in data.dataset.sequences() {
-        let unique: std::collections::HashSet<u32> =
-            seq.actions().iter().map(|a| a.item).collect();
+        let unique: std::collections::HashSet<u32> = seq.actions().iter().map(|a| a.item).collect();
         assert!(unique.len() >= cfg.support.min_unique_items_per_user);
     }
     let support = data.dataset.item_support();

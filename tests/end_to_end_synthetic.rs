@@ -2,9 +2,7 @@
 //! training → skill recovery → difficulty estimation → serialization.
 
 use upskill_core::baselines::{to_id_dataset, uniform_baseline};
-use upskill_core::difficulty::{
-    assignment_difficulty_all, generation_difficulty_all, SkillPrior,
-};
+use upskill_core::difficulty::{assignment_difficulty_all, generation_difficulty_all, SkillPrior};
 use upskill_core::train::{train, TrainConfig};
 use upskill_core::SkillModel;
 use upskill_datasets::synthetic::{generate, SyntheticConfig};
@@ -94,7 +92,10 @@ fn difficulty_estimators_track_ground_truth() {
     let assign_flat: Vec<f64> = assign.iter().map(|d| d.unwrap_or(3.0)).collect();
     let r_assign = pearson(&assign_flat, &data.true_difficulty).expect("r");
     let r_gen = pearson(&gen_emp, &data.true_difficulty).expect("r");
-    assert!(r_assign > 0.5, "assignment difficulty too weak: {r_assign:.3}");
+    assert!(
+        r_assign > 0.5,
+        "assignment difficulty too weak: {r_assign:.3}"
+    );
     assert!(r_gen > 0.7, "generation difficulty too weak: {r_gen:.3}");
 
     // Table VII: generation-based (empirical) beats assignment-based RMSE.
@@ -128,8 +129,11 @@ fn trained_model_serde_roundtrip_preserves_likelihoods() {
 fn dense_data_shrinks_the_multifaceted_advantage() {
     // Sparse: 500 items for ~6000 actions; dense: 100 items.
     let sparse = generate(&small_config(4)).expect("generation");
-    let dense = generate(&SyntheticConfig { n_items: 100, ..small_config(4) })
-        .expect("generation");
+    let dense = generate(&SyntheticConfig {
+        n_items: 100,
+        ..small_config(4)
+    })
+    .expect("generation");
     let cfg = TrainConfig::new(5).with_min_init_actions(40);
 
     let gap = |data: &upskill_datasets::synthetic::SyntheticData| -> f64 {
@@ -138,7 +142,10 @@ fn dense_data_shrinks_the_multifaceted_advantage() {
         let id_r = train(&id_view, &cfg).expect("train");
         let mf_r = train(&data.dataset, &cfg).expect("train");
         let flat = |a: &upskill_core::SkillAssignments| -> Vec<f64> {
-            a.per_user.iter().flat_map(|s| s.iter().map(|&x| x as f64)).collect()
+            a.per_user
+                .iter()
+                .flat_map(|s| s.iter().map(|&x| x as f64))
+                .collect()
         };
         pearson(&flat(&mf_r.assignments), &truth).expect("r")
             - pearson(&flat(&id_r.assignments), &truth).expect("r")
@@ -156,15 +163,21 @@ fn dense_data_shrinks_the_multifaceted_advantage() {
 fn training_determinism_end_to_end() {
     let a = {
         let data = generate(&small_config(5)).expect("generation");
-        train(&data.dataset, &TrainConfig::new(5).with_min_init_actions(40))
-            .expect("training")
-            .log_likelihood
+        train(
+            &data.dataset,
+            &TrainConfig::new(5).with_min_init_actions(40),
+        )
+        .expect("training")
+        .log_likelihood
     };
     let b = {
         let data = generate(&small_config(5)).expect("generation");
-        train(&data.dataset, &TrainConfig::new(5).with_min_init_actions(40))
-            .expect("training")
-            .log_likelihood
+        train(
+            &data.dataset,
+            &TrainConfig::new(5).with_min_init_actions(40),
+        )
+        .expect("training")
+        .log_likelihood
     };
     assert_eq!(a, b);
 }

@@ -35,9 +35,14 @@ fn every_parallel_configuration_matches_sequential_training() {
         (false, false, true),
         (true, true, true),
     ] {
-        let pc = ParallelConfig { users, skills, features, threads: 4 };
-        let parallel =
-            train_with_parallelism(&data.dataset, &cfg, &pc).expect("parallel");
+        let pc = ParallelConfig {
+            users,
+            skills,
+            features,
+            threads: 4,
+            emission: true,
+        };
+        let parallel = train_with_parallelism(&data.dataset, &cfg, &pc).expect("parallel");
         assert_eq!(
             sequential.assignments, parallel.assignments,
             "assignments diverged for users={users} features={features} skills={skills}"
@@ -58,7 +63,10 @@ fn transition_extension_regularizes_level_churn() {
     // Fit transitions from the hard assignments.
     let transitions = fit_transitions(&base.assignments, 4, 0.5).expect("transitions");
     assert_eq!(transitions.n_levels(), 4);
-    assert!(transitions.stay_probs().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    assert!(transitions
+        .stay_probs()
+        .iter()
+        .all(|&p| (0.0..=1.0).contains(&p)));
     assert!((transitions.init_probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
 
     // Extremely sticky transitions force fewer advances than the base DP.
@@ -87,11 +95,10 @@ fn em_trainer_recovers_comparable_skill_structure() {
     let cfg = TrainConfig::new(4).with_min_init_actions(25);
     let hard = train(&data.dataset, &cfg).expect("hard training");
 
-    let initial = upskill_core::init::initialize_model(&data.dataset, 4, 25, 0.01)
-        .expect("initialization");
+    let initial =
+        upskill_core::init::initialize_model(&data.dataset, 4, 25, 0.01).expect("initialization");
     let transitions = TransitionModel::uninformative(4).expect("transitions");
-    let soft = train_em(&data.dataset, initial, &transitions, 0.01, 15, 1e-8)
-        .expect("EM training");
+    let soft = train_em(&data.dataset, initial, &transitions, 0.01, 15, 1e-8).expect("EM training");
     assert!(!soft.evidence_trace.is_empty());
 
     // Viterbi decoding of the EM model should correlate with the truth

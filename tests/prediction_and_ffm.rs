@@ -17,16 +17,11 @@ use upskill_ffm::{FeatureLayout, FfmConfig, FfmModel, Instance, InstanceBuilder}
 #[test]
 fn item_prediction_beats_random_guessing() {
     let data = generate_cooking(&CookingConfig::test_scale(31)).expect("generation");
-    let split =
-        holdout_split(&data.dataset, HoldoutPosition::Random { seed: 3 }).expect("split");
-    let result = train(
-        &split.train,
-        &TrainConfig::new(5).with_min_init_actions(50),
-    )
-    .expect("training");
-    let outcomes =
-        evaluate_item_prediction(&result.model, &split, &result.assignments, 0)
-            .expect("evaluation");
+    let split = holdout_split(&data.dataset, HoldoutPosition::Random { seed: 3 }).expect("split");
+    let result =
+        train(&split.train, &TrainConfig::new(5).with_min_init_actions(50)).expect("training");
+    let outcomes = evaluate_item_prediction(&result.model, &split, &result.assignments, 0)
+        .expect("evaluation");
     assert!(!outcomes.is_empty());
     let ranks: Vec<usize> = outcomes.iter().map(|o| o.rank).collect();
     let rr = mean_reciprocal_rank(&ranks).expect("rr");
@@ -44,24 +39,23 @@ fn multifaceted_beats_uniform_on_item_prediction() {
     let data = generate_cooking(&CookingConfig::test_scale(37)).expect("generation");
     let split = holdout_split(&data.dataset, HoldoutPosition::Last).expect("split");
 
-    let mf = train(&split.train, &TrainConfig::new(5).with_min_init_actions(50))
-        .expect("training");
-    let mf_ranks: Vec<usize> =
-        evaluate_item_prediction(&mf.model, &split, &mf.assignments, 0)
-            .expect("evaluation")
-            .iter()
-            .map(|o| o.rank)
-            .collect();
+    let mf = train(&split.train, &TrainConfig::new(5).with_min_init_actions(50)).expect("training");
+    let mf_ranks: Vec<usize> = evaluate_item_prediction(&mf.model, &split, &mf.assignments, 0)
+        .expect("evaluation")
+        .iter()
+        .map(|o| o.rank)
+        .collect();
 
-    let (uni_assign, uni_model) =
-        uniform_baseline(&split.train, 5, 0.01).expect("uniform");
-    let uni_split = PredictionSplit { train: split.train.clone(), test: split.test.clone() };
-    let uni_ranks: Vec<usize> =
-        evaluate_item_prediction(&uni_model, &uni_split, &uni_assign, 0)
-            .expect("evaluation")
-            .iter()
-            .map(|o| o.rank)
-            .collect();
+    let (uni_assign, uni_model) = uniform_baseline(&split.train, 5, 0.01).expect("uniform");
+    let uni_split = PredictionSplit {
+        train: split.train.clone(),
+        test: split.test.clone(),
+    };
+    let uni_ranks: Vec<usize> = evaluate_item_prediction(&uni_model, &uni_split, &uni_assign, 0)
+        .expect("evaluation")
+        .iter()
+        .map(|o| o.rank)
+        .collect();
 
     let mf_rr = mean_reciprocal_rank(&mf_ranks).expect("rr");
     let uni_rr = mean_reciprocal_rank(&uni_ranks).expect("rr");
@@ -103,11 +97,15 @@ fn beer_instances(
     let mut k = 0usize;
     for (u, seq) in data.dataset.sequences().iter().enumerate() {
         let levels = &skill.assignments.per_user[u];
-        for ((action, &s), &rating) in
-            seq.actions().iter().zip(levels).zip(&data.ratings[u])
-        {
+        for ((action, &s), &rating) in seq.actions().iter().zip(levels).zip(&data.ratings[u]) {
             let inst = builder
-                .instance(u, action.item as usize, s, difficulty[action.item as usize], rating)
+                .instance(
+                    u,
+                    action.item as usize,
+                    s,
+                    difficulty[action.item as usize],
+                    rating,
+                )
                 .expect("instance");
             match k % 10 {
                 8 => valid.push(inst),
@@ -130,7 +128,9 @@ fn skill_and_difficulty_features_help_rating_prediction() {
             seed: 2,
             ..FfmConfig::new(builder.n_features(), builder.n_fields())
         };
-        FfmModel::train(cfg, &train_set, &valid).expect("ffm").rmse(&test)
+        FfmModel::train(cfg, &train_set, &valid)
+            .expect("ffm")
+            .rmse(&test)
     };
     let ui = rmse_for(FeatureLayout::ui());
     let uisd = rmse_for(FeatureLayout::uisd());

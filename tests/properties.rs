@@ -26,7 +26,9 @@ fn model_from_weights(weights: &[Vec<f64>]) -> SkillModel {
         .map(|w| {
             let total: f64 = w.iter().sum();
             let probs: Vec<f64> = w.iter().map(|x| x / total).collect();
-            vec![FeatureDistribution::Categorical(Categorical::from_probs(probs).unwrap())]
+            vec![FeatureDistribution::Categorical(
+                Categorical::from_probs(probs).unwrap(),
+            )]
         })
         .collect();
     SkillModel::new(schema, n_levels, cells).unwrap()
@@ -34,8 +36,9 @@ fn model_from_weights(weights: &[Vec<f64>]) -> SkillModel {
 
 fn dataset_from_items(cardinality: u32, item_cats: &[u32]) -> (Dataset, ActionSequence) {
     let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality }]).unwrap();
-    let items: Vec<Vec<FeatureValue>> =
-        (0..cardinality).map(|c| vec![FeatureValue::Categorical(c)]).collect();
+    let items: Vec<Vec<FeatureValue>> = (0..cardinality)
+        .map(|c| vec![FeatureValue::Categorical(c)])
+        .collect();
     let actions: Vec<Action> = item_cats
         .iter()
         .enumerate()

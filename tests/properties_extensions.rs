@@ -20,7 +20,9 @@ fn model_from_weights(weights: &[Vec<f64>]) -> SkillModel {
         .map(|w| {
             let total: f64 = w.iter().sum();
             let probs: Vec<f64> = w.iter().map(|x| x / total).collect();
-            vec![FeatureDistribution::Categorical(Categorical::from_probs(probs).unwrap())]
+            vec![FeatureDistribution::Categorical(
+                Categorical::from_probs(probs).unwrap(),
+            )]
         })
         .collect();
     SkillModel::new(schema, n_levels, cells).unwrap()
@@ -28,8 +30,9 @@ fn model_from_weights(weights: &[Vec<f64>]) -> SkillModel {
 
 fn dataset_with_times(cardinality: u32, actions: &[(u32, i64)]) -> (Dataset, ActionSequence) {
     let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality }]).unwrap();
-    let items: Vec<Vec<FeatureValue>> =
-        (0..cardinality).map(|c| vec![FeatureValue::Categorical(c)]).collect();
+    let items: Vec<Vec<FeatureValue>> = (0..cardinality)
+        .map(|c| vec![FeatureValue::Categorical(c)])
+        .collect();
     let mut sorted = actions.to_vec();
     sorted.sort_by_key(|&(_, t)| t);
     let acts: Vec<Action> = sorted.iter().map(|&(c, t)| Action::new(t, 0, c)).collect();

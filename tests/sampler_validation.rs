@@ -98,8 +98,9 @@ fn gamma_cdf(shape: f64, scale: f64, x: f64) -> f64 {
 fn gamma_sampler_passes_ks_test() {
     let mut rng = StdRng::seed_from_u64(103);
     let (shape, scale) = (3.5, 1.8);
-    let samples: Vec<f64> =
-        (0..4_000).map(|_| sample_gamma(&mut rng, shape, scale)).collect();
+    let samples: Vec<f64> = (0..4_000)
+        .map(|_| sample_gamma(&mut rng, shape, scale))
+        .collect();
     let (d, p) = ks_statistic(&samples, |x| gamma_cdf(shape, scale, x)).expect("ks");
     assert!(p > 0.001, "gamma sampler failed KS: D = {d}, p = {p}");
 }
@@ -110,13 +111,14 @@ fn fitted_gamma_passes_ks_against_fresh_samples() {
     // sampler and the MLE jointly.
     let mut rng = StdRng::seed_from_u64(104);
     let (shape, scale) = (2.2, 0.9);
-    let train: Vec<f64> =
-        (0..8_000).map(|_| sample_gamma(&mut rng, shape, scale)).collect();
+    let train: Vec<f64> = (0..8_000)
+        .map(|_| sample_gamma(&mut rng, shape, scale))
+        .collect();
     let fitted = Gamma::fit(&train).expect("fit");
-    let test: Vec<f64> =
-        (0..3_000).map(|_| sample_gamma(&mut rng, shape, scale)).collect();
-    let (d, p) = ks_statistic(&test, |x| gamma_cdf(fitted.shape(), fitted.scale(), x))
-        .expect("ks");
+    let test: Vec<f64> = (0..3_000)
+        .map(|_| sample_gamma(&mut rng, shape, scale))
+        .collect();
+    let (d, p) = ks_statistic(&test, |x| gamma_cdf(fitted.shape(), fitted.scale(), x)).expect("ks");
     assert!(p > 0.001, "fitted gamma failed KS: D = {d}, p = {p}");
 }
 

@@ -1,0 +1,438 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote`, which are unavailable
+//! offline). Supports non-generic structs (named, tuple, unit) and enums
+//! with unit / tuple / struct variants — the shapes this workspace uses.
+//! `#[serde(...)]` attributes are not supported and the workspace does not
+//! use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected `struct` or `enum`, found {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected type name, found {t}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic types");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                t => panic!("expected enum body, found {t:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g))
+                        if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            t => panic!("expected field name, found {t}"),
+        }
+        i += 1;
+        // Skip `:` and the type, up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected variant name, found {t}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip any discriminant and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn tuple_binders(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("f{k}")).collect()
+}
+
+fn serialize_fields_expr(fields: &Fields, prefix: &str) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let pairs: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&{prefix}{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Fields::Tuple(1) => {
+            format!("::serde::Serialize::to_value(&{prefix}0)")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&{prefix}{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = serialize_fields_expr(fields, "self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::String(\"{vname}\".to_string())"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders = tuple_binders(*n);
+                            let inner = match *n {
+                                1 => "::serde::Serialize::to_value(f0)".to_string(),
+                                _ => format!(
+                                    "::serde::Value::Array(vec![{}])",
+                                    binders
+                                        .iter()
+                                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                        .collect::<Vec<_>>()
+                                        .join(", ")
+                                ),
+                            };
+                            format!(
+                                "{name}::{vname}({}) => \
+                                 ::serde::Value::Object(vec![(\
+                                 \"{vname}\".to_string(), {inner})])",
+                                binders.join(", ")
+                            )
+                        }
+                        Fields::Named(field_names) => {
+                            let pairs: Vec<String> = field_names
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => \
+                                 ::serde::Value::Object(vec![(\
+                                 \"{vname}\".to_string(), \
+                                 ::serde::Value::Object(vec![{}]))])",
+                                field_names.join(", "),
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{ {} }}\n\
+                   }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+fn deserialize_named_expr(names: &[String], obj: &str) -> String {
+    let inits: Vec<String> = names
+        .iter()
+        .map(|f| format!("{f}: ::serde::field({obj}, \"{f}\")?"))
+        .collect();
+    inits.join(", ")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => format!(
+                    "let obj = v.as_object().ok_or_else(|| \
+                       ::serde::DeError(format!(\
+                       \"expected object for {name}, got {{v:?}}\")))?;\n\
+                     Ok({name} {{ {} }})",
+                    deserialize_named_expr(names, "obj")
+                ),
+                Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&a[{k}])?"))
+                        .collect();
+                    format!(
+                        "let a = v.as_array().ok_or_else(|| \
+                           ::serde::DeError(format!(\
+                           \"expected array for {name}, got {{v:?}}\")))?;\n\
+                         if a.len() != {n} {{ return Err(::serde::DeError(\
+                           format!(\"expected {n} elements for {name}\"))); \
+                         }}\n\
+                         Ok({name}({}))",
+                        elems.join(", ")
+                    )
+                }
+                Fields::Unit => format!("let _ = v; Ok({name})"),
+            };
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                   fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     {body}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::\
+                                         from_value(&a[{k}])?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                   let a = inner.as_array().ok_or_else(|| \
+                                     ::serde::DeError(\
+                                     \"expected array payload\"\
+                                     .to_string()))?;\n\
+                                   if a.len() != {n} {{ \
+                                     return Err(::serde::DeError(format!(\
+                                     \"expected {n} elements for \
+                                      {name}::{vname}\"))); }}\n\
+                                   Ok({name}::{vname}({}))\n\
+                                 }},",
+                                elems.join(", ")
+                            )
+                        }
+                        Fields::Named(field_names) => format!(
+                            "\"{vname}\" => {{\n\
+                               let obj = inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError(\
+                                 \"expected object payload\"\
+                                 .to_string()))?;\n\
+                               Ok({name}::{vname} {{ {} }})\n\
+                             }},",
+                            deserialize_named_expr(field_names, "obj")
+                        ),
+                        Fields::Unit => unreachable!(),
+                    }
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                   fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     if let Some(s) = v.as_str() {{\n\
+                       return match s {{\n\
+                         {}\n\
+                         other => Err(::serde::DeError(format!(\
+                           \"unknown variant `{{other}}` for {name}\"))),\n\
+                       }};\n\
+                     }}\n\
+                     let pairs = v.as_object().ok_or_else(|| \
+                       ::serde::DeError(format!(\
+                       \"expected enum value for {name}, got {{v:?}}\")))?;\n\
+                     if pairs.len() != 1 {{\n\
+                       return Err(::serde::DeError(format!(\
+                         \"expected single-key enum object for {name}\")));\n\
+                     }}\n\
+                     let (tag, inner) = &pairs[0];\n\
+                     let _ = inner;\n\
+                     match tag.as_str() {{\n\
+                       {}\n\
+                       other => Err(::serde::DeError(format!(\
+                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                     }}\n\
+                   }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    code.parse().unwrap()
+}
