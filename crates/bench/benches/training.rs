@@ -58,6 +58,13 @@ fn bench_parallel_flags(c: &mut Criterion) {
             },
         ),
         ("all@4", ParallelConfig::all(4)),
+        (
+            "full_rescan",
+            ParallelConfig {
+                incremental: false,
+                ..ParallelConfig::sequential()
+            },
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &pc, |b, pc| {
             b.iter(|| train_with_parallelism(&data.dataset, &cfg, pc).expect("training"))

@@ -32,6 +32,7 @@ struct Row {
     features: bool,
     skills: bool,
     emission: bool,
+    incremental: bool,
     id_seconds: f64,
     multi_seconds: f64,
     id_iterations: usize,
@@ -57,18 +58,21 @@ fn main() {
     let train_cfg = TrainConfig::new(FILM_LEVELS).with_min_init_actions(50);
     let threads = 5;
 
-    // (users, features, skills, emission) rows in the paper's order. The
-    // paper's "feature-parallel ID" cell is N/A (one feature); we run it
-    // anyway (it degenerates to sequential). The first row disables the
-    // shared emission table to quantify its contribution independent of
-    // thread count (it is the only technique that pays off on one core).
+    // (users, features, skills, emission, incremental) rows in the paper's
+    // order. The paper's "feature-parallel ID" cell is N/A (one feature);
+    // we run it anyway (it degenerates to sequential). The first row
+    // disables both single-core optimizations (shared emission table,
+    // incremental statistics); rows 2–3 enable them one at a time so each
+    // contribution is quantified independent of thread count (they are the
+    // only techniques that pay off on one core).
     let conditions = [
-        (false, false, false, false),
-        (false, false, false, true),
-        (true, false, false, true),
-        (false, true, false, true),
-        (false, false, true, true),
-        (true, true, true, true),
+        (false, false, false, false, false),
+        (false, false, false, true, false),
+        (false, false, false, true, true),
+        (true, false, false, true, true),
+        (false, true, false, true, true),
+        (false, false, true, true, true),
+        (true, true, true, true, true),
     ];
 
     let mut rows = Vec::new();
@@ -77,20 +81,23 @@ fn main() {
         "Feature",
         "Skill",
         "Emission",
+        "Incr",
         "ID (s)",
         "Multi-faceted (s)",
         "iters (ID/MF)",
     ]);
-    for (users, features, skills, emission) in conditions {
+    for (users, features, skills, emission, incremental) in conditions {
         let pc = ParallelConfig {
             users,
             skills,
             features,
             threads,
             emission,
+            incremental,
         };
         eprintln!(
-            "  condition users={users} features={features} skills={skills} emission={emission} ..."
+            "  condition users={users} features={features} skills={skills} \
+             emission={emission} incremental={incremental} ..."
         );
         let t0 = Instant::now();
         let id_result = train_with_parallelism(&id_view, &train_cfg, &pc).expect("ID");
@@ -104,6 +111,7 @@ fn main() {
             mark(features),
             mark(skills),
             mark(emission),
+            mark(incremental),
             format!("{id_secs:.2}"),
             format!("{multi_secs:.2}"),
             format!("{}/{}", id_result.trace.len(), multi_result.trace.len()),
@@ -113,6 +121,7 @@ fn main() {
             features,
             skills,
             emission,
+            incremental,
             id_seconds: id_secs,
             multi_seconds: multi_secs,
             id_iterations: id_result.trace.len(),
@@ -137,6 +146,14 @@ fn main() {
         cached.multi_seconds < seq.multi_seconds,
         seq.multi_seconds,
         cached.multi_seconds
+    );
+    let incr = &rows[2];
+    println!(
+        "  Incremental statistics speed it up further: \
+         {} ({:.2}s full-rescan vs {:.2}s incremental)",
+        incr.multi_seconds < cached.multi_seconds,
+        cached.multi_seconds,
+        incr.multi_seconds
     );
     println!(
         "  (single-core host: parallel rows measure overhead, not speedup; \

@@ -22,6 +22,51 @@ pub struct SequenceAssignment {
     pub log_likelihood: f64,
 }
 
+/// Reusable scratch memory for the assignment DP.
+///
+/// One workspace holds the two rolling DP rows, the bit-packed backpointer
+/// matrix, and (for the direct, table-less path) the per-action emission
+/// buffer. Buffers grow to the largest sequence seen and are then reused,
+/// so a sweep over a dataset performs **zero** per-sequence heap
+/// allocations for DP scratch — only the returned `levels` vector (which
+/// outlives the call) is allocated. Keep one workspace per worker thread;
+/// the workspace carries no result state between calls, so reuse cannot
+/// change any output bit.
+#[derive(Debug, Clone, Default)]
+pub struct AssignWorkspace {
+    /// Rolling DP rows (`prev[s]` = best score ending at level `s+1`).
+    prev: Vec<f64>,
+    curr: Vec<f64>,
+    /// Bit-packed backpointers: bit `t·S + s` is set when the best path
+    /// into `(t, s)` advanced from level `s-1`.
+    advanced: Vec<u64>,
+    /// Emission buffer for the direct path (`emit[t·S + s]`).
+    emit: Vec<f64>,
+}
+
+impl AssignWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows buffers to cover an `n × s_max` lattice and zeroes the
+    /// backpointer words the forward pass will set. Grow-only: capacity is
+    /// retained across sequences.
+    fn prepare(&mut self, s_max: usize, n: usize) {
+        if self.prev.len() < s_max {
+            self.prev.resize(s_max, f64::NEG_INFINITY);
+            self.curr.resize(s_max, f64::NEG_INFINITY);
+        }
+        let words = (n * s_max).div_ceil(64);
+        if self.advanced.len() < words {
+            self.advanced.resize(words, 0);
+        }
+        // The forward pass only *sets* bits, so clear the words in range.
+        self.advanced[..words].fill(0);
+    }
+}
+
 /// The monotone Viterbi DP over abstract emission rows.
 ///
 /// `row_of(t)` yields the length-`s_max` emission vector of action `t`
@@ -29,17 +74,25 @@ pub struct SequenceAssignment {
 /// emission buffer) and the table-backed path (rows borrowed straight from
 /// an [`EmissionTable`], no per-action allocation) funnel through this one
 /// implementation, so their tie-breaking and backtracking are identical by
-/// construction.
-fn dp_over_rows<'a, F>(s_max: usize, n: usize, row_of: F) -> Result<SequenceAssignment>
+/// construction. All scratch lives in the caller-provided
+/// [`AssignWorkspace`].
+fn dp_over_rows<'a, F>(
+    s_max: usize,
+    n: usize,
+    row_of: F,
+    ws: &mut AssignWorkspace,
+) -> Result<SequenceAssignment>
 where
     F: Fn(usize) -> &'a [f64],
 {
     debug_assert!(n > 0);
+    ws.prepare(s_max, n);
+    let mut prev: &mut [f64] = &mut ws.prev[..s_max];
+    let mut curr: &mut [f64] = &mut ws.curr[..s_max];
+    let advanced: &mut [u64] = &mut ws.advanced;
+
     // Forward pass. `prev[s]` = best score ending at level s+1.
-    let mut prev: Vec<f64> = row_of(0).to_vec();
-    let mut curr = vec![f64::NEG_INFINITY; s_max];
-    // backpointer[t][s] = true if the level advanced (came from s-1).
-    let mut advanced = vec![false; n * s_max];
+    prev.copy_from_slice(row_of(0));
     for t in 1..n {
         let emit_t = row_of(t);
         for s in 0..s_max {
@@ -51,7 +104,10 @@ where
             };
             let (best, from_below) = if up > stay { (up, true) } else { (stay, false) };
             curr[s] = best + emit_t[s];
-            advanced[t * s_max + s] = from_below;
+            if from_below {
+                let idx = t * s_max + s;
+                advanced[idx / 64] |= 1u64 << (idx % 64);
+            }
         }
         std::mem::swap(&mut prev, &mut curr);
     }
@@ -78,7 +134,8 @@ where
     let mut s = best_s;
     for t in (0..n).rev() {
         levels[t] = (s + 1) as SkillLevel;
-        if t > 0 && advanced[t * s_max + s] {
+        let idx = t * s_max + s;
+        if t > 0 && advanced[idx / 64] & (1u64 << (idx % 64)) != 0 {
             s -= 1;
         }
     }
@@ -103,6 +160,17 @@ pub fn assign_sequence(
     dataset: &Dataset,
     sequence: &ActionSequence,
 ) -> Result<SequenceAssignment> {
+    assign_sequence_ws(model, dataset, sequence, &mut AssignWorkspace::new())
+}
+
+/// [`assign_sequence`] with caller-provided scratch; reuse the workspace
+/// across sequences to avoid per-sequence allocation.
+pub fn assign_sequence_ws(
+    model: &SkillModel,
+    dataset: &Dataset,
+    sequence: &ActionSequence,
+    ws: &mut AssignWorkspace,
+) -> Result<SequenceAssignment> {
     let s_max = model.n_levels();
     let n = sequence.len();
     if n == 0 {
@@ -112,15 +180,21 @@ pub fn assign_sequence(
         });
     }
 
-    // Per-action emission scores: emit[t * s_max + (s-1)].
-    let mut emit = vec![0.0f64; n * s_max];
+    // Per-action emission scores: emit[t * s_max + (s-1)]. The buffer is
+    // taken out of the workspace so the DP can borrow the rest mutably.
+    let mut emit = std::mem::take(&mut ws.emit);
+    if emit.len() < n * s_max {
+        emit.resize(n * s_max, 0.0);
+    }
     for (t, action) in sequence.actions().iter().enumerate() {
         let features = dataset.item_features(action.item);
         for s in 0..s_max {
             emit[t * s_max + s] = model.item_log_likelihood(features, (s + 1) as SkillLevel);
         }
     }
-    dp_over_rows(s_max, n, |t| &emit[t * s_max..(t + 1) * s_max])
+    let result = dp_over_rows(s_max, n, |t| &emit[t * s_max..(t + 1) * s_max], ws);
+    ws.emit = emit;
+    result
 }
 
 /// Assigns skill levels to one sequence, reading emissions from a
@@ -133,6 +207,16 @@ pub fn assign_sequence(
 pub fn assign_sequence_with_table(
     table: &EmissionTable,
     sequence: &ActionSequence,
+) -> Result<SequenceAssignment> {
+    assign_sequence_with_table_ws(table, sequence, &mut AssignWorkspace::new())
+}
+
+/// [`assign_sequence_with_table`] with caller-provided scratch; reuse the
+/// workspace across sequences to avoid per-sequence allocation.
+pub fn assign_sequence_with_table_ws(
+    table: &EmissionTable,
+    sequence: &ActionSequence,
+    ws: &mut AssignWorkspace,
 ) -> Result<SequenceAssignment> {
     let n = sequence.len();
     if n == 0 {
@@ -150,7 +234,7 @@ pub fn assign_sequence_with_table(
             });
         }
     }
-    dp_over_rows(table.n_levels(), n, |t| table.row(actions[t].item))
+    dp_over_rows(table.n_levels(), n, |t| table.row(actions[t].item), ws)
 }
 
 /// Assigns every sequence in the dataset sequentially.
@@ -179,10 +263,11 @@ pub fn assign_all_with_table(
             right: dataset.n_items(),
         });
     }
+    let mut ws = AssignWorkspace::new();
     let mut per_user = Vec::with_capacity(dataset.n_users());
     let mut total_ll = 0.0;
     for seq in dataset.sequences() {
-        let a = assign_sequence_with_table(table, seq)?;
+        let a = assign_sequence_with_table_ws(table, seq, &mut ws)?;
         total_ll += a.log_likelihood;
         per_user.push(a.levels);
     }
@@ -194,10 +279,11 @@ pub fn assign_all_with_table(
 /// table-backed path (see `ParallelConfig::emission` and the assignment
 /// benches); semantically identical to [`assign_all`].
 pub fn assign_all_direct(model: &SkillModel, dataset: &Dataset) -> Result<(SkillAssignments, f64)> {
+    let mut ws = AssignWorkspace::new();
     let mut per_user = Vec::with_capacity(dataset.n_users());
     let mut total_ll = 0.0;
     for seq in dataset.sequences() {
-        let a = assign_sequence(model, dataset, seq)?;
+        let a = assign_sequence_ws(model, dataset, seq, &mut ws)?;
         total_ll += a.log_likelihood;
         per_user.push(a.levels);
     }
@@ -425,6 +511,32 @@ mod tests {
         let (a_table, ll_table) = assign_all(&model, &ds).unwrap();
         assert_eq!(a_direct, a_table);
         assert_eq!(ll_direct, ll_table);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical() {
+        let model = diagonal_model(4);
+        let table_ds = dataset_for(4, &[0, 1, 2, 3]).0;
+        let table = EmissionTable::build(&model, &table_ds);
+        // Reuse one workspace across sequences of very different lengths,
+        // in shrinking order so stale buffer contents would be exposed.
+        let patterns: Vec<Vec<u32>> = vec![
+            vec![0, 1, 1, 3, 2, 0, 3, 3, 2, 1, 0, 2],
+            vec![3, 2, 1, 0, 1, 3],
+            vec![2, 2],
+            vec![1],
+        ];
+        let mut ws = AssignWorkspace::new();
+        for cats in &patterns {
+            let (ds, seq) = dataset_for(4, cats);
+            let fresh = assign_sequence(&model, &ds, &seq).unwrap();
+            let reused = assign_sequence_ws(&model, &ds, &seq, &mut ws).unwrap();
+            assert_eq!(fresh.levels, reused.levels);
+            assert_eq!(fresh.log_likelihood, reused.log_likelihood);
+            let tabled = assign_sequence_with_table_ws(&table, &seq, &mut ws).unwrap();
+            assert_eq!(fresh.levels, tabled.levels);
+            assert_eq!(fresh.log_likelihood, tabled.log_likelihood);
+        }
     }
 
     #[test]

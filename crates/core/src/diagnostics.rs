@@ -157,16 +157,7 @@ pub fn convergence_summary(trace: &[IterationStats]) -> ConvergenceSummary {
     let monotone = trace
         .windows(2)
         .all(|w| w[1].log_likelihood >= w[0].log_likelihood - 1e-6);
-    let final_churn = trace
-        .last()
-        .map(|s| {
-            if s.n_changed == usize::MAX {
-                0
-            } else {
-                s.n_changed
-            }
-        })
-        .unwrap_or(0);
+    let final_churn = trace.last().and_then(|s| s.n_changed).unwrap_or(0);
     ConvergenceSummary {
         iterations,
         total_gain,
@@ -315,17 +306,20 @@ mod tests {
             IterationStats {
                 iteration: 1,
                 log_likelihood: -100.0,
-                n_changed: usize::MAX,
+                n_changed: None,
+                seconds: 0.1,
             },
             IterationStats {
                 iteration: 2,
                 log_likelihood: -90.0,
-                n_changed: 12,
+                n_changed: Some(12),
+                seconds: 0.1,
             },
             IterationStats {
                 iteration: 3,
                 log_likelihood: -89.5,
-                n_changed: 0,
+                n_changed: Some(0),
+                seconds: 0.1,
             },
         ];
         let s = convergence_summary(&trace);

@@ -153,28 +153,75 @@ impl Gamma {
     }
 }
 
-/// Sufficient statistics for gamma fitting: `Σx`, `Σ ln x`, `n`, `Σx²`.
+/// Sufficient statistics for gamma and log-normal fitting:
+/// `Σx`, `Σ ln x`, `Σx²`, `Σ(ln x)²`, `n`.
+///
+/// The statistics are plain sums, so the accumulator supports exact
+/// weighted insertion ([`SufficientStats::push_n`]) and removal
+/// ([`SufficientStats::remove`]) in real arithmetic; in floating point a
+/// remove-then-re-add round trip can differ from never having pushed by
+/// summation-order ulps (the incremental trainer sidesteps this by keeping
+/// integer item histograms and re-deriving these sums in a canonical
+/// order — see `upskill_core::incremental`).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct SufficientStats {
     sum: f64,
     sum_ln: f64,
     sum_sq: f64,
+    sum_ln_sq: f64,
     count: f64,
 }
 
 impl SufficientStats {
     /// Accumulates one positive observation with unit weight.
     pub fn push(&mut self, x: f64) -> Result<()> {
+        self.push_n(x, 1)
+    }
+
+    /// Accumulates `n` copies of one positive observation in O(1).
+    pub fn push_n(&mut self, x: f64, n: u64) -> Result<()> {
         if !x.is_finite() || x <= 0.0 {
             return Err(CoreError::InvalidProbability {
                 context: "gamma sample",
                 value: x,
             });
         }
-        self.sum += x;
-        self.sum_ln += x.ln();
-        self.sum_sq += x * x;
-        self.count += 1.0;
+        if n == 0 {
+            return Ok(());
+        }
+        let w = n as f64;
+        let lx = x.ln();
+        self.sum += w * x;
+        self.sum_ln += w * lx;
+        self.sum_sq += w * x * x;
+        self.sum_ln_sq += w * lx * lx;
+        self.count += w;
+        Ok(())
+    }
+
+    /// Removes one previously pushed observation (the inverse of
+    /// [`SufficientStats::push`]). Errors when the accumulator is empty or
+    /// the value is invalid; it cannot detect a value that was never
+    /// pushed — callers own that invariant.
+    pub fn remove(&mut self, x: f64) -> Result<()> {
+        if !x.is_finite() || x <= 0.0 {
+            return Err(CoreError::InvalidProbability {
+                context: "gamma sample",
+                value: x,
+            });
+        }
+        if self.count < 1.0 {
+            return Err(CoreError::DegenerateFit {
+                distribution: "gamma",
+                reason: "remove from an empty accumulator",
+            });
+        }
+        let lx = x.ln();
+        self.sum -= x;
+        self.sum_ln -= lx;
+        self.sum_sq -= x * x;
+        self.sum_ln_sq -= lx * lx;
+        self.count -= 1.0;
         Ok(())
     }
 
@@ -214,11 +261,18 @@ impl SufficientStats {
         (self.sum_sq / self.count - m * m).max(0.0)
     }
 
+    /// Biased sample variance of `ln x` (the log-normal `σ²` MLE).
+    pub fn variance_ln(&self) -> f64 {
+        let m = self.mean_ln();
+        (self.sum_ln_sq / self.count - m * m).max(0.0)
+    }
+
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &SufficientStats) {
         self.sum += other.sum;
         self.sum_ln += other.sum_ln;
         self.sum_sq += other.sum_sq;
+        self.sum_ln_sq += other.sum_ln_sq;
         self.count += other.count;
     }
 }

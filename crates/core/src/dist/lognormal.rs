@@ -61,6 +61,19 @@ impl LogNormal {
         Self::new(mu, var.sqrt().max(MIN_SIGMA))
     }
 
+    /// Closed-form MLE from pre-accumulated sufficient statistics — the
+    /// same `mean`/`variance of ln x` estimator as [`LogNormal::fit`], so
+    /// streaming accumulation and slice fitting agree.
+    pub fn fit_from_stats(stats: &crate::dist::SufficientStats) -> Result<Self> {
+        if stats.count() < 1.0 {
+            return Err(CoreError::DegenerateFit {
+                distribution: "lognormal",
+                reason: "no samples",
+            });
+        }
+        Self::new(stats.mean_ln(), stats.variance_ln().sqrt().max(MIN_SIGMA))
+    }
+
     /// Log-mean parameter.
     pub fn mu(&self) -> f64 {
         self.mu

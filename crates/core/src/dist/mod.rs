@@ -83,15 +83,13 @@ pub enum FeatureAccumulator {
         /// Number of observations.
         n: f64,
     },
-    /// Gamma sufficient statistics (also enough for log-normal).
+    /// Gamma/log-normal sufficient statistics (`Σx`, `Σ ln x`, `Σx²`,
+    /// `Σ(ln x)²`, `n`) — O(1) memory, no retained sample vectors.
     Positive {
         /// Which continuous family to fit at the end.
         model: PositiveModel,
-        /// Accumulated `Σx`, `Σ ln x`, `Σx²`, `n`.
+        /// Accumulated sums.
         stats: SufficientStats,
-        /// Raw log values retained for the log-normal variance
-        /// (kept only when `model == LogNormal`; empty otherwise).
-        log_values: Vec<f64>,
     },
 }
 
@@ -106,13 +104,25 @@ impl FeatureAccumulator {
             FeatureKind::Positive { model } => FeatureAccumulator::Positive {
                 model,
                 stats: SufficientStats::default(),
-                log_values: Vec::new(),
             },
         }
     }
 
     /// Adds one observation.
     pub fn push(&mut self, value: &FeatureValue) -> Result<()> {
+        self.push_n(value, 1)
+    }
+
+    /// Adds `weight` copies of one observation in O(1).
+    ///
+    /// `push_n(v, k)` leaves integer statistics (categorical counts, count
+    /// sums and `n`) in exactly the state `k` repeated [`push`]es would;
+    /// continuous sums use one fused `k·x` product per statistic. The
+    /// incremental trainer's grid fit relies on this to replay an item
+    /// histogram without walking every action.
+    ///
+    /// [`push`]: FeatureAccumulator::push
+    pub fn push_n(&mut self, value: &FeatureValue, weight: u64) -> Result<()> {
         match (self, value) {
             (FeatureAccumulator::Categorical { counts }, FeatureValue::Categorical(c)) => {
                 let idx = *c as usize;
@@ -123,28 +133,67 @@ impl FeatureAccumulator {
                         cardinality: counts.len() as u32,
                     });
                 }
-                counts[idx] += 1;
+                counts[idx] += weight;
                 Ok(())
             }
             (FeatureAccumulator::Count { sum, n }, FeatureValue::Count(k)) => {
-                *sum += *k as f64;
-                *n += 1.0;
+                *sum += weight as f64 * *k as f64;
+                *n += weight as f64;
                 Ok(())
             }
-            (
-                FeatureAccumulator::Positive {
-                    model,
-                    stats,
-                    log_values,
-                },
-                FeatureValue::Real(x),
-            ) => {
-                stats.push(*x)?;
-                if *model == PositiveModel::LogNormal {
-                    log_values.push(x.ln());
+            (FeatureAccumulator::Positive { stats, .. }, FeatureValue::Real(x)) => {
+                stats.push_n(*x, weight)
+            }
+            (acc, value) => Err(CoreError::FeatureKindMismatch {
+                feature: usize::MAX,
+                expected: acc.kind_name(),
+                got: value.name(),
+            }),
+        }
+    }
+
+    /// Removes one previously pushed observation — the exact inverse of
+    /// [`FeatureAccumulator::push`] for the integer-statistic families
+    /// (categorical counts, Poisson sums over integers). For the
+    /// continuous `Positive` family the subtraction is exact in real
+    /// arithmetic but a remove/re-add round trip can drift by
+    /// summation-order ulps; see `upskill_core::incremental` for the
+    /// order-free alternative used in training.
+    ///
+    /// Errors on kind mismatches and on removing from an empty cell (the
+    /// closest detectable proxy for "value was never pushed").
+    pub fn remove(&mut self, value: &FeatureValue) -> Result<()> {
+        match (self, value) {
+            (FeatureAccumulator::Categorical { counts }, FeatureValue::Categorical(c)) => {
+                let idx = *c as usize;
+                if idx >= counts.len() {
+                    return Err(CoreError::CategoryOutOfBounds {
+                        feature: usize::MAX,
+                        value: *c,
+                        cardinality: counts.len() as u32,
+                    });
                 }
+                if counts[idx] == 0 {
+                    return Err(CoreError::DegenerateFit {
+                        distribution: "categorical",
+                        reason: "remove of a category with zero count",
+                    });
+                }
+                counts[idx] -= 1;
                 Ok(())
             }
+            (FeatureAccumulator::Count { sum, n }, FeatureValue::Count(k)) => {
+                if *n < 1.0 {
+                    return Err(CoreError::DegenerateFit {
+                        distribution: "poisson",
+                        reason: "remove from an empty accumulator",
+                    });
+                }
+                *sum -= *k as f64;
+                *n -= 1.0;
+                Ok(())
+            }
+            (FeatureAccumulator::Positive { stats, .. }, FeatureValue::Real(x)) => stats.remove(*x),
             (acc, value) => Err(CoreError::FeatureKindMismatch {
                 feature: usize::MAX,
                 expected: acc.kind_name(),
@@ -181,17 +230,10 @@ impl FeatureAccumulator {
                 Ok(())
             }
             (
-                FeatureAccumulator::Positive {
-                    stats, log_values, ..
-                },
-                FeatureAccumulator::Positive {
-                    stats: ostats,
-                    log_values: olog,
-                    ..
-                },
+                FeatureAccumulator::Positive { stats, .. },
+                FeatureAccumulator::Positive { stats: ostats, .. },
             ) => {
                 stats.merge(ostats);
-                log_values.extend_from_slice(olog);
                 Ok(())
             }
             (a, b) => Err(CoreError::FeatureKindMismatch {
@@ -229,21 +271,13 @@ impl FeatureAccumulator {
             FeatureAccumulator::Positive {
                 model: PositiveModel::Gamma,
                 stats,
-                ..
             } => Ok(FeatureDistribution::Gamma(Gamma::fit_from_stats(stats)?)),
             FeatureAccumulator::Positive {
                 model: PositiveModel::LogNormal,
-                log_values,
-                ..
-            } => {
-                let n = log_values.len() as f64;
-                let mu = log_values.iter().sum::<f64>() / n;
-                let var = log_values.iter().map(|&l| (l - mu) * (l - mu)).sum::<f64>() / n;
-                Ok(FeatureDistribution::LogNormal(LogNormal::new(
-                    mu,
-                    var.sqrt().max(1e-6),
-                )?))
-            }
+                stats,
+            } => Ok(FeatureDistribution::LogNormal(LogNormal::fit_from_stats(
+                stats,
+            )?)),
         }
     }
 
@@ -401,5 +435,93 @@ mod tests {
         let mut a = FeatureAccumulator::new(FeatureKind::Count);
         let b = FeatureAccumulator::new(FeatureKind::Categorical { cardinality: 2 });
         assert!(a.merge(&b).is_err());
+    }
+
+    fn probe_values(kind: FeatureKind) -> Vec<FeatureValue> {
+        match kind {
+            FeatureKind::Categorical { .. } => vec![
+                FeatureValue::Categorical(0),
+                FeatureValue::Categorical(2),
+                FeatureValue::Categorical(2),
+            ],
+            FeatureKind::Count => vec![
+                FeatureValue::Count(1),
+                FeatureValue::Count(5),
+                FeatureValue::Count(9),
+            ],
+            FeatureKind::Positive { .. } => vec![
+                FeatureValue::Real(0.5),
+                FeatureValue::Real(2.0),
+                FeatureValue::Real(3.5),
+            ],
+        }
+    }
+
+    fn all_kinds() -> [FeatureKind; 4] {
+        [
+            FeatureKind::Categorical { cardinality: 3 },
+            FeatureKind::Count,
+            FeatureKind::Positive {
+                model: PositiveModel::Gamma,
+            },
+            FeatureKind::Positive {
+                model: PositiveModel::LogNormal,
+            },
+        ]
+    }
+
+    #[test]
+    fn push_n_equals_repeated_push_on_every_variant() {
+        for kind in all_kinds() {
+            let mut weighted = FeatureAccumulator::new(kind);
+            let mut repeated = FeatureAccumulator::new(kind);
+            for value in probe_values(kind) {
+                weighted.push_n(&value, 3).unwrap();
+                for _ in 0..3 {
+                    repeated.push(&value).unwrap();
+                }
+            }
+            assert_eq!(
+                weighted.n_observations(),
+                repeated.n_observations(),
+                "{kind:?}"
+            );
+            // Identical statistics ⇒ identical fitted distributions: probe
+            // the fit instead of the (partly f64) internal sums.
+            let probe = &probe_values(kind)[1];
+            let a = weighted.fit(0.01).unwrap().log_likelihood(probe);
+            let b = repeated.fit(0.01).unwrap().log_likelihood(probe);
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn remove_exactly_inverts_push_on_every_variant() {
+        for kind in all_kinds() {
+            let values = probe_values(kind);
+            let mut acc = FeatureAccumulator::new(kind);
+            for value in &values {
+                acc.push(value).unwrap();
+            }
+            let reference = acc.clone();
+            // Push then remove an extra observation: statistics must come
+            // back exactly (integer counters and compensated f64 sums).
+            acc.push(&values[2]).unwrap();
+            acc.remove(&values[2]).unwrap();
+            assert_eq!(acc.n_observations(), reference.n_observations(), "{kind:?}");
+            let probe = &values[1];
+            let a = acc.fit(0.01).unwrap().log_likelihood(probe);
+            let b = reference.fit(0.01).unwrap().log_likelihood(probe);
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn remove_from_empty_accumulator_is_an_error() {
+        for kind in all_kinds() {
+            let mut acc = FeatureAccumulator::new(kind);
+            let value = probe_values(kind).remove(0);
+            assert!(acc.remove(&value).is_err(), "{kind:?}");
+        }
     }
 }

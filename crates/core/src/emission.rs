@@ -218,6 +218,59 @@ impl EmissionTable {
         Ok(())
     }
 
+    /// Incremental invalidation by *level*: recomputes column `s` of every
+    /// item for the levels flagged in `levels` (zero-based, one flag per
+    /// level).
+    ///
+    /// The incremental trainer refits only the levels whose sufficient
+    /// statistics changed and reuses the previous iteration's
+    /// distributions (bitwise) everywhere else, so the table columns of
+    /// untouched levels are still exact — refreshing just the refit
+    /// columns costs `n_items · n_refit · F` evaluations instead of a
+    /// full `n_items · S · F` rebuild.
+    pub fn refresh_levels(
+        &mut self,
+        model: &SkillModel,
+        dataset: &Dataset,
+        levels: &[bool],
+    ) -> Result<()> {
+        if model.n_levels() != self.n_levels {
+            return Err(CoreError::LengthMismatch {
+                context: "emission table levels vs model levels",
+                left: self.n_levels,
+                right: model.n_levels(),
+            });
+        }
+        if dataset.n_items() != self.n_items {
+            return Err(CoreError::LengthMismatch {
+                context: "emission table items vs dataset items",
+                left: self.n_items,
+                right: dataset.n_items(),
+            });
+        }
+        if levels.len() != self.n_levels {
+            return Err(CoreError::LengthMismatch {
+                context: "refresh flags vs levels",
+                left: levels.len(),
+                right: self.n_levels,
+            });
+        }
+        if !levels.iter().any(|&d| d) {
+            return Ok(());
+        }
+        for item in 0..self.n_items {
+            let features = dataset.item_features(item as ItemId);
+            for (s0, &dirty) in levels.iter().enumerate() {
+                if !dirty {
+                    continue;
+                }
+                self.data[item * self.n_levels + s0] =
+                    model.item_log_likelihood(features, (s0 + 1) as SkillLevel);
+            }
+        }
+        Ok(())
+    }
+
     /// Posterior `P(s | item)` under a prior `P(s)` (Eq. 10), read from the
     /// table row. Replicates [`SkillModel::skill_posterior`] step for step
     /// (same log-space max trick, same impossible-item fallback to the
@@ -289,6 +342,44 @@ mod tests {
     use crate::dist::{Categorical, FeatureDistribution, Poisson};
     use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
     use crate::types::{Action, ActionSequence};
+
+    #[test]
+    fn refresh_levels_recomputes_only_flagged_columns() {
+        let (model_a, ds) = mixed_setup();
+        // A second model differing only in the level-2 row.
+        let schema = ds.schema().clone();
+        let cells = vec![
+            vec![
+                FeatureDistribution::Categorical(Categorical::from_probs(vec![0.9, 0.1]).unwrap()),
+                FeatureDistribution::Poisson(Poisson::new(2.0).unwrap()),
+            ],
+            vec![
+                FeatureDistribution::Categorical(Categorical::from_probs(vec![0.3, 0.7]).unwrap()),
+                FeatureDistribution::Poisson(Poisson::new(4.0).unwrap()),
+            ],
+        ];
+        let model_b = SkillModel::new(schema, 2, cells).unwrap();
+
+        let mut table = EmissionTable::build(&model_a, &ds);
+        // No flags set: a no-op.
+        table
+            .refresh_levels(&model_b, &ds, &[false, false])
+            .unwrap();
+        let fresh_a = EmissionTable::build(&model_a, &ds);
+        for item in 0..ds.n_items() as ItemId {
+            assert_eq!(table.row(item), fresh_a.row(item));
+        }
+        // Refresh only level 2: column 1 must match a fresh build of the
+        // new model bit for bit, column 0 must stay the old model's.
+        table.refresh_levels(&model_b, &ds, &[false, true]).unwrap();
+        let fresh_b = EmissionTable::build(&model_b, &ds);
+        for item in 0..ds.n_items() as ItemId {
+            assert_eq!(table.row(item)[0].to_bits(), fresh_a.row(item)[0].to_bits());
+            assert_eq!(table.row(item)[1].to_bits(), fresh_b.row(item)[1].to_bits());
+        }
+        // Wrong flag count is an error, not a silent zip.
+        assert!(table.refresh_levels(&model_b, &ds, &[true]).is_err());
+    }
 
     fn mixed_setup() -> (SkillModel, Dataset) {
         let schema = FeatureSchema::new(vec![

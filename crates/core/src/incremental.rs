@@ -1,0 +1,937 @@
+//! Incremental sufficient statistics for the coordinate-ascent trainer.
+//!
+//! The update step of the paper's trainer (§IV-B) refits every
+//! `(skill, feature)` cell from scratch each iteration — `O(|A| · F)`
+//! accumulator pushes — even though the convergence trace shows assignment
+//! churn collapsing after the first few iterations. Because all of our
+//! per-cell sufficient statistics are **additive over actions**, and every
+//! action's feature values are a pure function of its item, the statistics
+//! of a whole level can be represented exactly as an integer histogram
+//! *"how many actions of item `i` are currently assigned level `s`"*.
+//!
+//! [`StatsGrid`] is that histogram: an `S × n_items` grid of `u64` counts,
+//! built once on the first iteration and then maintained by applying
+//! per-action deltas (`−1` on the old level, `+1` on the new one) only
+//! where the assigned level actually moved — `O(n_changed)` integer
+//! updates instead of an `O(|A| · F)` rescan. Refitting replays the
+//! histogram through the regular [`FeatureAccumulator`]s in ascending item
+//! order with weighted pushes (`O(S · n_items · F)`, independent of
+//! `|A|`), then fits cells with the unchanged closed-form estimators. The
+//! grid additionally tracks *which levels* the deltas touched, so
+//! [`StatsGrid::fit_model_incremental`] replays only dirty rows and
+//! reuses the previous model's distributions for untouched levels — also
+//! exact, because a cell fit is a pure function of its histogram row and
+//! the smoothing constant.
+//!
+//! ## Exactness
+//!
+//! Integer histogram deltas are *exact*: an add followed by a remove
+//! restores the previous grid bit for bit, so incremental training is
+//! deterministic and independent of thread count or delta order. Replay
+//! order (ascending item id) is itself canonical, which means incremental
+//! results cannot drift across iterations. Relative to the legacy
+//! action-order [`crate::update::accumulate`], replayed statistics are
+//! bitwise identical for the integer-summation families (categorical
+//! counts; Poisson/count sums, which are exact integer sums below `2^53`)
+//! and agree to summation-order rounding (ulps) for the real-valued
+//! gamma/log-normal moments. The trainer uses one path or the other for a
+//! whole run — toggled by `ParallelConfig::incremental` — so each run is
+//! internally consistent; `bench_incremental` checks end-to-end agreement
+//! of the two paths.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::dist::{FeatureAccumulator, FeatureDistribution};
+use crate::error::{CoreError, Result};
+use crate::model::SkillModel;
+use crate::parallel::ParallelConfig;
+use crate::types::{Dataset, SkillAssignments};
+
+/// Minimum number of users per worker before parallel build/delta paths
+/// engage; below this the coordination cost exceeds the scan cost.
+const MIN_USERS_PER_WORKER: usize = 8;
+
+/// Persistent per-level item histogram: the exact sufficient statistics of
+/// a skill assignment, in incrementally-updatable form.
+///
+/// `counts[s · n_items + i]` = number of actions of item `i` currently
+/// assigned skill level `s + 1`. Memory cost is `8 · S · n_items` bytes
+/// (40 kB at the default synthetic scale of 200 items × 5 levels),
+/// independent of the number of actions.
+#[derive(Debug, Clone)]
+pub struct StatsGrid {
+    n_levels: usize,
+    n_items: usize,
+    counts: Vec<u64>,
+    /// Levels whose histogram changed since the last incremental fit;
+    /// all-true until [`StatsGrid::fit_model_incremental`] first runs.
+    dirty: Vec<bool>,
+}
+
+/// Equality compares the histogram only — the dirty bookkeeping is an
+/// optimization detail that never affects observable results (refitting a
+/// clean row reproduces the reused distributions bit for bit).
+impl PartialEq for StatsGrid {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_levels == other.n_levels
+            && self.n_items == other.n_items
+            && self.counts == other.counts
+    }
+}
+
+impl Eq for StatsGrid {}
+
+impl StatsGrid {
+    /// Creates an all-zero grid.
+    pub fn new(n_levels: usize, n_items: usize) -> Result<Self> {
+        if n_levels == 0 {
+            return Err(CoreError::InvalidSkillCount { requested: 0 });
+        }
+        Ok(Self {
+            n_levels,
+            n_items,
+            counts: vec![0; n_levels * n_items],
+            dirty: vec![true; n_levels],
+        })
+    }
+
+    /// Number of skill levels `S`.
+    pub fn n_levels(&self) -> usize {
+        self.n_levels
+    }
+
+    /// Number of items the grid covers.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Count of actions of item `item` assigned level `s + 1`
+    /// (`s` is the zero-based level index).
+    pub fn count(&self, s: usize, item: usize) -> u64 {
+        self.counts[s * self.n_items + item]
+    }
+
+    /// Total number of actions represented by the grid.
+    pub fn total_actions(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Builds the grid from scratch with one sequential pass over the
+    /// dataset (`O(|A|)` integer increments).
+    pub fn build(
+        dataset: &Dataset,
+        assignments: &SkillAssignments,
+        n_levels: usize,
+    ) -> Result<Self> {
+        let mut grid = Self::new(n_levels, dataset.n_items())?;
+        validate_shape(dataset, assignments)?;
+        for (seq, levels) in dataset.sequences().iter().zip(&assignments.per_user) {
+            for (action, &level) in seq.actions().iter().zip(levels) {
+                let s = level_index(level, n_levels)?;
+                grid.counts[s * grid.n_items + action.item as usize] += 1;
+            }
+        }
+        Ok(grid)
+    }
+
+    /// Builds the grid with `threads` workers over disjoint user ranges,
+    /// merging per-worker partial grids by integer addition — exact, so
+    /// the result is identical to [`StatsGrid::build`] for any thread
+    /// count.
+    pub fn build_parallel(
+        dataset: &Dataset,
+        assignments: &SkillAssignments,
+        n_levels: usize,
+        threads: usize,
+    ) -> Result<Self> {
+        let n_users = dataset.n_users();
+        let n_workers = threads.min(n_users / MIN_USERS_PER_WORKER).max(1);
+        if n_workers <= 1 {
+            return Self::build(dataset, assignments, n_levels);
+        }
+        validate_shape(dataset, assignments)?;
+        let mut grid = Self::new(n_levels, dataset.n_items())?;
+        let n_items = grid.n_items;
+        let sequences = dataset.sequences();
+        let per_user = &assignments.per_user;
+
+        let next = AtomicUsize::new(0);
+        let partials: Vec<Result<Vec<u64>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || -> Result<Vec<u64>> {
+                        let mut local = vec![0u64; n_levels * n_items];
+                        loop {
+                            let u = next.fetch_add(1, Ordering::Relaxed);
+                            if u >= n_users {
+                                break;
+                            }
+                            for (action, &level) in sequences[u].actions().iter().zip(&per_user[u])
+                            {
+                                let s = level_index(level, n_levels)?;
+                                local[s * n_items + action.item as usize] += 1;
+                            }
+                        }
+                        Ok(local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or(Err(CoreError::WorkerPanicked {
+                        step: "stats build",
+                    }))
+                })
+                .collect()
+        });
+        for partial in partials {
+            for (dst, src) in grid.counts.iter_mut().zip(partial?) {
+                *dst += src;
+            }
+        }
+        Ok(grid)
+    }
+
+    /// Builds sequentially or in parallel per `config` (user-parallel work,
+    /// so it follows the `users` flag).
+    pub fn build_with_config(
+        dataset: &Dataset,
+        assignments: &SkillAssignments,
+        n_levels: usize,
+        config: &ParallelConfig,
+    ) -> Result<Self> {
+        if config.users && config.threads > 1 {
+            Self::build_parallel(dataset, assignments, n_levels, config.threads)
+        } else {
+            Self::build(dataset, assignments, n_levels)
+        }
+    }
+
+    /// Applies the assignment delta `prev → next`: for every action whose
+    /// level moved, decrements the old `(level, item)` cell and increments
+    /// the new one. Returns the number of changed actions.
+    ///
+    /// `prev` must be the assignment the grid currently represents;
+    /// removing from an empty cell (the tell-tale of a stale grid) is an
+    /// error, as are ragged inputs.
+    pub fn apply_delta(
+        &mut self,
+        dataset: &Dataset,
+        prev: &SkillAssignments,
+        next: &SkillAssignments,
+    ) -> Result<usize> {
+        validate_shape(dataset, next)?;
+        validate_delta_shape(prev, next)?;
+        let mut changed = 0usize;
+        for ((seq, prev_u), next_u) in dataset
+            .sequences()
+            .iter()
+            .zip(&prev.per_user)
+            .zip(&next.per_user)
+        {
+            if prev_u == next_u {
+                continue; // fast path: slice compare, no per-action work
+            }
+            for ((action, &old), &new) in seq.actions().iter().zip(prev_u).zip(next_u) {
+                if old == new {
+                    continue;
+                }
+                let s_old = level_index(old, self.n_levels)?;
+                let s_new = level_index(new, self.n_levels)?;
+                let item = action.item as usize;
+                let cell = &mut self.counts[s_old * self.n_items + item];
+                *cell = cell.checked_sub(1).ok_or(CoreError::DegenerateFit {
+                    distribution: "stats grid",
+                    reason: "delta removes an action the grid never observed",
+                })?;
+                self.counts[s_new * self.n_items + item] += 1;
+                self.dirty[s_old] = true;
+                self.dirty[s_new] = true;
+                changed += 1;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// [`StatsGrid::apply_delta`] with `threads` workers over disjoint user
+    /// ranges. Each worker accumulates a signed per-worker delta grid;
+    /// the deltas are merged into the histogram by integer addition, so
+    /// the result is identical to the sequential path for any thread
+    /// count.
+    pub fn apply_delta_parallel(
+        &mut self,
+        dataset: &Dataset,
+        prev: &SkillAssignments,
+        next: &SkillAssignments,
+        threads: usize,
+    ) -> Result<usize> {
+        let n_users = dataset.n_users();
+        let n_workers = threads.min(n_users / MIN_USERS_PER_WORKER).max(1);
+        if n_workers <= 1 {
+            return self.apply_delta(dataset, prev, next);
+        }
+        validate_shape(dataset, next)?;
+        validate_delta_shape(prev, next)?;
+        let n_levels = self.n_levels;
+        let n_items = self.n_items;
+        let sequences = dataset.sequences();
+
+        let next_idx = AtomicUsize::new(0);
+        let partials: Vec<Result<(usize, Vec<i64>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|_| {
+                    let next_idx = &next_idx;
+                    let prev = &prev.per_user;
+                    let next = &next.per_user;
+                    scope.spawn(move || -> Result<(usize, Vec<i64>)> {
+                        let mut delta = vec![0i64; n_levels * n_items];
+                        let mut changed = 0usize;
+                        loop {
+                            let u = next_idx.fetch_add(1, Ordering::Relaxed);
+                            if u >= sequences.len() {
+                                break;
+                            }
+                            if prev[u] == next[u] {
+                                continue;
+                            }
+                            for ((action, &old), &new) in
+                                sequences[u].actions().iter().zip(&prev[u]).zip(&next[u])
+                            {
+                                if old == new {
+                                    continue;
+                                }
+                                let s_old = level_index(old, n_levels)?;
+                                let s_new = level_index(new, n_levels)?;
+                                let item = action.item as usize;
+                                delta[s_old * n_items + item] -= 1;
+                                delta[s_new * n_items + item] += 1;
+                                changed += 1;
+                            }
+                        }
+                        Ok((changed, delta))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or(Err(CoreError::WorkerPanicked {
+                        step: "stats delta",
+                    }))
+                })
+                .collect()
+        });
+
+        let mut changed = 0usize;
+        let (counts, dirty) = (&mut self.counts, &mut self.dirty);
+        for partial in partials {
+            let (n, delta) = partial?;
+            changed += n;
+            for (idx, (cell, d)) in counts.iter_mut().zip(delta).enumerate() {
+                if d == 0 {
+                    continue;
+                }
+                dirty[idx / n_items] = true;
+                let updated = *cell as i128 + d as i128;
+                if updated < 0 {
+                    return Err(CoreError::DegenerateFit {
+                        distribution: "stats grid",
+                        reason: "delta removes an action the grid never observed",
+                    });
+                }
+                *cell = updated as u64;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// [`StatsGrid::apply_delta`] dispatched per `config` (follows the
+    /// `users` flag, like the build).
+    pub fn apply_delta_with_config(
+        &mut self,
+        dataset: &Dataset,
+        prev: &SkillAssignments,
+        next: &SkillAssignments,
+        config: &ParallelConfig,
+    ) -> Result<usize> {
+        if config.users && config.threads > 1 {
+            self.apply_delta_parallel(dataset, prev, next, config.threads)
+        } else {
+            self.apply_delta(dataset, prev, next)
+        }
+    }
+
+    /// Replays the histogram into per-(skill, feature) accumulators —
+    /// ascending item order, weighted pushes. `O(S · n_items · F)`,
+    /// independent of the number of actions.
+    pub fn accumulators(&self, dataset: &Dataset) -> Result<Vec<Vec<FeatureAccumulator>>> {
+        if dataset.n_items() != self.n_items {
+            return Err(CoreError::LengthMismatch {
+                context: "stats grid items vs dataset items",
+                left: self.n_items,
+                right: dataset.n_items(),
+            });
+        }
+        let schema = dataset.schema();
+        let mut grid: Vec<Vec<FeatureAccumulator>> = (0..self.n_levels)
+            .map(|_| {
+                schema
+                    .kinds()
+                    .iter()
+                    .map(|&k| FeatureAccumulator::new(k))
+                    .collect()
+            })
+            .collect();
+        for (s, row) in grid.iter_mut().enumerate() {
+            let counts = &self.counts[s * self.n_items..(s + 1) * self.n_items];
+            for (item, &k) in counts.iter().enumerate() {
+                if k == 0 {
+                    continue;
+                }
+                let features = dataset.item_features(item as u32);
+                for (acc, value) in row.iter_mut().zip(features) {
+                    acc.push_n(value, k)?;
+                }
+            }
+        }
+        Ok(grid)
+    }
+
+    /// Fits a full [`SkillModel`] from the grid (sequential replay).
+    pub fn fit_model(&self, dataset: &Dataset, lambda: f64) -> Result<SkillModel> {
+        let grid = self.accumulators(dataset)?;
+        let cells = crate::update::fit_cells(&grid, lambda)?;
+        SkillModel::new(dataset.schema().clone(), self.n_levels, cells)
+    }
+
+    /// Fits a full [`SkillModel`] with the update-step parallelism of
+    /// `config`: workers own disjoint `(skill, feature)` cells and replay
+    /// only their own histogram rows (`O(n_items)` per cell — no dataset
+    /// rescan). Per-cell arithmetic is identical to the sequential replay,
+    /// so the fitted model matches [`StatsGrid::fit_model`] bit for bit.
+    pub fn fit_model_parallel(
+        &self,
+        dataset: &Dataset,
+        lambda: f64,
+        config: &ParallelConfig,
+    ) -> Result<SkillModel> {
+        config.validate()?;
+        if !config.update_parallel() {
+            return self.fit_model(dataset, lambda);
+        }
+        if dataset.n_items() != self.n_items {
+            return Err(CoreError::LengthMismatch {
+                context: "stats grid items vs dataset items",
+                left: self.n_items,
+                right: dataset.n_items(),
+            });
+        }
+        let n_levels = self.n_levels;
+        let n_items = self.n_items;
+        let schema = dataset.schema();
+        let n_features = schema.len();
+
+        // Same cell partition as `parallel::fit_model_parallel`.
+        let level_parts = if config.skills {
+            config.threads.min(n_levels)
+        } else {
+            1
+        };
+        let feature_parts = if config.features {
+            (config.threads / level_parts).max(1).min(n_features)
+        } else {
+            1
+        };
+        let owner = |s: usize, f: usize| -> usize {
+            (s % level_parts) * feature_parts + (f % feature_parts)
+        };
+        let n_workers = level_parts * feature_parts;
+
+        let results: Vec<Result<Vec<(usize, usize, FeatureDistribution)>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n_workers)
+                    .map(|worker| {
+                        scope.spawn(
+                            move || -> Result<Vec<(usize, usize, FeatureDistribution)>> {
+                                let mut out = Vec::new();
+                                for s in 0..n_levels {
+                                    for f in 0..n_features {
+                                        if owner(s, f) != worker {
+                                            continue;
+                                        }
+                                        let mut acc = FeatureAccumulator::new(schema.kind(f)?);
+                                        let counts = &self.counts[s * n_items..(s + 1) * n_items];
+                                        for (item, &k) in counts.iter().enumerate() {
+                                            if k == 0 {
+                                                continue;
+                                            }
+                                            let features = dataset.item_features(item as u32);
+                                            acc.push_n(&features[f], k)?;
+                                        }
+                                        out.push((s, f, acc.fit(lambda)?));
+                                    }
+                                }
+                                Ok(out)
+                            },
+                        )
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or(Err(CoreError::WorkerPanicked { step: "update" }))
+                    })
+                    .collect()
+            });
+
+        let mut grid: Vec<Vec<Option<FeatureDistribution>>> =
+            (0..n_levels).map(|_| vec![None; n_features]).collect();
+        for chunk in results {
+            for (s, f, dist) in chunk? {
+                grid[s][f] = Some(dist);
+            }
+        }
+        let cells: Vec<Vec<FeatureDistribution>> = grid
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|c| {
+                        c.ok_or(CoreError::DegenerateFit {
+                            distribution: "parallel update",
+                            reason: "unowned cell in partition",
+                        })
+                    })
+                    .collect()
+            })
+            .collect::<Result<_>>()?;
+        SkillModel::new(schema.clone(), n_levels, cells)
+    }
+
+    /// Per-level dirty flags: `true` for levels whose histogram changed
+    /// since the last [`StatsGrid::fit_model_incremental`] call (all
+    /// `true` on a freshly built grid).
+    pub fn dirty_levels(&self) -> &[bool] {
+        &self.dirty
+    }
+
+    /// Fits a model refitting **only the levels whose histogram changed**
+    /// since the last incremental fit, reusing `prev`'s distributions for
+    /// untouched levels. A cell fit is a deterministic pure function of
+    /// its histogram row and `lambda`, so the reused rows are bitwise
+    /// identical to what a refit would produce — `prev` must therefore be
+    /// the model produced by the previous fit of *this* grid with the
+    /// same `lambda` (the trainer maintains exactly that invariant).
+    /// Falls back to a full [`StatsGrid::fit_model_parallel`] when `prev`
+    /// is absent, shaped differently, or every level is dirty. Clears the
+    /// dirty flags on success.
+    pub fn fit_model_incremental(
+        &mut self,
+        dataset: &Dataset,
+        lambda: f64,
+        parallel: &ParallelConfig,
+        prev: Option<&SkillModel>,
+    ) -> Result<SkillModel> {
+        let schema = dataset.schema();
+        let reusable = prev.filter(|m| {
+            m.n_levels() == self.n_levels
+                && m.n_features() == schema.len()
+                && !self.dirty.iter().all(|&d| d)
+        });
+        let model = match reusable {
+            None => self.fit_model_parallel(dataset, lambda, parallel)?,
+            Some(prev) => {
+                if dataset.n_items() != self.n_items {
+                    return Err(CoreError::LengthMismatch {
+                        context: "stats grid items vs dataset items",
+                        left: self.n_items,
+                        right: dataset.n_items(),
+                    });
+                }
+                let mut cells: Vec<Vec<FeatureDistribution>> = Vec::with_capacity(self.n_levels);
+                for s in 0..self.n_levels {
+                    if !self.dirty[s] {
+                        let level = (s + 1) as crate::types::SkillLevel;
+                        cells.push(prev.level_row(level)?.to_vec());
+                        continue;
+                    }
+                    let mut accs: Vec<FeatureAccumulator> = schema
+                        .kinds()
+                        .iter()
+                        .map(|&k| FeatureAccumulator::new(k))
+                        .collect();
+                    let counts = &self.counts[s * self.n_items..(s + 1) * self.n_items];
+                    for (item, &k) in counts.iter().enumerate() {
+                        if k == 0 {
+                            continue;
+                        }
+                        let features = dataset.item_features(item as u32);
+                        for (acc, value) in accs.iter_mut().zip(features) {
+                            acc.push_n(value, k)?;
+                        }
+                    }
+                    cells.push(accs.iter().map(|a| a.fit(lambda)).collect::<Result<_>>()?);
+                }
+                SkillModel::new(schema.clone(), self.n_levels, cells)?
+            }
+        };
+        self.dirty.fill(false);
+        Ok(model)
+    }
+
+    /// Debug-mode cross-check: rebuilds the histogram from scratch for
+    /// `assignments` and verifies every cell matches. Cheap relative to a
+    /// full accumulate (integer increments only); the trainer runs it
+    /// under `debug_assertions` after every delta application.
+    pub fn cross_check(&self, dataset: &Dataset, assignments: &SkillAssignments) -> Result<()> {
+        let fresh = Self::build(dataset, assignments, self.n_levels)?;
+        if fresh != *self {
+            return Err(CoreError::DegenerateFit {
+                distribution: "stats grid",
+                reason: "incremental grid diverged from from-scratch rebuild",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Maps a 1-based skill level to its grid row, validating the range.
+#[inline]
+fn level_index(level: crate::types::SkillLevel, n_levels: usize) -> Result<usize> {
+    let s = level as usize;
+    if s == 0 || s > n_levels {
+        return Err(CoreError::InvalidSkillCount { requested: s });
+    }
+    Ok(s - 1)
+}
+
+/// Validates that `assignments` matches the dataset shape (user count and
+/// per-user sequence lengths).
+fn validate_shape(dataset: &Dataset, assignments: &SkillAssignments) -> Result<()> {
+    if assignments.per_user.len() != dataset.n_users() {
+        return Err(CoreError::LengthMismatch {
+            context: "assignments vs sequences",
+            left: assignments.per_user.len(),
+            right: dataset.n_users(),
+        });
+    }
+    for (seq, levels) in dataset.sequences().iter().zip(&assignments.per_user) {
+        if seq.len() != levels.len() {
+            return Err(CoreError::LengthMismatch {
+                context: "assignment vs sequence length",
+                left: levels.len(),
+                right: seq.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates that two assignments have identical (non-ragged) shape.
+fn validate_delta_shape(prev: &SkillAssignments, next: &SkillAssignments) -> Result<()> {
+    if prev.per_user.len() != next.per_user.len() {
+        return Err(CoreError::LengthMismatch {
+            context: "previous vs next assignments",
+            left: prev.per_user.len(),
+            right: next.per_user.len(),
+        });
+    }
+    for (p, n) in prev.per_user.iter().zip(&next.per_user) {
+        if p.len() != n.len() {
+            return Err(CoreError::LengthMismatch {
+                context: "previous vs next assignment lengths",
+                left: p.len(),
+                right: n.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
+    use crate::types::{Action, ActionSequence};
+
+    fn build_dataset(n_users: usize, len: usize) -> Dataset {
+        let schema = FeatureSchema::new(vec![
+            FeatureKind::Categorical { cardinality: 4 },
+            FeatureKind::Count,
+        ])
+        .unwrap();
+        let items: Vec<Vec<FeatureValue>> = (0..4u32)
+            .map(|c| {
+                vec![
+                    FeatureValue::Categorical(c),
+                    FeatureValue::Count(2 + c as u64 * 3),
+                ]
+            })
+            .collect();
+        let sequences: Vec<ActionSequence> = (0..n_users as u32)
+            .map(|u| {
+                let actions: Vec<Action> = (0..len)
+                    .map(|t| {
+                        let item = ((t * 4 / len) as u32 + u) % 4;
+                        Action::new(t as i64, u, item)
+                    })
+                    .collect();
+                ActionSequence::new(u, actions).unwrap()
+            })
+            .collect();
+        Dataset::new(schema, items, sequences).unwrap()
+    }
+
+    fn staircase_assignments(ds: &Dataset, n_levels: usize) -> SkillAssignments {
+        let per_user = ds
+            .sequences()
+            .iter()
+            .map(|seq| {
+                (0..seq.len())
+                    .map(|t| ((t * n_levels / seq.len().max(1)) + 1).min(n_levels) as u8)
+                    .collect()
+            })
+            .collect();
+        SkillAssignments { per_user }
+    }
+
+    #[test]
+    fn build_counts_actions_per_level() {
+        let ds = build_dataset(4, 8);
+        let a = staircase_assignments(&ds, 3);
+        let grid = StatsGrid::build(&ds, &a, 3).unwrap();
+        assert_eq!(grid.total_actions() as usize, ds.n_actions());
+        // Row sums must equal the number of actions at each level.
+        for s in 0..3 {
+            let manual: u64 = a
+                .per_user
+                .iter()
+                .flatten()
+                .filter(|&&l| l as usize == s + 1)
+                .count() as u64;
+            let row: u64 = (0..ds.n_items()).map(|i| grid.count(s, i)).sum();
+            assert_eq!(row, manual, "level {}", s + 1);
+        }
+    }
+
+    #[test]
+    fn build_parallel_matches_sequential() {
+        let ds = build_dataset(40, 12);
+        let a = staircase_assignments(&ds, 4);
+        let seq_grid = StatsGrid::build(&ds, &a, 4).unwrap();
+        for threads in [2, 3, 5] {
+            let par = StatsGrid::build_parallel(&ds, &a, 4, threads).unwrap();
+            assert_eq!(seq_grid, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn delta_equals_rebuild() {
+        let ds = build_dataset(6, 10);
+        let before = staircase_assignments(&ds, 3);
+        // Perturb: push the second half of every user's path one level up.
+        let mut after = before.clone();
+        for levels in &mut after.per_user {
+            let half = levels.len() / 2;
+            for l in &mut levels[half..] {
+                *l = (*l + 1).min(3);
+            }
+        }
+        let mut grid = StatsGrid::build(&ds, &before, 3).unwrap();
+        let changed = grid.apply_delta(&ds, &before, &after).unwrap();
+        let expected_changed = before
+            .per_user
+            .iter()
+            .flatten()
+            .zip(after.per_user.iter().flatten())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(changed, expected_changed);
+        assert_eq!(grid, StatsGrid::build(&ds, &after, 3).unwrap());
+        grid.cross_check(&ds, &after).unwrap();
+        // And back again: deltas are exactly invertible.
+        let back = grid.apply_delta(&ds, &after, &before).unwrap();
+        assert_eq!(back, expected_changed);
+        assert_eq!(grid, StatsGrid::build(&ds, &before, 3).unwrap());
+    }
+
+    #[test]
+    fn delta_parallel_matches_sequential() {
+        let ds = build_dataset(48, 10);
+        let before = staircase_assignments(&ds, 3);
+        let mut after = before.clone();
+        for (u, levels) in after.per_user.iter_mut().enumerate() {
+            if u % 3 == 0 {
+                for l in levels.iter_mut() {
+                    *l = (*l + 1).min(3);
+                }
+            }
+        }
+        let mut seq_grid = StatsGrid::build(&ds, &before, 3).unwrap();
+        let seq_changed = seq_grid.apply_delta(&ds, &before, &after).unwrap();
+        for threads in [2, 4] {
+            let mut par_grid = StatsGrid::build(&ds, &before, 3).unwrap();
+            let par_changed = par_grid
+                .apply_delta_parallel(&ds, &before, &after, threads)
+                .unwrap();
+            assert_eq!(seq_changed, par_changed);
+            assert_eq!(seq_grid, par_grid, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn ragged_delta_is_rejected() {
+        let ds = build_dataset(3, 6);
+        let a = staircase_assignments(&ds, 2);
+        let mut grid = StatsGrid::build(&ds, &a, 2).unwrap();
+        let mut fewer_users = a.clone();
+        fewer_users.per_user.pop();
+        assert!(matches!(
+            grid.apply_delta(&ds, &fewer_users, &a),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        let mut short_user = a.clone();
+        short_user.per_user[1].pop();
+        assert!(matches!(
+            grid.apply_delta(&ds, &short_user, &a),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        // `next` must match the dataset too.
+        assert!(matches!(
+            grid.apply_delta(&ds, &a, &short_user),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_grid_underflow_is_detected() {
+        let ds = build_dataset(2, 4);
+        let a = staircase_assignments(&ds, 2);
+        let mut empty = StatsGrid::new(2, ds.n_items()).unwrap();
+        // Claiming prev=a against an empty grid must underflow somewhere.
+        let mut moved = a.clone();
+        for l in &mut moved.per_user[0] {
+            *l = if *l == 1 { 2 } else { 1 };
+        }
+        assert!(matches!(
+            empty.apply_delta(&ds, &a, &moved),
+            Err(CoreError::DegenerateFit { .. })
+        ));
+    }
+
+    #[test]
+    fn replayed_accumulators_match_accumulate_for_integer_stats() {
+        let ds = build_dataset(5, 9);
+        let a = staircase_assignments(&ds, 3);
+        let grid = StatsGrid::build(&ds, &a, 3).unwrap();
+        let replayed = grid.accumulators(&ds).unwrap();
+        let scanned = crate::update::accumulate(&ds, &a, 3).unwrap();
+        for (rrow, srow) in replayed.iter().zip(&scanned) {
+            for (r, s) in rrow.iter().zip(srow) {
+                match (r, s) {
+                    (
+                        FeatureAccumulator::Categorical { counts: rc },
+                        FeatureAccumulator::Categorical { counts: sc },
+                    ) => assert_eq!(rc, sc),
+                    (
+                        FeatureAccumulator::Count { sum: rs, n: rn },
+                        FeatureAccumulator::Count { sum: ss, n: sn },
+                    ) => {
+                        // Integer-valued f64 sums: exact in either order.
+                        assert_eq!(rs, ss);
+                        assert_eq!(rn, sn);
+                    }
+                    _ => panic!("unexpected accumulator kinds"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fit_model_matches_update_fit_model() {
+        let ds = build_dataset(6, 10);
+        let a = staircase_assignments(&ds, 3);
+        let grid = StatsGrid::build(&ds, &a, 3).unwrap();
+        let from_grid = grid.fit_model(&ds, 0.01).unwrap();
+        let from_scan = crate::update::fit_model(&ds, &a, 3, 0.01).unwrap();
+        for item in 0..ds.n_items() {
+            for s in 1..=3u8 {
+                let g = from_grid.item_log_likelihood(ds.item_features(item as u32), s);
+                let f = from_scan.item_log_likelihood(ds.item_features(item as u32), s);
+                assert!((g - f).abs() < 1e-12, "item {item} level {s}: {g} vs {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_fit_reuses_clean_levels_bitwise() {
+        let ds = build_dataset(6, 12);
+        let before = staircase_assignments(&ds, 4);
+        let mut grid = StatsGrid::build(&ds, &before, 4).unwrap();
+        assert!(grid.dirty_levels().iter().all(|&d| d));
+        let pc = ParallelConfig::sequential();
+        let base = grid.fit_model_incremental(&ds, 0.01, &pc, None).unwrap();
+        assert!(grid.dirty_levels().iter().all(|&d| !d));
+
+        // Move a handful of actions from level 1 to level 2: only those
+        // two rows become dirty.
+        let mut after = before.clone();
+        for levels in &mut after.per_user {
+            if let Some(l) = levels.iter_mut().find(|l| **l == 1) {
+                *l = 2;
+            }
+        }
+        grid.apply_delta(&ds, &before, &after).unwrap();
+        assert_eq!(grid.dirty_levels(), &[true, true, false, false]);
+
+        // The partial refit must match a full from-scratch fit bit for bit,
+        // both on the refit rows and the reused ones.
+        let partial = grid
+            .fit_model_incremental(&ds, 0.01, &pc, Some(&base))
+            .unwrap();
+        assert!(grid.dirty_levels().iter().all(|&d| !d));
+        let full = StatsGrid::build(&ds, &after, 4)
+            .unwrap()
+            .fit_model(&ds, 0.01)
+            .unwrap();
+        for item in 0..ds.n_items() {
+            for s in 1..=4u8 {
+                let a = partial.item_log_likelihood(ds.item_features(item as u32), s);
+                let b = full.item_log_likelihood(ds.item_features(item as u32), s);
+                assert_eq!(a.to_bits(), b.to_bits(), "item {item} level {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn fit_model_parallel_is_bitwise_identical_to_sequential_replay() {
+        let ds = build_dataset(6, 10);
+        let a = staircase_assignments(&ds, 3);
+        let grid = StatsGrid::build(&ds, &a, 3).unwrap();
+        let sequential = grid.fit_model(&ds, 0.01).unwrap();
+        for (skills, features) in [(true, false), (false, true), (true, true)] {
+            for threads in [2, 3, 6] {
+                let cfg = ParallelConfig {
+                    skills,
+                    features,
+                    threads,
+                    ..ParallelConfig::sequential()
+                };
+                let parallel = grid.fit_model_parallel(&ds, 0.01, &cfg).unwrap();
+                for item in 0..ds.n_items() {
+                    for s in 1..=3u8 {
+                        let a = sequential.item_log_likelihood(ds.item_features(item as u32), s);
+                        let b = parallel.item_log_likelihood(ds.item_features(item as u32), s);
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "skills={skills} features={features} threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

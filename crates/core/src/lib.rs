@@ -77,6 +77,7 @@
 //! | [`update`] | §IV-B (Eq. 5–7) | closed-form parameter updates |
 //! | [`init`] | §IV-B | uniform-segmentation initialization |
 //! | [`mod@train`] | §IV-B | the alternating trainer |
+//! | [`incremental`] | §IV-B | delta sufficient statistics (`StatsGrid`) |
 //! | [`parallel`] | §IV-C | user/skill/feature parallel steps |
 //! | [`difficulty`] | §V | assignment- & generation-based estimators |
 //! | [`model_selection`] | §VI-B (Fig. 3) | held-out skill-count selection |
@@ -106,6 +107,7 @@ pub mod emission;
 pub mod error;
 pub mod feature;
 pub mod forgetting;
+pub mod incremental;
 pub mod init;
 pub mod model;
 pub mod model_selection;

@@ -22,7 +22,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::assign::{assign_sequence, assign_sequence_with_table, SequenceAssignment};
+use crate::assign::{
+    assign_sequence_with_table_ws, assign_sequence_ws, AssignWorkspace, SequenceAssignment,
+};
 use crate::dist::{FeatureAccumulator, FeatureDistribution};
 use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
@@ -45,6 +47,12 @@ pub struct ParallelConfig {
     /// (on by default). Disable to re-evaluate `log P(i | s)` per action —
     /// the measurable baseline for the efficiency experiments.
     pub emission: bool,
+    /// Carry a persistent [`crate::incremental::StatsGrid`] across train
+    /// iterations and apply per-action deltas only where the assigned level
+    /// moved (on by default). Disable to re-accumulate sufficient
+    /// statistics from scratch every iteration — the measurable baseline
+    /// for `bench_incremental`.
+    pub incremental: bool,
 }
 
 impl ParallelConfig {
@@ -56,6 +64,7 @@ impl ParallelConfig {
             features: false,
             threads: 1,
             emission: true,
+            incremental: true,
         }
     }
 
@@ -67,6 +76,7 @@ impl ParallelConfig {
             features: true,
             threads,
             emission: true,
+            incremental: true,
         }
     }
 
@@ -109,18 +119,12 @@ pub fn assign_all_parallel(
         };
     }
 
-    // The emission table is itself filled in parallel (partitioned over
-    // items), then shared read-only by every assignment worker.
-    let table = if config.emission {
-        Some(EmissionTable::build_parallel(
-            model,
-            dataset,
-            config.threads,
-        )?)
-    } else {
-        None
-    };
-    let table = table.as_ref();
+    if config.emission {
+        // The emission table is itself filled in parallel (partitioned
+        // over items), then shared read-only by every assignment worker.
+        let table = EmissionTable::build_parallel(model, dataset, config.threads)?;
+        return assign_all_parallel_with_table(&table, dataset, config);
+    }
 
     let n_workers = config.threads.min(n_users);
     let next = AtomicUsize::new(0);
@@ -133,16 +137,16 @@ pub fn assign_all_parallel(
             .map(|_| {
                 let next = &next;
                 scope.spawn(move || -> Result<Vec<(usize, SequenceAssignment)>> {
+                    // One DP workspace per worker: scratch is reused for
+                    // every sequence this worker pulls off the queue.
+                    let mut ws = AssignWorkspace::new();
                     let mut out = Vec::new();
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         if idx >= n_users {
                             break;
                         }
-                        let a = match table {
-                            Some(t) => assign_sequence_with_table(t, &sequences[idx])?,
-                            None => assign_sequence(model, dataset, &sequences[idx])?,
-                        };
+                        let a = assign_sequence_ws(model, dataset, &sequences[idx], &mut ws)?;
                         out.push((idx, a));
                     }
                     Ok(out)
@@ -158,6 +162,67 @@ pub fn assign_all_parallel(
             .collect()
     });
 
+    gather_assignments(results, n_users)
+}
+
+/// [`assign_all_parallel`] against a caller-provided emission table —
+/// already built, or carried over from the previous iteration and
+/// incrementally refreshed via
+/// [`EmissionTable::refresh_levels`](crate::emission::EmissionTable::refresh_levels).
+/// Same user-parallel work-stealing pattern; the sequential fallback reads
+/// the table too, so results are identical to building the table inline.
+pub fn assign_all_parallel_with_table(
+    table: &EmissionTable,
+    dataset: &Dataset,
+    config: &ParallelConfig,
+) -> Result<(SkillAssignments, f64)> {
+    config.validate()?;
+    let n_users = dataset.n_users();
+    if !config.users || config.threads <= 1 || n_users <= 1 {
+        return crate::assign::assign_all_with_table(table, dataset);
+    }
+
+    let n_workers = config.threads.min(n_users);
+    let next = AtomicUsize::new(0);
+    let sequences = dataset.sequences();
+
+    let results: Vec<Result<Vec<(usize, SequenceAssignment)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || -> Result<Vec<(usize, SequenceAssignment)>> {
+                    let mut ws = AssignWorkspace::new();
+                    let mut out = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n_users {
+                            break;
+                        }
+                        let a = assign_sequence_with_table_ws(table, &sequences[idx], &mut ws)?;
+                        out.push((idx, a));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or(Err(CoreError::WorkerPanicked { step: "assignment" }))
+            })
+            .collect()
+    });
+
+    gather_assignments(results, n_users)
+}
+
+/// Merges per-worker `(user index, assignment)` chunks back into dataset
+/// order, summing path log-likelihoods.
+fn gather_assignments(
+    results: Vec<Result<Vec<(usize, SequenceAssignment)>>>,
+    n_users: usize,
+) -> Result<(SkillAssignments, f64)> {
     let mut per_user: Vec<Vec<SkillLevel>> = vec![Vec::new(); n_users];
     let mut total_ll = 0.0;
     for chunk in results {

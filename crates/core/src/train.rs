@@ -15,13 +15,19 @@
 //! evaluates each item's emission vector once instead of once per action;
 //! see [`crate::parallel::ParallelConfig::emission`] to disable it.
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
 use crate::dist::DEFAULT_SMOOTHING;
+use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
+use crate::incremental::StatsGrid;
 use crate::init::initialize_model;
 use crate::model::SkillModel;
-use crate::parallel::{assign_all_parallel, fit_model_parallel, ParallelConfig};
+use crate::parallel::{
+    assign_all_parallel, assign_all_parallel_with_table, fit_model_parallel, ParallelConfig,
+};
 use crate::types::{Dataset, SkillAssignments};
 
 /// Training hyperparameters.
@@ -94,13 +100,18 @@ impl TrainConfig {
 /// Log-likelihood and assignment-churn trace of one training iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IterationStats {
-    /// Iteration number (1-based).
+    /// Iteration number (1-based). When training stops at the iteration
+    /// cap, a final entry numbered `max_iterations + 1` records the
+    /// closing assignment pass (which has no update step).
     pub iteration: usize,
     /// Objective (Eq. 3) after this iteration's assignment step.
     pub log_likelihood: f64,
     /// Number of actions whose assigned level changed vs. the previous
-    /// iteration (`usize::MAX` on the first iteration).
-    pub n_changed: usize,
+    /// iteration; `None` on the first iteration (nothing to diff against).
+    pub n_changed: Option<usize>,
+    /// Wall-clock seconds this iteration took (assignment + statistics
+    /// maintenance + parameter update).
+    pub seconds: f64,
 }
 
 /// Output of [`train`]: the fitted model, final assignments, and the
@@ -146,34 +157,79 @@ pub fn train_with_parallelism(
     let mut prev_ll = f64::NEG_INFINITY;
     let mut trace = Vec::new();
     let mut converged = false;
+    // Persistent sufficient statistics for the incremental update path:
+    // built from scratch on the first iteration, then maintained by
+    // per-action deltas wherever the assigned level moved.
+    let mut grid: Option<StatsGrid> = None;
+    // Persistent emission table for the same path: the update step reuses
+    // the previous distributions for levels its delta never touched, so
+    // only the refit levels' table columns need recomputing.
+    let mut table: Option<EmissionTable> = None;
+    let mut refit_levels: Vec<bool> = Vec::new();
 
     for iteration in 1..=config.max_iterations {
-        let (assignments, ll) = assign_all_parallel(&model, dataset, parallel)?;
+        let iter_start = Instant::now();
+        let (assignments, ll) = assign_step(&model, dataset, parallel, &mut table, &refit_levels)?;
         debug_assert!(assignments.is_monotone());
 
-        let n_changed = match &prev_assignments {
-            Some(prev) => count_changed(prev, &assignments),
-            None => usize::MAX,
+        // Maintain the statistics and measure churn. On the incremental
+        // path the delta application *is* the churn count — no separate
+        // diff pass.
+        let n_changed: Option<usize> = if parallel.incremental {
+            match (grid.as_mut(), &prev_assignments) {
+                (Some(g), Some(prev)) => {
+                    Some(g.apply_delta_with_config(dataset, prev, &assignments, parallel)?)
+                }
+                _ => {
+                    grid = Some(StatsGrid::build_with_config(
+                        dataset,
+                        &assignments,
+                        config.n_levels,
+                        parallel,
+                    )?);
+                    None
+                }
+            }
+        } else {
+            match &prev_assignments {
+                Some(prev) => Some(count_changed(prev, &assignments)?),
+                None => None,
+            }
         };
+        // Debug-mode cross-check: the incrementally maintained grid must
+        // match a from-scratch accumulation of the current assignments.
+        #[cfg(debug_assertions)]
+        if let Some(g) = &grid {
+            g.cross_check(dataset, &assignments)?;
+        }
+
+        let stable = n_changed == Some(0);
+        let small_gain = prev_ll.is_finite()
+            && (ll - prev_ll).abs() <= config.tolerance * prev_ll.abs().max(1.0);
+        // Refit parameters (on convergence: one last time, so Θ is optimal
+        // for the final Σ). The incremental path refits only the levels
+        // the delta touched, reusing the previous model's rows elsewhere;
+        // remember which levels those were so the next assignment step can
+        // refresh just their emission-table columns.
+        if let Some(g) = &grid {
+            refit_levels = g.dirty_levels().to_vec();
+        }
+        model = refit(
+            dataset,
+            &assignments,
+            grid.as_mut(),
+            &model,
+            config,
+            parallel,
+        )?;
         trace.push(IterationStats {
             iteration,
             log_likelihood: ll,
             n_changed,
+            seconds: iter_start.elapsed().as_secs_f64(),
         });
-
-        let stable = n_changed == 0;
-        let small_gain = prev_ll.is_finite()
-            && (ll - prev_ll).abs() <= config.tolerance * prev_ll.abs().max(1.0);
         if stable || small_gain {
             converged = true;
-            // Refit parameters one last time so Θ is optimal for the final Σ.
-            model = fit_model_parallel(
-                dataset,
-                &assignments,
-                config.n_levels,
-                config.lambda,
-                parallel,
-            )?;
             return Ok(TrainResult {
                 model,
                 assignments,
@@ -182,20 +238,25 @@ pub fn train_with_parallelism(
                 converged,
             });
         }
-
-        model = fit_model_parallel(
-            dataset,
-            &assignments,
-            config.n_levels,
-            config.lambda,
-            parallel,
-        )?;
         prev_assignments = Some(assignments);
         prev_ll = ll;
     }
 
-    // Iteration cap reached; produce a consistent final state.
-    let (assignments, ll) = assign_all_parallel(&model, dataset, parallel)?;
+    // Iteration cap reached; produce a consistent final state and record
+    // it in the trace so `log_likelihood` always agrees with
+    // `trace.last()`.
+    let iter_start = Instant::now();
+    let (assignments, ll) = assign_step(&model, dataset, parallel, &mut table, &refit_levels)?;
+    let n_changed = match &prev_assignments {
+        Some(prev) => Some(count_changed(prev, &assignments)?),
+        None => None,
+    };
+    trace.push(IterationStats {
+        iteration: config.max_iterations + 1,
+        log_likelihood: ll,
+        n_changed,
+        seconds: iter_start.elapsed().as_secs_f64(),
+    });
     Ok(TrainResult {
         model,
         assignments,
@@ -205,12 +266,83 @@ pub fn train_with_parallelism(
     })
 }
 
-fn count_changed(a: &SkillAssignments, b: &SkillAssignments) -> usize {
-    a.per_user
-        .iter()
-        .zip(&b.per_user)
-        .map(|(x, y)| x.iter().zip(y).filter(|(l, r)| l != r).count())
-        .sum()
+/// Assignment step. On the incremental path the emission table persists
+/// across iterations: only the columns of levels the previous update
+/// actually refit are recomputed (untouched levels reuse the previous
+/// distributions bit for bit, so their cached scores are still exact).
+/// Elsewhere this defers to [`assign_all_parallel`], which rebuilds (or
+/// skips) the table per `config.emission`.
+fn assign_step(
+    model: &SkillModel,
+    dataset: &Dataset,
+    parallel: &ParallelConfig,
+    table: &mut Option<EmissionTable>,
+    refit_levels: &[bool],
+) -> Result<(SkillAssignments, f64)> {
+    if !(parallel.emission && parallel.incremental) {
+        return assign_all_parallel(model, dataset, parallel);
+    }
+    match table.as_mut() {
+        Some(t) if refit_levels.len() == model.n_levels() => {
+            t.refresh_levels(model, dataset, refit_levels)?;
+        }
+        _ => {
+            *table = Some(if parallel.users && parallel.threads > 1 {
+                EmissionTable::build_parallel(model, dataset, parallel.threads)?
+            } else {
+                EmissionTable::build(model, dataset)
+            });
+        }
+    }
+    let t = table.as_ref().expect("emission table ensured above");
+    assign_all_parallel_with_table(t, dataset, parallel)
+}
+
+/// Update step: fits from the persistent [`StatsGrid`] when the
+/// incremental path is active, otherwise re-accumulates from the dataset.
+fn refit(
+    dataset: &Dataset,
+    assignments: &SkillAssignments,
+    grid: Option<&mut StatsGrid>,
+    prev_model: &SkillModel,
+    config: &TrainConfig,
+    parallel: &ParallelConfig,
+) -> Result<SkillModel> {
+    match grid {
+        Some(g) => g.fit_model_incremental(dataset, config.lambda, parallel, Some(prev_model)),
+        None => fit_model_parallel(
+            dataset,
+            assignments,
+            config.n_levels,
+            config.lambda,
+            parallel,
+        ),
+    }
+}
+
+/// Counts actions whose assigned level differs between two assignments.
+/// Ragged inputs (different user counts or per-user lengths) are an error,
+/// never silently truncated.
+fn count_changed(a: &SkillAssignments, b: &SkillAssignments) -> Result<usize> {
+    if a.per_user.len() != b.per_user.len() {
+        return Err(CoreError::LengthMismatch {
+            context: "previous vs next assignments",
+            left: a.per_user.len(),
+            right: b.per_user.len(),
+        });
+    }
+    let mut total = 0usize;
+    for (x, y) in a.per_user.iter().zip(&b.per_user) {
+        if x.len() != y.len() {
+            return Err(CoreError::LengthMismatch {
+                context: "previous vs next assignment lengths",
+                left: x.len(),
+                right: y.len(),
+            });
+        }
+        total += x.iter().zip(y).filter(|(l, r)| l != r).count();
+    }
+    Ok(total)
 }
 
 #[cfg(test)]
@@ -318,10 +450,56 @@ mod tests {
         let result = train(&ds, &cfg).unwrap();
         assert!(!result.trace.is_empty());
         assert_eq!(result.trace[0].iteration, 1);
-        assert_eq!(result.trace[0].n_changed, usize::MAX);
+        assert_eq!(result.trace[0].n_changed, None);
         for (i, stats) in result.trace.iter().enumerate() {
             assert_eq!(stats.iteration, i + 1);
+            assert!(stats.n_changed.is_some() || i == 0);
+            assert!(stats.seconds >= 0.0);
         }
+    }
+
+    #[test]
+    fn iteration_cap_exit_records_final_trace_entry() {
+        let ds = progression_dataset(6, 10, 3);
+        let cfg = TrainConfig::new(3)
+            .with_min_init_actions(4)
+            .with_max_iterations(1);
+        let result = train(&ds, &cfg).unwrap();
+        assert!(!result.converged);
+        // One capped iteration plus the closing assignment pass.
+        assert_eq!(result.trace.len(), 2);
+        assert_eq!(result.trace[1].iteration, 2);
+        assert!(result.trace[1].n_changed.is_some());
+        // The returned objective must agree with the last trace entry.
+        let last = result.trace.last().unwrap();
+        assert_eq!(result.log_likelihood, last.log_likelihood);
+    }
+
+    #[test]
+    fn incremental_toggle_produces_identical_training() {
+        let ds = progression_dataset(8, 14, 4);
+        let cfg = TrainConfig::new(4).with_min_init_actions(4);
+        let incremental = train_with_parallelism(&ds, &cfg, &ParallelConfig::sequential()).unwrap();
+        let full = train_with_parallelism(
+            &ds,
+            &cfg,
+            &ParallelConfig {
+                incremental: false,
+                ..ParallelConfig::sequential()
+            },
+        )
+        .unwrap();
+        assert_eq!(incremental.assignments, full.assignments);
+        assert_eq!(incremental.converged, full.converged);
+        assert_eq!(incremental.trace.len(), full.trace.len());
+        for (a, b) in incremental.trace.iter().zip(&full.trace) {
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(a.n_changed, b.n_changed);
+            let scale = a.log_likelihood.abs().max(1.0);
+            assert!((a.log_likelihood - b.log_likelihood).abs() <= 1e-9 * scale);
+        }
+        let scale = incremental.log_likelihood.abs().max(1.0);
+        assert!((incremental.log_likelihood - full.log_likelihood).abs() <= 1e-9 * scale);
     }
 
     #[test]
@@ -340,7 +518,28 @@ mod tests {
         let b = SkillAssignments {
             per_user: vec![vec![1, 2, 2], vec![3]],
         };
-        assert_eq!(count_changed(&a, &b), 1);
-        assert_eq!(count_changed(&a, &a), 0);
+        assert_eq!(count_changed(&a, &b).unwrap(), 1);
+        assert_eq!(count_changed(&a, &a).unwrap(), 0);
+    }
+
+    #[test]
+    fn count_changed_rejects_ragged_inputs() {
+        let a = SkillAssignments {
+            per_user: vec![vec![1, 1, 2], vec![3]],
+        };
+        let fewer_users = SkillAssignments {
+            per_user: vec![vec![1, 1, 2]],
+        };
+        assert!(matches!(
+            count_changed(&a, &fewer_users),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        let short_user = SkillAssignments {
+            per_user: vec![vec![1, 1], vec![3]],
+        };
+        assert!(matches!(
+            count_changed(&a, &short_user),
+            Err(CoreError::LengthMismatch { .. })
+        ));
     }
 }

@@ -41,6 +41,7 @@ fn every_parallel_configuration_matches_sequential_training() {
             features,
             threads: 4,
             emission: true,
+            incremental: true,
         };
         let parallel = train_with_parallelism(&data.dataset, &cfg, &pc).expect("parallel");
         assert_eq!(
