@@ -58,11 +58,9 @@ fn bench_parallel_assignment(c: &mut Criterion) {
     let data = generate(&config(100, 50.0, 5)).expect("generation");
     let model = initialize_model(&data.dataset, 5, 30, 0.01).expect("init");
     for threads in [1usize, 2, 4] {
-        let pc = ParallelConfig {
-            users: true,
-            threads,
-            ..ParallelConfig::sequential()
-        };
+        let pc = ParallelConfig::sequential()
+            .with_users(true)
+            .with_threads(threads);
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             b.iter(|| assign_all_parallel(&model, &data.dataset, &pc).expect("assignment"))
         });

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use upskill_core::baselines::to_id_dataset;
-use upskill_core::em::train_em;
+use upskill_core::em::{train_em_with_parallelism, EmConfig};
 use upskill_core::init::initialize_model;
 use upskill_core::parallel::ParallelConfig;
 use upskill_core::train::{train, train_with_parallelism, TrainConfig};
@@ -50,20 +50,11 @@ fn bench_parallel_flags(c: &mut Criterion) {
         .with_max_iterations(5);
     for (label, pc) in [
         ("sequential", ParallelConfig::sequential()),
-        (
-            "users",
-            ParallelConfig {
-                users: true,
-                ..ParallelConfig::sequential()
-            },
-        ),
+        ("users", ParallelConfig::sequential().with_users(true)),
         ("all@4", ParallelConfig::all(4)),
         (
             "full_rescan",
-            ParallelConfig {
-                incremental: false,
-                ..ParallelConfig::sequential()
-            },
+            ParallelConfig::sequential().with_incremental(false),
         ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &pc, |b, pc| {
@@ -87,7 +78,9 @@ fn bench_hard_vs_em(c: &mut Criterion) {
         b.iter(|| {
             let initial = initialize_model(&data.dataset, 5, 30, 0.01).expect("initialization");
             let transitions = TransitionModel::uninformative(5).expect("transitions");
-            train_em(&data.dataset, initial, &transitions, 0.01, 5, 1e-8).expect("EM")
+            let em_cfg = EmConfig::new(initial, transitions).with_max_iterations(5);
+            train_em_with_parallelism(&data.dataset, &em_cfg, &ParallelConfig::sequential())
+                .expect("EM")
         })
     });
     group.finish();

@@ -89,10 +89,7 @@ fn main() {
     let data = generate(&cfg).expect("generation");
     let train_cfg = TrainConfig::new(5).with_min_init_actions(30);
     let incremental_pc = ParallelConfig::sequential();
-    let full_pc = ParallelConfig {
-        incremental: false,
-        ..ParallelConfig::sequential()
-    };
+    let full_pc = ParallelConfig::sequential().with_incremental(false);
     eprintln!(
         "workload: {} users, {} items, {} actions, S=5",
         data.dataset.n_users(),

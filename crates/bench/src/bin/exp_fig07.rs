@@ -47,10 +47,7 @@ fn main() {
     let mut table = TextTable::new(&["Threads", "ID (s)", "Multi-faceted (s)", "MF direct (s)"]);
     for threads in 1..=5 {
         let pc = ParallelConfig::all(threads);
-        let pc_direct = ParallelConfig {
-            emission: false,
-            ..pc
-        };
+        let pc_direct = pc.with_emission(false);
         eprintln!("  {threads} thread(s) ...");
         let t0 = Instant::now();
         train_with_parallelism(&id_view, &train_cfg, &pc).expect("ID");

@@ -87,14 +87,13 @@ fn main() {
         "iters (ID/MF)",
     ]);
     for (users, features, skills, emission, incremental) in conditions {
-        let pc = ParallelConfig {
-            users,
-            skills,
-            features,
-            threads,
-            emission,
-            incremental,
-        };
+        let pc = ParallelConfig::sequential()
+            .with_users(users)
+            .with_skills(skills)
+            .with_features(features)
+            .with_threads(threads)
+            .with_emission(emission)
+            .with_incremental(incremental);
         eprintln!(
             "  condition users={users} features={features} skills={skills} \
              emission={emission} incremental={incremental} ..."

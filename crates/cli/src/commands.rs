@@ -3,10 +3,13 @@
 use std::fs;
 
 use serde::{Deserialize, Serialize};
+use upskill_core::bundle::SessionBundle;
 use upskill_core::difficulty::{assignment_difficulty_all, generation_difficulty_all, SkillPrior};
+use upskill_core::parallel::ParallelConfig;
 use upskill_core::recommend::{recommend_for_level, RecommendConfig};
+use upskill_core::streaming::{RefitPolicy, StreamingSession};
 use upskill_core::train::{train, TrainConfig};
-use upskill_core::types::{Dataset, SkillAssignments};
+use upskill_core::types::{Action, Dataset, SkillAssignments};
 use upskill_core::SkillModel;
 use upskill_datasets::DatasetStats;
 
@@ -28,6 +31,11 @@ commands:
               --level S [--k K]
   evaluate    --data data.json --model model.json --assignments assignments.json
   sweep       --data data.json [--min 2] [--max 8] [--test-frac 0.1] [--seed N]
+  ingest      --actions new_actions.json --out model_out.json
+              (--session session.json | --data data.json --model model.json
+               --assignments assignments.json [--lambda L])
+              [--assignments-out a.json] [--data-out d.json]
+              [--session-out session_out.json]
   help        show this message";
 
 /// Dispatches a parsed command line.
@@ -44,6 +52,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "recommend" => recommend(&args),
         "evaluate" => evaluate(&args),
         "sweep" => sweep(&args),
+        "ingest" => ingest(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -283,6 +292,82 @@ selected S = {best}"
             "
 no candidate evaluated"
         ),
+    }
+    Ok(())
+}
+
+fn ingest(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "session",
+        "data",
+        "model",
+        "assignments",
+        "actions",
+        "lambda",
+        "out",
+        "assignments-out",
+        "data-out",
+        "session-out",
+    ])?;
+    let actions: Vec<Action> = read_json(args.required("actions")?)?;
+    let out = args.required("out")?;
+
+    // Either resume a snapshotted session, or assemble one from a trained
+    // model's artifacts (the skill count comes from the model itself).
+    let mut session = match args.optional("session") {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            SessionBundle::from_json(&text)
+                .map_err(|e| e.to_string())?
+                .resume()
+                .map_err(|e| e.to_string())?
+        }
+        None => {
+            let dataset: Dataset = read_json(args.required("data")?)?;
+            let model: SkillModel = read_json(args.required("model")?)?;
+            let assignments: SkillAssignments = read_json(args.required("assignments")?)?;
+            let lambda: f64 = args.parse_or("lambda", 0.01)?;
+            let config = TrainConfig::new(model.n_levels()).with_lambda(lambda);
+            StreamingSession::new(
+                dataset,
+                assignments,
+                config,
+                ParallelConfig::sequential(),
+                RefitPolicy::EveryBatch,
+            )
+            .map_err(|e| e.to_string())?
+        }
+    };
+
+    let levels = session.ingest_batch(&actions).map_err(|e| e.to_string())?;
+    let ll = upskill_core::update::log_likelihood(
+        session.dataset(),
+        session.assignments(),
+        session.model(),
+    )
+    .map_err(|e| e.to_string())?;
+
+    write_json(out, session.model())?;
+    println!(
+        "ingested {} actions into {} users ({} total); log-likelihood {:.1}; wrote {out}",
+        levels.len(),
+        session.n_users(),
+        session.dataset().n_actions(),
+        ll
+    );
+    if let Some(path) = args.optional("assignments-out") {
+        write_json(path, session.assignments())?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.optional("data-out") {
+        write_json(path, session.dataset())?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.optional("session-out") {
+        let bundle = session.snapshot("upskill ingest");
+        let text = bundle.to_json().map_err(|e| e.to_string())?;
+        fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
     }
     Ok(())
 }

@@ -11,6 +11,9 @@
 //!                  [--method assignment|uniform|empirical] --out difficulty.json
 //! upskill recommend --data data.json --model model.json \
 //!                  --difficulty difficulty.json --level S [--k K]
+//! upskill ingest    --actions new_actions.json --out model_out.json \
+//!                  (--session session.json | --data data.json \
+//!                   --model model.json --assignments assignments.json)
 //! ```
 //!
 //! All artifacts are JSON (serde), so models and datasets round-trip

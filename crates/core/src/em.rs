@@ -8,11 +8,12 @@
 //! *weighted* sufficient statistics. This module exists to let the
 //! benchmarks quantify the hard-vs-soft trade-off on the same substrate.
 
-use crate::dist::{Categorical, FeatureDistribution, Gamma, LogNormal, Poisson};
+use crate::dist::{Categorical, FeatureDistribution, Gamma, LogNormal, Poisson, DEFAULT_SMOOTHING};
 use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
 use crate::feature::{FeatureKind, FeatureValue, PositiveModel};
 use crate::model::SkillModel;
+use crate::parallel::ParallelConfig;
 use crate::transition::TransitionModel;
 use crate::types::{ActionSequence, Dataset, SkillLevel};
 
@@ -320,12 +321,88 @@ pub struct EmResult {
     pub converged: bool,
 }
 
-/// Trains a skill model by EM with soft assignments.
+/// Hyperparameters of the EM trainer, mirroring
+/// [`TrainConfig`](crate::train::TrainConfig) so the two trainers share
+/// the `(dataset, config, parallel)` calling convention.
 ///
 /// `initial` seeds the parameters (e.g. from
 /// [`crate::init::initialize_model`]); `transitions` stays fixed (refitting
 /// it is possible but the comparison benches keep the Yang-style
 /// uninformative transitions).
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// Seed model; its level count defines `S`.
+    pub initial: SkillModel,
+    /// Fixed stay/advance transition probabilities.
+    pub transitions: TransitionModel,
+    /// Categorical smoothing pseudo-count `λ` (default 0.01).
+    pub lambda: f64,
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Stop when the relative evidence improvement drops below this.
+    pub tolerance: f64,
+}
+
+impl EmConfig {
+    /// Config with the default smoothing, iteration cap, and tolerance.
+    pub fn new(initial: SkillModel, transitions: TransitionModel) -> Self {
+        Self {
+            initial,
+            transitions,
+            lambda: DEFAULT_SMOOTHING,
+            max_iterations: 100,
+            tolerance: 1e-8,
+        }
+    }
+
+    /// Overrides the smoothing pseudo-count.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Overrides the iteration cap.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Overrides the convergence tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+}
+
+/// Trains a skill model by EM with soft assignments, with the same
+/// `(dataset, config, parallel)` argument order as
+/// [`crate::train::train_with_parallelism`].
+///
+/// Parallelism applies to the per-iteration emission-table build (the
+/// `users`/`threads` flags); results are identical for any configuration.
+pub fn train_em_with_parallelism(
+    dataset: &Dataset,
+    config: &EmConfig,
+    parallel: &ParallelConfig,
+) -> Result<EmResult> {
+    parallel.validate()?;
+    run_em(
+        dataset,
+        config.initial.clone(),
+        &config.transitions,
+        config.lambda,
+        config.max_iterations,
+        config.tolerance,
+        parallel,
+    )
+}
+
+/// Legacy entry point with the old positional argument order.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `train_em_with_parallelism(dataset, &EmConfig, &ParallelConfig)` \
+            (same argument order as `train_with_parallelism`)"
+)]
 pub fn train_em(
     dataset: &Dataset,
     initial: SkillModel,
@@ -333,6 +410,27 @@ pub fn train_em(
     lambda: f64,
     max_iterations: usize,
     tolerance: f64,
+) -> Result<EmResult> {
+    run_em(
+        dataset,
+        initial,
+        transitions,
+        lambda,
+        max_iterations,
+        tolerance,
+        &ParallelConfig::sequential(),
+    )
+}
+
+/// The EM loop shared by both entry points.
+fn run_em(
+    dataset: &Dataset,
+    initial: SkillModel,
+    transitions: &TransitionModel,
+    lambda: f64,
+    max_iterations: usize,
+    tolerance: f64,
+    parallel: &ParallelConfig,
 ) -> Result<EmResult> {
     if dataset.n_actions() == 0 {
         return Err(CoreError::EmptyDataset);
@@ -356,7 +454,11 @@ pub fn train_em(
             .collect();
         // One emission table per iteration: the E-step revisits every
         // action but only n_items × S distinct emission values exist.
-        let table = EmissionTable::build(&model, dataset);
+        let table = if parallel.users && parallel.threads > 1 {
+            EmissionTable::build_parallel(&model, dataset, parallel.threads)?
+        } else {
+            EmissionTable::build(&model, dataset)
+        };
         let mut evidence = 0.0;
         for seq in dataset.sequences() {
             let (gammas, log_ev) = forward_backward_with_table(&table, transitions, seq)?;
@@ -477,7 +579,11 @@ mod tests {
         let ds = progression_dataset();
         let initial = initialize_model(&ds, 2, 5, 0.01).unwrap();
         let trans = TransitionModel::uninformative(2).unwrap();
-        let result = train_em(&ds, initial, &trans, 0.0, 20, 1e-9).unwrap();
+        let cfg = EmConfig::new(initial, trans)
+            .with_lambda(0.0)
+            .with_max_iterations(20)
+            .with_tolerance(1e-9);
+        let result = train_em_with_parallelism(&ds, &cfg, &ParallelConfig::sequential()).unwrap();
         for w in result.evidence_trace.windows(2) {
             assert!(
                 w[1] >= w[0] - 1e-9,
@@ -492,7 +598,10 @@ mod tests {
         let ds = progression_dataset();
         let initial = initialize_model(&ds, 2, 5, 0.01).unwrap();
         let trans = TransitionModel::uninformative(2).unwrap();
-        let result = train_em(&ds, initial, &trans, 0.01, 50, 1e-9).unwrap();
+        let cfg = EmConfig::new(initial, trans)
+            .with_max_iterations(50)
+            .with_tolerance(1e-9);
+        let result = train_em_with_parallelism(&ds, &cfg, &ParallelConfig::sequential()).unwrap();
         assert!(result.converged);
         let last = result.evidence_trace.len() - 1;
         let delta = (result.evidence_trace[last] - result.evidence_trace[last - 1]).abs();
@@ -504,7 +613,10 @@ mod tests {
         let ds = progression_dataset();
         let initial = initialize_model(&ds, 2, 5, 0.01).unwrap();
         let trans = TransitionModel::uninformative(2).unwrap();
-        let result = train_em(&ds, initial, &trans, 0.01, 30, 1e-10).unwrap();
+        let cfg = EmConfig::new(initial, trans)
+            .with_max_iterations(30)
+            .with_tolerance(1e-10);
+        let result = train_em_with_parallelism(&ds, &cfg, &ParallelConfig::sequential()).unwrap();
         let easy = vec![FeatureValue::Categorical(0)];
         let hard = vec![FeatureValue::Categorical(1)];
         assert!(
@@ -522,7 +634,10 @@ mod tests {
         let hard = crate::train::train(&ds, &cfg).unwrap();
         let initial = initialize_model(&ds, 2, 5, 0.01).unwrap();
         let trans = TransitionModel::uninformative(2).unwrap();
-        let soft = train_em(&ds, initial, &trans, 0.01, 30, 1e-10).unwrap();
+        let em_cfg = EmConfig::new(initial, trans)
+            .with_max_iterations(30)
+            .with_tolerance(1e-10);
+        let soft = train_em_with_parallelism(&ds, &em_cfg, &ParallelConfig::sequential()).unwrap();
         // Both should agree on which level generates which item.
         for (features, _) in ds.items().iter().zip(0..) {
             let hard_best = (1..=2u8)
@@ -558,6 +673,35 @@ mod tests {
         )
         .unwrap();
         let trans = TransitionModel::uninformative(1).unwrap();
-        assert!(train_em(&ds, model, &trans, 0.01, 5, 1e-6).is_err());
+        let cfg = EmConfig::new(model, trans).with_max_iterations(5);
+        assert!(train_em_with_parallelism(&ds, &cfg, &ParallelConfig::sequential()).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_entry_point_matches_new_signature() {
+        let ds = progression_dataset();
+        let initial = initialize_model(&ds, 2, 5, 0.01).unwrap();
+        let trans = TransitionModel::uninformative(2).unwrap();
+        let legacy = train_em(&ds, initial.clone(), &trans, 0.01, 10, 1e-9).unwrap();
+        let cfg = EmConfig::new(initial, trans)
+            .with_max_iterations(10)
+            .with_tolerance(1e-9);
+        let new = train_em_with_parallelism(&ds, &cfg, &ParallelConfig::sequential()).unwrap();
+        assert_eq!(legacy.evidence_trace, new.evidence_trace);
+        assert_eq!(legacy.converged, new.converged);
+    }
+
+    #[test]
+    fn parallel_emission_table_is_equivalent() {
+        let ds = progression_dataset();
+        let initial = initialize_model(&ds, 2, 5, 0.01).unwrap();
+        let trans = TransitionModel::uninformative(2).unwrap();
+        let cfg = EmConfig::new(initial, trans)
+            .with_max_iterations(10)
+            .with_tolerance(1e-9);
+        let seq = train_em_with_parallelism(&ds, &cfg, &ParallelConfig::sequential()).unwrap();
+        let par = train_em_with_parallelism(&ds, &cfg, &ParallelConfig::all(3)).unwrap();
+        assert_eq!(seq.evidence_trace, par.evidence_trace);
     }
 }

@@ -65,7 +65,7 @@ impl EmissionTable {
     ///
     /// Mirrors the work-stealing pattern of
     /// [`assign_all_parallel`](crate::parallel::assign_all_parallel): a
-    /// shared atomic cursor hands out chunks of [`PARALLEL_CHUNK`] items so
+    /// shared atomic cursor hands out chunks of `PARALLEL_CHUNK` items so
     /// uneven feature counts cannot stall a static partition. Falls back to
     /// the sequential build when one thread (or one chunk) suffices.
     pub fn build_parallel(model: &SkillModel, dataset: &Dataset, threads: usize) -> Result<Self> {

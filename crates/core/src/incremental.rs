@@ -363,6 +363,28 @@ impl StatsGrid {
         }
     }
 
+    /// Adds one newly observed action at the given level: a single `+1`
+    /// on the `(level, item)` cell, marking that level dirty. This is the
+    /// streaming counterpart of [`StatsGrid::apply_delta`] — an append has
+    /// no previous level to remove. `O(1)`.
+    pub fn add_action(
+        &mut self,
+        item: crate::types::ItemId,
+        level: crate::types::SkillLevel,
+    ) -> Result<()> {
+        let s = level_index(level, self.n_levels)?;
+        let item = item as usize;
+        if item >= self.n_items {
+            return Err(CoreError::FeatureIndexOutOfBounds {
+                index: item,
+                len: self.n_items,
+            });
+        }
+        self.counts[s * self.n_items + item] += 1;
+        self.dirty[s] = true;
+        Ok(())
+    }
+
     /// Replays the histogram into per-(skill, feature) accumulators —
     /// ascending item order, weighted pushes. `O(S · n_items · F)`,
     /// independent of the number of actions.
@@ -906,6 +928,34 @@ mod tests {
     }
 
     #[test]
+    fn add_action_is_single_cell_increment() {
+        let ds = build_dataset(3, 6);
+        let a = staircase_assignments(&ds, 3);
+        let mut grid = StatsGrid::build(&ds, &a, 3).unwrap();
+        // Clear dirty flags via a full incremental fit, then append.
+        let pc = ParallelConfig::sequential();
+        let model = grid.fit_model_incremental(&ds, 0.01, &pc, None).unwrap();
+        assert!(grid.dirty_levels().iter().all(|&d| !d));
+        let before = grid.count(1, 2);
+        let total = grid.total_actions();
+        grid.add_action(2, 2).unwrap();
+        assert_eq!(grid.count(1, 2), before + 1);
+        assert_eq!(grid.total_actions(), total + 1);
+        assert_eq!(grid.dirty_levels(), &[false, true, false]);
+        // Out-of-range level or item must not touch the grid.
+        assert!(grid.add_action(2, 0).is_err());
+        assert!(grid.add_action(2, 4).is_err());
+        assert!(grid.add_action(99, 1).is_err());
+        assert_eq!(grid.total_actions(), total + 1);
+        // The next incremental fit refits only the touched level.
+        let refit = grid
+            .fit_model_incremental(&ds, 0.01, &pc, Some(&model))
+            .unwrap();
+        assert_eq!(refit.n_levels(), 3);
+        assert!(grid.dirty_levels().iter().all(|&d| !d));
+    }
+
+    #[test]
     fn fit_model_parallel_is_bitwise_identical_to_sequential_replay() {
         let ds = build_dataset(6, 10);
         let a = staircase_assignments(&ds, 3);
@@ -913,12 +963,10 @@ mod tests {
         let sequential = grid.fit_model(&ds, 0.01).unwrap();
         for (skills, features) in [(true, false), (false, true), (true, true)] {
             for threads in [2, 3, 6] {
-                let cfg = ParallelConfig {
-                    skills,
-                    features,
-                    threads,
-                    ..ParallelConfig::sequential()
-                };
+                let cfg = ParallelConfig::sequential()
+                    .with_skills(skills)
+                    .with_features(features)
+                    .with_threads(threads);
                 let parallel = grid.fit_model_parallel(&ds, 0.01, &cfg).unwrap();
                 for item in 0..ds.n_items() {
                     for s in 1..=3u8 {

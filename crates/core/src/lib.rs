@@ -86,6 +86,7 @@
 //! | [`analysis`] | §VI-C | dominance scores, per-level summaries |
 //! | [`recommend`] | Fig. 1 / §VII | upskilling recommendations & curriculum ladder |
 //! | [`online`] | — | O(F·S)-per-action incremental skill tracking |
+//! | [`streaming`] | §IV, §VI | live ingestion sessions over a trained model |
 //! | [`forgetting`] | §VII | Ebbinghaus-style skill decay in the DP |
 //! | [`transition`] | §VII | probabilistic stay/advance extension |
 //! | [`em`] | §IV-B | soft-assignment (EM) trainer for comparison |
@@ -114,8 +115,10 @@ pub mod model_selection;
 pub mod online;
 pub mod parallel;
 pub mod predict;
+pub mod prelude;
 pub mod recommend;
 pub mod rng;
+pub mod streaming;
 pub mod train;
 pub mod transition;
 pub mod types;
@@ -124,5 +127,6 @@ pub mod update;
 pub use emission::EmissionTable;
 pub use error::{CoreError, Result};
 pub use model::SkillModel;
-pub use train::{train, train_with_parallelism, TrainConfig, TrainResult};
+pub use streaming::{RefitPolicy, StreamingSession};
+pub use train::{train, train_with_parallelism, TrainConfig, TrainResult, Trainer};
 pub use types::{Action, ActionSequence, Dataset, SkillAssignments};

@@ -33,7 +33,19 @@ use crate::types::{Dataset, SkillAssignments, SkillLevel};
 use crate::update::accumulate;
 
 /// Which steps run in parallel, and on how many worker threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Prefer the `with_*` builder methods over struct-literal field pokes:
+///
+/// ```
+/// use upskill_core::parallel::ParallelConfig;
+/// let cfg = ParallelConfig::sequential().with_users(true).with_threads(4);
+/// assert!(cfg.users && cfg.threads == 4);
+/// ```
+///
+/// The fields stay `pub` for one release so existing struct literals keep
+/// compiling, but they are considered a legacy surface: new code should go
+/// through the builders, which keep working if fields are ever privatized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ParallelConfig {
     /// Parallelize the assignment step across users.
     pub users: bool,
@@ -78,6 +90,43 @@ impl ParallelConfig {
             emission: true,
             incremental: true,
         }
+    }
+
+    /// Returns `self` with user-parallel assignment toggled.
+    pub fn with_users(mut self, users: bool) -> Self {
+        self.users = users;
+        self
+    }
+
+    /// Returns `self` with skill-parallel updates toggled.
+    pub fn with_skills(mut self, skills: bool) -> Self {
+        self.skills = skills;
+        self
+    }
+
+    /// Returns `self` with feature-parallel updates toggled.
+    pub fn with_features(mut self, features: bool) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Returns `self` with the shared emission table toggled.
+    pub fn with_emission(mut self, emission: bool) -> Self {
+        self.emission = emission;
+        self
+    }
+
+    /// Returns `self` with the persistent incremental statistics grid
+    /// toggled.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Returns `self` with the worker-thread count replaced.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Validates the configuration.
@@ -407,12 +456,10 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(ParallelConfig {
-            threads: 0,
-            ..ParallelConfig::sequential()
-        }
-        .validate()
-        .is_err());
+        assert!(ParallelConfig::sequential()
+            .with_threads(0)
+            .validate()
+            .is_err());
         assert!(ParallelConfig::all(4).validate().is_ok());
         assert!(!ParallelConfig::sequential().update_parallel());
         assert!(ParallelConfig::all(2).update_parallel());
@@ -425,12 +472,10 @@ mod tests {
         let (seq_a, seq_ll) = crate::assign::assign_all(&model, &ds).unwrap();
         for threads in [2, 3, 5] {
             for emission in [true, false] {
-                let cfg = ParallelConfig {
-                    users: true,
-                    threads,
-                    emission,
-                    ..ParallelConfig::sequential()
-                };
+                let cfg = ParallelConfig::sequential()
+                    .with_users(true)
+                    .with_threads(threads)
+                    .with_emission(emission);
                 let (par_a, par_ll) = assign_all_parallel(&model, &ds, &cfg).unwrap();
                 assert_eq!(seq_a, par_a, "threads={threads} emission={emission}");
                 assert!((seq_ll - par_ll).abs() < 1e-9);
@@ -443,10 +488,7 @@ mod tests {
         let ds = build_dataset(5, 9);
         let model = initialize_model(&ds, 3, 4, 0.01).unwrap();
         let with_table = ParallelConfig::sequential();
-        let direct = ParallelConfig {
-            emission: false,
-            ..ParallelConfig::sequential()
-        };
+        let direct = ParallelConfig::sequential().with_emission(false);
         let (a_t, ll_t) = assign_all_parallel(&model, &ds, &with_table).unwrap();
         let (a_d, ll_d) = assign_all_parallel(&model, &ds, &direct).unwrap();
         assert_eq!(a_t, a_d);
@@ -457,10 +499,7 @@ mod tests {
     fn parallel_assignment_disabled_flag_falls_through() {
         let ds = build_dataset(3, 8);
         let model = initialize_model(&ds, 2, 4, 0.01).unwrap();
-        let cfg = ParallelConfig {
-            threads: 4,
-            ..ParallelConfig::sequential()
-        };
+        let cfg = ParallelConfig::sequential().with_threads(4);
         let (a, _) = assign_all_parallel(&model, &ds, &cfg).unwrap();
         assert!(a.is_monotone());
     }
@@ -473,12 +512,10 @@ mod tests {
         let sequential = crate::update::fit_model(&ds, &assignments, 3, 0.01).unwrap();
         for (skills, features) in [(true, false), (false, true), (true, true)] {
             for threads in [2, 3, 6] {
-                let cfg = ParallelConfig {
-                    skills,
-                    features,
-                    threads,
-                    ..ParallelConfig::sequential()
-                };
+                let cfg = ParallelConfig::sequential()
+                    .with_skills(skills)
+                    .with_features(features)
+                    .with_threads(threads);
                 let parallel = fit_model_parallel(&ds, &assignments, 3, 0.01, &cfg).unwrap();
                 // Compare via likelihood of every item at every level.
                 for item in 0..ds.n_items() {
@@ -500,11 +537,9 @@ mod tests {
         let ds = build_dataset(2, 6);
         let model = initialize_model(&ds, 2, 4, 0.01).unwrap();
         let (assignments, _) = crate::assign::assign_all(&model, &ds).unwrap();
-        let cfg = ParallelConfig {
-            skills: true,
-            features: true,
-            ..ParallelConfig::sequential()
-        };
+        let cfg = ParallelConfig::sequential()
+            .with_skills(true)
+            .with_features(true);
         let m = fit_model_parallel(&ds, &assignments, 2, 0.01, &cfg).unwrap();
         assert_eq!(m.n_levels(), 2);
     }

@@ -1,0 +1,23 @@
+//! One-stop import for the common surface of `upskill-core`.
+//!
+//! Pulls in the types needed for the standard workflow — describe items
+//! ([`FeatureSchema`]), assemble a [`Dataset`], train with [`Trainer`] (or
+//! the [`train`] free functions), then estimate difficulty
+//! ([`SkillPrior`]), track users online ([`OnlineTracker`]), or keep
+//! folding in fresh actions with a [`StreamingSession`].
+//!
+//! ```
+//! use upskill_core::prelude::*;
+//! ```
+
+pub use crate::difficulty::SkillPrior;
+pub use crate::emission::EmissionTable;
+pub use crate::error::{CoreError, Result};
+pub use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
+pub use crate::incremental::StatsGrid;
+pub use crate::model::SkillModel;
+pub use crate::online::OnlineTracker;
+pub use crate::parallel::ParallelConfig;
+pub use crate::streaming::{RefitPolicy, StreamingSession};
+pub use crate::train::{train, train_with_parallelism, TrainConfig, TrainResult, Trainer};
+pub use crate::types::{Action, ActionSequence, Dataset, SkillAssignments};

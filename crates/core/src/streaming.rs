@@ -1,0 +1,602 @@
+//! Streaming ingestion: fold live actions into a trained model without a
+//! full retrain.
+//!
+//! The paper's motivating deployment (§IV, §VI) is a live service where
+//! users keep acting after the model has been trained. Retraining from
+//! scratch on every appended action costs a whole alternating-optimization
+//! run; a [`StreamingSession`] instead *continues* a trained state:
+//!
+//! 1. **Assignment extension** — each ingested action extends its user's
+//!    committed monotone level path. Because the prefix is committed, the
+//!    monotone-DP recurrence collapses to a two-way choice (`stay` at the
+//!    last level or `advance` by one), decided by the cached emission
+//!    scores — exactly the constrained forward-DP step, in `O(1)` per
+//!    action.
+//! 2. **Exact statistics deltas** — every appended action is a single `+1`
+//!    on the persistent [`StatsGrid`] cell `(level, item)`
+//!    ([`StatsGrid::add_action`]), so the sufficient statistics stay
+//!    bit-exact with a from-scratch accumulation at all times.
+//! 3. **Dirty-level refits** — a refit ([`StreamingSession::refit`], run
+//!    per the session's [`RefitPolicy`]) refits only the levels whose
+//!    histogram changed, reuses the previous model rows elsewhere
+//!    ([`StatsGrid::fit_model_incremental`]), and refreshes only those
+//!    levels' [`EmissionTable`] columns.
+//!
+//! ## Filtering, not smoothing
+//!
+//! Like [`crate::online::OnlineTracker`], ingestion is *filtering*: each
+//! level commitment uses only the actions seen so far and is never
+//! revisited when later evidence arrives. Batch training is *smoothing* —
+//! its DP re-segments whole sequences with hindsight — so a session's
+//! assignments on the streamed suffix can differ from what a full retrain
+//! on the concatenated dataset would produce. What *is* exact: given the
+//! session's assignments, the refit model equals a from-scratch parameter
+//! fit of the concatenated dataset bit for bit (see
+//! `tests/properties_streaming.rs`). Periodically retraining from scratch
+//! and resuming a fresh session recovers the smoothing view.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::emission::EmissionTable;
+use crate::error::{CoreError, Result};
+use crate::incremental::StatsGrid;
+use crate::model::SkillModel;
+use crate::online::OnlineTracker;
+use crate::parallel::ParallelConfig;
+use crate::train::{TrainConfig, TrainResult};
+use crate::types::{Action, ActionSequence, Dataset, SkillAssignments, SkillLevel, UserId};
+
+/// When a [`StreamingSession`] refits model parameters from its
+/// accumulated statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RefitPolicy {
+    /// Refit at the end of every [`StreamingSession::ingest_batch`] call
+    /// (a single [`StreamingSession::ingest`] counts as a batch of one).
+    EveryBatch,
+    /// Refit once at least this many actions have been ingested since the
+    /// last refit, checked at the end of each ingest call.
+    EveryNActions(usize),
+    /// Never refit automatically; the caller drives
+    /// [`StreamingSession::refit`] explicitly.
+    Manual,
+}
+
+/// A live continuation of a trained model: owns the dataset, the model,
+/// the committed assignments, the persistent [`StatsGrid`] and
+/// [`EmissionTable`], and one filtering [`OnlineTracker`] per user.
+///
+/// Construct with [`StreamingSession::resume`] from a
+/// [`TrainResult`] (or [`StreamingSession::new`] from raw parts), then
+/// feed actions with [`StreamingSession::ingest`] /
+/// [`StreamingSession::ingest_batch`]. Unknown users are admitted
+/// automatically with a fresh sequence and tracker.
+///
+/// The session's model is always the parameter fit of its current
+/// statistics (established by a fit at construction; for a converged,
+/// grid-trained [`TrainResult`] this reproduces `result.model` bit for
+/// bit). Between refits the model and emission table lag the statistics
+/// by design — that lag is what the [`RefitPolicy`] trades against cost.
+#[derive(Debug, Clone)]
+pub struct StreamingSession {
+    dataset: Dataset,
+    model: SkillModel,
+    assignments: SkillAssignments,
+    config: TrainConfig,
+    parallel: ParallelConfig,
+    policy: RefitPolicy,
+    grid: StatsGrid,
+    table: EmissionTable,
+    trackers: Vec<OnlineTracker>,
+    user_index: HashMap<UserId, usize>,
+    /// Actions ingested since the last refit.
+    pending: usize,
+    /// Actions ingested over the session's lifetime.
+    total_ingested: usize,
+}
+
+impl StreamingSession {
+    /// Builds a session from a dataset and its committed assignments.
+    ///
+    /// The model is fit from the assignments' statistics (the update step
+    /// of the coordinate ascent), which establishes the exact
+    /// grid-model invariant every later dirty-level refit relies on. The
+    /// per-user trackers are warmed by replaying each sequence through the
+    /// emission table.
+    pub fn new(
+        dataset: Dataset,
+        assignments: SkillAssignments,
+        config: TrainConfig,
+        parallel: ParallelConfig,
+        policy: RefitPolicy,
+    ) -> Result<Self> {
+        config.validate()?;
+        parallel.validate()?;
+        if !assignments.is_monotone() {
+            return Err(CoreError::DegenerateFit {
+                distribution: "streaming session",
+                reason: "assignments violate the monotone level constraint",
+            });
+        }
+        // Shape validation (user count, per-user lengths) happens inside
+        // the grid build.
+        let mut grid =
+            StatsGrid::build_with_config(&dataset, &assignments, config.n_levels, &parallel)?;
+        let model = grid.fit_model_incremental(&dataset, config.lambda, &parallel, None)?;
+        let table = if parallel.users && parallel.threads > 1 {
+            EmissionTable::build_parallel(&model, &dataset, parallel.threads)?
+        } else {
+            EmissionTable::build(&model, &dataset)
+        };
+        let mut trackers = Vec::with_capacity(dataset.n_users());
+        let mut user_index = HashMap::with_capacity(dataset.n_users());
+        for (u, seq) in dataset.sequences().iter().enumerate() {
+            if user_index.insert(seq.user, u).is_some() {
+                return Err(CoreError::DegenerateFit {
+                    distribution: "streaming session",
+                    reason: "dataset contains two sequences for one user id",
+                });
+            }
+            let mut tracker = OnlineTracker::new(config.n_levels)?;
+            for action in seq.actions() {
+                tracker.observe_item(&table, action.item)?;
+            }
+            trackers.push(tracker);
+        }
+        Ok(Self {
+            dataset,
+            model,
+            assignments,
+            config,
+            parallel,
+            policy,
+            grid,
+            table,
+            trackers,
+            user_index,
+            pending: 0,
+            total_ingested: 0,
+        })
+    }
+
+    /// Resumes a session from a completed training run: the dataset it was
+    /// trained on plus the [`TrainResult`]'s final assignments.
+    pub fn resume(
+        dataset: Dataset,
+        result: &TrainResult,
+        config: TrainConfig,
+        parallel: ParallelConfig,
+        policy: RefitPolicy,
+    ) -> Result<Self> {
+        Self::new(
+            dataset,
+            result.assignments.clone(),
+            config,
+            parallel,
+            policy,
+        )
+    }
+
+    /// Ingests one action: extends the user's committed level path, applies
+    /// the `+1` statistics delta, advances the user's filtering tracker,
+    /// and refits per the session's [`RefitPolicy`]. Returns the level
+    /// committed for this action.
+    ///
+    /// Unknown users get a fresh sequence; known users' actions must not
+    /// move time backwards. On error the session state is unchanged.
+    pub fn ingest(&mut self, action: Action) -> Result<SkillLevel> {
+        let level = self.ingest_inner(action)?;
+        self.refit_per_policy()?;
+        Ok(level)
+    }
+
+    /// Ingests a batch of actions (each as [`StreamingSession::ingest`]),
+    /// deferring any policy-driven refit to the end of the batch. Returns
+    /// the committed level of every action, in input order.
+    ///
+    /// Fails fast on the first invalid action: earlier actions of the
+    /// batch stay ingested, the offending and later ones do not.
+    pub fn ingest_batch(&mut self, actions: &[Action]) -> Result<Vec<SkillLevel>> {
+        let mut levels = Vec::with_capacity(actions.len());
+        for &action in actions {
+            levels.push(self.ingest_inner(action)?);
+        }
+        self.refit_per_policy()?;
+        Ok(levels)
+    }
+
+    /// The committed-prefix forward-DP step plus bookkeeping; no refit.
+    fn ingest_inner(&mut self, action: Action) -> Result<SkillLevel> {
+        let row =
+            self.table
+                .checked_row(action.item)
+                .ok_or(CoreError::FeatureIndexOutOfBounds {
+                    index: action.item as usize,
+                    len: self.table.n_items(),
+                })?;
+        let (u, is_new_user) = match self.user_index.get(&action.user) {
+            Some(&u) => (u, false),
+            None => (self.dataset.n_users(), true),
+        };
+        // Constrained extension of the committed monotone path: the prefix
+        // pins the path at the user's last level, so the DP choice is
+        // between staying and advancing one level, by emission score
+        // (ties stay). A first action takes the best level outright
+        // (ties low), matching the DP's first column.
+        let last = if is_new_user {
+            None
+        } else {
+            self.assignments.per_user[u].last().copied()
+        };
+        let level = match last {
+            None => argmax_low(row) as SkillLevel + 1,
+            Some(last) => {
+                let li = last as usize - 1;
+                if li + 1 < row.len() && row[li + 1] > row[li] {
+                    last + 1
+                } else {
+                    last
+                }
+            }
+        };
+
+        // Mutations, fallible first so errors leave the session unchanged.
+        if is_new_user {
+            let seq = ActionSequence::new(action.user, vec![action])?;
+            self.dataset.push_sequence(seq)?;
+            self.assignments.per_user.push(Vec::new());
+            self.trackers
+                .push(OnlineTracker::new(self.config.n_levels)?);
+            self.user_index.insert(action.user, u);
+        } else {
+            self.dataset.append_action(u, action)?;
+        }
+        self.grid.add_action(action.item, level)?;
+        self.assignments.per_user[u].push(level);
+        self.trackers[u].observe_item(&self.table, action.item)?;
+        self.pending += 1;
+        self.total_ingested += 1;
+        Ok(level)
+    }
+
+    /// Refits the dirty levels now if the policy says so.
+    fn refit_per_policy(&mut self) -> Result<usize> {
+        let due = match self.policy {
+            RefitPolicy::EveryBatch => true,
+            RefitPolicy::EveryNActions(n) => self.pending >= n,
+            RefitPolicy::Manual => false,
+        };
+        if due {
+            self.refit()
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// Refits model parameters from the accumulated statistics, touching
+    /// only dirty levels, and refreshes exactly those emission-table
+    /// columns. Returns the number of levels refit (0 when nothing was
+    /// pending). Callable at any time, whatever the policy.
+    pub fn refit(&mut self) -> Result<usize> {
+        // `fit_model_incremental` clears the dirty flags; capture them
+        // first — they are exactly the emission columns to refresh.
+        let dirty = self.grid.dirty_levels().to_vec();
+        let n_dirty = dirty.iter().filter(|&&d| d).count();
+        if n_dirty == 0 {
+            self.pending = 0;
+            return Ok(0);
+        }
+        self.model = self.grid.fit_model_incremental(
+            &self.dataset,
+            self.config.lambda,
+            &self.parallel,
+            Some(&self.model),
+        )?;
+        self.table
+            .refresh_levels(&self.model, &self.dataset, &dirty)?;
+        self.pending = 0;
+        Ok(n_dirty)
+    }
+
+    /// Snapshots the session into a serializable
+    /// [`SessionBundle`](crate::bundle::SessionBundle).
+    ///
+    /// Derived state (grid, emission table, trackers) is not stored;
+    /// [`SessionBundle::resume`](crate::bundle::SessionBundle::resume)
+    /// rebuilds it, so a snapshot taken with pending actions resumes
+    /// freshly refit.
+    pub fn snapshot(&self, note: &str) -> crate::bundle::SessionBundle {
+        crate::bundle::SessionBundle {
+            version: crate::bundle::SESSION_BUNDLE_VERSION,
+            dataset: self.dataset.clone(),
+            model: self.model.clone(),
+            assignments: self.assignments.clone(),
+            config: self.config,
+            parallel: self.parallel,
+            policy: self.policy,
+            note: note.to_string(),
+        }
+    }
+
+    /// The dataset including every ingested action.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The current model (last refit; lags the statistics between refits).
+    pub fn model(&self) -> &SkillModel {
+        &self.model
+    }
+
+    /// The committed per-action level assignments, including the streamed
+    /// suffix.
+    pub fn assignments(&self) -> &SkillAssignments {
+        &self.assignments
+    }
+
+    /// Training hyperparameters the session refits with.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Parallelism configuration used for refits.
+    pub fn parallel(&self) -> &ParallelConfig {
+        &self.parallel
+    }
+
+    /// The current refit policy.
+    pub fn policy(&self) -> RefitPolicy {
+        self.policy
+    }
+
+    /// Replaces the refit policy (takes effect from the next ingest).
+    pub fn set_policy(&mut self, policy: RefitPolicy) {
+        self.policy = policy;
+    }
+
+    /// Number of actions ingested since the last refit.
+    pub fn pending_actions(&self) -> usize {
+        self.pending
+    }
+
+    /// Number of actions ingested over the session's lifetime.
+    pub fn total_ingested(&self) -> usize {
+        self.total_ingested
+    }
+
+    /// Number of users the session tracks (including streamed-in users).
+    pub fn n_users(&self) -> usize {
+        self.dataset.n_users()
+    }
+
+    /// The user's last committed level, if they have any actions.
+    pub fn committed_level(&self, user: UserId) -> Option<SkillLevel> {
+        let &u = self.user_index.get(&user)?;
+        self.assignments.per_user[u].last().copied()
+    }
+
+    /// The user's filtering (tracker) level estimate — may disagree with
+    /// the committed path; see the module docs on filtering vs smoothing.
+    pub fn filtered_level(&self, user: UserId) -> Option<SkillLevel> {
+        let &u = self.user_index.get(&user)?;
+        self.trackers[u].current_level().ok()
+    }
+}
+
+/// Index of the maximum value, lowest index on ties.
+fn argmax_low(row: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate().skip(1) {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
+    use crate::train::train;
+
+    /// Progression dataset: users move through item categories over time.
+    fn progression_dataset(n_users: usize, len: usize, n_cats: u32) -> Dataset {
+        let schema = FeatureSchema::new(vec![
+            FeatureKind::Categorical {
+                cardinality: n_cats,
+            },
+            FeatureKind::Count,
+        ])
+        .unwrap();
+        let items: Vec<Vec<FeatureValue>> = (0..n_cats)
+            .map(|c| {
+                vec![
+                    FeatureValue::Categorical(c),
+                    FeatureValue::Count(1 + 4 * c as u64),
+                ]
+            })
+            .collect();
+        let sequences: Vec<ActionSequence> = (0..n_users as u32)
+            .map(|u| {
+                let actions: Vec<Action> = (0..len)
+                    .map(|t| {
+                        let cat = (t * n_cats as usize / len) as u32;
+                        Action::new(t as i64, u, cat)
+                    })
+                    .collect();
+                ActionSequence::new(u, actions).unwrap()
+            })
+            .collect();
+        Dataset::new(schema, items, sequences).unwrap()
+    }
+
+    fn trained_session(policy: RefitPolicy) -> StreamingSession {
+        let ds = progression_dataset(8, 12, 3);
+        let cfg = TrainConfig::new(3).with_min_init_actions(4);
+        let result = train(&ds, &cfg).unwrap();
+        StreamingSession::resume(ds, &result, cfg, ParallelConfig::sequential(), policy).unwrap()
+    }
+
+    /// Bitwise model equality over the full item × level likelihood grid.
+    fn models_identical(a: &SkillModel, b: &SkillModel, ds: &Dataset) -> bool {
+        (0..ds.n_items()).all(|item| {
+            (1..=a.n_levels() as SkillLevel).all(|s| {
+                let x = a.item_log_likelihood(ds.item_features(item as u32), s);
+                let y = b.item_log_likelihood(ds.item_features(item as u32), s);
+                x.to_bits() == y.to_bits()
+            })
+        })
+    }
+
+    #[test]
+    fn resume_reproduces_converged_model_bitwise() {
+        let ds = progression_dataset(8, 12, 3);
+        let cfg = TrainConfig::new(3).with_min_init_actions(4);
+        let result = train(&ds, &cfg).unwrap();
+        assert!(result.converged);
+        let session = StreamingSession::resume(
+            ds.clone(),
+            &result,
+            cfg,
+            ParallelConfig::sequential(),
+            RefitPolicy::EveryBatch,
+        )
+        .unwrap();
+        assert!(models_identical(session.model(), &result.model, &ds));
+    }
+
+    #[test]
+    fn ingest_extends_monotone_assignments_and_exact_statistics() {
+        let mut session = trained_session(RefitPolicy::EveryBatch);
+        let t0 = 100; // past every training timestamp
+        for (k, user) in [0u32, 0, 3, 3, 3].iter().enumerate() {
+            let level = session
+                .ingest(Action::new(t0 + k as i64, *user, 2))
+                .unwrap();
+            assert!((1..=3).contains(&level));
+        }
+        assert!(session.assignments().is_monotone());
+        assert_eq!(session.total_ingested(), 5);
+        assert_eq!(session.pending_actions(), 0); // EveryBatch refits per ingest
+        assert_eq!(session.dataset().n_actions(), 8 * 12 + 5);
+
+        // The refit model must equal a from-scratch parameter fit of the
+        // grown dataset under the session's assignments, bit for bit.
+        let fresh = StatsGrid::build(session.dataset(), session.assignments(), 3)
+            .unwrap()
+            .fit_model(session.dataset(), session.config().lambda)
+            .unwrap();
+        assert!(models_identical(session.model(), &fresh, session.dataset()));
+
+        // And the emission table must match a fresh build of that model.
+        let fresh_table = EmissionTable::build(session.model(), session.dataset());
+        for item in 0..session.dataset().n_items() as u32 {
+            for s in 1..=3u8 {
+                assert_eq!(
+                    session.table.log_likelihood(item, s).to_bits(),
+                    fresh_table.log_likelihood(item, s).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_user_is_admitted_with_fresh_sequence() {
+        let mut session = trained_session(RefitPolicy::EveryBatch);
+        assert_eq!(session.committed_level(42), None);
+        let level = session.ingest(Action::new(0, 42, 0)).unwrap();
+        assert_eq!(session.n_users(), 9);
+        assert_eq!(session.committed_level(42), Some(level));
+        assert!(session.filtered_level(42).is_some());
+        // The new user's next action continues their own sequence.
+        session.ingest(Action::new(1, 42, 1)).unwrap();
+        assert_eq!(session.dataset().sequences()[8].len(), 2);
+    }
+
+    #[test]
+    fn every_n_actions_policy_defers_refit() {
+        let mut session = trained_session(RefitPolicy::EveryNActions(3));
+        let before = session.model().clone();
+        session.ingest(Action::new(100, 0, 2)).unwrap();
+        session.ingest(Action::new(101, 0, 2)).unwrap();
+        // Not due yet: model untouched, statistics pending.
+        assert_eq!(session.pending_actions(), 2);
+        assert!(models_identical(
+            session.model(),
+            &before,
+            session.dataset()
+        ));
+        session.ingest(Action::new(102, 0, 2)).unwrap();
+        assert_eq!(session.pending_actions(), 0);
+    }
+
+    #[test]
+    fn manual_policy_refits_only_on_demand() {
+        let mut session = trained_session(RefitPolicy::Manual);
+        let before = session.model().clone();
+        for k in 0..5 {
+            session.ingest(Action::new(100 + k, 1, 2)).unwrap();
+        }
+        assert_eq!(session.pending_actions(), 5);
+        assert!(models_identical(
+            session.model(),
+            &before,
+            session.dataset()
+        ));
+        let refit_levels = session.refit().unwrap();
+        assert!(refit_levels >= 1);
+        assert_eq!(session.pending_actions(), 0);
+        // Refitting again with nothing pending is a no-op.
+        assert_eq!(session.refit().unwrap(), 0);
+    }
+
+    #[test]
+    fn batch_equals_singles_under_manual_policy() {
+        let actions: Vec<Action> = (0..6).map(|k| Action::new(100 + k, 2, 2)).collect();
+        let mut batched = trained_session(RefitPolicy::Manual);
+        let mut single = trained_session(RefitPolicy::Manual);
+        let batch_levels = batched.ingest_batch(&actions).unwrap();
+        let single_levels: Vec<SkillLevel> =
+            actions.iter().map(|&a| single.ingest(a).unwrap()).collect();
+        assert_eq!(batch_levels, single_levels);
+        batched.refit().unwrap();
+        single.refit().unwrap();
+        assert_eq!(batched.assignments(), single.assignments());
+        assert!(models_identical(
+            batched.model(),
+            single.model(),
+            batched.dataset()
+        ));
+    }
+
+    #[test]
+    fn invalid_actions_leave_session_unchanged() {
+        let mut session = trained_session(RefitPolicy::EveryBatch);
+        let n_actions = session.dataset().n_actions();
+        // Unknown item.
+        assert!(session.ingest(Action::new(100, 0, 99)).is_err());
+        // Time regression for a known user (training data ends at t=11).
+        assert!(session.ingest(Action::new(-5, 0, 0)).is_err());
+        assert_eq!(session.dataset().n_actions(), n_actions);
+        assert_eq!(session.total_ingested(), 0);
+        assert_eq!(session.pending_actions(), 0);
+    }
+
+    #[test]
+    fn non_monotone_assignments_rejected_at_construction() {
+        let ds = progression_dataset(2, 3, 2);
+        let bad = SkillAssignments {
+            per_user: vec![vec![2, 1, 1], vec![1, 1, 1]],
+        };
+        let err = StreamingSession::new(
+            ds,
+            bad,
+            TrainConfig::new(2),
+            ParallelConfig::sequential(),
+            RefitPolicy::Manual,
+        );
+        assert!(err.is_err());
+    }
+}

@@ -10,7 +10,7 @@
 //! stopping rule, which is what terminates in practice.
 //!
 //! Each assignment step builds one shared
-//! [`EmissionTable`](crate::emission::EmissionTable) (inside
+//! [`EmissionTable`] (inside
 //! [`assign_all_parallel`]) from the current parameters, so every iteration
 //! evaluates each item's emission vector once instead of once per action;
 //! see [`crate::parallel::ParallelConfig::emission`] to disable it.
@@ -76,6 +76,12 @@ impl TrainConfig {
         self
     }
 
+    /// Overrides the convergence tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
     /// Validates hyperparameters.
     pub fn validate(&self) -> Result<()> {
         if self.n_levels == 0 {
@@ -133,6 +139,219 @@ pub struct TrainResult {
 /// Trains a skill model on a dataset (sequential execution).
 pub fn train(dataset: &Dataset, config: &TrainConfig) -> Result<TrainResult> {
     train_with_parallelism(dataset, config, &ParallelConfig::sequential())
+}
+
+/// Assignment mode of the [`Trainer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrainMode {
+    /// Hard assignments: alternate the monotone Viterbi DP with
+    /// closed-form updates (the paper's trainer; [`train_with_parallelism`]).
+    #[default]
+    Hard,
+    /// Soft assignments: forward–backward EM over the stay/advance lattice
+    /// ([`crate::em::train_em_with_parallelism`]), closed with one hard
+    /// decode so the result is interchangeable with the hard mode's.
+    Em,
+}
+
+/// Unified training entry point: one builder covering [`train`],
+/// [`train_with_parallelism`], and the EM trainer, with parallelism and
+/// hyperparameters set through `with_*` methods.
+///
+/// ```
+/// use upskill_core::parallel::ParallelConfig;
+/// use upskill_core::train::Trainer;
+/// # use upskill_core::feature::{FeatureKind, FeatureSchema, FeatureValue};
+/// # use upskill_core::types::{Action, ActionSequence, Dataset};
+/// # let schema = FeatureSchema::new(vec![FeatureKind::Categorical { cardinality: 2 }])?;
+/// # let items = vec![vec![FeatureValue::Categorical(0)], vec![FeatureValue::Categorical(1)]];
+/// # let sequences: Vec<ActionSequence> = (0..4)
+/// #     .map(|u| {
+/// #         let actions = (0..8).map(|t| Action::new(t, u, u32::from(t >= 4))).collect();
+/// #         ActionSequence::new(u, actions)
+/// #     })
+/// #     .collect::<Result<_, _>>()?;
+/// # let dataset = Dataset::new(schema, items, sequences)?;
+/// let result = Trainer::new(2)
+///     .with_min_init_actions(4)
+///     .with_parallelism(ParallelConfig::all(2))
+///     .fit(&dataset)?;
+/// assert!(result.assignments.is_monotone());
+/// # Ok::<(), upskill_core::error::CoreError>(())
+/// ```
+///
+/// From the returned [`TrainResult`] a live
+/// [`StreamingSession`](crate::streaming::StreamingSession) can be resumed
+/// — or built in one step with [`Trainer::fit_session`].
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+    parallel: ParallelConfig,
+    mode: TrainMode,
+    /// EM-mode transitions; `None` means uninformative.
+    transitions: Option<crate::transition::TransitionModel>,
+}
+
+impl Trainer {
+    /// A hard-assignment, sequential trainer with paper defaults for `S`
+    /// skill levels.
+    pub fn new(n_levels: usize) -> Self {
+        Self::from_config(TrainConfig::new(n_levels))
+    }
+
+    /// Wraps an existing [`TrainConfig`].
+    pub fn from_config(config: TrainConfig) -> Self {
+        Self {
+            config,
+            parallel: ParallelConfig::sequential(),
+            mode: TrainMode::Hard,
+            transitions: None,
+        }
+    }
+
+    /// Overrides the smoothing pseudo-count `λ`.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.config = self.config.with_lambda(lambda);
+        self
+    }
+
+    /// Overrides the initialization length threshold.
+    pub fn with_min_init_actions(mut self, n: usize) -> Self {
+        self.config = self.config.with_min_init_actions(n);
+        self
+    }
+
+    /// Overrides the iteration cap.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.config = self.config.with_max_iterations(n);
+        self
+    }
+
+    /// Overrides the convergence tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.config = self.config.with_tolerance(tolerance);
+        self
+    }
+
+    /// Replaces the parallelism configuration wholesale.
+    pub fn with_parallelism(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Shorthand for [`ParallelConfig::all`]: every parallel technique on
+    /// `threads` workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallel = ParallelConfig::all(threads);
+        self
+    }
+
+    /// Switches to soft-assignment (EM) training with uninformative
+    /// transitions.
+    pub fn em(mut self) -> Self {
+        self.mode = TrainMode::Em;
+        self
+    }
+
+    /// Switches to EM training with explicit transition probabilities.
+    pub fn em_with_transitions(mut self, transitions: crate::transition::TransitionModel) -> Self {
+        self.mode = TrainMode::Em;
+        self.transitions = Some(transitions);
+        self
+    }
+
+    /// Switches (back) to hard-assignment training.
+    pub fn hard(mut self) -> Self {
+        self.mode = TrainMode::Hard;
+        self
+    }
+
+    /// The effective training hyperparameters.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// The effective parallelism configuration.
+    pub fn parallel(&self) -> &ParallelConfig {
+        &self.parallel
+    }
+
+    /// The effective assignment mode.
+    pub fn mode(&self) -> TrainMode {
+        self.mode
+    }
+
+    /// Trains on `dataset` and returns a uniform [`TrainResult`] whatever
+    /// the mode.
+    ///
+    /// In EM mode the evidence trace is exposed through
+    /// [`IterationStats::log_likelihood`] (with `n_changed` and `seconds`
+    /// unset/zero — EM has no churn notion and is not instrumented
+    /// per-iteration), and the soft model is closed with one hard decode
+    /// so `assignments` and `log_likelihood` mean the same thing in both
+    /// modes.
+    pub fn fit(&self, dataset: &Dataset) -> Result<TrainResult> {
+        match self.mode {
+            TrainMode::Hard => train_with_parallelism(dataset, &self.config, &self.parallel),
+            TrainMode::Em => {
+                self.config.validate()?;
+                let initial = initialize_model(
+                    dataset,
+                    self.config.n_levels,
+                    self.config.min_init_actions,
+                    self.config.lambda,
+                )?;
+                let transitions = match &self.transitions {
+                    Some(t) => t.clone(),
+                    None => {
+                        crate::transition::TransitionModel::uninformative(self.config.n_levels)?
+                    }
+                };
+                let em_cfg = crate::em::EmConfig::new(initial, transitions)
+                    .with_lambda(self.config.lambda)
+                    .with_max_iterations(self.config.max_iterations)
+                    .with_tolerance(self.config.tolerance);
+                let em = crate::em::train_em_with_parallelism(dataset, &em_cfg, &self.parallel)?;
+                let (assignments, log_likelihood) =
+                    assign_all_parallel(&em.model, dataset, &self.parallel)?;
+                let trace = em
+                    .evidence_trace
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &ev)| IterationStats {
+                        iteration: i + 1,
+                        log_likelihood: ev,
+                        n_changed: None,
+                        seconds: 0.0,
+                    })
+                    .collect();
+                Ok(TrainResult {
+                    model: em.model,
+                    assignments,
+                    log_likelihood,
+                    trace,
+                    converged: em.converged,
+                })
+            }
+        }
+    }
+
+    /// Trains on `dataset` and immediately resumes a live
+    /// [`StreamingSession`](crate::streaming::StreamingSession) over it.
+    pub fn fit_session(
+        &self,
+        dataset: Dataset,
+        policy: crate::streaming::RefitPolicy,
+    ) -> Result<crate::streaming::StreamingSession> {
+        let result = self.fit(&dataset)?;
+        crate::streaming::StreamingSession::resume(
+            dataset,
+            &result,
+            self.config,
+            self.parallel,
+            policy,
+        )
+    }
 }
 
 /// Trains a skill model with explicit parallelization flags (§IV-C).
@@ -483,10 +702,7 @@ mod tests {
         let full = train_with_parallelism(
             &ds,
             &cfg,
-            &ParallelConfig {
-                incremental: false,
-                ..ParallelConfig::sequential()
-            },
+            &ParallelConfig::sequential().with_incremental(false),
         )
         .unwrap();
         assert_eq!(incremental.assignments, full.assignments);
@@ -508,6 +724,73 @@ mod tests {
         let cfg = TrainConfig::new(1).with_min_init_actions(4);
         let result = train(&ds, &cfg).unwrap();
         assert!(result.assignments.iter().all(|(_, _, s)| s == 1));
+    }
+
+    #[test]
+    fn trainer_hard_mode_matches_free_function() {
+        let ds = progression_dataset(6, 12, 3);
+        let cfg = TrainConfig::new(3).with_min_init_actions(6);
+        let direct = train_with_parallelism(&ds, &cfg, &ParallelConfig::all(2)).unwrap();
+        let built = Trainer::from_config(cfg).with_threads(2).fit(&ds).unwrap();
+        assert_eq!(direct.assignments, built.assignments);
+        assert_eq!(direct.converged, built.converged);
+        assert!((direct.log_likelihood - built.log_likelihood).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trainer_em_mode_yields_uniform_result() {
+        let ds = progression_dataset(6, 12, 3);
+        let built = Trainer::new(3)
+            .with_min_init_actions(6)
+            .with_max_iterations(10)
+            .em()
+            .fit(&ds)
+            .unwrap();
+        assert!(built.assignments.is_monotone());
+        assert_eq!(built.assignments.per_user.len(), 6);
+        assert!(!built.trace.is_empty());
+        assert!(built.trace.iter().all(|s| s.n_changed.is_none()));
+        // The hard decode's path log-likelihood is what's reported.
+        let (decoded, ll) =
+            assign_all_parallel(&built.model, &ds, &ParallelConfig::sequential()).unwrap();
+        assert_eq!(decoded, built.assignments);
+        assert!((ll - built.log_likelihood).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trainer_builders_compose() {
+        let t = Trainer::new(4)
+            .with_lambda(0.5)
+            .with_min_init_actions(7)
+            .with_max_iterations(3)
+            .with_tolerance(1e-3)
+            .with_parallelism(
+                ParallelConfig::sequential()
+                    .with_users(true)
+                    .with_threads(2),
+            )
+            .em()
+            .hard();
+        assert_eq!(t.config().n_levels, 4);
+        assert!((t.config().lambda - 0.5).abs() < 1e-15);
+        assert_eq!(t.config().min_init_actions, 7);
+        assert_eq!(t.config().max_iterations, 3);
+        assert!((t.config().tolerance - 1e-3).abs() < 1e-15);
+        assert!(t.parallel().users);
+        assert_eq!(t.mode(), TrainMode::Hard);
+    }
+
+    #[test]
+    fn trainer_fit_session_resumes_streaming() {
+        let ds = progression_dataset(6, 12, 3);
+        let session = Trainer::new(3)
+            .with_min_init_actions(6)
+            .fit_session(ds.clone(), crate::streaming::RefitPolicy::EveryBatch)
+            .unwrap();
+        assert_eq!(session.n_users(), 6);
+        assert_eq!(session.total_ingested(), 0);
+        let direct = train(&ds, &TrainConfig::new(3).with_min_init_actions(6)).unwrap();
+        assert_eq!(session.assignments(), &direct.assignments);
     }
 
     #[test]

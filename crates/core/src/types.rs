@@ -80,6 +80,27 @@ impl ActionSequence {
         Self::new(user, actions)
     }
 
+    /// Appends one action, validating that it belongs to this user and does
+    /// not move time backwards. Used by the streaming ingestion path.
+    pub fn push(&mut self, action: Action) -> Result<()> {
+        if action.user != self.user {
+            return Err(CoreError::UnsortedSequence {
+                user: self.user,
+                position: self.actions.len(),
+            });
+        }
+        if let Some(last) = self.actions.last() {
+            if action.time < last.time {
+                return Err(CoreError::UnsortedSequence {
+                    user: self.user,
+                    position: self.actions.len(),
+                });
+            }
+        }
+        self.actions.push(action);
+        Ok(())
+    }
+
     /// The actions in chronological order.
     pub fn actions(&self) -> &[Action] {
         &self.actions
@@ -199,6 +220,47 @@ impl Dataset {
             support[a.item as usize] += 1;
         }
         support
+    }
+
+    /// Appends one action to the sequence at `seq_index`, preserving every
+    /// construction-time invariant: the item must exist in the feature
+    /// table, the action's user must match the sequence's owner, and time
+    /// must not move backwards. The cached action count is kept in sync.
+    pub fn append_action(&mut self, seq_index: usize, action: Action) -> Result<()> {
+        if action.item as usize >= self.items.len() {
+            return Err(CoreError::FeatureIndexOutOfBounds {
+                index: action.item as usize,
+                len: self.items.len(),
+            });
+        }
+        let n_users = self.sequences.len();
+        let seq = self
+            .sequences
+            .get_mut(seq_index)
+            .ok_or(CoreError::LengthMismatch {
+                context: "sequence index vs dataset users",
+                left: seq_index,
+                right: n_users,
+            })?;
+        seq.push(action)?;
+        self.n_actions += 1;
+        Ok(())
+    }
+
+    /// Appends a whole (already validated) sequence for a new user and
+    /// returns its index. Every action must reference an existing item.
+    pub fn push_sequence(&mut self, sequence: ActionSequence) -> Result<usize> {
+        for a in sequence.actions() {
+            if a.item as usize >= self.items.len() {
+                return Err(CoreError::FeatureIndexOutOfBounds {
+                    index: a.item as usize,
+                    len: self.items.len(),
+                });
+            }
+        }
+        self.n_actions += sequence.len();
+        self.sequences.push(sequence);
+        Ok(self.sequences.len() - 1)
     }
 
     /// Splits off a shallow view with only the selected users, preserving
@@ -333,6 +395,60 @@ mod tests {
         assert_eq!(ds.n_items(), 2);
         assert_eq!(ds.item_support(), vec![2, 2]);
         assert_eq!(ds.earliest_time(), Some(0));
+    }
+
+    #[test]
+    fn sequence_push_validates_owner_and_order() {
+        let mut seq = ActionSequence::new(0, vec![Action::new(3, 0, 0)]).unwrap();
+        assert!(seq.push(Action::new(3, 0, 1)).is_ok()); // ties allowed
+        assert!(seq.push(Action::new(5, 0, 0)).is_ok());
+        assert!(matches!(
+            seq.push(Action::new(4, 0, 0)),
+            Err(CoreError::UnsortedSequence { user: 0, .. })
+        ));
+        assert!(matches!(
+            seq.push(Action::new(9, 7, 0)),
+            Err(CoreError::UnsortedSequence { user: 0, .. })
+        ));
+        assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn dataset_append_action_maintains_invariants() {
+        let schema = tiny_schema();
+        let items = vec![
+            vec![FeatureValue::Categorical(0)],
+            vec![FeatureValue::Categorical(1)],
+        ];
+        let s0 = ActionSequence::new(0, vec![Action::new(0, 0, 0)]).unwrap();
+        let mut ds = Dataset::new(schema, items, vec![s0]).unwrap();
+        ds.append_action(0, Action::new(1, 0, 1)).unwrap();
+        assert_eq!(ds.n_actions(), 2);
+        // Unknown item, bad sequence index, and time regression all fail
+        // without corrupting the cached count.
+        assert!(matches!(
+            ds.append_action(0, Action::new(2, 0, 9)),
+            Err(CoreError::FeatureIndexOutOfBounds { index: 9, .. })
+        ));
+        assert!(ds.append_action(3, Action::new(2, 0, 0)).is_err());
+        assert!(ds.append_action(0, Action::new(0, 0, 0)).is_err());
+        assert_eq!(ds.n_actions(), 2);
+    }
+
+    #[test]
+    fn dataset_push_sequence_adds_user() {
+        let schema = tiny_schema();
+        let items = vec![vec![FeatureValue::Categorical(0)]];
+        let s0 = ActionSequence::new(0, vec![Action::new(0, 0, 0)]).unwrap();
+        let mut ds = Dataset::new(schema, items, vec![s0]).unwrap();
+        let s1 = ActionSequence::new(9, vec![Action::new(0, 9, 0)]).unwrap();
+        assert_eq!(ds.push_sequence(s1).unwrap(), 1);
+        assert_eq!(ds.n_users(), 2);
+        assert_eq!(ds.n_actions(), 2);
+        let bad = ActionSequence::new(10, vec![Action::new(0, 10, 5)]).unwrap();
+        assert!(ds.push_sequence(bad).is_err());
+        assert_eq!(ds.n_users(), 2);
+        assert_eq!(ds.n_actions(), 2);
     }
 
     #[test]

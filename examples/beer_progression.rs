@@ -7,7 +7,7 @@
 //! ```
 
 use upskill_core::analysis::{level_means, top_skilled, top_unskilled};
-use upskill_core::train::{train, TrainConfig};
+use upskill_core::prelude::*;
 use upskill_datasets::beer::{features, generate, BeerConfig, BEER_LEVELS};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

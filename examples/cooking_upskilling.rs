@@ -8,8 +8,7 @@
 
 use upskill_core::analysis::level_means;
 use upskill_core::difficulty::{empirical_prior, generation_difficulty_with_prior};
-use upskill_core::feature::FeatureValue;
-use upskill_core::train::{train, TrainConfig};
+use upskill_core::prelude::*;
 use upskill_datasets::cooking::{features, generate, CookingConfig, COOKING_LEVELS, TIME_CLASSES};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

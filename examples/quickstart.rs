@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use upskill_core::difficulty::{generation_difficulty, SkillPrior};
-use upskill_core::train::{train, TrainConfig};
+use upskill_core::difficulty::generation_difficulty;
+use upskill_core::prelude::*;
 use upskill_datasets::synthetic::{generate, SyntheticConfig};
 use upskill_eval::pearson;
 

@@ -6,8 +6,8 @@
 //! cargo run --release --example rating_prediction
 //! ```
 
-use upskill_core::difficulty::{generation_difficulty_all, SkillPrior};
-use upskill_core::train::{train, TrainConfig};
+use upskill_core::difficulty::generation_difficulty_all;
+use upskill_core::prelude::*;
 use upskill_datasets::beer::{generate, BeerConfig, BEER_LEVELS};
 use upskill_ffm::{FeatureLayout, FfmConfig, FfmModel, Instance, InstanceBuilder};
 

@@ -9,8 +9,7 @@
 
 use upskill_core::assign::assign_sequence;
 use upskill_core::forgetting::{assign_sequence_with_forgetting, ForgettingConfig};
-use upskill_core::online::OnlineTracker;
-use upskill_core::train::{train, TrainConfig};
+use upskill_core::prelude::*;
 use upskill_datasets::forgetting::{generate, ForgettingScenarioConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,7 +1,7 @@
 //! Integration tests for the parallel training paths (§IV-C) and the
 //! extension modules (probabilistic transitions, EM trainer).
 
-use upskill_core::em::train_em;
+use upskill_core::em::{train_em_with_parallelism, EmConfig};
 use upskill_core::parallel::ParallelConfig;
 use upskill_core::train::{train, train_with_parallelism, TrainConfig};
 use upskill_core::transition::{
@@ -35,14 +35,11 @@ fn every_parallel_configuration_matches_sequential_training() {
         (false, false, true),
         (true, true, true),
     ] {
-        let pc = ParallelConfig {
-            users,
-            skills,
-            features,
-            threads: 4,
-            emission: true,
-            incremental: true,
-        };
+        let pc = ParallelConfig::sequential()
+            .with_users(users)
+            .with_skills(skills)
+            .with_features(features)
+            .with_threads(4);
         let parallel = train_with_parallelism(&data.dataset, &cfg, &pc).expect("parallel");
         assert_eq!(
             sequential.assignments, parallel.assignments,
@@ -99,7 +96,11 @@ fn em_trainer_recovers_comparable_skill_structure() {
     let initial =
         upskill_core::init::initialize_model(&data.dataset, 4, 25, 0.01).expect("initialization");
     let transitions = TransitionModel::uninformative(4).expect("transitions");
-    let soft = train_em(&data.dataset, initial, &transitions, 0.01, 15, 1e-8).expect("EM training");
+    let em_cfg = EmConfig::new(initial, transitions)
+        .with_max_iterations(15)
+        .with_tolerance(1e-8);
+    let soft = train_em_with_parallelism(&data.dataset, &em_cfg, &ParallelConfig::sequential())
+        .expect("EM training");
     assert!(!soft.evidence_trace.is_empty());
 
     // Viterbi decoding of the EM model should correlate with the truth

@@ -254,24 +254,10 @@ proptest! {
         let cfg = TrainConfig::new(n_levels)
             .with_min_init_actions(1)
             .with_max_iterations(12);
-        let base = ParallelConfig {
-            users: true,
-            skills: true,
-            features: true,
-            threads,
-            emission: true,
-            incremental: true,
-        };
+        let base = ParallelConfig::all(threads);
         let incremental = train_with_parallelism(&ds, &cfg, &base).unwrap();
-        let full = train_with_parallelism(
-            &ds,
-            &cfg,
-            &ParallelConfig {
-                incremental: false,
-                ..base
-            },
-        )
-        .unwrap();
+        let full =
+            train_with_parallelism(&ds, &cfg, &base.with_incremental(false)).unwrap();
 
         prop_assert_eq!(&incremental.assignments, &full.assignments);
         prop_assert_eq!(incremental.converged, full.converged);
