@@ -93,7 +93,8 @@ fn main() {
     println!("\nShape check (ablation):");
     println!(
         "  lambda = 0 fails with a clean zero-frequency error: {}",
-        rows.iter().any(|r| r.lambda == 0.0 && r.error.is_some())
+        rows.iter()
+            .any(|r| upskill_core::float_cmp::is_zero(r.lambda) && r.error.is_some())
     );
     println!(
         "  heavier smoothing damps the noisy ID feature and *helps* on \

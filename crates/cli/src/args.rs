@@ -4,6 +4,8 @@
 
 use std::collections::HashMap;
 
+use crate::error::CliError;
+
 /// Parsed flags: `--name value` pairs after the subcommand.
 pub struct Args {
     flags: HashMap<String, String>,
@@ -11,29 +13,29 @@ pub struct Args {
 
 impl Args {
     /// Parses `--name value` pairs; rejects dangling or unknown shapes.
-    pub fn parse(argv: &[String]) -> Result<Self, String> {
+    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
         let mut flags = HashMap::new();
         let mut it = argv.iter();
         while let Some(flag) = it.next() {
             let Some(name) = flag.strip_prefix("--") else {
-                return Err(format!("expected a --flag, got {flag:?}"));
+                return Err(CliError::Usage(format!("expected a --flag, got {flag:?}")));
             };
             let Some(value) = it.next() else {
-                return Err(format!("flag --{name} is missing a value"));
+                return Err(CliError::Usage(format!("flag --{name} is missing a value")));
             };
             if flags.insert(name.to_string(), value.clone()).is_some() {
-                return Err(format!("flag --{name} given twice"));
+                return Err(CliError::Usage(format!("flag --{name} given twice")));
             }
         }
         Ok(Self { flags })
     }
 
     /// A required string flag.
-    pub fn required(&self, name: &str) -> Result<&str, String> {
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
         self.flags
             .get(name)
             .map(String::as_str)
-            .ok_or_else(|| format!("missing required flag --{name}"))
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
     }
 
     /// An optional string flag.
@@ -42,20 +44,20 @@ impl Args {
     }
 
     /// An optional parsed flag with a default.
-    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.flags.get(name) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+                .map_err(|_| CliError::Usage(format!("flag --{name}: cannot parse {v:?}"))),
         }
     }
 
     /// Errors if any flag outside `known` was supplied.
-    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), CliError> {
         for name in self.flags.keys() {
             if !known.contains(&name.as_str()) {
-                return Err(format!("unknown flag --{name}"));
+                return Err(CliError::Usage(format!("unknown flag --{name}")));
             }
         }
         Ok(())

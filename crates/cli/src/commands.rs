@@ -14,6 +14,7 @@ use upskill_core::SkillModel;
 use upskill_datasets::DatasetStats;
 
 use crate::args::Args;
+use crate::error::CliError;
 
 const USAGE: &str = "\
 usage: upskill <command> [flags]
@@ -39,39 +40,61 @@ commands:
   help        show this message";
 
 /// Dispatches a parsed command line.
-pub fn dispatch(argv: &[String]) -> Result<(), String> {
+pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
     let Some((command, rest)) = argv.split_first() else {
-        return Err(format!("no command given\n{USAGE}"));
+        return Err(CliError::Usage(format!("no command given\n{USAGE}")));
     };
     let args = Args::parse(rest)?;
-    match command.as_str() {
-        "generate" => generate(&args),
-        "stats" => stats(&args),
-        "train" => train_cmd(&args),
-        "difficulty" => difficulty(&args),
-        "recommend" => recommend(&args),
-        "evaluate" => evaluate(&args),
-        "sweep" => sweep(&args),
-        "ingest" => ingest(&args),
+    let run = match command.as_str() {
+        "generate" => generate,
+        "stats" => stats,
+        "train" => train_cmd,
+        "difficulty" => difficulty,
+        "recommend" => recommend,
+        "evaluate" => evaluate,
+        "sweep" => sweep,
+        "ingest" => ingest,
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            return Ok(());
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
-    }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown command {other:?}\n{USAGE}"
+            )))
+        }
+    };
+    run(&args).map_err(|e| CliError::Command {
+        command: command.clone(),
+        source: Box::new(e),
+    })
 }
 
-fn read_json<T: for<'de> Deserialize<'de>>(path: &str) -> Result<T, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+fn read_json<T: for<'de> Deserialize<'de>>(path: &str) -> Result<T, CliError> {
+    let text = fs::read_to_string(path).map_err(|e| CliError::Io {
+        op: "read",
+        path: path.to_string(),
+        source: e,
+    })?;
+    serde_json::from_str(&text).map_err(|e| CliError::Parse {
+        path: path.to_string(),
+        detail: e.to_string(),
+    })
 }
 
-fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
-    let text = serde_json::to_string(value).map_err(|e| format!("cannot serialize: {e}"))?;
-    fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+fn write_json<T: Serialize>(path: &str, value: &T) -> Result<(), CliError> {
+    let text = serde_json::to_string(value).map_err(|e| CliError::Serialize {
+        path: path.to_string(),
+        detail: e.to_string(),
+    })?;
+    fs::write(path, text).map_err(|e| CliError::Io {
+        op: "write",
+        path: path.to_string(),
+        source: e,
+    })
 }
 
-fn generate(args: &Args) -> Result<(), String> {
+fn generate(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["domain", "seed", "scale", "out"])?;
     let domain = args.required("domain")?;
     let seed: u64 = args.parse_or("seed", 42)?;
@@ -84,9 +107,7 @@ fn generate(args: &Args) -> Result<(), String> {
             } else {
                 upskill_datasets::synthetic::SyntheticConfig::scaled(10, false, seed)
             };
-            upskill_datasets::synthetic::generate(&cfg)
-                .map_err(|e| e.to_string())?
-                .dataset
+            upskill_datasets::synthetic::generate(&cfg)?.dataset
         }
         "language" => {
             let cfg = if quick {
@@ -94,9 +115,7 @@ fn generate(args: &Args) -> Result<(), String> {
             } else {
                 upskill_datasets::language::LanguageConfig::default_scale(seed)
             };
-            upskill_datasets::language::generate(&cfg)
-                .map_err(|e| e.to_string())?
-                .dataset
+            upskill_datasets::language::generate(&cfg)?.dataset
         }
         "cooking" => {
             let cfg = if quick {
@@ -104,9 +123,7 @@ fn generate(args: &Args) -> Result<(), String> {
             } else {
                 upskill_datasets::cooking::CookingConfig::default_scale(seed)
             };
-            upskill_datasets::cooking::generate(&cfg)
-                .map_err(|e| e.to_string())?
-                .dataset
+            upskill_datasets::cooking::generate(&cfg)?.dataset
         }
         "beer" => {
             let cfg = if quick {
@@ -114,9 +131,7 @@ fn generate(args: &Args) -> Result<(), String> {
             } else {
                 upskill_datasets::beer::BeerConfig::default_scale(seed)
             };
-            upskill_datasets::beer::generate(&cfg)
-                .map_err(|e| e.to_string())?
-                .dataset
+            upskill_datasets::beer::generate(&cfg)?.dataset
         }
         "film" => {
             let cfg = if quick {
@@ -124,11 +139,9 @@ fn generate(args: &Args) -> Result<(), String> {
             } else {
                 upskill_datasets::film::FilmConfig::default_scale(seed)
             };
-            upskill_datasets::film::generate(&cfg)
-                .map_err(|e| e.to_string())?
-                .dataset
+            upskill_datasets::film::generate(&cfg)?.dataset
         }
-        other => return Err(format!("unknown domain {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown domain {other:?}"))),
     };
     write_json(out, &dataset)?;
     println!(
@@ -140,7 +153,7 @@ fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn stats(args: &Args) -> Result<(), String> {
+fn stats(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["data"])?;
     let dataset: Dataset = read_json(args.required("data")?)?;
     let s = DatasetStats::of("dataset", &dataset);
@@ -156,7 +169,7 @@ fn stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn train_cmd(args: &Args) -> Result<(), String> {
+fn train_cmd(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["data", "levels", "min-init", "lambda", "out", "assignments"])?;
     let dataset: Dataset = read_json(args.required("data")?)?;
     let levels: usize = args.parse_or("levels", 5)?;
@@ -166,7 +179,7 @@ fn train_cmd(args: &Args) -> Result<(), String> {
     let config = TrainConfig::new(levels)
         .with_min_init_actions(min_init)
         .with_lambda(lambda);
-    let result = train(&dataset, &config).map_err(|e| e.to_string())?;
+    let result = train(&dataset, &config)?;
     write_json(out, &result.model)?;
     println!(
         "trained {levels}-level model in {} iterations (converged: {}), \
@@ -182,7 +195,7 @@ fn train_cmd(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn difficulty(args: &Args) -> Result<(), String> {
+fn difficulty(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["data", "model", "assignments", "method", "out"])?;
     let dataset: Dataset = read_json(args.required("data")?)?;
     let model: SkillModel = read_json(args.required("model")?)?;
@@ -194,27 +207,25 @@ fn difficulty(args: &Args) -> Result<(), String> {
     };
     let values: Vec<Option<f64>> = match method {
         "assignment" => {
-            let a = assignments
-                .as_ref()
-                .ok_or("--method assignment requires --assignments")?;
-            assignment_difficulty_all(&dataset, a).map_err(|e| e.to_string())?
+            let a = assignments.as_ref().ok_or_else(|| {
+                CliError::Usage("--method assignment requires --assignments".into())
+            })?;
+            assignment_difficulty_all(&dataset, a)?
         }
-        "uniform" => generation_difficulty_all(&model, &dataset, SkillPrior::Uniform, None)
-            .map_err(|e| e.to_string())?
+        "uniform" => generation_difficulty_all(&model, &dataset, SkillPrior::Uniform, None)?
             .into_iter()
             .map(Some)
             .collect(),
         "empirical" => {
-            let a = assignments
-                .as_ref()
-                .ok_or("--method empirical requires --assignments")?;
-            generation_difficulty_all(&model, &dataset, SkillPrior::Empirical, Some(a))
-                .map_err(|e| e.to_string())?
+            let a = assignments.as_ref().ok_or_else(|| {
+                CliError::Usage("--method empirical requires --assignments".into())
+            })?;
+            generation_difficulty_all(&model, &dataset, SkillPrior::Empirical, Some(a))?
                 .into_iter()
                 .map(Some)
                 .collect()
         }
-        other => return Err(format!("unknown method {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown method {other:?}"))),
     };
     write_json(out, &values)?;
     let known: Vec<f64> = values.iter().flatten().copied().collect();
@@ -228,13 +239,12 @@ fn difficulty(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn evaluate(args: &Args) -> Result<(), String> {
+fn evaluate(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["data", "model", "assignments"])?;
     let dataset: Dataset = read_json(args.required("data")?)?;
     let model: SkillModel = read_json(args.required("model")?)?;
     let assignments: SkillAssignments = read_json(args.required("assignments")?)?;
-    let ll = upskill_core::update::log_likelihood(&dataset, &assignments, &model)
-        .map_err(|e| e.to_string())?;
+    let ll = upskill_core::update::log_likelihood(&dataset, &assignments, &model)?;
     let hist = assignments.level_histogram(model.n_levels());
     let total: usize = hist.iter().sum();
     println!(
@@ -260,7 +270,7 @@ fn evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn sweep(args: &Args) -> Result<(), String> {
+fn sweep(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["data", "min", "max", "test-frac", "seed", "min-init"])?;
     let dataset: Dataset = read_json(args.required("data")?)?;
     let lo: usize = args.parse_or("min", 2)?;
@@ -269,13 +279,17 @@ fn sweep(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parse_or("seed", 7)?;
     let min_init: usize = args.parse_or("min-init", 50)?;
     if lo == 0 || hi < lo {
-        return Err("need 1 <= min <= max".into());
+        return Err(CliError::Usage("need 1 <= min <= max".into()));
     }
     let candidates: Vec<usize> = (lo..=hi).collect();
     let base = TrainConfig::new(lo).with_min_init_actions(min_init);
-    let sweep =
-        upskill_core::model_selection::sweep_skill_counts(&dataset, &candidates, &base, frac, seed)
-            .map_err(|e| e.to_string())?;
+    let sweep = upskill_core::model_selection::sweep_skill_counts(
+        &dataset,
+        &candidates,
+        &base,
+        frac,
+        seed,
+    )?;
     println!("S   held-out LL     per action");
     for c in &sweep {
         println!(
@@ -296,7 +310,7 @@ no candidate evaluated"
     Ok(())
 }
 
-fn ingest(args: &Args) -> Result<(), String> {
+fn ingest(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
         "session",
         "data",
@@ -316,11 +330,12 @@ fn ingest(args: &Args) -> Result<(), String> {
     // model's artifacts (the skill count comes from the model itself).
     let mut session = match args.optional("session") {
         Some(path) => {
-            let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            SessionBundle::from_json(&text)
-                .map_err(|e| e.to_string())?
-                .resume()
-                .map_err(|e| e.to_string())?
+            let text = fs::read_to_string(path).map_err(|e| CliError::Io {
+                op: "read",
+                path: path.to_string(),
+                source: e,
+            })?;
+            SessionBundle::from_json(&text)?.resume()?
         }
         None => {
             let dataset: Dataset = read_json(args.required("data")?)?;
@@ -334,18 +349,16 @@ fn ingest(args: &Args) -> Result<(), String> {
                 config,
                 ParallelConfig::sequential(),
                 RefitPolicy::EveryBatch,
-            )
-            .map_err(|e| e.to_string())?
+            )?
         }
     };
 
-    let levels = session.ingest_batch(&actions).map_err(|e| e.to_string())?;
+    let levels = session.ingest_batch(&actions)?;
     let ll = upskill_core::update::log_likelihood(
         session.dataset(),
         session.assignments(),
         session.model(),
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
 
     write_json(out, session.model())?;
     println!(
@@ -365,14 +378,18 @@ fn ingest(args: &Args) -> Result<(), String> {
     }
     if let Some(path) = args.optional("session-out") {
         let bundle = session.snapshot("upskill ingest");
-        let text = bundle.to_json().map_err(|e| e.to_string())?;
-        fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let text = bundle.to_json()?;
+        fs::write(path, text).map_err(|e| CliError::Io {
+            op: "write",
+            path: path.to_string(),
+            source: e,
+        })?;
         println!("wrote {path}");
     }
     Ok(())
 }
 
-fn recommend(args: &Args) -> Result<(), String> {
+fn recommend(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["data", "model", "difficulty", "level", "k"])?;
     let dataset: Dataset = read_json(args.required("data")?)?;
     let model: SkillModel = read_json(args.required("model")?)?;
@@ -387,8 +404,7 @@ fn recommend(args: &Args) -> Result<(), String> {
         k,
         ..RecommendConfig::default()
     };
-    let recs = recommend_for_level(&model, &dataset, &filled, level, &|_| false, &config)
-        .map_err(|e| e.to_string())?;
+    let recs = recommend_for_level(&model, &dataset, &filled, level, &|_| false, &config)?;
     if recs.is_empty() {
         println!("no items in the difficulty band for level {level}");
         return Ok(());

@@ -21,6 +21,7 @@
 
 mod args;
 mod commands;
+mod error;
 
 use std::process::ExitCode;
 

@@ -105,7 +105,7 @@ pub fn level_densities(model: &SkillModel, feature: usize, grid: &[f64]) -> Resu
             grid.iter()
                 .map(|&x| match cell {
                     FeatureDistribution::Poisson(d) => {
-                        if x < 0.0 || x.fract() != 0.0 {
+                        if x < 0.0 || !crate::float_cmp::is_integral(x) {
                             Ok(0.0)
                         } else {
                             Ok(d.pmf(x as u64))

@@ -9,8 +9,9 @@
 
 use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
+use crate::float_cmp::is_neg_infinity;
 use crate::model::SkillModel;
-use crate::types::{ActionSequence, Dataset, SkillAssignments, SkillLevel};
+use crate::types::{skill_level_from_index, ActionSequence, Dataset, SkillAssignments, SkillLevel};
 
 /// Result of assigning one sequence: the per-action levels and the path
 /// log-likelihood.
@@ -91,23 +92,28 @@ where
     let mut curr: &mut [f64] = &mut ws.curr[..s_max];
     let advanced: &mut [u64] = &mut ws.advanced;
 
-    // Forward pass. `prev[s]` = best score ending at level s+1.
+    // Forward pass. `prev[s]` = best score ending at level s+1; `below`
+    // carries `prev[s-1]` into iteration `s` so the loop needs no
+    // lookback indexing.
     prev.copy_from_slice(row_of(0));
     for t in 1..n {
         let emit_t = row_of(t);
-        for s in 0..s_max {
-            let stay = prev[s];
-            let up = if s > 0 {
-                prev[s - 1]
+        let mut below = f64::NEG_INFINITY;
+        for (s, (cell, (&stay, &emit))) in curr.iter_mut().zip(prev.iter().zip(emit_t)).enumerate()
+        {
+            let (best, from_below) = if below > stay {
+                (below, true)
             } else {
-                f64::NEG_INFINITY
+                (stay, false)
             };
-            let (best, from_below) = if up > stay { (up, true) } else { (stay, false) };
-            curr[s] = best + emit_t[s];
+            *cell = best + emit;
             if from_below {
                 let idx = t * s_max + s;
+                // lint:allow(hot-loop-index): bit-packed backpointer word;
+                // idx < n·s_max by construction of the lattice.
                 advanced[idx / 64] |= 1u64 << (idx % 64);
             }
+            below = stay;
         }
         std::mem::swap(&mut prev, &mut curr);
     }
@@ -120,7 +126,7 @@ where
             best_s = s;
         }
     }
-    if best_ll == f64::NEG_INFINITY {
+    if is_neg_infinity(best_ll) {
         // Every path impossible under the model (can only happen with
         // unsmoothed distributions); fall back to the flattest valid path.
         return Err(CoreError::DegenerateFit {
@@ -130,11 +136,13 @@ where
     }
 
     // Backtrack.
-    let mut levels = vec![0 as SkillLevel; n];
+    let mut levels: Vec<SkillLevel> = vec![0; n];
     let mut s = best_s;
-    for t in (0..n).rev() {
-        levels[t] = (s + 1) as SkillLevel;
+    for (t, level) in levels.iter_mut().enumerate().rev() {
+        *level = skill_level_from_index(s);
         let idx = t * s_max + s;
+        // lint:allow(hot-loop-index): bit-packed backpointer word, same
+        // bound as the forward pass.
         if t > 0 && advanced[idx / 64] & (1u64 << (idx % 64)) != 0 {
             s -= 1;
         }
@@ -186,10 +194,10 @@ pub fn assign_sequence_ws(
     if emit.len() < n * s_max {
         emit.resize(n * s_max, 0.0);
     }
-    for (t, action) in sequence.actions().iter().enumerate() {
+    for (row, action) in emit.chunks_mut(s_max).zip(sequence.actions()) {
         let features = dataset.item_features(action.item);
-        for s in 0..s_max {
-            emit[t * s_max + s] = model.item_log_likelihood(features, (s + 1) as SkillLevel);
+        for (s0, cell) in row.iter_mut().enumerate() {
+            *cell = model.item_log_likelihood(features, skill_level_from_index(s0));
         }
     }
     let result = dp_over_rows(s_max, n, |t| &emit[t * s_max..(t + 1) * s_max], ws);
@@ -327,7 +335,7 @@ pub fn assign_sequence_bruteforce(
         best: &mut Option<SequenceAssignment>,
     ) {
         let ll = ll + emissions[t][s];
-        path.push((s + 1) as SkillLevel);
+        path.push(skill_level_from_index(s));
         if t + 1 == emissions.len() {
             let better = match best {
                 Some(b) => ll > b.log_likelihood,

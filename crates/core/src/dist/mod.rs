@@ -258,7 +258,7 @@ impl FeatureAccumulator {
     /// log-normal). Falls back to [`FeatureDistribution::fallback`] when the
     /// cell received no observations.
     pub fn fit(&self, lambda: f64) -> Result<FeatureDistribution> {
-        if self.n_observations() == 0.0 {
+        if crate::float_cmp::is_zero(self.n_observations()) {
             return FeatureDistribution::fallback(self.kind());
         }
         match self {

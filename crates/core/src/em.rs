@@ -459,6 +459,7 @@ fn run_em(
         } else {
             EmissionTable::build(&model, dataset)
         };
+        crate::invariants::InvariantCtx::new().check_emission_table(&table)?;
         let mut evidence = 0.0;
         for seq in dataset.sequences() {
             let (gammas, log_ev) = forward_backward_with_table(&table, transitions, seq)?;

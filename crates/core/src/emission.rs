@@ -18,7 +18,7 @@
 
 use crate::error::{CoreError, Result};
 use crate::model::SkillModel;
-use crate::types::{Dataset, ItemId, SkillLevel};
+use crate::types::{skill_level_from_index, Dataset, ItemId, SkillLevel};
 
 /// Minimum items per stolen work unit in [`EmissionTable::build_parallel`].
 const PARALLEL_CHUNK: usize = 64;
@@ -48,10 +48,9 @@ impl EmissionTable {
         let n_items = dataset.n_items();
         let n_levels = model.n_levels();
         let mut data = Vec::with_capacity(n_items * n_levels);
-        for item in 0..n_items {
-            let features = dataset.item_features(item as ItemId);
-            for s in 1..=n_levels {
-                data.push(model.item_log_likelihood(features, s as SkillLevel));
+        for features in dataset.items() {
+            for s0 in 0..n_levels {
+                data.push(model.item_log_likelihood(features, skill_level_from_index(s0)));
             }
         }
         EmissionTable {
@@ -83,31 +82,34 @@ impl EmissionTable {
         let next = std::sync::atomic::AtomicUsize::new(0);
         type ChunkRows = Vec<(usize, Vec<f64>)>;
         let results: Vec<Result<ChunkRows>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..n_workers)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move || -> Result<ChunkRows> {
-                        let mut out: ChunkRows = Vec::new();
-                        loop {
-                            let chunk = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if chunk >= n_chunks {
-                                break;
-                            }
-                            let start = chunk * PARALLEL_CHUNK;
-                            let end = (start + PARALLEL_CHUNK).min(n_items);
-                            let mut rows = Vec::with_capacity((end - start) * n_levels);
-                            for item in start..end {
-                                let features = dataset.item_features(item as ItemId);
-                                for s in 1..=n_levels {
-                                    rows.push(model.item_log_likelihood(features, s as SkillLevel));
+            let handles: Vec<_> =
+                (0..n_workers)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move || -> Result<ChunkRows> {
+                            let mut out: ChunkRows = Vec::new();
+                            loop {
+                                let chunk = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if chunk >= n_chunks {
+                                    break;
                                 }
+                                let start = chunk * PARALLEL_CHUNK;
+                                let end = (start + PARALLEL_CHUNK).min(n_items);
+                                let mut rows = Vec::with_capacity((end - start) * n_levels);
+                                for features in &dataset.items()[start..end] {
+                                    for s0 in 0..n_levels {
+                                        rows.push(model.item_log_likelihood(
+                                            features,
+                                            skill_level_from_index(s0),
+                                        ));
+                                    }
+                                }
+                                out.push((start, rows));
                             }
-                            out.push((start, rows));
-                        }
-                        Ok(out)
+                            Ok(out)
+                        })
                     })
-                })
-                .collect();
+                    .collect();
             handles
                 .into_iter()
                 .map(|h| {
@@ -201,6 +203,7 @@ impl EmissionTable {
                 right: dataset.n_items(),
             });
         }
+        let n_levels = self.n_levels;
         for &item in items {
             let i = item as usize;
             if i >= self.n_items {
@@ -210,9 +213,9 @@ impl EmissionTable {
                 });
             }
             let features = dataset.item_features(item);
-            for s in 1..=self.n_levels {
-                self.data[i * self.n_levels + (s - 1)] =
-                    model.item_log_likelihood(features, s as SkillLevel);
+            let row = &mut self.data[i * n_levels..(i + 1) * n_levels];
+            for (s0, cell) in row.iter_mut().enumerate() {
+                *cell = model.item_log_likelihood(features, skill_level_from_index(s0));
             }
         }
         Ok(())
@@ -258,14 +261,37 @@ impl EmissionTable {
         if !levels.iter().any(|&d| d) {
             return Ok(());
         }
-        for item in 0..self.n_items {
-            let features = dataset.item_features(item as ItemId);
-            for (s0, &dirty) in levels.iter().enumerate() {
+        let n_levels = self.n_levels;
+        for (row, features) in self.data.chunks_mut(n_levels).zip(dataset.items()) {
+            for ((s0, cell), &dirty) in row.iter_mut().enumerate().zip(levels) {
                 if !dirty {
                     continue;
                 }
-                self.data[item * self.n_levels + s0] =
-                    model.item_log_likelihood(features, (s0 + 1) as SkillLevel);
+                *cell = model.item_log_likelihood(features, skill_level_from_index(s0));
+            }
+        }
+        Ok(())
+    }
+
+    /// Scans every cell for poison values — NaN or `+inf` — and reports
+    /// the first offender's coordinates. `-inf` is a *legal* score (a
+    /// forbidden DP path under Eq. 2) and passes.
+    ///
+    /// The invariant layer ([`crate::invariants::InvariantCtx`]) calls
+    /// this after every build and refresh, so corrupted parameters or a
+    /// poisoned dataset are caught before any DP reads the table.
+    pub fn verify_finite(&self) -> Result<()> {
+        let n_levels = self.n_levels;
+        for (idx, &v) in self.data.iter().enumerate() {
+            if v.is_nan() || (v.is_infinite() && v.is_sign_positive()) {
+                return Err(CoreError::InvariantViolation {
+                    check: "emission table",
+                    detail: format!(
+                        "poison value {v} at item {}, level {}",
+                        idx / n_levels,
+                        idx % n_levels + 1
+                    ),
+                });
             }
         }
         Ok(())
@@ -504,6 +530,23 @@ mod tests {
         let post = table.posterior(1, &prior).unwrap();
         assert!((e - (post[0] + 2.0 * post[1])).abs() < 1e-15);
         assert!((1.0..=2.0).contains(&e));
+    }
+
+    #[test]
+    fn verify_finite_accepts_neg_inf_rejects_nan_and_pos_inf() {
+        let (model, ds) = mixed_setup();
+        let mut table = EmissionTable::build(&model, &ds);
+        assert!(table.verify_finite().is_ok());
+        // -inf is a legal "forbidden path" score.
+        table.data[3] = f64::NEG_INFINITY;
+        assert!(table.verify_finite().is_ok());
+        // NaN and +inf are poison; the error names the coordinates.
+        table.data[3] = f64::NAN;
+        let err = table.verify_finite().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("item 1") && msg.contains("level 2"), "{msg}");
+        table.data[3] = f64::INFINITY;
+        assert!(table.verify_finite().is_err());
     }
 
     #[test]

@@ -104,6 +104,28 @@ pub enum CoreError {
         /// Which parallel step lost a worker.
         step: &'static str,
     },
+    /// A numeric feature value was outside its kind's domain (NaN or
+    /// infinite reals, non-positive values for positive-real features).
+    /// Raised at construction and at every ingestion path so invalid
+    /// numbers cannot poison the sufficient-statistics accumulators.
+    InvalidFeatureValue {
+        /// Feature index within the schema.
+        feature: usize,
+        /// The offending numeric value.
+        value: f64,
+        /// Why the value is outside the feature's domain.
+        reason: &'static str,
+    },
+    /// A runtime invariant check failed (see [`crate::invariants`]). These
+    /// checks run in debug builds and under the `strict-invariants`
+    /// feature; a violation means internal state was corrupted (e.g. a
+    /// NaN-poisoned emission table or a non-monotone committed path).
+    InvariantViolation {
+        /// Which invariant check failed.
+        check: &'static str,
+        /// Human-readable details of the violation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -154,6 +176,16 @@ impl fmt::Display for CoreError {
             CoreError::WorkerPanicked { step } => {
                 write!(f, "a worker thread panicked during the {step} step")
             }
+            CoreError::InvalidFeatureValue {
+                feature,
+                value,
+                reason,
+            } => {
+                write!(f, "feature {feature}: invalid value {value}: {reason}")
+            }
+            CoreError::InvariantViolation { check, detail } => {
+                write!(f, "invariant violation in {check}: {detail}")
+            }
         }
     }
 }
@@ -194,6 +226,21 @@ mod tests {
             (
                 CoreError::WorkerPanicked { step: "assignment" },
                 "assignment",
+            ),
+            (
+                CoreError::InvalidFeatureValue {
+                    feature: 2,
+                    value: f64::NAN,
+                    reason: "positive real features must be finite and > 0",
+                },
+                "feature 2",
+            ),
+            (
+                CoreError::InvariantViolation {
+                    check: "emission table",
+                    detail: "NaN at item 3, level 1".to_string(),
+                },
+                "emission table",
             ),
         ];
         for (err, needle) in cases {

@@ -176,9 +176,10 @@ impl FeatureSchema {
                 (FeatureValue::Count(_), FeatureKind::Count) => {}
                 (FeatureValue::Real(x), FeatureKind::Positive { .. }) => {
                     if !x.is_finite() || *x <= 0.0 {
-                        return Err(CoreError::InvalidProbability {
-                            context: "positive real feature",
+                        return Err(CoreError::InvalidFeatureValue {
+                            feature: f,
                             value: *x,
+                            reason: "positive real features must be finite and > 0",
                         });
                     }
                 }

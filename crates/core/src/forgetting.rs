@@ -224,7 +224,7 @@ where
             s = idx;
         }
     }
-    if best_ll == f64::NEG_INFINITY {
+    if crate::float_cmp::is_neg_infinity(best_ll) {
         return Err(CoreError::DegenerateFit {
             distribution: "forgetting DP",
             reason: "all paths impossible",

@@ -45,7 +45,7 @@ use crate::dist::{FeatureAccumulator, FeatureDistribution};
 use crate::error::{CoreError, Result};
 use crate::model::SkillModel;
 use crate::parallel::ParallelConfig;
-use crate::types::{Dataset, SkillAssignments};
+use crate::types::{item_id_from_index, skill_level_from_index, Dataset, SkillAssignments};
 
 /// Minimum number of users per worker before parallel build/delta paths
 /// engage; below this the coordination cost exceeds the scan cost.
@@ -128,7 +128,7 @@ impl StatsGrid {
         for (seq, levels) in dataset.sequences().iter().zip(&assignments.per_user) {
             for (action, &level) in seq.actions().iter().zip(levels) {
                 let s = level_index(level, n_levels)?;
-                grid.counts[s * grid.n_items + action.item as usize] += 1;
+                bump(&mut grid.counts, grid.n_items, s, action.item as usize)?;
             }
         }
         Ok(grid)
@@ -164,13 +164,13 @@ impl StatsGrid {
                         let mut local = vec![0u64; n_levels * n_items];
                         loop {
                             let u = next.fetch_add(1, Ordering::Relaxed);
-                            if u >= n_users {
+                            let (Some(seq), Some(levels)) = (sequences.get(u), per_user.get(u))
+                            else {
                                 break;
-                            }
-                            for (action, &level) in sequences[u].actions().iter().zip(&per_user[u])
-                            {
+                            };
+                            for (action, &level) in seq.actions().iter().zip(levels) {
                                 let s = level_index(level, n_levels)?;
-                                local[s * n_items + action.item as usize] += 1;
+                                bump(&mut local, n_items, s, action.item as usize)?;
                             }
                         }
                         Ok(local)
@@ -241,14 +241,10 @@ impl StatsGrid {
                 let s_old = level_index(old, self.n_levels)?;
                 let s_new = level_index(new, self.n_levels)?;
                 let item = action.item as usize;
-                let cell = &mut self.counts[s_old * self.n_items + item];
-                *cell = cell.checked_sub(1).ok_or(CoreError::DegenerateFit {
-                    distribution: "stats grid",
-                    reason: "delta removes an action the grid never observed",
-                })?;
-                self.counts[s_new * self.n_items + item] += 1;
-                self.dirty[s_old] = true;
-                self.dirty[s_new] = true;
+                decrement(&mut self.counts, self.n_items, s_old, item)?;
+                bump(&mut self.counts, self.n_items, s_new, item)?;
+                mark_dirty(&mut self.dirty, s_old);
+                mark_dirty(&mut self.dirty, s_new);
                 changed += 1;
             }
         }
@@ -290,14 +286,16 @@ impl StatsGrid {
                         let mut changed = 0usize;
                         loop {
                             let u = next_idx.fetch_add(1, Ordering::Relaxed);
-                            if u >= sequences.len() {
+                            let (Some(seq), Some(prev_u), Some(next_u)) =
+                                (sequences.get(u), prev.get(u), next.get(u))
+                            else {
                                 break;
-                            }
-                            if prev[u] == next[u] {
+                            };
+                            if prev_u == next_u {
                                 continue;
                             }
                             for ((action, &old), &new) in
-                                sequences[u].actions().iter().zip(&prev[u]).zip(&next[u])
+                                seq.actions().iter().zip(prev_u).zip(next_u)
                             {
                                 if old == new {
                                     continue;
@@ -305,8 +303,8 @@ impl StatsGrid {
                                 let s_old = level_index(old, n_levels)?;
                                 let s_new = level_index(new, n_levels)?;
                                 let item = action.item as usize;
-                                delta[s_old * n_items + item] -= 1;
-                                delta[s_new * n_items + item] += 1;
+                                shift(&mut delta, n_items, s_old, item, -1)?;
+                                shift(&mut delta, n_items, s_new, item, 1)?;
                                 changed += 1;
                             }
                         }
@@ -329,19 +327,28 @@ impl StatsGrid {
         for partial in partials {
             let (n, delta) = partial?;
             changed += n;
-            for (idx, (cell, d)) in counts.iter_mut().zip(delta).enumerate() {
-                if d == 0 {
-                    continue;
+            if n_items == 0 {
+                continue; // no cells to merge (and `chunks` needs a width)
+            }
+            for ((row, delta_row), flag) in counts
+                .chunks_mut(n_items)
+                .zip(delta.chunks(n_items))
+                .zip(dirty.iter_mut())
+            {
+                for (cell, &d) in row.iter_mut().zip(delta_row) {
+                    if d == 0 {
+                        continue;
+                    }
+                    *flag = true;
+                    let updated = *cell as i128 + d as i128;
+                    if updated < 0 {
+                        return Err(CoreError::DegenerateFit {
+                            distribution: "stats grid",
+                            reason: "delta removes an action the grid never observed",
+                        });
+                    }
+                    *cell = updated as u64;
                 }
-                dirty[idx / n_items] = true;
-                let updated = *cell as i128 + d as i128;
-                if updated < 0 {
-                    return Err(CoreError::DegenerateFit {
-                        distribution: "stats grid",
-                        reason: "delta removes an action the grid never observed",
-                    });
-                }
-                *cell = updated as u64;
             }
         }
         Ok(changed)
@@ -412,7 +419,7 @@ impl StatsGrid {
                 if k == 0 {
                     continue;
                 }
-                let features = dataset.item_features(item as u32);
+                let features = dataset.item_features(item_id_from_index(item));
                 for (acc, value) in row.iter_mut().zip(features) {
                     acc.push_n(value, k)?;
                 }
@@ -489,8 +496,15 @@ impl StatsGrid {
                                             if k == 0 {
                                                 continue;
                                             }
-                                            let features = dataset.item_features(item as u32);
-                                            acc.push_n(&features[f], k)?;
+                                            let features =
+                                                dataset.item_features(item_id_from_index(item));
+                                            let value = features.get(f).ok_or(
+                                                CoreError::FeatureIndexOutOfBounds {
+                                                    index: f,
+                                                    len: features.len(),
+                                                },
+                                            )?;
+                                            acc.push_n(value, k)?;
                                         }
                                         out.push((s, f, acc.fit(lambda)?));
                                     }
@@ -513,7 +527,11 @@ impl StatsGrid {
             (0..n_levels).map(|_| vec![None; n_features]).collect();
         for chunk in results {
             for (s, f, dist) in chunk? {
-                grid[s][f] = Some(dist);
+                // An out-of-partition pair cannot happen; if it ever did,
+                // the "unowned cell" check below reports the gap.
+                if let Some(slot) = grid.get_mut(s).and_then(|row| row.get_mut(f)) {
+                    *slot = Some(dist);
+                }
             }
         }
         let cells: Vec<Vec<FeatureDistribution>> = grid
@@ -573,10 +591,9 @@ impl StatsGrid {
                     });
                 }
                 let mut cells: Vec<Vec<FeatureDistribution>> = Vec::with_capacity(self.n_levels);
-                for s in 0..self.n_levels {
-                    if !self.dirty[s] {
-                        let level = (s + 1) as crate::types::SkillLevel;
-                        cells.push(prev.level_row(level)?.to_vec());
+                for (s, &is_dirty) in self.dirty.iter().enumerate() {
+                    if !is_dirty {
+                        cells.push(prev.level_row(skill_level_from_index(s))?.to_vec());
                         continue;
                     }
                     let mut accs: Vec<FeatureAccumulator> = schema
@@ -589,7 +606,7 @@ impl StatsGrid {
                         if k == 0 {
                             continue;
                         }
-                        let features = dataset.item_features(item as u32);
+                        let features = dataset.item_features(item_id_from_index(item));
                         for (acc, value) in accs.iter_mut().zip(features) {
                             acc.push_n(value, k)?;
                         }
@@ -616,6 +633,60 @@ impl StatsGrid {
             });
         }
         Ok(())
+    }
+}
+
+/// Increments the `(level s, item)` cell of a flat `S × n_items` grid,
+/// reporting an out-of-range coordinate instead of panicking.
+#[inline]
+fn bump(counts: &mut [u64], n_items: usize, s: usize, item: usize) -> Result<()> {
+    let cell = counts
+        .get_mut(s * n_items + item)
+        .ok_or(CoreError::FeatureIndexOutOfBounds {
+            index: item,
+            len: n_items,
+        })?;
+    *cell += 1;
+    Ok(())
+}
+
+/// Decrements the `(level s, item)` cell, failing on out-of-range
+/// coordinates *and* on removing an action the grid never observed (the
+/// tell-tale of a stale grid).
+#[inline]
+fn decrement(counts: &mut [u64], n_items: usize, s: usize, item: usize) -> Result<()> {
+    let cell = counts
+        .get_mut(s * n_items + item)
+        .ok_or(CoreError::FeatureIndexOutOfBounds {
+            index: item,
+            len: n_items,
+        })?;
+    *cell = cell.checked_sub(1).ok_or(CoreError::DegenerateFit {
+        distribution: "stats grid",
+        reason: "delta removes an action the grid never observed",
+    })?;
+    Ok(())
+}
+
+/// Adds `by` to the `(level s, item)` cell of a signed delta grid.
+#[inline]
+fn shift(delta: &mut [i64], n_items: usize, s: usize, item: usize, by: i64) -> Result<()> {
+    let cell = delta
+        .get_mut(s * n_items + item)
+        .ok_or(CoreError::FeatureIndexOutOfBounds {
+            index: item,
+            len: n_items,
+        })?;
+    *cell += by;
+    Ok(())
+}
+
+/// Sets the dirty flag of level row `s` (no-op out of range; callers
+/// validate `s` through [`level_index`] first).
+#[inline]
+fn mark_dirty(dirty: &mut [bool], s: usize) {
+    if let Some(flag) = dirty.get_mut(s) {
+        *flag = true;
     }
 }
 

@@ -107,9 +107,11 @@ pub mod em;
 pub mod emission;
 pub mod error;
 pub mod feature;
+pub mod float_cmp;
 pub mod forgetting;
 pub mod incremental;
 pub mod init;
+pub mod invariants;
 pub mod model;
 pub mod model_selection;
 pub mod online;
@@ -126,6 +128,7 @@ pub mod update;
 
 pub use emission::EmissionTable;
 pub use error::{CoreError, Result};
+pub use invariants::InvariantCtx;
 pub use model::SkillModel;
 pub use streaming::{RefitPolicy, StreamingSession};
 pub use train::{train, train_with_parallelism, TrainConfig, TrainResult, Trainer};

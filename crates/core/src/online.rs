@@ -142,7 +142,7 @@ impl OnlineTracker {
                 best = s;
             }
         }
-        if best_score == f64::NEG_INFINITY {
+        if crate::float_cmp::is_neg_infinity(best_score) {
             return Err(CoreError::DegenerateFit {
                 distribution: "online tracker",
                 reason: "all paths impossible; enable smoothing",

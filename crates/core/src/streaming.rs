@@ -42,11 +42,14 @@ use serde::{Deserialize, Serialize};
 use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
 use crate::incremental::StatsGrid;
+use crate::invariants::InvariantCtx;
 use crate::model::SkillModel;
 use crate::online::OnlineTracker;
 use crate::parallel::ParallelConfig;
 use crate::train::{TrainConfig, TrainResult};
-use crate::types::{Action, ActionSequence, Dataset, SkillAssignments, SkillLevel, UserId};
+use crate::types::{
+    skill_level_from_index, Action, ActionSequence, Dataset, SkillAssignments, SkillLevel, UserId,
+};
 
 /// When a [`StreamingSession`] refits model parameters from its
 /// accumulated statistics.
@@ -129,6 +132,7 @@ impl StreamingSession {
         } else {
             EmissionTable::build(&model, &dataset)
         };
+        InvariantCtx::new().check_emission_table(&table)?;
         let mut trackers = Vec::with_capacity(dataset.n_users());
         let mut user_index = HashMap::with_capacity(dataset.n_users());
         for (u, seq) in dataset.sequences().iter().enumerate() {
@@ -230,7 +234,7 @@ impl StreamingSession {
             self.assignments.per_user[u].last().copied()
         };
         let level = match last {
-            None => argmax_low(row) as SkillLevel + 1,
+            None => skill_level_from_index(argmax_low(row)),
             Some(last) => {
                 let li = last as usize - 1;
                 if li + 1 < row.len() && row[li + 1] > row[li] {
@@ -240,6 +244,8 @@ impl StreamingSession {
                 }
             }
         };
+        // O(1) extension check: the committed path must stay monotone.
+        InvariantCtx::new().check_extension("streaming ingest", last, level)?;
 
         // Mutations, fallible first so errors leave the session unchanged.
         if is_new_user {
@@ -295,6 +301,13 @@ impl StreamingSession {
         )?;
         self.table
             .refresh_levels(&self.model, &self.dataset, &dirty)?;
+        // A refit commits new model state; verify everything it depends
+        // on: finite emission scores, a monotone committed path, and a
+        // grid that matches a from-scratch accumulation.
+        let ctx = InvariantCtx::new();
+        ctx.check_emission_table(&self.table)?;
+        ctx.check_monotone("streaming refit", &self.assignments)?;
+        ctx.check_grid(&self.grid, &self.dataset, &self.assignments)?;
         self.pending = 0;
         Ok(n_dirty)
     }
@@ -386,10 +399,14 @@ impl StreamingSession {
 
 /// Index of the maximum value, lowest index on ties.
 fn argmax_low(row: &[f64]) -> usize {
-    let mut best = 0;
+    let (mut best, mut best_v) = match row.first() {
+        Some(&v) => (0, v),
+        None => return 0,
+    };
     for (i, &v) in row.iter().enumerate().skip(1) {
-        if v > row[best] {
+        if v > best_v {
             best = i;
+            best_v = v;
         }
     }
     best

@@ -24,11 +24,12 @@ use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
 use crate::incremental::StatsGrid;
 use crate::init::initialize_model;
+use crate::invariants::InvariantCtx;
 use crate::model::SkillModel;
 use crate::parallel::{
     assign_all_parallel, assign_all_parallel_with_table, fit_model_parallel, ParallelConfig,
 };
-use crate::types::{Dataset, SkillAssignments};
+use crate::types::{Dataset, SkillAssignments, SkillLevel};
 
 /// Training hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -86,6 +87,13 @@ impl TrainConfig {
     pub fn validate(&self) -> Result<()> {
         if self.n_levels == 0 {
             return Err(CoreError::InvalidSkillCount { requested: 0 });
+        }
+        // `SkillLevel` is a u8: more levels than its range could silently
+        // truncate level indices in the DP and grid paths.
+        if self.n_levels > SkillLevel::MAX as usize {
+            return Err(CoreError::InvalidSkillCount {
+                requested: self.n_levels,
+            });
         }
         if !self.lambda.is_finite() || self.lambda < 0.0 {
             return Err(CoreError::InvalidProbability {
@@ -314,6 +322,7 @@ impl Trainer {
                 let em = crate::em::train_em_with_parallelism(dataset, &em_cfg, &self.parallel)?;
                 let (assignments, log_likelihood) =
                     assign_all_parallel(&em.model, dataset, &self.parallel)?;
+                InvariantCtx::new().check_monotone("em decode", &assignments)?;
                 let trace = em
                     .evidence_trace
                     .iter()
@@ -385,11 +394,21 @@ pub fn train_with_parallelism(
     // only the refit levels' table columns need recomputing.
     let mut table: Option<EmissionTable> = None;
     let mut refit_levels: Vec<bool> = Vec::new();
+    let ctx = InvariantCtx::new();
 
     for iteration in 1..=config.max_iterations {
         let iter_start = Instant::now();
-        let (assignments, ll) = assign_step(&model, dataset, parallel, &mut table, &refit_levels)?;
-        debug_assert!(assignments.is_monotone());
+        let (assignments, ll) =
+            assign_step(&model, dataset, parallel, &mut table, &refit_levels, ctx)?;
+        ctx.check_monotone("training assignment", &assignments)?;
+        ctx.check_assign_step_optimal(
+            "training assignment step",
+            &model,
+            table.as_ref(),
+            dataset,
+            prev_assignments.as_ref(),
+            ll,
+        )?;
 
         // Maintain the statistics and measure churn. On the incremental
         // path the delta application *is* the churn count — no separate
@@ -415,11 +434,11 @@ pub fn train_with_parallelism(
                 None => None,
             }
         };
-        // Debug-mode cross-check: the incrementally maintained grid must
-        // match a from-scratch accumulation of the current assignments.
-        #[cfg(debug_assertions)]
+        // The incrementally maintained grid must match a from-scratch
+        // accumulation of the current assignments (debug builds and
+        // `strict-invariants`; see `crate::invariants`).
         if let Some(g) = &grid {
-            g.cross_check(dataset, &assignments)?;
+            ctx.check_grid(g, dataset, &assignments)?;
         }
 
         let stable = n_changed == Some(0);
@@ -465,7 +484,16 @@ pub fn train_with_parallelism(
     // it in the trace so `log_likelihood` always agrees with
     // `trace.last()`.
     let iter_start = Instant::now();
-    let (assignments, ll) = assign_step(&model, dataset, parallel, &mut table, &refit_levels)?;
+    let (assignments, ll) = assign_step(&model, dataset, parallel, &mut table, &refit_levels, ctx)?;
+    ctx.check_monotone("training assignment", &assignments)?;
+    ctx.check_assign_step_optimal(
+        "training assignment step",
+        &model,
+        table.as_ref(),
+        dataset,
+        prev_assignments.as_ref(),
+        ll,
+    )?;
     let n_changed = match &prev_assignments {
         Some(prev) => Some(count_changed(prev, &assignments)?),
         None => None,
@@ -497,23 +525,25 @@ fn assign_step(
     parallel: &ParallelConfig,
     table: &mut Option<EmissionTable>,
     refit_levels: &[bool],
+    ctx: InvariantCtx,
 ) -> Result<(SkillAssignments, f64)> {
     if !(parallel.emission && parallel.incremental) {
         return assign_all_parallel(model, dataset, parallel);
     }
-    match table.as_mut() {
-        Some(t) if refit_levels.len() == model.n_levels() => {
+    if refit_levels.len() == model.n_levels() {
+        if let Some(t) = table.as_mut() {
             t.refresh_levels(model, dataset, refit_levels)?;
-        }
-        _ => {
-            *table = Some(if parallel.users && parallel.threads > 1 {
-                EmissionTable::build_parallel(model, dataset, parallel.threads)?
-            } else {
-                EmissionTable::build(model, dataset)
-            });
+            ctx.check_emission_table(t)?;
+            return assign_all_parallel_with_table(t, dataset, parallel);
         }
     }
-    let t = table.as_ref().expect("emission table ensured above");
+    let built = if parallel.users && parallel.threads > 1 {
+        EmissionTable::build_parallel(model, dataset, parallel.threads)?
+    } else {
+        EmissionTable::build(model, dataset)
+    };
+    let t = table.insert(built);
+    ctx.check_emission_table(t)?;
     assign_all_parallel_with_table(t, dataset, parallel)
 }
 

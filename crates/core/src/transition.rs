@@ -172,7 +172,7 @@ pub fn assign_sequence_with_transitions(
             best_s = s;
         }
     }
-    if best_ll == f64::NEG_INFINITY {
+    if crate::float_cmp::is_neg_infinity(best_ll) {
         return Err(CoreError::DegenerateFit {
             distribution: "transition DP",
             reason: "all paths have zero probability",

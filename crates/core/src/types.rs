@@ -27,6 +27,32 @@ pub type Timestamp = i64;
 /// A skill level in `1..=S` as defined in the paper (Definition 1).
 pub type SkillLevel = u8;
 
+/// Converts a zero-based level index into the 1-based [`SkillLevel`].
+///
+/// This is the single narrowing conversion the hot paths need; routing it
+/// through one helper keeps truncating `as` casts out of DP loops.
+/// Callers guarantee `index < S`, and `S ≤ SkillLevel::MAX` is enforced
+/// by [`TrainConfig::validate`](crate::train::TrainConfig::validate), so
+/// the cast cannot truncate; the debug assertion pins that reasoning.
+#[inline]
+pub fn skill_level_from_index(index: usize) -> SkillLevel {
+    debug_assert!(index < SkillLevel::MAX as usize);
+    (index + 1) as SkillLevel
+}
+
+/// Converts a zero-based item-table index into an [`ItemId`].
+///
+/// Companion of [`skill_level_from_index`] for the item axis: hot loops
+/// enumerate the item table with `usize` positions and need an `ItemId`
+/// to call feature lookups. Dataset construction keeps the item table
+/// within `ItemId` range (actions address items through `u32` ids), so
+/// the cast cannot truncate; the debug assertion pins that reasoning.
+#[inline]
+pub fn item_id_from_index(index: usize) -> ItemId {
+    debug_assert!(index <= ItemId::MAX as usize);
+    index as ItemId
+}
+
 /// One user action: at time `t`, user `u` selected item `i`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Action {
@@ -222,17 +248,32 @@ impl Dataset {
         support
     }
 
+    /// Validates the feature tuple of one referenced item against the
+    /// schema. Construction (`Dataset::new`) already checks every item, but
+    /// a dataset deserialized from disk bypasses that path, so the
+    /// streaming ingestion methods re-check the items they touch: NaN or
+    /// infinite positive reals and kind mismatches are rejected with a
+    /// typed [`CoreError::InvalidFeatureValue`] / schema error instead of
+    /// poisoning the emission table later. (Counts cannot go negative: the
+    /// `u64` representation rejects them at the type level.)
+    fn check_item_features(&self, item: ItemId) -> Result<()> {
+        let features = self
+            .items
+            .get(item as usize)
+            .ok_or(CoreError::FeatureIndexOutOfBounds {
+                index: item as usize,
+                len: self.items.len(),
+            })?;
+        self.schema.validate_item(features)
+    }
+
     /// Appends one action to the sequence at `seq_index`, preserving every
     /// construction-time invariant: the item must exist in the feature
-    /// table, the action's user must match the sequence's owner, and time
-    /// must not move backwards. The cached action count is kept in sync.
+    /// table with a schema-conforming (finite, in-range) feature tuple,
+    /// the action's user must match the sequence's owner, and time must
+    /// not move backwards. The cached action count is kept in sync.
     pub fn append_action(&mut self, seq_index: usize, action: Action) -> Result<()> {
-        if action.item as usize >= self.items.len() {
-            return Err(CoreError::FeatureIndexOutOfBounds {
-                index: action.item as usize,
-                len: self.items.len(),
-            });
-        }
+        self.check_item_features(action.item)?;
         let n_users = self.sequences.len();
         let seq = self
             .sequences
@@ -248,19 +289,52 @@ impl Dataset {
     }
 
     /// Appends a whole (already validated) sequence for a new user and
-    /// returns its index. Every action must reference an existing item.
+    /// returns its index. Every action must reference an existing item
+    /// whose feature tuple conforms to the schema.
     pub fn push_sequence(&mut self, sequence: ActionSequence) -> Result<usize> {
         for a in sequence.actions() {
-            if a.item as usize >= self.items.len() {
-                return Err(CoreError::FeatureIndexOutOfBounds {
-                    index: a.item as usize,
-                    len: self.items.len(),
-                });
-            }
+            self.check_item_features(a.item)?;
         }
         self.n_actions += sequence.len();
         self.sequences.push(sequence);
         Ok(self.sequences.len() - 1)
+    }
+
+    /// Re-verifies every construction-time invariant on an existing
+    /// dataset: item tuples conform to the schema, sequences are sorted
+    /// and owner-consistent, actions reference existing items, and the
+    /// cached action count matches.
+    ///
+    /// [`Dataset::new`] establishes these invariants, but serde
+    /// deserialization constructs the struct field-by-field and bypasses
+    /// them; callers loading a dataset from untrusted storage should run
+    /// this before training on it.
+    pub fn validate(&self) -> Result<()> {
+        for features in &self.items {
+            self.schema.validate_item(features)?;
+        }
+        let mut n_actions = 0usize;
+        for seq in &self.sequences {
+            // Re-run the sequence-level checks (sortedness + ownership).
+            ActionSequence::new(seq.user, seq.actions.clone())?;
+            for a in seq.actions() {
+                if a.item as usize >= self.items.len() {
+                    return Err(CoreError::FeatureIndexOutOfBounds {
+                        index: a.item as usize,
+                        len: self.items.len(),
+                    });
+                }
+            }
+            n_actions += seq.len();
+        }
+        if n_actions != self.n_actions {
+            return Err(CoreError::LengthMismatch {
+                context: "cached action count vs actual actions",
+                left: self.n_actions,
+                right: n_actions,
+            });
+        }
+        Ok(())
     }
 
     /// Splits off a shallow view with only the selected users, preserving
@@ -449,6 +523,75 @@ mod tests {
         assert!(ds.push_sequence(bad).is_err());
         assert_eq!(ds.n_users(), 2);
         assert_eq!(ds.n_actions(), 2);
+    }
+
+    #[test]
+    fn ingestion_rejects_nonfinite_real_features() {
+        use crate::feature::PositiveModel;
+        let schema = FeatureSchema::new(vec![FeatureKind::Positive {
+            model: PositiveModel::Gamma,
+        }])
+        .unwrap();
+        let s0 = ActionSequence::new(0, vec![Action::new(0, 0, 0)]).unwrap();
+        let mut ds = Dataset::new(schema, vec![vec![FeatureValue::Real(2.5)]], vec![s0]).unwrap();
+        // Corrupt the item table the way a hand-edited JSON file would
+        // (serde bypasses Dataset::new, so fields arrive unchecked).
+        ds.items[0][0] = FeatureValue::Real(f64::NAN);
+        assert!(matches!(
+            ds.append_action(0, Action::new(1, 0, 0)),
+            Err(CoreError::InvalidFeatureValue { feature: 0, .. })
+        ));
+        let s1 = ActionSequence::new(1, vec![Action::new(0, 1, 0)]).unwrap();
+        assert!(matches!(
+            ds.push_sequence(s1),
+            Err(CoreError::InvalidFeatureValue { feature: 0, .. })
+        ));
+        assert_eq!(ds.n_actions(), 1);
+        assert_eq!(ds.n_users(), 1);
+    }
+
+    #[test]
+    fn dataset_validate_catches_corruption() {
+        let schema = tiny_schema();
+        let items = vec![vec![FeatureValue::Categorical(0)]];
+        let s0 = ActionSequence::new(0, vec![Action::new(0, 0, 0), Action::new(1, 0, 0)]).unwrap();
+        let ds = Dataset::new(schema, items, vec![s0]).unwrap();
+        ds.validate().unwrap();
+
+        // Out-of-range category.
+        let mut bad = ds.clone();
+        bad.items[0][0] = FeatureValue::Categorical(99);
+        assert!(matches!(
+            bad.validate(),
+            Err(CoreError::CategoryOutOfBounds { value: 99, .. })
+        ));
+
+        // Unsorted actions inside a sequence.
+        let mut bad = ds.clone();
+        bad.sequences[0].actions[1].time = -5;
+        assert!(matches!(
+            bad.validate(),
+            Err(CoreError::UnsortedSequence { user: 0, .. })
+        ));
+
+        // Dangling item reference.
+        let mut bad = ds.clone();
+        bad.sequences[0].actions[0].item = 7;
+        assert!(matches!(
+            bad.validate(),
+            Err(CoreError::FeatureIndexOutOfBounds { index: 7, .. })
+        ));
+
+        // Stale cached count.
+        let mut bad = ds.clone();
+        bad.n_actions = 9;
+        assert!(matches!(
+            bad.validate(),
+            Err(CoreError::LengthMismatch {
+                context: "cached action count vs actual actions",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64
 /// clamped at zero) beyond 30 where Knuth's method underflows/slows.
 pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
     assert!(mean >= 0.0, "poisson mean must be non-negative");
-    if mean == 0.0 {
+    if upskill_core::float_cmp::is_zero(mean) {
         return 0;
     }
     if mean < 30.0 {

@@ -6,6 +6,7 @@
 //! count rather than the naive `O(n²)` pair scan; the naive version is kept
 //! as [`kendall_tau_naive`] for the ablation bench and cross-checking.
 
+use crate::float_cmp::{exact_eq, is_zero};
 use crate::EvalError;
 
 /// Pearson product-moment correlation coefficient.
@@ -27,7 +28,7 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, EvalError> {
         sxx += dx * dx;
         syy += dy * dy;
     }
-    if sxx == 0.0 || syy == 0.0 {
+    if is_zero(sxx) || is_zero(syy) {
         return Err(EvalError::ZeroVariance);
     }
     Ok(sxy / (sxx * syy).sqrt())
@@ -42,7 +43,7 @@ pub fn fractional_ranks(x: &[f64]) -> Vec<f64> {
     let mut i = 0;
     while i < n {
         let mut j = i;
-        while j + 1 < n && x[order[j + 1]] == x[order[i]] {
+        while j + 1 < n && exact_eq(x[order[j + 1]], x[order[i]]) {
             j += 1;
         }
         // Average of ranks i+1 ..= j+1.
@@ -85,7 +86,7 @@ pub fn kendall_tau(x: &[f64], y: &[f64]) -> Result<f64, EvalError> {
         let mut i = 0;
         while i < n {
             let mut j = i;
-            while j + 1 < n && xs[j + 1] == xs[i] {
+            while j + 1 < n && exact_eq(xs[j + 1], xs[i]) {
                 j += 1;
             }
             let run = (j - i + 1) as f64;
@@ -94,7 +95,7 @@ pub fn kendall_tau(x: &[f64], y: &[f64]) -> Result<f64, EvalError> {
             let mut k = i;
             while k <= j {
                 let mut m = k;
-                while m < j && ys[m + 1] == ys[k] {
+                while m < j && exact_eq(ys[m + 1], ys[k]) {
                     m += 1;
                 }
                 let jr = (m - k + 1) as f64;
@@ -113,7 +114,7 @@ pub fn kendall_tau(x: &[f64], y: &[f64]) -> Result<f64, EvalError> {
         let mut i = 0;
         while i < n {
             let mut j = i;
-            while j + 1 < n && sorted_y[j + 1] == sorted_y[i] {
+            while j + 1 < n && exact_eq(sorted_y[j + 1], sorted_y[i]) {
                 j += 1;
             }
             let run = (j - i + 1) as f64;
@@ -129,7 +130,7 @@ pub fn kendall_tau(x: &[f64], y: &[f64]) -> Result<f64, EvalError> {
 
     let concordant_minus_discordant = n_pairs - ties_x - ties_y + ties_xy - 2.0 * swaps as f64;
     let denom = ((n_pairs - ties_x) * (n_pairs - ties_y)).sqrt();
-    if denom == 0.0 {
+    if is_zero(denom) {
         return Err(EvalError::ZeroVariance);
     }
     Ok(concordant_minus_discordant / denom)
@@ -181,11 +182,11 @@ pub fn kendall_tau_naive(x: &[f64], y: &[f64]) -> Result<f64, EvalError> {
         for j in i + 1..n {
             let dx = x[i] - x[j];
             let dy = y[i] - y[j];
-            if dx == 0.0 && dy == 0.0 {
+            if is_zero(dx) && is_zero(dy) {
                 // joint tie: counts in neither
-            } else if dx == 0.0 {
+            } else if is_zero(dx) {
                 ties_x += 1.0;
-            } else if dy == 0.0 {
+            } else if is_zero(dy) {
                 ties_y += 1.0;
             } else if dx * dy > 0.0 {
                 concordant += 1.0;
@@ -199,7 +200,7 @@ pub fn kendall_tau_naive(x: &[f64], y: &[f64]) -> Result<f64, EvalError> {
     let mut joint = 0.0;
     for i in 0..n {
         for j in i + 1..n {
-            if x[i] == x[j] && y[i] == y[j] {
+            if exact_eq(x[i], x[j]) && exact_eq(y[i], y[j]) {
                 joint += 1.0;
             }
         }
@@ -207,7 +208,7 @@ pub fn kendall_tau_naive(x: &[f64], y: &[f64]) -> Result<f64, EvalError> {
     let tx = ties_x + joint;
     let ty = ties_y + joint;
     let denom = ((n0 - tx) * (n0 - ty)).sqrt();
-    if denom == 0.0 {
+    if is_zero(denom) {
         return Err(EvalError::ZeroVariance);
     }
     Ok((concordant - discordant) / denom)

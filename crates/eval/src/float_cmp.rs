@@ -1,0 +1,38 @@
+//! Approved exact float comparisons, local to `upskill-eval`.
+//!
+//! The workspace lint (`xtask lint`, rule `float-eq`) forbids raw
+//! `==`/`!=` between floats; intentional exact comparisons go through
+//! named helpers instead. `upskill-eval` deliberately has no dependency
+//! on `upskill-core`, so it carries its own copy of the helpers it needs
+//! rather than importing `upskill_core::float_cmp`.
+
+/// Exactly zero (positive or negative zero). Used for variance and
+/// tie-difference guards where a tolerance would misclassify genuinely
+/// distinct samples as ties.
+#[inline]
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+/// Bit-for-value exact equality (`NaN != NaN`, `-0.0 == 0.0`). Used for
+/// tie detection in rank statistics, where the inputs are finite scores
+/// and "tie" means exactly equal by IEEE comparison.
+#[inline]
+pub fn exact_eq(a: f64, b: f64) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_equality_semantics() {
+        assert!(is_zero(0.0));
+        assert!(is_zero(-0.0));
+        assert!(!is_zero(1e-300));
+        assert!(exact_eq(1.5, 1.5));
+        assert!(exact_eq(-0.0, 0.0));
+        assert!(!exact_eq(f64::NAN, f64::NAN));
+    }
+}

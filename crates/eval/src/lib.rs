@@ -12,6 +12,7 @@
 pub mod bootstrap;
 pub mod correlation;
 pub mod error_metrics;
+pub mod float_cmp;
 pub mod goodness;
 pub mod ranking;
 pub mod significance;

@@ -1,0 +1,56 @@
+//! Lint fixture: every *allowed* construct that sits near a rule's
+//! boundary. The engine tests assert the scanner stays quiet here.
+
+fn near_miss_tokens(r: Result<u64, ()>) -> u64 {
+    // `.unwrap_or` / `.expect_err` share prefixes with banned tokens.
+    let a = r.unwrap_or(0);
+    let b = r.expect_err("fixture");
+    let _ = b;
+    a
+}
+
+fn hot_but_legal(v: &[u64], out: &mut Vec<u64>) {
+    // Iterators, range slices, and widening casts are all fine in loops.
+    for (i, &x) in v.iter().enumerate() {
+        out.push(x + i as u64);
+        let window = &v[1..v.len()];
+        let _ = window.len() as usize;
+    }
+}
+
+fn marked_exception(v: &mut [u64], idx: usize) {
+    for bit in 0..64 {
+        // lint:allow(hot-loop-index): fixture mirror of the bit-packed
+        // backpointer write; the index is proven in range.
+        v[idx / 64] |= 1u64 << bit;
+    }
+}
+
+// lint:allow-block(float-eq): fixture mirror of an approved comparison
+// region with an explicit begin/end span.
+fn sentinel(x: f64) -> bool {
+    x == f64::NEG_INFINITY
+}
+// lint:end-allow-block(float-eq)
+
+fn integer_comparisons(n: usize) -> bool {
+    n == 0 || n != 1
+}
+
+fn builder_usage() -> ParallelConfig {
+    ParallelConfig::sequential().with_threads(4)
+}
+
+fn borrow(c: &ParallelConfig) -> &ParallelConfig {
+    c
+}
+
+fn richer_entry(d: &Dataset, c: &TrainConfig, p: &ParallelConfig) {
+    // Shares a prefix with the deprecated shim, but is the blessed API.
+    let _ = train_em_with_parallelism(d, c, p);
+}
+
+fn strings_and_comments() -> &'static str {
+    // panic!("never fires"); x[0]; y == 0.0; train_em(d, c)
+    "call .unwrap() or ParallelConfig { threads: 1 } — inert in a string"
+}

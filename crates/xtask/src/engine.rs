@@ -1,0 +1,126 @@
+//! Walks the workspace and runs every rule on every first-party source
+//! file.
+//!
+//! Only `crates/*/src/**/*.rs` is scanned: that is where all first-party
+//! library and binary code lives. Integration tests, benches, examples,
+//! and the vendored dependency stubs are intentionally out of scope — the
+//! rules target production code paths.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules;
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+/// Result of a lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Lints every `crates/*/src/**/*.rs` file under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut diagnostics = Vec::new();
+    let files_scanned = files.len();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        diagnostics.extend(rules::run_all(&SourceFile::from_source(&rel, &text)));
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(LintReport {
+        files_scanned,
+        diagnostics,
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_root(which: &str) -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(which)
+    }
+
+    fn workspace_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .canonicalize()
+            .expect("workspace root exists")
+    }
+
+    #[test]
+    fn seeded_fixture_trips_every_rule() {
+        let report = lint_workspace(&fixture_root("bad")).unwrap();
+        let fired: std::collections::BTreeSet<&str> =
+            report.diagnostics.iter().map(|d| d.rule).collect();
+        for rule in rules::RULE_IDS {
+            assert!(
+                fired.contains(rule),
+                "rule {rule} did not fire on the fixture; fired: {fired:?}"
+            );
+        }
+        // Diagnostics are machine-readable `path:line: [rule] …`.
+        let rendered = report.diagnostics[0].to_string();
+        let mut parts = rendered.splitn(3, ':');
+        assert!(parts.next().unwrap().ends_with(".rs"));
+        assert!(parts.next().unwrap().parse::<usize>().is_ok());
+        assert!(parts.next().unwrap().trim_start().starts_with('['));
+    }
+
+    #[test]
+    fn clean_fixture_is_quiet() {
+        let report = lint_workspace(&fixture_root("clean")).unwrap();
+        assert!(
+            report.diagnostics.is_empty(),
+            "clean fixture flagged: {:#?}",
+            report.diagnostics
+        );
+        assert!(report.files_scanned > 0);
+    }
+
+    #[test]
+    fn real_workspace_is_lint_clean() {
+        let report = lint_workspace(&workspace_root()).unwrap();
+        assert!(
+            report.diagnostics.is_empty(),
+            "workspace has lint violations:\n{}",
+            report
+                .diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(report.files_scanned > 30);
+    }
+}

@@ -1,0 +1,59 @@
+//! Workspace automation tasks (`cargo xtask` pattern).
+//!
+//! The only task so far is `lint`: a std-only, source-level static
+//! analysis pass over every first-party crate. It enforces the project's
+//! correctness conventions that rustc and clippy cannot express:
+//!
+//! | rule id              | what it forbids                                          |
+//! |----------------------|----------------------------------------------------------|
+//! | `core-panic`         | `unwrap`/`expect`/`panic!`/`todo!` in `upskill-core` non-test code |
+//! | `hot-loop-index`     | `[idx]` indexing inside DP/accumulator hot loops         |
+//! | `hot-loop-cast`      | truncating `as` casts inside those same loops            |
+//! | `float-eq`           | `==`/`!=` on floats outside approved comparison helpers  |
+//! | `config-literal`     | struct-literal `ParallelConfig`/`EmConfig` outside their builders |
+//! | `deprecated-train-em`| calls to the deprecated `train_em` shim                  |
+//! | `lint-marker`        | malformed or unmatched `lint:allow` markers              |
+//!
+//! Intentional exceptions are written in the source as markers:
+//!
+//! ```text
+//! // lint:allow(rule-id): reason          (covers the next code line)
+//! // lint:allow-block(rule-id): reason    (covers until the matching end)
+//! // lint:end-allow-block(rule-id)
+//! ```
+//!
+//! Diagnostics are machine-readable, one per line:
+//! `path:line: [rule-id] message`.
+
+pub mod engine;
+pub mod rules;
+pub mod source;
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One lint finding, addressable as `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path of the offending file, relative to the lint root.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (see the crate docs table).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}

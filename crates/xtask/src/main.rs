@@ -1,0 +1,71 @@
+//! `cargo run -p xtask -- <task>` entry point.
+//!
+//! Tasks:
+//! - `lint [--root <dir>]` — run the workspace lint rules. Exits 0 when
+//!   clean, 1 with one `path:line: [rule] message` diagnostic per line
+//!   when violations are found, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::engine::lint_workspace;
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--root <dir>]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown task {other:?}\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("no task given\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let root = match args {
+        [] => default_root(),
+        [flag, dir] if flag == "--root" => PathBuf::from(dir),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match lint_workspace(&root) {
+        Ok(report) if report.diagnostics.is_empty() => {
+            println!("lint: clean ({} files)", report.files_scanned);
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            eprintln!(
+                "lint: {} violation(s) in {} files scanned",
+                report.diagnostics.len(),
+                report.files_scanned
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lint: cannot scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: xtask lives at `<root>/crates/xtask`.
+fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}

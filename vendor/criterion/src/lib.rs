@@ -5,6 +5,11 @@
 //! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
 //! `criterion_group!` / `criterion_main!` macros. Reports mean/min time per
 //! iteration on stdout; no statistics, plots, or baselines.
+//!
+//! Setting `CRITERION_SAMPLE_SIZE` to a positive integer overrides every
+//! benchmark's sample count — CI smoke jobs run the full bench suite with
+//! `CRITERION_SAMPLE_SIZE=1` to catch bench-code rot without paying for
+//! real measurements.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -132,7 +137,21 @@ impl Bencher {
     }
 }
 
+/// Parses a `CRITERION_SAMPLE_SIZE` value: a positive integer overrides
+/// every in-code sample-size setting; anything else is ignored.
+fn parse_override(raw: Option<&str>) -> Option<usize> {
+    raw?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// The environment override, if any. Checked per benchmark so CI smoke
+/// jobs (`CRITERION_SAMPLE_SIZE=1 cargo bench`) can pin the sample count
+/// without editing bench code or plumbing config through the macros.
+fn sample_size_override() -> Option<usize> {
+    parse_override(std::env::var("CRITERION_SAMPLE_SIZE").ok().as_deref())
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let samples = sample_size_override().unwrap_or(samples);
     // Calibrate: run once to estimate cost, then choose an iteration count
     // aiming at ~10ms per sample (capped) so fast routines aren't all noise.
     let mut calib = Bencher {
@@ -173,6 +192,22 @@ fn format_time(secs: f64) -> String {
         format!("{:.2} ms", secs * 1e3)
     } else {
         format!("{secs:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_override;
+
+    #[test]
+    fn override_parsing() {
+        assert_eq!(parse_override(None), None);
+        assert_eq!(parse_override(Some("")), None);
+        assert_eq!(parse_override(Some("0")), None);
+        assert_eq!(parse_override(Some("-3")), None);
+        assert_eq!(parse_override(Some("abc")), None);
+        assert_eq!(parse_override(Some("1")), Some(1));
+        assert_eq!(parse_override(Some(" 25 ")), Some(25));
     }
 }
 
