@@ -7,7 +7,7 @@
 //! assignment that maximizes the sequence log-likelihood under the current
 //! model parameters. Complexity: `O(|A_u| · F · S)`.
 
-use crate::emission::EmissionTable;
+use crate::emission::{CompactEmissionTable, EmissionTable};
 use crate::error::{CoreError, Result};
 use crate::float_cmp::is_neg_infinity;
 use crate::model::SkillModel;
@@ -245,6 +245,71 @@ pub fn assign_sequence_with_table_ws(
     dp_over_rows(table.n_levels(), n, |t| table.row(actions[t].item), ws)
 }
 
+/// Assigns skill levels to one sequence, reading emissions from an
+/// f32-storage [`CompactEmissionTable`].
+///
+/// Unlike the f64 table path, rows cannot be borrowed in place — each
+/// action's row is widened back to `f64` into the workspace emission
+/// buffer, then the same `dp_over_rows` core runs over it. The DP
+/// therefore sees each table cell rounded to `f32` exactly once; paths
+/// whose scores are separated by more than the rounding error decode to
+/// the same levels as the f64 path.
+pub fn assign_sequence_with_compact_table(
+    table: &CompactEmissionTable,
+    sequence: &ActionSequence,
+) -> Result<SequenceAssignment> {
+    assign_sequence_with_compact_table_ws(table, sequence, &mut AssignWorkspace::new())
+}
+
+/// [`assign_sequence_with_compact_table`] with caller-provided scratch;
+/// reuse the workspace across sequences to avoid per-sequence allocation.
+pub fn assign_sequence_with_compact_table_ws(
+    table: &CompactEmissionTable,
+    sequence: &ActionSequence,
+    ws: &mut AssignWorkspace,
+) -> Result<SequenceAssignment> {
+    let n = sequence.len();
+    if n == 0 {
+        return Ok(SequenceAssignment {
+            levels: Vec::new(),
+            log_likelihood: 0.0,
+        });
+    }
+    let s_max = table.n_levels();
+    if s_max == 0 {
+        return Err(CoreError::DegenerateFit {
+            distribution: "skill DP",
+            reason: "compact emission table has zero levels",
+        });
+    }
+    let actions = sequence.actions();
+    for action in actions {
+        if action.item as usize >= table.n_items() {
+            return Err(CoreError::FeatureIndexOutOfBounds {
+                index: action.item as usize,
+                len: table.n_items(),
+            });
+        }
+    }
+
+    let mut emit = std::mem::take(&mut ws.emit);
+    if emit.len() < n * s_max {
+        emit.resize(n * s_max, 0.0);
+    }
+    for (row, action) in emit.chunks_mut(s_max).zip(actions) {
+        if !table.fill_row(action.item, row) {
+            ws.emit = emit;
+            return Err(CoreError::FeatureIndexOutOfBounds {
+                index: action.item as usize,
+                len: table.n_items(),
+            });
+        }
+    }
+    let result = dp_over_rows(s_max, n, |t| &emit[t * s_max..(t + 1) * s_max], ws);
+    ws.emit = emit;
+    result
+}
+
 /// Assigns every sequence in the dataset sequentially.
 ///
 /// Returns the assignments plus the total data log-likelihood (Eq. 3
@@ -276,6 +341,29 @@ pub fn assign_all_with_table(
     let mut total_ll = 0.0;
     for seq in dataset.sequences() {
         let a = assign_sequence_with_table_ws(table, seq, &mut ws)?;
+        total_ll += a.log_likelihood;
+        per_user.push(a.levels);
+    }
+    Ok((SkillAssignments { per_user }, total_ll))
+}
+
+/// Assigns every sequence against an existing [`CompactEmissionTable`].
+pub fn assign_all_with_compact_table(
+    table: &CompactEmissionTable,
+    dataset: &Dataset,
+) -> Result<(SkillAssignments, f64)> {
+    if table.n_items() < dataset.n_items() {
+        return Err(CoreError::LengthMismatch {
+            context: "emission table items vs dataset items",
+            left: table.n_items(),
+            right: dataset.n_items(),
+        });
+    }
+    let mut ws = AssignWorkspace::new();
+    let mut per_user = Vec::with_capacity(dataset.n_users());
+    let mut total_ll = 0.0;
+    for seq in dataset.sequences() {
+        let a = assign_sequence_with_compact_table_ws(table, seq, &mut ws)?;
         total_ll += a.log_likelihood;
         per_user.push(a.levels);
     }
@@ -545,6 +633,43 @@ mod tests {
             assert_eq!(fresh.levels, tabled.levels);
             assert_eq!(fresh.log_likelihood, tabled.log_likelihood);
         }
+    }
+
+    #[test]
+    fn compact_table_assignment_matches_f64_on_separated_levels() {
+        let model = diagonal_model(4);
+        let (ds, seq) = dataset_for(4, &[0, 1, 1, 3, 2, 0, 3]);
+        let table = EmissionTable::build(&model, &ds);
+        let compact = CompactEmissionTable::from_table(&table);
+        let full = assign_sequence_with_table(&table, &seq).unwrap();
+        let small = assign_sequence_with_compact_table(&compact, &seq).unwrap();
+        // Level probabilities are well separated (0.9 vs ~0.033), so a
+        // single f32 rounding per cell cannot flip any DP comparison.
+        assert_eq!(full.levels, small.levels);
+        let rel =
+            (full.log_likelihood - small.log_likelihood).abs() / full.log_likelihood.abs().max(1.0);
+        assert!(rel < 1e-6, "relative ll gap {rel}");
+
+        let (a_full, ll_full) = assign_all_with_table(&table, &ds).unwrap();
+        let (a_small, ll_small) = assign_all_with_compact_table(&compact, &ds).unwrap();
+        assert_eq!(a_full, a_small);
+        assert!((ll_full - ll_small).abs() / ll_full.abs().max(1.0) < 1e-6);
+    }
+
+    #[test]
+    fn compact_table_assignment_rejects_unknown_items() {
+        let model = diagonal_model(2);
+        let (ds, _) = dataset_for(2, &[0, 1]);
+        let compact = CompactEmissionTable::build(&model, &ds);
+        let rogue = ActionSequence::new(5, vec![Action::new(0, 5, 7)]).unwrap();
+        assert!(matches!(
+            assign_sequence_with_compact_table(&compact, &rogue),
+            Err(CoreError::FeatureIndexOutOfBounds { .. })
+        ));
+        let empty = ActionSequence::new(6, vec![]).unwrap();
+        let a = assign_sequence_with_compact_table(&compact, &empty).unwrap();
+        assert!(a.levels.is_empty());
+        assert_eq!(a.log_likelihood, 0.0);
     }
 
     #[test]

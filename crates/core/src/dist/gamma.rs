@@ -147,6 +147,25 @@ impl Gamma {
         (self.shape - 1.0) * x.ln() - x / self.scale + self.log_norm
     }
 
+    /// Columnar variant of [`Gamma::log_pdf`]: adds the log-density of
+    /// each sample to the matching slot of `out`.
+    ///
+    /// Callers pass `ln x` precomputed once per item across all skill
+    /// levels and must already have screened out non-positive or
+    /// non-finite samples (the scalar guard); `k − 1`, `θ` and the cached
+    /// normalizer are loop constants. Each contribution evaluates
+    /// `(k−1)·ln x − x/θ + log_norm` in exactly the scalar operation
+    /// order, so the result is bitwise identical to [`Gamma::log_pdf`] on
+    /// valid samples.
+    pub fn log_pdf_batch(&self, xs: &[f64], ln_xs: &[f64], out: &mut [f64]) {
+        let a = self.shape - 1.0;
+        let scale = self.scale;
+        let log_norm = self.log_norm;
+        for ((acc, &x), &lx) in out.iter_mut().zip(xs).zip(ln_xs) {
+            *acc += a * lx - x / scale + log_norm;
+        }
+    }
+
     /// Density at `x`.
     pub fn pdf(&self, x: f64) -> f64 {
         self.log_pdf(x).exp()
@@ -305,6 +324,18 @@ mod tests {
         assert_eq!(g.log_pdf(0.0), f64::NEG_INFINITY);
         assert_eq!(g.log_pdf(-3.0), f64::NEG_INFINITY);
         assert_eq!(g.log_pdf(f64::NAN), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise() {
+        let g = Gamma::new(2.3, 0.8).unwrap();
+        let xs = [0.1f64, 1.0, 2.5, 17.0, 0.003];
+        let ln_xs: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+        let mut out = vec![-1.5f64; xs.len()];
+        g.log_pdf_batch(&xs, &ln_xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            assert_eq!(got.to_bits(), (-1.5 + g.log_pdf(x)).to_bits());
+        }
     }
 
     #[test]

@@ -104,6 +104,26 @@ impl LogNormal {
         -lx - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln() - 0.5 * z * z
     }
 
+    /// Columnar variant of [`LogNormal::log_pdf`]: adds the log-density of
+    /// each sample — given as `ln x`, precomputed once per item across all
+    /// skill levels — to the matching slot of `out`.
+    ///
+    /// Callers must already have screened out non-positive or non-finite
+    /// samples (the scalar guard); `μ`, `σ`, `ln σ` and the `½·ln 2π`
+    /// constant are hoisted out of the loop. Each contribution keeps the
+    /// scalar operation order, so the result is bitwise identical to
+    /// [`LogNormal::log_pdf`] on valid samples.
+    pub fn log_pdf_batch(&self, ln_xs: &[f64], out: &mut [f64]) {
+        let mu = self.mu;
+        let sigma = self.sigma;
+        let ln_sigma = self.sigma.ln();
+        let half_ln_two_pi = 0.5 * (2.0 * std::f64::consts::PI).ln();
+        for (acc, &lx) in out.iter_mut().zip(ln_xs) {
+            let z = (lx - mu) / sigma;
+            *acc += -lx - ln_sigma - half_ln_two_pi - 0.5 * z * z;
+        }
+    }
+
     /// Density at `x`.
     pub fn pdf(&self, x: f64) -> f64 {
         self.log_pdf(x).exp()
@@ -169,6 +189,18 @@ mod tests {
         let d = LogNormal::new(0.0, 1.0).unwrap();
         assert_eq!(d.log_pdf(0.0), f64::NEG_INFINITY);
         assert_eq!(d.log_pdf(-1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise() {
+        let d = LogNormal::new(0.4, 0.9).unwrap();
+        let xs = [0.1f64, 1.0, 2.5, 17.0, 0.003];
+        let ln_xs: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+        let mut out = vec![2.0f64; xs.len()];
+        d.log_pdf_batch(&ln_xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            assert_eq!(got.to_bits(), (2.0 + d.log_pdf(x)).to_bits());
+        }
     }
 
     #[test]

@@ -35,18 +35,49 @@ pub enum FeatureDistribution {
     LogNormal(LogNormal),
 }
 
+/// Scores a distribution-kind / value-kind mismatch.
+///
+/// A mismatch always means the model schema and the item data went out of
+/// sync upstream of scoring. The silent `-inf` keeps the release contract
+/// (a zero-probability DP path, per Eq. 2), but under `debug_assertions`
+/// or the `strict-invariants` feature the mismatch fails loudly at the
+/// offending site instead of quietly poisoning every downstream DP and
+/// posterior.
+#[cold]
+pub(crate) fn score_kind_mismatch(expected: &'static str, got: &'static str) -> f64 {
+    if crate::invariants::ENABLED {
+        // lint:allow(core-panic): strict-invariants escalates a silent
+        // kind mismatch into a loud failure at the mismatch site.
+        panic!("feature kind mismatch: {expected} distribution scored a {got} value");
+    }
+    f64::NEG_INFINITY
+}
+
 impl FeatureDistribution {
     /// Log-likelihood of one observed feature value.
     ///
-    /// Returns `-inf` (not an error) for impossible values so the DP can
-    /// treat them as zero-probability paths.
+    /// Returns `-inf` (not an error) for impossible *values* so the DP can
+    /// treat them as zero-probability paths. A kind mismatch (e.g. a count
+    /// scored by a gamma density) also scores `-inf` in release builds but
+    /// raises a debug invariant under `debug_assertions` or the
+    /// `strict-invariants` feature — see `score_kind_mismatch`.
     pub fn log_likelihood(&self, value: &FeatureValue) -> f64 {
         match (self, value) {
             (FeatureDistribution::Categorical(d), FeatureValue::Categorical(c)) => d.log_prob(*c),
             (FeatureDistribution::Poisson(d), FeatureValue::Count(k)) => d.log_pmf(*k),
             (FeatureDistribution::Gamma(d), FeatureValue::Real(x)) => d.log_pdf(*x),
             (FeatureDistribution::LogNormal(d), FeatureValue::Real(x)) => d.log_pdf(*x),
-            _ => f64::NEG_INFINITY,
+            (dist, value) => score_kind_mismatch(dist.kind_name(), value.name()),
+        }
+    }
+
+    /// Short name of the distribution family, for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            FeatureDistribution::Categorical(_) => "categorical",
+            FeatureDistribution::Poisson(_) => "poisson",
+            FeatureDistribution::Gamma(_) => "gamma",
+            FeatureDistribution::LogNormal(_) => "lognormal",
         }
     }
 
@@ -305,24 +336,50 @@ mod tests {
         let cat =
             FeatureDistribution::Categorical(Categorical::from_probs(vec![0.25, 0.75]).unwrap());
         assert!((cat.log_likelihood(&FeatureValue::Categorical(1)) - 0.75f64.ln()).abs() < 1e-12);
-        assert_eq!(
-            cat.log_likelihood(&FeatureValue::Count(1)),
-            f64::NEG_INFINITY
-        );
 
         let poi = FeatureDistribution::Poisson(Poisson::new(2.0).unwrap());
         assert!(poi.log_likelihood(&FeatureValue::Count(3)).is_finite());
-        assert_eq!(
-            poi.log_likelihood(&FeatureValue::Real(3.0)),
-            f64::NEG_INFINITY
-        );
 
         let gam = FeatureDistribution::Gamma(Gamma::new(2.0, 1.0).unwrap());
         assert!(gam.log_likelihood(&FeatureValue::Real(1.5)).is_finite());
-        assert_eq!(
-            gam.log_likelihood(&FeatureValue::Categorical(0)),
-            f64::NEG_INFINITY
-        );
+    }
+
+    #[test]
+    fn kind_mismatch_fails_loudly_under_debug_invariants() {
+        // Release builds (invariants disabled) score a mismatch as `-inf`;
+        // tests compile with `debug_assertions`, so the invariant layer is
+        // active and the mismatch must fail at the scoring site instead of
+        // silently poisoning the DP.
+        let mismatches: Vec<(FeatureDistribution, FeatureValue)> = vec![
+            (
+                FeatureDistribution::Categorical(
+                    Categorical::from_probs(vec![0.25, 0.75]).unwrap(),
+                ),
+                FeatureValue::Count(1),
+            ),
+            (
+                FeatureDistribution::Poisson(Poisson::new(2.0).unwrap()),
+                FeatureValue::Real(3.0),
+            ),
+            (
+                FeatureDistribution::Gamma(Gamma::new(2.0, 1.0).unwrap()),
+                FeatureValue::Categorical(0),
+            ),
+            (
+                FeatureDistribution::LogNormal(LogNormal::new(0.0, 1.0).unwrap()),
+                FeatureValue::Count(2),
+            ),
+        ];
+        for (dist, value) in mismatches {
+            if crate::invariants::ENABLED {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    dist.log_likelihood(&value)
+                }));
+                assert!(outcome.is_err(), "{} should panic", dist.kind_name());
+            } else {
+                assert_eq!(dist.log_likelihood(&value), f64::NEG_INFINITY);
+            }
+        }
     }
 
     #[test]

@@ -74,6 +74,23 @@ impl Poisson {
         k as f64 * self.ln_rate - self.rate - ln_factorial(k)
     }
 
+    /// Columnar variant of [`Poisson::log_pmf`]: adds the log-PMF of each
+    /// count to the matching slot of `out`.
+    ///
+    /// Callers pass the counts pre-widened to `f64` together with their
+    /// `ln k!` values so both are computed once per item across all skill
+    /// levels instead of once per (item, level) cell; `λ` and `ln λ` are
+    /// loop constants. Each contribution evaluates
+    /// `k·ln λ − λ − ln k!` in exactly the scalar operation order, so the
+    /// result is bitwise identical to [`Poisson::log_pmf`].
+    pub fn log_pmf_batch(&self, ks: &[f64], ln_facts: &[f64], out: &mut [f64]) {
+        let rate = self.rate;
+        let ln_rate = self.ln_rate;
+        for ((acc, &kf), &lf) in out.iter_mut().zip(ks).zip(ln_facts) {
+            *acc += kf * ln_rate - rate - lf;
+        }
+    }
+
     /// Probability mass at `k`.
     pub fn pmf(&self, k: u64) -> f64 {
         self.log_pmf(k).exp()
@@ -136,6 +153,21 @@ mod tests {
         let best = ll(fitted.rate());
         assert!(best > ll(fitted.rate() * 1.05));
         assert!(best > ll(fitted.rate() * 0.95));
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise() {
+        // Counts straddle the `ln_factorial` table boundary so both the
+        // table and the loop path are exercised.
+        let p = Poisson::new(3.7).unwrap();
+        let counts = [0u64, 1, 5, 31, 32, 200];
+        let ks: Vec<f64> = counts.iter().map(|&k| k as f64).collect();
+        let lfs: Vec<f64> = counts.iter().map(|&k| ln_factorial(k)).collect();
+        let mut out = vec![0.5f64; counts.len()];
+        p.log_pmf_batch(&ks, &lfs, &mut out);
+        for (&k, &got) in counts.iter().zip(&out) {
+            assert_eq!(got.to_bits(), (0.5 + p.log_pmf(k)).to_bits());
+        }
     }
 
     #[test]

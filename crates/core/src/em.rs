@@ -7,15 +7,37 @@
 //! marginals `γ(n, s)`; the M-step refits every distribution from
 //! *weighted* sufficient statistics. This module exists to let the
 //! benchmarks quantify the hard-vs-soft trade-off on the same substrate.
+//!
+//! ## Responsibility-delta incremental EM
+//!
+//! By default (`ParallelConfig::incremental`) the loop mirrors the hard
+//! trainer's persistent-histogram optimization: a
+//! [`SoftStatsGrid`] carries the
+//! per-`(level, item)` responsibility mass across iterations, each E-step
+//! applies only the *delta* of posteriors that moved past
+//! [`EmConfig::gamma_tolerance`], the M-step replays the grid item-major
+//! (`O(S · n_items · F)` weighted pushes instead of `O(|A| · S · F)`) and
+//! refits only dirty levels, and one persistent [`EmissionTable`] is
+//! column-refreshed instead of rebuilt. Disabling the flag runs the
+//! legacy from-scratch accumulation — the measurable baseline for
+//! `bench_em_incremental`.
 
 use crate::dist::{Categorical, FeatureDistribution, Gamma, LogNormal, Poisson, DEFAULT_SMOOTHING};
 use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
 use crate::feature::{FeatureKind, FeatureValue, PositiveModel};
+use crate::incremental::SoftStatsGrid;
 use crate::model::SkillModel;
 use crate::parallel::ParallelConfig;
 use crate::transition::TransitionModel;
-use crate::types::{ActionSequence, Dataset, SkillLevel};
+use crate::types::{skill_level_from_index, ActionSequence, Dataset, SkillLevel};
+
+/// Default gate for responsibility deltas: posterior rows that move less
+/// than this between iterations keep their previous contribution. Small
+/// enough that gated error stays far below the trainer's convergence
+/// tolerance, large enough to skip actions whose posteriors have settled
+/// to machine precision.
+pub const DEFAULT_GAMMA_TOLERANCE: f64 = 1e-12;
 
 /// Numerically stable `log(Σ exp(x_i))`.
 fn log_sum_exp(xs: &[f64]) -> f64 {
@@ -158,8 +180,154 @@ where
     Ok((gammas, log_evidence))
 }
 
-/// Weighted per-cell statistics for the M-step.
-enum WeightedAcc {
+/// Reusable flat buffers for table-backed forward–backward.
+///
+/// The legacy [`forward_backward_with_table`] allocates three
+/// `Vec<Vec<f64>>` lattices per sequence per iteration — hundreds of
+/// thousands of small allocations per EM pass at the acceptance
+/// workload, which dominates the E-step. The incremental path runs the
+/// identical recursion (same operation order, bitwise-identical
+/// marginals and evidence) through these buffers, resized once and
+/// reused across every sequence of every iteration. The per-level
+/// transition log-probabilities are hoisted at construction: the
+/// transition model stays fixed for a whole EM run.
+struct FbWorkspace {
+    /// Flat `n × s_max` forward lattice (log alpha).
+    alpha: Vec<f64>,
+    /// Flat `n × s_max` backward lattice (log beta).
+    beta: Vec<f64>,
+    /// Flat `n × s_max` posterior marginals of the last pass.
+    gamma: Vec<f64>,
+    /// Hoisted `log P(stay at s+1)` per zero-based level.
+    log_stay: Vec<f64>,
+    /// Hoisted `log P(advance from s+1)` per zero-based level.
+    log_advance: Vec<f64>,
+    /// Hoisted `log P(initial level = s+1)` per zero-based level.
+    log_init: Vec<f64>,
+}
+
+impl FbWorkspace {
+    fn new(transitions: &TransitionModel) -> Self {
+        let s_max = transitions.n_levels();
+        let level = |s: usize| (s + 1) as SkillLevel;
+        Self {
+            alpha: Vec::new(),
+            beta: Vec::new(),
+            gamma: Vec::new(),
+            log_stay: (0..s_max).map(|s| transitions.log_stay(level(s))).collect(),
+            log_advance: (0..s_max)
+                .map(|s| transitions.log_advance(level(s)))
+                .collect(),
+            log_init: (0..s_max).map(|s| transitions.log_init(level(s))).collect(),
+        }
+    }
+
+    /// Runs forward–backward for one sequence, leaving the flat posterior
+    /// marginals in `self.gamma` (row-major, `seq.len() × s_max`) and
+    /// returning the log evidence. Produces exactly the values of
+    /// [`forward_backward_with_table`].
+    fn run(&mut self, table: &EmissionTable, seq: &ActionSequence) -> Result<f64> {
+        let s_max = self.log_stay.len();
+        if table.n_levels() != s_max {
+            return Err(CoreError::LengthMismatch {
+                context: "transitions vs model levels",
+                left: s_max,
+                right: table.n_levels(),
+            });
+        }
+        let actions = seq.actions();
+        let n = actions.len();
+        if n == 0 {
+            self.gamma.clear();
+            return Ok(0.0);
+        }
+        for action in actions {
+            if action.item as usize >= table.n_items() {
+                return Err(CoreError::FeatureIndexOutOfBounds {
+                    index: action.item as usize,
+                    len: table.n_items(),
+                });
+            }
+        }
+        let cells = n * s_max;
+        self.alpha.clear();
+        self.alpha.resize(cells, f64::NEG_INFINITY);
+        self.beta.clear();
+        self.beta.resize(cells, 0.0);
+        self.gamma.clear();
+        self.gamma.resize(cells, 0.0);
+
+        // Forward (log alpha); same recursion as `forward_backward_rows`.
+        let first = table.row(actions[0].item);
+        for ((a, &li), &e) in self.alpha[..s_max]
+            .iter_mut()
+            .zip(&self.log_init)
+            .zip(first)
+        {
+            *a = li + e;
+        }
+        for t in 1..n {
+            let emit = table.row(actions[t].item);
+            let (prev, curr) = self.alpha.split_at_mut(t * s_max);
+            let prev = &prev[(t - 1) * s_max..];
+            let curr = &mut curr[..s_max];
+            for s in 0..s_max {
+                let stay = prev[s] + self.log_stay[s];
+                let up = if s > 0 {
+                    prev[s - 1] + self.log_advance[s - 1]
+                } else {
+                    f64::NEG_INFINITY
+                };
+                curr[s] = log_sum_exp(&[stay, up]) + emit[s];
+            }
+        }
+        let log_evidence = log_sum_exp(&self.alpha[(n - 1) * s_max..]);
+        if !log_evidence.is_finite() {
+            return Err(CoreError::DegenerateFit {
+                distribution: "forward-backward",
+                reason: "zero total probability; enable smoothing",
+            });
+        }
+
+        // Backward (log beta).
+        for t in (0..n - 1).rev() {
+            let emit = table.row(actions[t + 1].item);
+            let (curr, next) = self.beta.split_at_mut((t + 1) * s_max);
+            let curr = &mut curr[t * s_max..];
+            let next = &next[..s_max];
+            for s in 0..s_max {
+                let stay = self.log_stay[s] + emit[s] + next[s];
+                let up = if s + 1 < s_max {
+                    self.log_advance[s] + emit[s + 1] + next[s + 1]
+                } else {
+                    f64::NEG_INFINITY
+                };
+                curr[s] = log_sum_exp(&[stay, up]);
+            }
+        }
+
+        // Marginals.
+        for ((g_row, a_row), b_row) in self
+            .gamma
+            .chunks_mut(s_max)
+            .zip(self.alpha.chunks(s_max))
+            .zip(self.beta.chunks(s_max))
+        {
+            for ((g, &a), &b) in g_row.iter_mut().zip(a_row).zip(b_row) {
+                *g = a + b;
+            }
+            let norm = log_sum_exp(g_row);
+            for g in g_row.iter_mut() {
+                *g = (*g - norm).exp();
+            }
+        }
+        Ok(log_evidence)
+    }
+}
+
+/// Weighted per-cell statistics for the M-step (also replayed by
+/// [`SoftStatsGrid::fit_model_incremental`]).
+pub(crate) enum WeightedAcc {
     Categorical {
         weights: Vec<f64>,
     },
@@ -177,7 +345,7 @@ enum WeightedAcc {
 }
 
 impl WeightedAcc {
-    fn new(kind: FeatureKind) -> Self {
+    pub(crate) fn new(kind: FeatureKind) -> Self {
         match kind {
             FeatureKind::Categorical { cardinality } => WeightedAcc::Categorical {
                 weights: vec![0.0; cardinality as usize],
@@ -196,7 +364,7 @@ impl WeightedAcc {
         }
     }
 
-    fn push(&mut self, value: &FeatureValue, weight: f64) -> Result<()> {
+    pub(crate) fn push(&mut self, value: &FeatureValue, weight: f64) -> Result<()> {
         match (self, value) {
             (WeightedAcc::Categorical { weights }, FeatureValue::Categorical(c)) => {
                 let idx = *c as usize;
@@ -236,7 +404,7 @@ impl WeightedAcc {
         }
     }
 
-    fn fit(&self, lambda: f64) -> Result<FeatureDistribution> {
+    pub(crate) fn fit(&self, lambda: f64) -> Result<FeatureDistribution> {
         match self {
             WeightedAcc::Categorical { weights } => {
                 let total: f64 = weights.iter().sum();
@@ -341,6 +509,12 @@ pub struct EmConfig {
     pub max_iterations: usize,
     /// Stop when the relative evidence improvement drops below this.
     pub tolerance: f64,
+    /// Responsibility-delta gate for the incremental path (default
+    /// [`DEFAULT_GAMMA_TOLERANCE`]): an action's posterior row is
+    /// reapplied to the [`SoftStatsGrid`] only when some level moved by
+    /// more than this. `0.0` applies every change (exact up to summation
+    /// order); ignored when `ParallelConfig::incremental` is off.
+    pub gamma_tolerance: f64,
 }
 
 impl EmConfig {
@@ -352,6 +526,7 @@ impl EmConfig {
             lambda: DEFAULT_SMOOTHING,
             max_iterations: 100,
             tolerance: 1e-8,
+            gamma_tolerance: DEFAULT_GAMMA_TOLERANCE,
         }
     }
 
@@ -370,6 +545,12 @@ impl EmConfig {
     /// Overrides the convergence tolerance.
     pub fn with_tolerance(mut self, tolerance: f64) -> Self {
         self.tolerance = tolerance;
+        self
+    }
+
+    /// Overrides the responsibility-delta gate of the incremental path.
+    pub fn with_gamma_tolerance(mut self, gamma_tolerance: f64) -> Self {
+        self.gamma_tolerance = gamma_tolerance;
         self
     }
 }
@@ -393,6 +574,7 @@ pub fn train_em_with_parallelism(
         config.lambda,
         config.max_iterations,
         config.tolerance,
+        config.gamma_tolerance,
         parallel,
     )
 }
@@ -418,12 +600,56 @@ pub fn train_em(
         lambda,
         max_iterations,
         tolerance,
+        DEFAULT_GAMMA_TOLERANCE,
         &ParallelConfig::sequential(),
     )
 }
 
-/// The EM loop shared by both entry points.
+/// The EM loop shared by both entry points: dispatches between the
+/// responsibility-delta incremental path (the default) and the legacy
+/// from-scratch accumulation, per `ParallelConfig::incremental`.
+#[allow(clippy::too_many_arguments)]
 fn run_em(
+    dataset: &Dataset,
+    initial: SkillModel,
+    transitions: &TransitionModel,
+    lambda: f64,
+    max_iterations: usize,
+    tolerance: f64,
+    gamma_tolerance: f64,
+    parallel: &ParallelConfig,
+) -> Result<EmResult> {
+    if dataset.n_actions() == 0 {
+        return Err(CoreError::EmptyDataset);
+    }
+    if parallel.incremental {
+        run_em_incremental(
+            dataset,
+            initial,
+            transitions,
+            lambda,
+            max_iterations,
+            tolerance,
+            gamma_tolerance,
+            parallel,
+        )
+    } else {
+        run_em_full(
+            dataset,
+            initial,
+            transitions,
+            lambda,
+            max_iterations,
+            tolerance,
+            parallel,
+        )
+    }
+}
+
+/// Legacy from-scratch EM: rebuilds the emission table and re-accumulates
+/// every action's weighted statistics each iteration. Kept as the
+/// measurable baseline for `bench_em_incremental`.
+fn run_em_full(
     dataset: &Dataset,
     initial: SkillModel,
     transitions: &TransitionModel,
@@ -432,9 +658,6 @@ fn run_em(
     tolerance: f64,
     parallel: &ParallelConfig,
 ) -> Result<EmResult> {
-    if dataset.n_actions() == 0 {
-        return Err(CoreError::EmptyDataset);
-    }
     let n_levels = initial.n_levels();
     let schema = dataset.schema().clone();
     let mut model = initial;
@@ -484,6 +707,122 @@ fn run_em(
             .map(|row| row.iter().map(|acc| acc.fit(lambda)).collect())
             .collect::<Result<_>>()?;
         model = SkillModel::new(schema.clone(), n_levels, cells)?;
+
+        if trace.len() >= 2 {
+            let prev = trace[trace.len() - 2];
+            let curr = trace[trace.len() - 1];
+            if (curr - prev).abs() <= tolerance * prev.abs().max(1.0) {
+                converged = true;
+                break;
+            }
+        }
+    }
+    Ok(EmResult {
+        model,
+        evidence_trace: trace,
+        converged,
+    })
+}
+
+/// Responsibility-delta incremental EM (module docs, "Responsibility-delta
+/// incremental EM").
+///
+/// Invariants relative to [`run_em_full`]:
+/// - The E-step is identical (same forward–backward over the same table
+///   values), so the evidence trace differs only through the slightly
+///   different models the gated M-step produces — bounded by
+///   `gamma_tolerance` per action per level.
+/// - Deltas and replay run sequentially on the calling thread and the
+///   parallel table build is bitwise identical to the sequential one, so
+///   results are deterministic and independent of `threads`.
+#[allow(clippy::too_many_arguments)]
+fn run_em_incremental(
+    dataset: &Dataset,
+    initial: SkillModel,
+    transitions: &TransitionModel,
+    lambda: f64,
+    max_iterations: usize,
+    tolerance: f64,
+    gamma_tolerance: f64,
+    parallel: &ParallelConfig,
+) -> Result<EmResult> {
+    let n_levels = initial.n_levels();
+    let schema = dataset.schema().clone();
+    let mut model = initial;
+    let mut trace = Vec::new();
+    let mut converged = false;
+
+    // One persistent emission table for the whole run; after the first
+    // build only the columns of refit (dirty) levels are recomputed.
+    let mut table = if parallel.users && parallel.threads > 1 {
+        EmissionTable::build_parallel(&model, dataset, parallel.threads)?
+    } else {
+        EmissionTable::build(&model, dataset)
+    };
+    crate::invariants::InvariantCtx::new().check_emission_table(&table)?;
+
+    let mut grid = SoftStatsGrid::new(
+        n_levels,
+        dataset.n_items(),
+        dataset.n_actions(),
+        gamma_tolerance,
+    )?;
+    // Working copy of the current cells: clean levels keep their previous
+    // distributions bit for bit without re-reading the model.
+    let mut cells: Vec<Vec<FeatureDistribution>> = (0..n_levels)
+        .map(|s| {
+            model
+                .level_row(skill_level_from_index(s))
+                .map(<[FeatureDistribution]>::to_vec)
+        })
+        .collect::<Result<_>>()?;
+
+    // Flat forward–backward buffers reused across every sequence of every
+    // iteration, with per-level transition log-probabilities hoisted once
+    // for the whole run (the transition model is fixed under this EM).
+    let mut workspace = FbWorkspace::new(transitions);
+
+    for _ in 0..max_iterations {
+        // E-step: forward–backward per sequence, then apply only the
+        // responsibility deltas of actions whose posterior moved.
+        let mut evidence = 0.0;
+        let mut action_idx = 0usize;
+        for seq in dataset.sequences() {
+            evidence += workspace.run(&table, seq)?;
+            for (action, gamma) in seq.actions().iter().zip(workspace.gamma.chunks(n_levels)) {
+                grid.update_action(action_idx, action.item, gamma)?;
+                action_idx += 1;
+            }
+        }
+        trace.push(evidence);
+
+        // M-step: replay only dirty levels, item-major through the
+        // weighted accumulators — O(S_dirty · n_items · F).
+        for (row, (s, &is_dirty)) in cells.iter_mut().zip(grid.dirty_levels().iter().enumerate()) {
+            if !is_dirty {
+                continue;
+            }
+            let mut accs: Vec<WeightedAcc> = schema
+                .kinds()
+                .iter()
+                .map(|&k| WeightedAcc::new(k))
+                .collect();
+            for (features, &w) in dataset.items().iter().zip(grid.level_weights(s)) {
+                if w <= 0.0 {
+                    continue;
+                }
+                for (acc, value) in accs.iter_mut().zip(features) {
+                    acc.push(value, w)?;
+                }
+            }
+            *row = accs.iter().map(|a| a.fit(lambda)).collect::<Result<_>>()?;
+        }
+        model = SkillModel::new(schema.clone(), n_levels, cells.clone())?;
+
+        // Refresh only the emission columns of refit levels.
+        table.refresh_levels(&model, dataset, grid.dirty_levels())?;
+        crate::invariants::InvariantCtx::new().check_emission_table(&table)?;
+        grid.clear_dirty();
 
         if trace.len() >= 2 {
             let prev = trace[trace.len() - 2];
@@ -704,5 +1043,75 @@ mod tests {
         let seq = train_em_with_parallelism(&ds, &cfg, &ParallelConfig::sequential()).unwrap();
         let par = train_em_with_parallelism(&ds, &cfg, &ParallelConfig::all(3)).unwrap();
         assert_eq!(seq.evidence_trace, par.evidence_trace);
+    }
+
+    #[test]
+    fn incremental_em_matches_full_em() {
+        let ds = progression_dataset();
+        let initial = initialize_model(&ds, 2, 5, 0.01).unwrap();
+        let trans = TransitionModel::uninformative(2).unwrap();
+        let cfg = EmConfig::new(initial, trans)
+            .with_max_iterations(25)
+            .with_tolerance(1e-9);
+        let incremental =
+            train_em_with_parallelism(&ds, &cfg, &ParallelConfig::sequential()).unwrap();
+        let full = train_em_with_parallelism(
+            &ds,
+            &cfg,
+            &ParallelConfig::sequential().with_incremental(false),
+        )
+        .unwrap();
+        assert_eq!(incremental.converged, full.converged);
+        assert_eq!(
+            incremental.evidence_trace.len(),
+            full.evidence_trace.len(),
+            "incremental {:?} vs full {:?}",
+            incremental.evidence_trace,
+            full.evidence_trace
+        );
+        for (a, b) in incremental.evidence_trace.iter().zip(&full.evidence_trace) {
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "evidence diverged: {a} vs {b}"
+            );
+        }
+        // The fitted models score every item near-identically.
+        for (item, features) in ds.items().iter().enumerate() {
+            for s in 1..=2u8 {
+                let a = incremental.model.item_log_likelihood(features, s);
+                let b = full.model.item_log_likelihood(features, s);
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                    "item {item} level {s}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_em_with_zero_gate_matches_tightly() {
+        let ds = progression_dataset();
+        let initial = initialize_model(&ds, 2, 5, 0.01).unwrap();
+        let trans = TransitionModel::uninformative(2).unwrap();
+        let cfg = EmConfig::new(initial, trans)
+            .with_max_iterations(15)
+            .with_tolerance(1e-9)
+            .with_gamma_tolerance(0.0);
+        let incremental =
+            train_em_with_parallelism(&ds, &cfg, &ParallelConfig::sequential()).unwrap();
+        let full = train_em_with_parallelism(
+            &ds,
+            &cfg,
+            &ParallelConfig::sequential().with_incremental(false),
+        )
+        .unwrap();
+        // With a zero gate the weights equal the full sums up to
+        // summation order; traces stay within tight relative tolerance.
+        for (a, b) in incremental.evidence_trace.iter().zip(&full.evidence_trace) {
+            assert!(
+                (a - b).abs() <= 1e-11 * b.abs().max(1.0),
+                "evidence diverged: {a} vs {b}"
+            );
+        }
     }
 }

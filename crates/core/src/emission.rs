@@ -12,16 +12,309 @@
 //! The table is a flat row-major `Vec<f64>`: `data[item * S + (s - 1)]`.
 //! One row is the emission vector of one item at all levels, contiguous in
 //! memory, so the DP inner loop walks a cache line instead of re-deriving
-//! log-PMFs. Values are produced by the exact same
-//! [`SkillModel::item_log_likelihood`] calls the direct paths make, so
-//! table-backed and direct computations agree *bitwise*, not approximately.
+//! log-PMFs.
+//!
+//! ## Columnar fill
+//!
+//! The fill itself is *columnar*: item feature values are gathered once
+//! per feature into flat columns (`FeatureColumn`), hoisting the enum
+//! dispatch and the per-item transcendentals (`ln x`, `ln k!`, integer →
+//! float widening) out of the `S × n_items` loop, and each
+//! (feature, level) pair is then evaluated by one batch kernel
+//! (`log_prob_batch` / `log_pmf_batch` / `log_pdf_batch`) over a
+//! contiguous unit-stride run of cells. Every cell accumulates its
+//! feature contributions in schema order starting from `0.0` — the exact
+//! operation order of [`SkillModel::item_log_likelihood`]'s feature sum —
+//! so the table agrees with the direct path *bitwise*, not approximately
+//! (pinned by `tests/properties_emission.rs`). The original cell-by-cell
+//! fill is kept as [`EmissionTable::build_scalar`], the reference baseline
+//! for tests and `bench_emission`.
+//!
+//! For memory-bound deployments, [`CompactEmissionTable`] stores the same
+//! scores rounded once to `f32` (still accumulated in f64), halving the
+//! resident table behind the `ParallelConfig::with_emission_f32` flag.
 
+use crate::dist::special::ln_factorial;
+use crate::dist::{score_kind_mismatch, FeatureDistribution};
 use crate::error::{CoreError, Result};
+use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
 use crate::model::SkillModel;
 use crate::types::{skill_level_from_index, Dataset, ItemId, SkillLevel};
 
 /// Minimum items per stolen work unit in [`EmissionTable::build_parallel`].
 const PARALLEL_CHUNK: usize = 64;
+
+/// One gathered feature column: the values of a single feature for a run
+/// of items, with the per-item transforms the scalar path recomputes for
+/// every level (integer → float widening, `ln k!`, `ln x`) hoisted out so
+/// they are paid once across all `S` level kernels.
+enum FeatureColumn {
+    /// Category codes for [`crate::dist::Categorical::log_prob_batch`].
+    Categorical(Vec<u32>),
+    /// Counts widened to `f64` plus `ln k!` for
+    /// [`crate::dist::Poisson::log_pmf_batch`].
+    Count {
+        /// `k` as `f64`, one slot per item.
+        ks: Vec<f64>,
+        /// `ln k!`, one slot per item.
+        ln_facts: Vec<f64>,
+    },
+    /// Positive reals plus `ln x` for the gamma / log-normal kernels.
+    /// Items failing the scalar density guard (`x ≤ 0` or non-finite)
+    /// carry the placeholder pair `(1.0, 0.0)` and are flagged in
+    /// `guard`, so the kernels never see invalid inputs and
+    /// [`apply_guard`] rewrites those cells to `-inf` afterwards —
+    /// exactly the scalar guard result.
+    Real {
+        /// Sample values (placeholder `1.0` for guarded slots).
+        xs: Vec<f64>,
+        /// `ln x` (placeholder `0.0` for guarded slots).
+        ln_xs: Vec<f64>,
+        /// Which slots failed the density guard.
+        guard: Vec<bool>,
+        /// Fast path: skip the guard walk when nothing is flagged.
+        any_guarded: bool,
+    },
+}
+
+impl FeatureColumn {
+    fn with_capacity(kind: FeatureKind, capacity: usize) -> Self {
+        match kind {
+            FeatureKind::Categorical { .. } => {
+                FeatureColumn::Categorical(Vec::with_capacity(capacity))
+            }
+            FeatureKind::Count => FeatureColumn::Count {
+                ks: Vec::with_capacity(capacity),
+                ln_facts: Vec::with_capacity(capacity),
+            },
+            FeatureKind::Positive { .. } => FeatureColumn::Real {
+                xs: Vec::with_capacity(capacity),
+                ln_xs: Vec::with_capacity(capacity),
+                guard: Vec::with_capacity(capacity),
+                any_guarded: false,
+            },
+        }
+    }
+
+    /// Appends one value; `false` signals a value whose kind does not
+    /// match the column (impossible for schema-validated datasets — the
+    /// slot is kept aligned with a neutral placeholder and the caller
+    /// poisons the whole item row).
+    fn push(&mut self, value: &FeatureValue) -> bool {
+        match (self, value) {
+            (FeatureColumn::Categorical(cats), FeatureValue::Categorical(c)) => {
+                cats.push(*c);
+                true
+            }
+            (FeatureColumn::Count { ks, ln_facts }, FeatureValue::Count(k)) => {
+                ks.push(*k as f64);
+                ln_facts.push(ln_factorial(*k));
+                true
+            }
+            (
+                FeatureColumn::Real {
+                    xs,
+                    ln_xs,
+                    guard,
+                    any_guarded,
+                },
+                FeatureValue::Real(x),
+            ) => {
+                if *x > 0.0 && x.is_finite() {
+                    xs.push(*x);
+                    ln_xs.push(x.ln());
+                    guard.push(false);
+                } else {
+                    xs.push(1.0);
+                    ln_xs.push(0.0);
+                    guard.push(true);
+                    *any_guarded = true;
+                }
+                true
+            }
+            (column, _) => {
+                column.push_placeholder();
+                false
+            }
+        }
+    }
+
+    /// Appends a neutral slot so column lengths stay aligned after a
+    /// gather-time kind mismatch.
+    fn push_placeholder(&mut self) {
+        match self {
+            FeatureColumn::Categorical(cats) => cats.push(u32::MAX),
+            FeatureColumn::Count { ks, ln_facts } => {
+                ks.push(0.0);
+                ln_facts.push(0.0);
+            }
+            FeatureColumn::Real {
+                xs, ln_xs, guard, ..
+            } => {
+                xs.push(1.0);
+                ln_xs.push(0.0);
+                guard.push(false);
+            }
+        }
+    }
+
+    fn kind_name(&self) -> &'static str {
+        match self {
+            FeatureColumn::Categorical(_) => "categorical",
+            FeatureColumn::Count { .. } => "count",
+            FeatureColumn::Real { .. } => "positive real",
+        }
+    }
+}
+
+/// Gathered columns for a run of items, plus the mask of items whose
+/// value tuple failed schema dispatch entirely (dead code for
+/// [`Dataset`]-validated items, which are checked at construction): those
+/// rows are forced to `-inf` at every level, the release contract of
+/// [`score_kind_mismatch`].
+struct GatheredColumns {
+    columns: Vec<FeatureColumn>,
+    hard_poison: Vec<bool>,
+    any_hard: bool,
+    n_rows: usize,
+}
+
+/// Gathers feature columns for `n_rows` item feature tuples.
+fn gather_columns<'a>(
+    schema: &FeatureSchema,
+    items: impl Iterator<Item = &'a [FeatureValue]>,
+    n_rows: usize,
+) -> GatheredColumns {
+    let mut columns: Vec<FeatureColumn> = schema
+        .kinds()
+        .iter()
+        .map(|&kind| FeatureColumn::with_capacity(kind, n_rows))
+        .collect();
+    let mut hard_poison = vec![false; n_rows];
+    let mut any_hard = false;
+    for (features, bad) in items.zip(hard_poison.iter_mut()) {
+        for (column, value) in columns.iter_mut().zip(features) {
+            if !column.push(value) {
+                let _ = score_kind_mismatch(column.kind_name(), value.name());
+                *bad = true;
+                any_hard = true;
+            }
+        }
+    }
+    GatheredColumns {
+        columns,
+        hard_poison,
+        any_hard,
+        n_rows,
+    }
+}
+
+/// Applies one level's distribution to one gathered column, accumulating
+/// into a level-major slice of `n_rows` cells.
+fn evaluate_column(dist: &FeatureDistribution, column: &FeatureColumn, out: &mut [f64]) {
+    match (dist, column) {
+        (FeatureDistribution::Categorical(d), FeatureColumn::Categorical(cats)) => {
+            d.log_prob_batch(cats, out);
+        }
+        (FeatureDistribution::Poisson(d), FeatureColumn::Count { ks, ln_facts }) => {
+            d.log_pmf_batch(ks, ln_facts, out);
+        }
+        (
+            FeatureDistribution::Gamma(d),
+            FeatureColumn::Real {
+                xs,
+                ln_xs,
+                guard,
+                any_guarded,
+            },
+        ) => {
+            d.log_pdf_batch(xs, ln_xs, out);
+            apply_guard(out, guard, *any_guarded);
+        }
+        (
+            FeatureDistribution::LogNormal(d),
+            FeatureColumn::Real {
+                ln_xs,
+                guard,
+                any_guarded,
+                ..
+            },
+        ) => {
+            d.log_pdf_batch(ln_xs, out);
+            apply_guard(out, guard, *any_guarded);
+        }
+        (dist, column) => {
+            // Distribution / column kind mismatch: loud under debug or
+            // strict invariants, the scalar `-inf` contract in release —
+            // applied to the whole column at this level.
+            let poison = score_kind_mismatch(dist.kind_name(), column.kind_name());
+            out.fill(poison);
+        }
+    }
+}
+
+/// Rewrites guard-flagged cells to `-inf`, the scalar density-guard
+/// result for non-positive or non-finite samples.
+fn apply_guard(out: &mut [f64], guard: &[bool], any_guarded: bool) {
+    if !any_guarded {
+        return;
+    }
+    for (cell, &bad) in out.iter_mut().zip(guard) {
+        if bad {
+            *cell = f64::NEG_INFINITY;
+        }
+    }
+}
+
+/// Fills `out` — item-major rows, `out[j·S + s₀]` for the `j`-th gathered
+/// item — from the columnar kernels.
+///
+/// The scratch buffer is level-major (`scratch[s₀·m + j]`), so every
+/// kernel call writes one contiguous unit-stride run of `m` cells; rows
+/// are transposed into `out` once at the end. Cells accumulate feature
+/// contributions in schema order starting from `0.0`, the exact operation
+/// order of [`SkillModel::item_log_likelihood`]'s feature sum, so f64
+/// results are bitwise identical to the scalar path.
+fn fill_rows_columnar(
+    model: &SkillModel,
+    gathered: &GatheredColumns,
+    scratch: &mut Vec<f64>,
+    out: &mut [f64],
+) {
+    let m = gathered.n_rows;
+    let n_levels = model.n_levels();
+    debug_assert_eq!(out.len(), m * n_levels);
+    if m == 0 || n_levels == 0 {
+        return;
+    }
+    scratch.clear();
+    scratch.resize(m * n_levels, 0.0);
+    for (s0, level_out) in scratch.chunks_mut(m).enumerate() {
+        match model.level_row(skill_level_from_index(s0)) {
+            Ok(row) => {
+                for (dist, column) in row.iter().zip(&gathered.columns) {
+                    evaluate_column(dist, column, level_out);
+                }
+            }
+            // Unreachable for `s₀ < S`, but the scalar path scores a
+            // missing level row `-inf`, so mirror it.
+            Err(_) => level_out.fill(f64::NEG_INFINITY),
+        }
+    }
+    for ((j, row), &bad) in out
+        .chunks_mut(n_levels)
+        .enumerate()
+        .zip(&gathered.hard_poison)
+    {
+        if bad {
+            row.fill(f64::NEG_INFINITY);
+            continue;
+        }
+        for (cell, &v) in row.iter_mut().zip(scratch.iter().skip(j).step_by(m)) {
+            *cell = v;
+        }
+    }
+}
 
 /// Precomputed `n_items × S` matrix of emission log-likelihoods.
 ///
@@ -39,12 +332,39 @@ pub struct EmissionTable {
 }
 
 impl EmissionTable {
-    /// Builds the full table sequentially.
+    /// Builds the full table sequentially with the columnar kernels.
     ///
-    /// Cost: `n_items · S` calls to [`SkillModel::item_log_likelihood`] —
-    /// the same work the direct assignment path spends on a *single* pass
-    /// over `n_items` actions, amortized here over the whole dataset.
+    /// Feature values are gathered into columns once (hoisting enum
+    /// dispatch and per-item transcendentals out of the `S`-level loop),
+    /// then each (feature, level) pair runs one batch kernel over a
+    /// contiguous run of cells. Results are bitwise identical to
+    /// [`EmissionTable::build_scalar`] and the direct assignment path.
     pub fn build(model: &SkillModel, dataset: &Dataset) -> Self {
+        let n_items = dataset.n_items();
+        let n_levels = model.n_levels();
+        let mut data = vec![0.0f64; n_items * n_levels];
+        let gathered = gather_columns(
+            dataset.schema(),
+            dataset.items().iter().map(Vec::as_slice),
+            n_items,
+        );
+        let mut scratch = Vec::new();
+        fill_rows_columnar(model, &gathered, &mut scratch, &mut data);
+        EmissionTable {
+            n_items,
+            n_levels,
+            data,
+        }
+    }
+
+    /// Reference cell-by-cell fill: `n_items · S` calls to
+    /// [`SkillModel::item_log_likelihood`] through per-value enum
+    /// dispatch.
+    ///
+    /// Kept as the bitwise baseline the columnar [`EmissionTable::build`]
+    /// is pinned against (property tests) and as the speedup denominator
+    /// in `bench_emission`; production paths never call it.
+    pub fn build_scalar(model: &SkillModel, dataset: &Dataset) -> Self {
         let n_items = dataset.n_items();
         let n_levels = model.n_levels();
         let mut data = Vec::with_capacity(n_items * n_levels);
@@ -62,11 +382,12 @@ impl EmissionTable {
 
     /// Builds the table with `threads` workers stealing item chunks.
     ///
-    /// Mirrors the work-stealing pattern of
-    /// [`assign_all_parallel`](crate::parallel::assign_all_parallel): a
-    /// shared atomic cursor hands out chunks of `PARALLEL_CHUNK` items so
-    /// uneven feature counts cannot stall a static partition. Falls back to
-    /// the sequential build when one thread (or one chunk) suffices.
+    /// The output buffer is allocated once up front and split into
+    /// disjoint `PARALLEL_CHUNK`-row windows; workers pop windows from a
+    /// shared queue and run the columnar fill *directly into the final
+    /// buffer*, so there is no per-chunk row vector and no stitch copy at
+    /// the end. Falls back to the sequential build when one thread (or
+    /// one chunk) suffices.
     pub fn build_parallel(model: &SkillModel, dataset: &Dataset, threads: usize) -> Result<Self> {
         if threads == 0 {
             return Err(CoreError::InvalidParallelism { threads: 0 });
@@ -74,58 +395,59 @@ impl EmissionTable {
         let n_items = dataset.n_items();
         let n_levels = model.n_levels();
         let n_chunks = n_items.div_ceil(PARALLEL_CHUNK).max(1);
-        if threads <= 1 || n_chunks <= 1 {
+        if threads <= 1 || n_chunks <= 1 || n_levels == 0 {
             return Ok(Self::build(model, dataset));
         }
 
         let n_workers = threads.min(n_chunks);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        type ChunkRows = Vec<(usize, Vec<f64>)>;
-        let results: Vec<Result<ChunkRows>> = std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                (0..n_workers)
+        let mut data = vec![0.0f64; n_items * n_levels];
+        let worker_results: Vec<Result<()>> = {
+            // Ownership of disjoint output windows moves through the
+            // queue, so workers write concurrently without aliasing and
+            // without any unsafe code.
+            let jobs: Vec<(usize, &mut [f64])> = data
+                .chunks_mut(PARALLEL_CHUNK * n_levels)
+                .enumerate()
+                .collect();
+            let queue = std::sync::Mutex::new(jobs);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n_workers)
                     .map(|_| {
-                        let next = &next;
-                        scope.spawn(move || -> Result<ChunkRows> {
-                            let mut out: ChunkRows = Vec::new();
+                        let queue = &queue;
+                        scope.spawn(move || -> Result<()> {
+                            let mut scratch: Vec<f64> = Vec::new();
                             loop {
-                                let chunk = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if chunk >= n_chunks {
-                                    break;
-                                }
+                                let job = match queue.lock() {
+                                    Ok(mut guard) => guard.pop(),
+                                    Err(poisoned) => poisoned.into_inner().pop(),
+                                };
+                                let Some((chunk, window)) = job else {
+                                    return Ok(());
+                                };
                                 let start = chunk * PARALLEL_CHUNK;
-                                let end = (start + PARALLEL_CHUNK).min(n_items);
-                                let mut rows = Vec::with_capacity((end - start) * n_levels);
-                                for features in &dataset.items()[start..end] {
-                                    for s0 in 0..n_levels {
-                                        rows.push(model.item_log_likelihood(
-                                            features,
-                                            skill_level_from_index(s0),
-                                        ));
-                                    }
-                                }
-                                out.push((start, rows));
+                                let end = start + window.len() / n_levels;
+                                let gathered = gather_columns(
+                                    dataset.schema(),
+                                    dataset.items()[start..end].iter().map(Vec::as_slice),
+                                    end - start,
+                                );
+                                fill_rows_columnar(model, &gathered, &mut scratch, window);
                             }
-                            Ok(out)
                         })
                     })
                     .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or(Err(CoreError::WorkerPanicked {
-                        step: "emission table",
-                    }))
-                })
-                .collect()
-        });
-
-        let mut data = vec![0.0f64; n_items * n_levels];
-        for worker in results {
-            for (start, rows) in worker? {
-                let offset = start * n_levels;
-                data[offset..offset + rows.len()].copy_from_slice(&rows);
-            }
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or(Err(CoreError::WorkerPanicked {
+                            step: "emission table",
+                        }))
+                    })
+                    .collect()
+            })
+        };
+        for worker in worker_results {
+            worker?;
         }
         Ok(EmissionTable {
             n_items,
@@ -203,7 +525,8 @@ impl EmissionTable {
                 right: dataset.n_items(),
             });
         }
-        let n_levels = self.n_levels;
+        // Validate every id before touching any row so a stale id cannot
+        // leave the table half-refreshed.
         for &item in items {
             let i = item as usize;
             if i >= self.n_items {
@@ -212,11 +535,22 @@ impl EmissionTable {
                     len: self.n_items,
                 });
             }
-            let features = dataset.item_features(item);
-            let row = &mut self.data[i * n_levels..(i + 1) * n_levels];
-            for (s0, cell) in row.iter_mut().enumerate() {
-                *cell = model.item_log_likelihood(features, skill_level_from_index(s0));
-            }
+        }
+        if items.is_empty() {
+            return Ok(());
+        }
+        let n_levels = self.n_levels;
+        let gathered = gather_columns(
+            dataset.schema(),
+            items.iter().map(|&item| dataset.item_features(item)),
+            items.len(),
+        );
+        let mut scratch = Vec::new();
+        let mut rows = vec![0.0f64; items.len() * n_levels];
+        fill_rows_columnar(model, &gathered, &mut scratch, &mut rows);
+        for (&item, row) in items.iter().zip(rows.chunks(n_levels.max(1))) {
+            let i = item as usize;
+            self.data[i * n_levels..(i + 1) * n_levels].copy_from_slice(row);
         }
         Ok(())
     }
@@ -258,16 +592,39 @@ impl EmissionTable {
                 right: self.n_levels,
             });
         }
-        if !levels.iter().any(|&d| d) {
+        if !levels.iter().any(|&d| d) || self.n_items == 0 {
             return Ok(());
         }
         let n_levels = self.n_levels;
-        for (row, features) in self.data.chunks_mut(n_levels).zip(dataset.items()) {
-            for ((s0, cell), &dirty) in row.iter_mut().enumerate().zip(levels) {
-                if !dirty {
-                    continue;
+        let gathered = gather_columns(
+            dataset.schema(),
+            dataset.items().iter().map(Vec::as_slice),
+            self.n_items,
+        );
+        // One contiguous level-major scratch column per dirty level, then
+        // scatter into column `s₀` of every row.
+        let mut column = vec![0.0f64; self.n_items];
+        for (s0, _) in levels.iter().enumerate().filter(|&(_, &dirty)| dirty) {
+            column.fill(0.0);
+            match model.level_row(skill_level_from_index(s0)) {
+                Ok(row) => {
+                    for (dist, feature_column) in row.iter().zip(&gathered.columns) {
+                        evaluate_column(dist, feature_column, &mut column);
+                    }
                 }
-                *cell = model.item_log_likelihood(features, skill_level_from_index(s0));
+                Err(_) => column.fill(f64::NEG_INFINITY),
+            }
+            if gathered.any_hard {
+                for (cell, &bad) in column.iter_mut().zip(&gathered.hard_poison) {
+                    if bad {
+                        *cell = f64::NEG_INFINITY;
+                    }
+                }
+            }
+            for (row, &v) in self.data.chunks_mut(n_levels).zip(&column) {
+                if let Some(cell) = row.get_mut(s0) {
+                    *cell = v;
+                }
             }
         }
         Ok(())
@@ -360,6 +717,95 @@ impl EmissionTable {
             .map(|(idx, &p)| (idx + 1) as f64 * p)
             .sum())
     }
+
+    /// Resident bytes of the score storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Half-width storage for the emission table.
+///
+/// Scores are computed with the full f64 columnar pipeline, then rounded
+/// once to `f32` (round-to-nearest) for storage, halving the resident
+/// table — the difference that matters at the ROADMAP's 10–100× item
+/// scale, where the f64 table stops fitting in L2. Reads widen back to
+/// f64 (exactly) before any DP accumulates them, so the only deviation
+/// from [`EmissionTable`] is the one rounding step per cell: ≤ half an
+/// f32 ulp, ~6e-8 relative. Gated behind
+/// `ParallelConfig::with_emission_f32`; the default f64 table keeps every
+/// result bitwise identical to the direct path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactEmissionTable {
+    n_items: usize,
+    n_levels: usize,
+    /// Row-major scores: `data[item * n_levels + (s - 1)]`.
+    data: Vec<f32>,
+}
+
+impl CompactEmissionTable {
+    /// Rounds a full-precision table to f32 storage.
+    pub fn from_table(table: &EmissionTable) -> Self {
+        CompactEmissionTable {
+            n_items: table.n_items,
+            n_levels: table.n_levels,
+            data: table.data.iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Builds directly from a model and dataset — f64 accumulation
+    /// through the columnar kernels, one final rounding to f32.
+    pub fn build(model: &SkillModel, dataset: &Dataset) -> Self {
+        Self::from_table(&EmissionTable::build(model, dataset))
+    }
+
+    /// Number of items (table rows).
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of skill levels `S` (table columns).
+    pub fn n_levels(&self) -> usize {
+        self.n_levels
+    }
+
+    /// Widens one item row into `out` (`out[s - 1]`), returning `false`
+    /// when the item is out of range or `out` has the wrong length.
+    ///
+    /// The assignment DP borrows emission rows as `&[f64]`, so the
+    /// compact path fills a caller-owned workspace row instead of
+    /// handing out a reference.
+    pub fn fill_row(&self, item: ItemId, out: &mut [f64]) -> bool {
+        let i = item as usize;
+        if i >= self.n_items || out.len() != self.n_levels {
+            return false;
+        }
+        let row = &self.data[i * self.n_levels..(i + 1) * self.n_levels];
+        for (dst, &v) in out.iter_mut().zip(row) {
+            *dst = f64::from(v);
+        }
+        true
+    }
+
+    /// `log P(item | s)` with the [`EmissionTable::log_likelihood`]
+    /// out-of-range contract.
+    pub fn log_likelihood(&self, item: ItemId, s: SkillLevel) -> f64 {
+        let level = s as usize;
+        let i = item as usize;
+        if level == 0 || level > self.n_levels || i >= self.n_items {
+            return f64::NEG_INFINITY;
+        }
+        let row = &self.data[i * self.n_levels..(i + 1) * self.n_levels];
+        row.get(level - 1)
+            .copied()
+            .map_or(f64::NEG_INFINITY, f64::from)
+    }
+
+    /// Resident bytes of the score storage — half of
+    /// [`EmissionTable::memory_bytes`] for the same shape.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
 }
 
 #[cfg(test)]
@@ -440,6 +886,44 @@ mod tests {
         .unwrap();
         let ds = Dataset::new(schema, items, vec![seq]).unwrap();
         (model, ds)
+    }
+
+    #[test]
+    fn columnar_build_matches_scalar_build_bitwise() {
+        let (model, ds) = mixed_setup();
+        let columnar = EmissionTable::build(&model, &ds);
+        let scalar = EmissionTable::build_scalar(&model, &ds);
+        assert_eq!(columnar, scalar);
+    }
+
+    #[test]
+    fn compact_table_rounds_each_cell_once() {
+        let (model, ds) = mixed_setup();
+        let full = EmissionTable::build(&model, &ds);
+        let compact = CompactEmissionTable::from_table(&full);
+        assert_eq!(compact, CompactEmissionTable::build(&model, &ds));
+        assert_eq!(compact.n_items(), full.n_items());
+        assert_eq!(compact.n_levels(), full.n_levels());
+        assert_eq!(compact.memory_bytes() * 2, full.memory_bytes());
+        let mut row = vec![0.0f64; compact.n_levels()];
+        for item in 0..ds.n_items() as ItemId {
+            assert!(compact.fill_row(item, &mut row));
+            for (s0, &widened) in row.iter().enumerate() {
+                let expected = f64::from(full.row(item)[s0] as f32);
+                assert_eq!(widened.to_bits(), expected.to_bits());
+                let s = (s0 + 1) as SkillLevel;
+                assert_eq!(
+                    compact.log_likelihood(item, s).to_bits(),
+                    expected.to_bits()
+                );
+            }
+        }
+        // Out-of-range contracts mirror the f64 table.
+        assert!(!compact.fill_row(99, &mut row));
+        let mut short = vec![0.0f64; 1];
+        assert!(!compact.fill_row(0, &mut short));
+        assert_eq!(compact.log_likelihood(0, 0), f64::NEG_INFINITY);
+        assert_eq!(compact.log_likelihood(99, 1), f64::NEG_INFINITY);
     }
 
     #[test]

@@ -38,6 +38,14 @@
 //! whole run — toggled by `ParallelConfig::incremental` — so each run is
 //! internally consistent; `bench_incremental` checks end-to-end agreement
 //! of the two paths.
+//!
+//! [`SoftStatsGrid`] carries the same idea over to the EM trainer
+//! (`crate::em`), where the statistic per `(level, item)` cell is a real
+//! *responsibility mass* `Σ γ(a, s)` instead of an integer count. The grid
+//! is maintained by tolerance-gated responsibility deltas after every
+//! E-step, and dirty-level replay serves the weighted M-step —
+//! `bench_em_incremental` measures that path against the from-scratch EM
+//! accumulation.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -636,6 +644,256 @@ impl StatsGrid {
     }
 }
 
+/// Persistent per-level soft responsibility mass: the EM analogue of
+/// [`StatsGrid`].
+///
+/// `weights[s · n_items + i]` holds `Σ_a γ(a, s)` over all actions `a`
+/// whose item is `i` — the exact weighted sufficient statistics of the EM
+/// M-step, in incrementally-updatable form. Alongside the weights the grid
+/// stores every action's last applied posterior row (`gammas[a · S + s]`),
+/// so after each E-step an action contributes only the *delta*
+/// `γ_new − γ_old` to its item's cells, and only when some level moved by
+/// more than the gate `tolerance` — actions whose posteriors have settled
+/// cost one comparison instead of `S · F` accumulator pushes. Levels whose
+/// weights changed are flagged dirty so the M-step refits only those rows
+/// (replayed item-major, `O(S · n_items · F)` pushes independent of
+/// `|A|`) and the emission table refreshes only those columns.
+///
+/// With `tolerance = 0` every changed posterior is applied and each weight
+/// equals the full-EM sum up to floating-point summation order; a positive
+/// gate trades a bounded weight error (`≤ tolerance` per gated action per
+/// level) for skipping settled actions. Deltas are applied sequentially on
+/// the calling thread, so the grid is deterministic and independent of
+/// worker-thread count.
+#[derive(Debug, Clone)]
+pub struct SoftStatsGrid {
+    n_levels: usize,
+    n_items: usize,
+    /// Level-major responsibility mass per item.
+    weights: Vec<f64>,
+    /// Last applied posterior row per action, action-major.
+    gammas: Vec<f64>,
+    /// Gate: a posterior row is reapplied only when some level moved by
+    /// more than this.
+    tolerance: f64,
+    /// Levels whose weights changed since [`SoftStatsGrid::clear_dirty`].
+    dirty: Vec<bool>,
+}
+
+impl SoftStatsGrid {
+    /// Creates an all-zero grid covering `n_actions` actions.
+    ///
+    /// Every stored posterior starts at zero, so the first E-step applies
+    /// each action's full posterior row and marks every level dirty.
+    pub fn new(n_levels: usize, n_items: usize, n_actions: usize, tolerance: f64) -> Result<Self> {
+        if n_levels == 0 {
+            return Err(CoreError::InvalidSkillCount { requested: 0 });
+        }
+        if !tolerance.is_finite() || tolerance < 0.0 {
+            return Err(CoreError::InvalidProbability {
+                context: "responsibility delta tolerance",
+                value: tolerance,
+            });
+        }
+        Ok(Self {
+            n_levels,
+            n_items,
+            weights: vec![0.0; n_levels * n_items],
+            gammas: vec![0.0; n_actions * n_levels],
+            tolerance,
+            dirty: vec![false; n_levels],
+        })
+    }
+
+    /// Number of skill levels `S`.
+    pub fn n_levels(&self) -> usize {
+        self.n_levels
+    }
+
+    /// Number of items the grid covers.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of actions whose posteriors the grid currently stores.
+    pub fn n_actions(&self) -> usize {
+        self.gammas.len() / self.n_levels
+    }
+
+    /// The responsibility-delta gate this grid was created with.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Responsibility mass of item `item` at zero-based level `s`.
+    pub fn weight(&self, s: usize, item: usize) -> f64 {
+        self.weights[s * self.n_items + item]
+    }
+
+    /// The responsibility mass of every item at zero-based level `s`.
+    pub fn level_weights(&self, s: usize) -> &[f64] {
+        &self.weights[s * self.n_items..(s + 1) * self.n_items]
+    }
+
+    /// Per-level dirty flags: `true` for levels whose weights changed
+    /// since the last [`SoftStatsGrid::clear_dirty`].
+    pub fn dirty_levels(&self) -> &[bool] {
+        &self.dirty
+    }
+
+    /// Marks every level clean (call after refitting the dirty rows).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.fill(false);
+    }
+
+    /// Applies the freshly computed posterior row of action `a_idx`
+    /// (its global index in dataset order) on `item`.
+    ///
+    /// Returns `Ok(true)` when the row moved past the gate and its deltas
+    /// were applied, `Ok(false)` when the action was skipped as settled.
+    pub fn update_action(
+        &mut self,
+        a_idx: usize,
+        item: crate::types::ItemId,
+        gamma: &[f64],
+    ) -> Result<bool> {
+        if gamma.len() != self.n_levels {
+            return Err(CoreError::LengthMismatch {
+                context: "posterior row vs grid levels",
+                left: gamma.len(),
+                right: self.n_levels,
+            });
+        }
+        let item_idx = item as usize;
+        if item_idx >= self.n_items {
+            return Err(CoreError::FeatureIndexOutOfBounds {
+                index: item_idx,
+                len: self.n_items,
+            });
+        }
+        let n_actions = self.gammas.len() / self.n_levels;
+        let start = a_idx * self.n_levels;
+        let stored = self.gammas.get_mut(start..start + self.n_levels).ok_or(
+            CoreError::FeatureIndexOutOfBounds {
+                index: a_idx,
+                len: n_actions,
+            },
+        )?;
+        let moved = stored
+            .iter()
+            .zip(gamma)
+            .any(|(&old, &new)| (new - old).abs() > self.tolerance);
+        if !moved {
+            return Ok(false);
+        }
+        // The item's weight cells across levels form a stride-`n_items`
+        // column of the level-major grid.
+        let column = self.weights.iter_mut().skip(item_idx).step_by(self.n_items);
+        for (((old, &new), cell), flag) in stored
+            .iter_mut()
+            .zip(gamma)
+            .zip(column)
+            .zip(self.dirty.iter_mut())
+        {
+            let delta = new - *old;
+            if delta.abs() > 0.0 {
+                *cell += delta;
+                *flag = true;
+            }
+            *old = new;
+        }
+        Ok(true)
+    }
+
+    /// Appends a brand-new action (e.g. one ingested by a streaming
+    /// session) on `item` with posterior row `gamma`, growing the stored
+    /// posteriors by one row and applying the full mass unconditionally —
+    /// a new action has no previous contribution to gate against.
+    pub fn push_action(&mut self, item: crate::types::ItemId, gamma: &[f64]) -> Result<()> {
+        if gamma.len() != self.n_levels {
+            return Err(CoreError::LengthMismatch {
+                context: "posterior row vs grid levels",
+                left: gamma.len(),
+                right: self.n_levels,
+            });
+        }
+        let item_idx = item as usize;
+        if item_idx >= self.n_items {
+            return Err(CoreError::FeatureIndexOutOfBounds {
+                index: item_idx,
+                len: self.n_items,
+            });
+        }
+        self.gammas.extend_from_slice(gamma);
+        let column = self.weights.iter_mut().skip(item_idx).step_by(self.n_items);
+        for ((&g, cell), flag) in gamma.iter().zip(column).zip(self.dirty.iter_mut()) {
+            if g.abs() > 0.0 {
+                *cell += g;
+                *flag = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fits a model refitting **only the levels whose responsibility mass
+    /// changed** since the last [`SoftStatsGrid::clear_dirty`], reusing
+    /// `prev`'s distributions for untouched levels — the weighted (EM)
+    /// analogue of [`StatsGrid::fit_model_incremental`]. Each dirty level
+    /// is replayed item-major through the weighted accumulators
+    /// (`O(n_items · F)` pushes, independent of `|A|`). Falls back to
+    /// refitting every level when `prev` is absent or shaped differently.
+    /// Clears the dirty flags on success.
+    ///
+    /// A weighted cell fit is a deterministic pure function of the level's
+    /// weight row and `lambda`, so `prev` must be the model produced by
+    /// the previous fit of *this* grid with the same `lambda` for the
+    /// reused rows to be exact (the streaming session maintains that
+    /// invariant up to its construction-time convergence tolerance).
+    pub fn fit_model_incremental(
+        &mut self,
+        dataset: &Dataset,
+        lambda: f64,
+        prev: Option<&SkillModel>,
+    ) -> Result<SkillModel> {
+        let schema = dataset.schema();
+        if dataset.n_items() != self.n_items {
+            return Err(CoreError::LengthMismatch {
+                context: "soft stats grid items vs dataset items",
+                left: self.n_items,
+                right: dataset.n_items(),
+            });
+        }
+        let reusable =
+            prev.filter(|m| m.n_levels() == self.n_levels && m.n_features() == schema.len());
+        let mut cells: Vec<Vec<FeatureDistribution>> = Vec::with_capacity(self.n_levels);
+        for (s, &is_dirty) in self.dirty.iter().enumerate() {
+            if let Some(prev) = reusable {
+                if !is_dirty {
+                    cells.push(prev.level_row(skill_level_from_index(s))?.to_vec());
+                    continue;
+                }
+            }
+            let mut accs: Vec<crate::em::WeightedAcc> = schema
+                .kinds()
+                .iter()
+                .map(|&k| crate::em::WeightedAcc::new(k))
+                .collect();
+            for (features, &w) in dataset.items().iter().zip(self.level_weights(s)) {
+                if w <= 0.0 {
+                    continue;
+                }
+                for (acc, value) in accs.iter_mut().zip(features) {
+                    acc.push(value, w)?;
+                }
+            }
+            cells.push(accs.iter().map(|a| a.fit(lambda)).collect::<Result<_>>()?);
+        }
+        let model = SkillModel::new(schema.clone(), self.n_levels, cells)?;
+        self.dirty.fill(false);
+        Ok(model)
+    }
+}
+
 /// Increments the `(level s, item)` cell of a flat `S × n_items` grid,
 /// reporting an out-of-range coordinate instead of panicking.
 #[inline]
@@ -1050,6 +1308,134 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn soft_grid_validates_construction() {
+        assert!(SoftStatsGrid::new(0, 4, 10, 0.0).is_err());
+        assert!(SoftStatsGrid::new(2, 4, 10, -1e-3).is_err());
+        assert!(SoftStatsGrid::new(2, 4, 10, f64::NAN).is_err());
+        let g = SoftStatsGrid::new(2, 4, 10, 1e-9).unwrap();
+        assert_eq!(g.n_levels(), 2);
+        assert_eq!(g.n_items(), 4);
+        assert!((g.tolerance() - 1e-9).abs() < 1e-24);
+        assert!(g.dirty_levels().iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn soft_grid_applies_full_row_on_first_update() {
+        let mut g = SoftStatsGrid::new(3, 2, 4, 0.0).unwrap();
+        assert!(g.update_action(0, 1, &[0.2, 0.3, 0.5]).unwrap());
+        assert!((g.weight(0, 1) - 0.2).abs() < 1e-15);
+        assert!((g.weight(1, 1) - 0.3).abs() < 1e-15);
+        assert!((g.weight(2, 1) - 0.5).abs() < 1e-15);
+        assert!((g.weight(0, 0)).abs() < 1e-15);
+        assert!(g.dirty_levels().iter().all(|&d| d));
+    }
+
+    #[test]
+    fn soft_grid_delta_restores_mass_and_tracks_dirty_levels() {
+        let mut g = SoftStatsGrid::new(2, 3, 2, 0.0).unwrap();
+        g.update_action(0, 0, &[0.9, 0.1]).unwrap();
+        g.update_action(1, 2, &[0.4, 0.6]).unwrap();
+        g.clear_dirty();
+        // Moving action 0's posterior shifts only item 0's column and
+        // flags both levels (each moved).
+        assert!(g.update_action(0, 0, &[0.7, 0.3]).unwrap());
+        assert!((g.weight(0, 0) - 0.7).abs() < 1e-15);
+        assert!((g.weight(1, 0) - 0.3).abs() < 1e-15);
+        assert!((g.weight(0, 2) - 0.4).abs() < 1e-15);
+        assert!(g.dirty_levels().iter().all(|&d| d));
+    }
+
+    #[test]
+    fn soft_grid_gates_settled_actions() {
+        let mut g = SoftStatsGrid::new(2, 2, 2, 1e-6).unwrap();
+        g.update_action(0, 0, &[0.5, 0.5]).unwrap();
+        g.clear_dirty();
+        // Movement below the gate: skipped, weights and flags untouched.
+        assert!(!g.update_action(0, 0, &[0.5 + 1e-9, 0.5 - 1e-9]).unwrap());
+        assert!((g.weight(0, 0) - 0.5).abs() < 1e-15);
+        assert!(g.dirty_levels().iter().all(|&d| !d));
+        // Movement past the gate: applied.
+        assert!(g.update_action(0, 0, &[0.6, 0.4]).unwrap());
+        assert!((g.weight(0, 0) - 0.6).abs() < 1e-15);
+        assert!(g.dirty_levels().iter().all(|&d| d));
+    }
+
+    #[test]
+    fn soft_grid_rejects_bad_coordinates() {
+        let mut g = SoftStatsGrid::new(2, 2, 2, 0.0).unwrap();
+        assert!(g.update_action(0, 0, &[1.0]).is_err());
+        assert!(g.update_action(0, 9, &[0.5, 0.5]).is_err());
+        assert!(g.update_action(7, 0, &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn soft_grid_push_action_grows_and_applies_full_mass() {
+        let mut g = SoftStatsGrid::new(2, 3, 1, 0.0).unwrap();
+        g.update_action(0, 0, &[0.25, 0.75]).unwrap();
+        g.clear_dirty();
+        assert_eq!(g.n_actions(), 1);
+        g.push_action(2, &[0.4, 0.6]).unwrap();
+        assert_eq!(g.n_actions(), 2);
+        assert!((g.weight(0, 2) - 0.4).abs() < 1e-15);
+        assert!((g.weight(1, 2) - 0.6).abs() < 1e-15);
+        assert!(g.dirty_levels().iter().all(|&d| d));
+        // The appended row is gated like any other on later updates.
+        g.clear_dirty();
+        assert!(!g.update_action(1, 2, &[0.4, 0.6]).unwrap());
+        // Bad coordinates are rejected without growing the grid.
+        assert!(g.push_action(9, &[0.5, 0.5]).is_err());
+        assert!(g.push_action(0, &[1.0]).is_err());
+        assert_eq!(g.n_actions(), 2);
+    }
+
+    #[test]
+    fn soft_grid_incremental_fit_reuses_clean_levels_bitwise() {
+        let ds = build_dataset(4, 12);
+        let mut g = SoftStatsGrid::new(3, ds.n_items(), ds.n_actions(), 0.0).unwrap();
+        // Seed every action with a level-skewed posterior.
+        let mut a_idx = 0usize;
+        for seq in ds.sequences() {
+            for action in seq.actions() {
+                let tilt = (action.item % 3) as usize;
+                let mut gamma = vec![0.2, 0.2, 0.2];
+                gamma[tilt] += 0.4;
+                g.update_action(a_idx, action.item, &gamma).unwrap();
+                a_idx += 1;
+            }
+        }
+        let base = g.fit_model_incremental(&ds, 0.01, None).unwrap();
+        assert!(g.dirty_levels().iter().all(|&d| !d));
+        // Touch only level 1 (zero-based 0): push mass for one action.
+        g.push_action(0, &[1.0, 0.0, 0.0]).unwrap();
+        assert_eq!(
+            g.dirty_levels(),
+            &[true, false, false],
+            "only the pushed level should be dirty"
+        );
+        let refit = g.fit_model_incremental(&ds, 0.01, Some(&base)).unwrap();
+        // Clean levels are reused bit for bit; the dirty one moved.
+        for (features, _) in ds.items().iter().zip(0..) {
+            for s in 2..=3u8 {
+                assert_eq!(
+                    base.item_log_likelihood(features, s).to_bits(),
+                    refit.item_log_likelihood(features, s).to_bits()
+                );
+            }
+        }
+        // And the dirty level's refit equals a full from-scratch fit.
+        let mut fresh = g.clone();
+        let scratch = fresh.fit_model_incremental(&ds, 0.01, None).unwrap();
+        for (features, _) in ds.items().iter().zip(0..) {
+            for s in 1..=3u8 {
+                assert_eq!(
+                    scratch.item_log_likelihood(features, s).to_bits(),
+                    refit.item_log_likelihood(features, s).to_bits()
+                );
             }
         }
     }

@@ -29,7 +29,7 @@
 //! | [`InvariantCtx::check_assign_step_optimal`] | `O(Σ_u A_u)` rescore (+ a table build on the rescan path) |
 //! | [`InvariantCtx::check_grid`] | full grid rebuild + compare |
 //!
-//! [`StatsGrid`](crate::incremental::StatsGrid) refits carry no float
+//! [`StatsGrid`] refits carry no float
 //! state of their own (the grid is an integer histogram), so NaN poison
 //! introduced through a corrupted dataset surfaces at the *next* emission
 //! fill or refresh — which is why every table build/refresh path calls

@@ -15,7 +15,11 @@
 //! [`EmissionTable`]: when enabled (the default) the assignment step reads
 //! precomputed `log P(i | s)` rows instead of re-evaluating distributions
 //! per action; when disabled it runs the direct per-action path, so the
-//! table's contribution can be measured in isolation.
+//! table's contribution can be measured in isolation. When the table is
+//! enabled, [`ParallelConfig::emission_f32`] additionally selects the
+//! compact `f32` storage mode ([`CompactEmissionTable`]): scores are still
+//! accumulated in `f64` at build time, then rounded once per cell, halving
+//! the table's memory at the cost of one `f32` rounding per DP read.
 //!
 //! Workers are plain `std::thread::scope` threads; no shared mutable state,
 //! results are merged on the calling thread.
@@ -23,10 +27,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::assign::{
-    assign_sequence_with_table_ws, assign_sequence_ws, AssignWorkspace, SequenceAssignment,
+    assign_sequence_with_compact_table_ws, assign_sequence_with_table_ws, assign_sequence_ws,
+    AssignWorkspace, SequenceAssignment,
 };
 use crate::dist::{FeatureAccumulator, FeatureDistribution};
-use crate::emission::EmissionTable;
+use crate::emission::{CompactEmissionTable, EmissionTable};
 use crate::error::{CoreError, Result};
 use crate::model::SkillModel;
 use crate::types::{Dataset, SkillAssignments, SkillLevel};
@@ -59,6 +64,15 @@ pub struct ParallelConfig {
     /// (on by default). Disable to re-evaluate `log P(i | s)` per action —
     /// the measurable baseline for the efficiency experiments.
     pub emission: bool,
+    /// Store the shared emission table as `f32` ([`CompactEmissionTable`])
+    /// instead of `f64` (off by default). Cells are accumulated in `f64`
+    /// and rounded once, so scores differ from the full table by at most
+    /// one rounding per cell; assignments are identical whenever path
+    /// scores are separated by more than that. Only consulted when
+    /// [`ParallelConfig::emission`] is enabled. Absent in bundles written
+    /// by older releases, hence the serde default.
+    #[serde(default)]
+    pub emission_f32: bool,
     /// Carry a persistent [`crate::incremental::StatsGrid`] across train
     /// iterations and apply per-action deltas only where the assigned level
     /// moved (on by default). Disable to re-accumulate sufficient
@@ -76,6 +90,7 @@ impl ParallelConfig {
             features: false,
             threads: 1,
             emission: true,
+            emission_f32: false,
             incremental: true,
         }
     }
@@ -88,6 +103,7 @@ impl ParallelConfig {
             features: true,
             threads,
             emission: true,
+            emission_f32: false,
             incremental: true,
         }
     }
@@ -113,6 +129,12 @@ impl ParallelConfig {
     /// Returns `self` with the shared emission table toggled.
     pub fn with_emission(mut self, emission: bool) -> Self {
         self.emission = emission;
+        self
+    }
+
+    /// Returns `self` with the `f32` emission-table storage mode toggled.
+    pub fn with_emission_f32(mut self, emission_f32: bool) -> Self {
+        self.emission_f32 = emission_f32;
         self
     }
 
@@ -161,10 +183,13 @@ pub fn assign_all_parallel(
     config.validate()?;
     let n_users = dataset.n_users();
     if !config.users || config.threads <= 1 || n_users <= 1 {
-        return if config.emission {
-            crate::assign::assign_all(model, dataset)
-        } else {
+        return if !config.emission {
             crate::assign::assign_all_direct(model, dataset)
+        } else if config.emission_f32 {
+            let table = CompactEmissionTable::build(model, dataset);
+            crate::assign::assign_all_with_compact_table(&table, dataset)
+        } else {
+            crate::assign::assign_all(model, dataset)
         };
     }
 
@@ -172,6 +197,13 @@ pub fn assign_all_parallel(
         // The emission table is itself filled in parallel (partitioned
         // over items), then shared read-only by every assignment worker.
         let table = EmissionTable::build_parallel(model, dataset, config.threads)?;
+        if config.emission_f32 {
+            // Round once from the f64 build, then drop the wide table so
+            // peak memory during assignment is the compact one.
+            let compact = CompactEmissionTable::from_table(&table);
+            drop(table);
+            return assign_all_parallel_with_compact_table(&compact, dataset, config);
+        }
         return assign_all_parallel_with_table(&table, dataset, config);
     }
 
@@ -248,6 +280,57 @@ pub fn assign_all_parallel_with_table(
                             break;
                         }
                         let a = assign_sequence_with_table_ws(table, &sequences[idx], &mut ws)?;
+                        out.push((idx, a));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or(Err(CoreError::WorkerPanicked { step: "assignment" }))
+            })
+            .collect()
+    });
+
+    gather_assignments(results, n_users)
+}
+
+/// [`assign_all_parallel_with_table`] for the `f32` storage mode: the same
+/// user-parallel work-stealing over a shared read-only
+/// [`CompactEmissionTable`], each worker widening rows into its own DP
+/// workspace.
+pub fn assign_all_parallel_with_compact_table(
+    table: &CompactEmissionTable,
+    dataset: &Dataset,
+    config: &ParallelConfig,
+) -> Result<(SkillAssignments, f64)> {
+    config.validate()?;
+    let n_users = dataset.n_users();
+    if !config.users || config.threads <= 1 || n_users <= 1 {
+        return crate::assign::assign_all_with_compact_table(table, dataset);
+    }
+
+    let n_workers = config.threads.min(n_users);
+    let next = AtomicUsize::new(0);
+    let sequences = dataset.sequences();
+
+    let results: Vec<Result<Vec<(usize, SequenceAssignment)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || -> Result<Vec<(usize, SequenceAssignment)>> {
+                    let mut ws = AssignWorkspace::new();
+                    let mut out = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n_users {
+                            break;
+                        }
+                        let a =
+                            assign_sequence_with_compact_table_ws(table, &sequences[idx], &mut ws)?;
                         out.push((idx, a));
                     }
                     Ok(out)
@@ -493,6 +576,45 @@ mod tests {
         let (a_d, ll_d) = assign_all_parallel(&model, &ds, &direct).unwrap();
         assert_eq!(a_t, a_d);
         assert_eq!(ll_t, ll_d);
+    }
+
+    #[test]
+    fn f32_emission_mode_matches_f64_assignments() {
+        let ds = build_dataset(7, 12);
+        let model = initialize_model(&ds, 3, 4, 0.01).unwrap();
+        let (full_a, full_ll) = crate::assign::assign_all(&model, &ds).unwrap();
+        // Sequential fallback and two thread counts all go through the
+        // compact table when the flag is set.
+        for threads in [1, 2, 5] {
+            let cfg = ParallelConfig::sequential()
+                .with_users(threads > 1)
+                .with_threads(threads)
+                .with_emission_f32(true);
+            let (a, ll) = assign_all_parallel(&model, &ds, &cfg).unwrap();
+            assert_eq!(full_a, a, "threads={threads}");
+            let rel = (full_ll - ll).abs() / full_ll.abs().max(1.0);
+            assert!(rel < 1e-6, "threads={threads} relative ll gap {rel}");
+        }
+    }
+
+    #[test]
+    fn emission_f32_defaults_off_and_deserializes_from_old_bundles() {
+        assert!(!ParallelConfig::sequential().emission_f32);
+        assert!(!ParallelConfig::all(4).emission_f32);
+        assert!(
+            ParallelConfig::sequential()
+                .with_emission_f32(true)
+                .emission_f32
+        );
+        // A config serialized before the field existed must round-trip.
+        let legacy = r#"{"users":true,"skills":false,"features":false,
+                         "threads":2,"emission":true,"incremental":true}"#;
+        let cfg: ParallelConfig = serde_json::from_str(legacy).unwrap();
+        assert!(!cfg.emission_f32);
+        assert_eq!(cfg.threads, 2);
+        let json = serde_json::to_string(&cfg.with_emission_f32(true)).unwrap();
+        let back: ParallelConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.emission_f32);
     }
 
     #[test]

@@ -34,19 +34,39 @@
 //! fit of the concatenated dataset bit for bit (see
 //! `tests/properties_streaming.rs`). Periodically retraining from scratch
 //! and resuming a fresh session recovers the smoothing view.
+//!
+//! ## Soft (EM) continuation
+//!
+//! An EM-trained model ([`Trainer::em`](crate::train::Trainer::em)) used
+//! to have no incremental continuation: resuming through the hard
+//! constructor refit the model from hard-assignment counts, silently
+//! discarding the soft fit. [`StreamingSession::resume_em`] keeps the
+//! EM-fitted model **bit for bit** and carries a
+//! [`SoftStatsGrid`] of responsibility mass alongside the hard histogram:
+//! construction seeds the grid with one forward–backward smoothing pass
+//! under the converged model, each ingested action contributes its
+//! *filtering posterior* over the admissible stay/advance extension
+//! (weighted by the session's [`TransitionModel`]), and refits replay only
+//! dirty levels through the weighted M-step
+//! ([`SoftStatsGrid::fit_model_incremental`]) before refreshing exactly
+//! those emission-table columns. The committed hard path and its exact
+//! [`StatsGrid`] are still maintained — they back the invariant checks and
+//! keep every accessor meaningful in both modes.
 
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::em::forward_backward_with_table;
 use crate::emission::EmissionTable;
 use crate::error::{CoreError, Result};
-use crate::incremental::StatsGrid;
+use crate::incremental::{SoftStatsGrid, StatsGrid};
 use crate::invariants::InvariantCtx;
 use crate::model::SkillModel;
 use crate::online::OnlineTracker;
 use crate::parallel::ParallelConfig;
 use crate::train::{TrainConfig, TrainResult};
+use crate::transition::TransitionModel;
 use crate::types::{
     skill_level_from_index, Action, ActionSequence, Dataset, SkillAssignments, SkillLevel, UserId,
 };
@@ -97,6 +117,17 @@ pub struct StreamingSession {
     pending: usize,
     /// Actions ingested over the session's lifetime.
     total_ingested: usize,
+    /// Soft (EM) continuation state; `None` for hard-mode sessions.
+    soft: Option<SoftState>,
+}
+
+/// Responsibility statistics of an EM-resumed session: the soft grid the
+/// refits replay, and the transition model weighting each ingested
+/// action's stay/advance posterior.
+#[derive(Debug, Clone)]
+struct SoftState {
+    grid: SoftStatsGrid,
+    transitions: TransitionModel,
 }
 
 impl StreamingSession {
@@ -133,21 +164,7 @@ impl StreamingSession {
             EmissionTable::build(&model, &dataset)
         };
         InvariantCtx::new().check_emission_table(&table)?;
-        let mut trackers = Vec::with_capacity(dataset.n_users());
-        let mut user_index = HashMap::with_capacity(dataset.n_users());
-        for (u, seq) in dataset.sequences().iter().enumerate() {
-            if user_index.insert(seq.user, u).is_some() {
-                return Err(CoreError::DegenerateFit {
-                    distribution: "streaming session",
-                    reason: "dataset contains two sequences for one user id",
-                });
-            }
-            let mut tracker = OnlineTracker::new(config.n_levels)?;
-            for action in seq.actions() {
-                tracker.observe_item(&table, action.item)?;
-            }
-            trackers.push(tracker);
-        }
+        let (trackers, user_index) = warm_trackers(&dataset, &table, config.n_levels)?;
         Ok(Self {
             dataset,
             model,
@@ -161,6 +178,92 @@ impl StreamingSession {
             user_index,
             pending: 0,
             total_ingested: 0,
+            soft: None,
+        })
+    }
+
+    /// Builds a **soft (EM) continuation** of a trained result: the
+    /// result's model is kept bit for bit (no construction-time hard
+    /// refit), and refits replay a persistent [`SoftStatsGrid`] of
+    /// responsibility mass instead of the hard histogram.
+    ///
+    /// The soft grid is seeded with one forward–backward smoothing pass
+    /// over the dataset under the converged model and `transitions`
+    /// (the same transitions the EM trainer ran with). Because a
+    /// converged EM model is — up to the trainer's tolerance — the fixed
+    /// point of its own M-step, the seeded statistics start *clean*: the
+    /// first refit touches only the levels streamed actions move.
+    pub fn resume_em(
+        dataset: Dataset,
+        result: &TrainResult,
+        transitions: TransitionModel,
+        config: TrainConfig,
+        parallel: ParallelConfig,
+        policy: RefitPolicy,
+    ) -> Result<Self> {
+        config.validate()?;
+        parallel.validate()?;
+        if transitions.n_levels() != config.n_levels {
+            return Err(CoreError::LengthMismatch {
+                context: "transitions vs session levels",
+                left: transitions.n_levels(),
+                right: config.n_levels,
+            });
+        }
+        let assignments = result.assignments.clone();
+        if !assignments.is_monotone() {
+            return Err(CoreError::DegenerateFit {
+                distribution: "streaming session",
+                reason: "assignments violate the monotone level constraint",
+            });
+        }
+        // The hard histogram is still maintained — it backs the
+        // `check_grid` invariant and the committed-path bookkeeping —
+        // but the model is NOT refit from it: the EM fit survives.
+        let grid =
+            StatsGrid::build_with_config(&dataset, &assignments, config.n_levels, &parallel)?;
+        let model = result.model.clone();
+        let table = if parallel.users && parallel.threads > 1 {
+            EmissionTable::build_parallel(&model, &dataset, parallel.threads)?
+        } else {
+            EmissionTable::build(&model, &dataset)
+        };
+        InvariantCtx::new().check_emission_table(&table)?;
+        let (trackers, user_index) = warm_trackers(&dataset, &table, config.n_levels)?;
+        let mut soft_grid = SoftStatsGrid::new(
+            config.n_levels,
+            dataset.n_items(),
+            dataset.n_actions(),
+            crate::em::DEFAULT_GAMMA_TOLERANCE,
+        )?;
+        let mut a_idx = 0usize;
+        for seq in dataset.sequences() {
+            let (gammas, _) = forward_backward_with_table(&table, &transitions, seq)?;
+            for (action, gamma) in seq.actions().iter().zip(&gammas) {
+                soft_grid.update_action(a_idx, action.item, gamma)?;
+                a_idx += 1;
+            }
+        }
+        // Seeding is not a model change: start clean so only levels the
+        // streamed suffix touches ever get refit.
+        soft_grid.clear_dirty();
+        Ok(Self {
+            dataset,
+            model,
+            assignments,
+            config,
+            parallel,
+            policy,
+            grid,
+            table,
+            trackers,
+            user_index,
+            pending: 0,
+            total_ingested: 0,
+            soft: Some(SoftState {
+                grid: soft_grid,
+                transitions,
+            }),
         })
     }
 
@@ -246,6 +349,12 @@ impl StreamingSession {
         };
         // O(1) extension check: the committed path must stay monotone.
         InvariantCtx::new().check_extension("streaming ingest", last, level)?;
+        // Soft mode: the action's filtering posterior over its admissible
+        // extension, computed while the emission row is at hand.
+        let soft_gamma = self
+            .soft
+            .as_ref()
+            .map(|soft| extension_posterior(&soft.transitions, row, last, level));
 
         // Mutations, fallible first so errors leave the session unchanged.
         if is_new_user {
@@ -259,6 +368,9 @@ impl StreamingSession {
             self.dataset.append_action(u, action)?;
         }
         self.grid.add_action(action.item, level)?;
+        if let (Some(gamma), Some(soft)) = (soft_gamma, self.soft.as_mut()) {
+            soft.grid.push_action(action.item, &gamma)?;
+        }
         self.assignments.per_user[u].push(level);
         self.trackers[u].observe_item(&self.table, action.item)?;
         self.pending += 1;
@@ -284,7 +396,21 @@ impl StreamingSession {
     /// only dirty levels, and refreshes exactly those emission-table
     /// columns. Returns the number of levels refit (0 when nothing was
     /// pending). Callable at any time, whatever the policy.
+    ///
+    /// Hard-mode sessions refit from the exact [`StatsGrid`] histogram;
+    /// EM-resumed sessions ([`StreamingSession::resume_em`]) replay the
+    /// [`SoftStatsGrid`]'s responsibility mass through the weighted
+    /// M-step instead.
     pub fn refit(&mut self) -> Result<usize> {
+        if self.soft.is_some() {
+            self.refit_soft()
+        } else {
+            self.refit_hard()
+        }
+    }
+
+    /// Hard-mode refit: dirty levels from the exact integer histogram.
+    fn refit_hard(&mut self) -> Result<usize> {
         // `fit_model_incremental` clears the dirty flags; capture them
         // first — they are exactly the emission columns to refresh.
         let dirty = self.grid.dirty_levels().to_vec();
@@ -312,13 +438,47 @@ impl StreamingSession {
         Ok(n_dirty)
     }
 
+    /// Soft-mode refit: dirty levels from the responsibility grid,
+    /// refit through the weighted M-step. The hard histogram stays the
+    /// exact count accumulation it always is, so its invariant check
+    /// still applies.
+    fn refit_soft(&mut self) -> Result<usize> {
+        let soft = match self.soft.as_mut() {
+            Some(soft) => soft,
+            None => return Ok(0),
+        };
+        // `fit_model_incremental` clears the dirty flags; capture them
+        // first — they are exactly the emission columns to refresh.
+        let dirty = soft.grid.dirty_levels().to_vec();
+        let n_dirty = dirty.iter().filter(|&&d| d).count();
+        if n_dirty == 0 {
+            self.pending = 0;
+            return Ok(0);
+        }
+        self.model = soft.grid.fit_model_incremental(
+            &self.dataset,
+            self.config.lambda,
+            Some(&self.model),
+        )?;
+        self.table
+            .refresh_levels(&self.model, &self.dataset, &dirty)?;
+        let ctx = InvariantCtx::new();
+        ctx.check_emission_table(&self.table)?;
+        ctx.check_monotone("streaming refit", &self.assignments)?;
+        ctx.check_grid(&self.grid, &self.dataset, &self.assignments)?;
+        self.pending = 0;
+        Ok(n_dirty)
+    }
+
     /// Snapshots the session into a serializable
     /// [`SessionBundle`](crate::bundle::SessionBundle).
     ///
     /// Derived state (grid, emission table, trackers) is not stored;
     /// [`SessionBundle::resume`](crate::bundle::SessionBundle::resume)
     /// rebuilds it, so a snapshot taken with pending actions resumes
-    /// freshly refit.
+    /// freshly refit. The soft (EM) continuation state is derived too and
+    /// is likewise not stored: a bundle always resumes in hard mode, with
+    /// the snapshot's model refit from the hard histogram.
     pub fn snapshot(&self, note: &str) -> crate::bundle::SessionBundle {
         crate::bundle::SessionBundle {
             version: crate::bundle::SESSION_BUNDLE_VERSION,
@@ -363,6 +523,12 @@ impl StreamingSession {
         self.policy
     }
 
+    /// Whether this is a soft (EM) continuation
+    /// ([`StreamingSession::resume_em`]) rather than a hard-mode session.
+    pub fn is_em(&self) -> bool {
+        self.soft.is_some()
+    }
+
     /// Replaces the refit policy (takes effect from the next ingest).
     pub fn set_policy(&mut self, policy: RefitPolicy) {
         self.policy = policy;
@@ -395,6 +561,81 @@ impl StreamingSession {
         let &u = self.user_index.get(&user)?;
         self.trackers[u].current_level().ok()
     }
+}
+
+/// Warms one filtering [`OnlineTracker`] per dataset user by replaying its
+/// sequence through the emission table, and indexes users by id.
+fn warm_trackers(
+    dataset: &Dataset,
+    table: &EmissionTable,
+    n_levels: usize,
+) -> Result<(Vec<OnlineTracker>, HashMap<UserId, usize>)> {
+    let mut trackers = Vec::with_capacity(dataset.n_users());
+    let mut user_index = HashMap::with_capacity(dataset.n_users());
+    for (u, seq) in dataset.sequences().iter().enumerate() {
+        if user_index.insert(seq.user, u).is_some() {
+            return Err(CoreError::DegenerateFit {
+                distribution: "streaming session",
+                reason: "dataset contains two sequences for one user id",
+            });
+        }
+        let mut tracker = OnlineTracker::new(n_levels)?;
+        for action in seq.actions() {
+            tracker.observe_item(table, action.item)?;
+        }
+        trackers.push(tracker);
+    }
+    Ok((trackers, user_index))
+}
+
+/// Filtering posterior of one ingested action over its admissible levels:
+/// a softmax of `transition log-probability + emission score`, restricted
+/// to all levels for a user's first action (weighted by the initial
+/// distribution) or to the two-way stay/advance extension of the
+/// committed path otherwise. Degenerate rows (every admissible level
+/// scoring `-inf`) collapse to the committed level, mirroring what the
+/// hard path records.
+fn extension_posterior(
+    transitions: &TransitionModel,
+    row: &[f64],
+    last: Option<SkillLevel>,
+    committed: SkillLevel,
+) -> Vec<f64> {
+    let s_max = row.len();
+    let mut post = vec![f64::NEG_INFINITY; s_max];
+    match last {
+        None => {
+            for (s, (p, &e)) in post.iter_mut().zip(row).enumerate() {
+                *p = transitions.log_init(crate::types::skill_level_from_index(s)) + e;
+            }
+        }
+        Some(last) => {
+            let li = last as usize - 1;
+            if let (Some(p), Some(&e)) = (post.get_mut(li), row.get(li)) {
+                *p = transitions.log_stay(last) + e;
+            }
+            if let (Some(p), Some(&e)) = (post.get_mut(li + 1), row.get(li + 1)) {
+                *p = transitions.log_advance(last) + e;
+            }
+        }
+    }
+    let max = post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        post.fill(0.0);
+        if let Some(p) = post.get_mut(committed as usize - 1) {
+            *p = 1.0;
+        }
+        return post;
+    }
+    let mut sum = 0.0;
+    for p in post.iter_mut() {
+        *p = (*p - max).exp();
+        sum += *p;
+    }
+    for p in post.iter_mut() {
+        *p /= sum;
+    }
+    post
 }
 
 /// Index of the maximum value, lowest index on ties.
@@ -599,6 +840,108 @@ mod tests {
         assert_eq!(session.dataset().n_actions(), n_actions);
         assert_eq!(session.total_ingested(), 0);
         assert_eq!(session.pending_actions(), 0);
+    }
+
+    #[test]
+    fn em_resume_preserves_em_model_bitwise() {
+        let ds = progression_dataset(8, 12, 3);
+        let trainer = crate::train::Trainer::new(3)
+            .with_min_init_actions(4)
+            .with_max_iterations(20)
+            .em();
+        let fitted = trainer.fit(&ds).unwrap();
+        let session = trainer
+            .fit_session(ds.clone(), RefitPolicy::Manual)
+            .unwrap();
+        assert!(session.is_em());
+        // The old behavior hard-refit the model at construction,
+        // discarding the soft fit; the soft continuation keeps it.
+        assert!(models_identical(session.model(), &fitted.model, &ds));
+        assert_eq!(session.assignments(), &fitted.assignments);
+        assert_eq!(session.pending_actions(), 0);
+    }
+
+    #[test]
+    fn em_session_ingests_and_soft_refits_dirty_levels() {
+        let ds = progression_dataset(8, 12, 3);
+        let trainer = crate::train::Trainer::new(3)
+            .with_min_init_actions(4)
+            .with_max_iterations(20)
+            .em();
+        let mut session = trainer.fit_session(ds, RefitPolicy::Manual).unwrap();
+        let before = session.model().clone();
+        for k in 0..6 {
+            let level = session.ingest(Action::new(100 + k, 1, 2)).unwrap();
+            assert!((1..=3).contains(&level));
+        }
+        assert!(session.assignments().is_monotone());
+        assert_eq!(session.pending_actions(), 6);
+        // Model untouched until the refit; the refit touches at least one
+        // but not necessarily all levels.
+        assert!(models_identical(
+            session.model(),
+            &before,
+            session.dataset()
+        ));
+        let n_refit = session.refit().unwrap();
+        assert!((1..=3).contains(&n_refit));
+        assert_eq!(session.pending_actions(), 0);
+        assert!(!models_identical(
+            session.model(),
+            &before,
+            session.dataset()
+        ));
+        // The emission table tracks the refit model exactly.
+        let fresh_table = EmissionTable::build(session.model(), session.dataset());
+        for item in 0..session.dataset().n_items() as u32 {
+            for s in 1..=3u8 {
+                assert_eq!(
+                    session.table.log_likelihood(item, s).to_bits(),
+                    fresh_table.log_likelihood(item, s).to_bits()
+                );
+            }
+        }
+        // Refitting again with nothing pending is a no-op.
+        assert_eq!(session.refit().unwrap(), 0);
+    }
+
+    #[test]
+    fn em_session_admits_unknown_users() {
+        let ds = progression_dataset(8, 12, 3);
+        let trainer = crate::train::Trainer::new(3)
+            .with_min_init_actions(4)
+            .with_max_iterations(20)
+            .em();
+        let mut session = trainer.fit_session(ds, RefitPolicy::EveryBatch).unwrap();
+        let level = session.ingest(Action::new(0, 42, 0)).unwrap();
+        assert_eq!(session.n_users(), 9);
+        assert_eq!(session.committed_level(42), Some(level));
+        // Invalid actions still leave the session unchanged in EM mode.
+        let n_actions = session.dataset().n_actions();
+        assert!(session.ingest(Action::new(100, 0, 99)).is_err());
+        assert_eq!(session.dataset().n_actions(), n_actions);
+    }
+
+    #[test]
+    fn extension_posterior_is_normalized_and_admissible() {
+        let trans = TransitionModel::uninformative(3).unwrap();
+        let row = [-1.0, -2.0, -0.5];
+        // First action: all levels admissible.
+        let first = extension_posterior(&trans, &row, None, 3);
+        assert!((first.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(first.iter().all(|&p| p > 0.0));
+        // Mid-path: only stay/advance carry mass.
+        let mid = extension_posterior(&trans, &row, Some(1), 1);
+        assert!((mid.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(mid[2], 0.0);
+        assert!(mid[0] > 0.0 && mid[1] > 0.0);
+        // Top level: all mass stays.
+        let top = extension_posterior(&trans, &row, Some(3), 3);
+        assert_eq!(top, vec![0.0, 0.0, 1.0]);
+        // Degenerate emissions collapse to the committed level.
+        let dead = [f64::NEG_INFINITY; 3];
+        let fallback = extension_posterior(&trans, &dead, Some(2), 2);
+        assert_eq!(fallback, vec![0.0, 1.0, 0.0]);
     }
 
     #[test]

@@ -347,19 +347,43 @@ impl Trainer {
 
     /// Trains on `dataset` and immediately resumes a live
     /// [`StreamingSession`](crate::streaming::StreamingSession) over it.
+    ///
+    /// In EM mode the session is a **soft continuation**
+    /// ([`StreamingSession::resume_em`](crate::streaming::StreamingSession::resume_em)):
+    /// the EM-fitted model is preserved bit for bit and later refits
+    /// replay responsibility mass instead of falling back to a
+    /// hard-count retrain of the soft fit.
     pub fn fit_session(
         &self,
         dataset: Dataset,
         policy: crate::streaming::RefitPolicy,
     ) -> Result<crate::streaming::StreamingSession> {
         let result = self.fit(&dataset)?;
-        crate::streaming::StreamingSession::resume(
-            dataset,
-            &result,
-            self.config,
-            self.parallel,
-            policy,
-        )
+        match self.mode {
+            TrainMode::Hard => crate::streaming::StreamingSession::resume(
+                dataset,
+                &result,
+                self.config,
+                self.parallel,
+                policy,
+            ),
+            TrainMode::Em => {
+                let transitions = match &self.transitions {
+                    Some(t) => t.clone(),
+                    None => {
+                        crate::transition::TransitionModel::uninformative(self.config.n_levels)?
+                    }
+                };
+                crate::streaming::StreamingSession::resume_em(
+                    dataset,
+                    &result,
+                    transitions,
+                    self.config,
+                    self.parallel,
+                    policy,
+                )
+            }
+        }
     }
 }
 
@@ -821,6 +845,23 @@ mod tests {
         assert_eq!(session.total_ingested(), 0);
         let direct = train(&ds, &TrainConfig::new(3).with_min_init_actions(6)).unwrap();
         assert_eq!(session.assignments(), &direct.assignments);
+    }
+
+    #[test]
+    fn trainer_fit_session_dispatches_on_mode() {
+        let ds = progression_dataset(6, 12, 3);
+        let hard = Trainer::new(3)
+            .with_min_init_actions(6)
+            .fit_session(ds.clone(), crate::streaming::RefitPolicy::Manual)
+            .unwrap();
+        assert!(!hard.is_em());
+        let soft = Trainer::new(3)
+            .with_min_init_actions(6)
+            .with_max_iterations(10)
+            .em()
+            .fit_session(ds, crate::streaming::RefitPolicy::Manual)
+            .unwrap();
+        assert!(soft.is_em());
     }
 
     #[test]

@@ -1,0 +1,456 @@
+//! `bench-floors` task: enforce recorded acceptance floors.
+//!
+//! The benchmark binaries write `reports/BENCH_*.json` and embed each
+//! acceptance criterion next to the measurement it gates: any JSON object
+//! carrying **both** a numeric `speedup` and a numeric (non-null)
+//! `acceptance_floor` is an enforceable check. This task parses every
+//! `BENCH_*.json` under the reports directory, walks the value trees, and
+//! fails when any recorded speedup is below its recorded floor — so a
+//! regression that slips into a committed report breaks CI even if nobody
+//! re-reads the numbers. Objects without a floor (informational sweep
+//! entries, `"acceptance_floor": null`) are ignored.
+//!
+//! Like the lint engine, this module is std-only: reports are flat
+//! machine-written JSON, and a ~150-line recursive-descent reader keeps
+//! xtask building first, fast, and offline.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One enforceable `(speedup, acceptance_floor)` pair found in a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloorCheck {
+    /// Report file name (e.g. `BENCH_emission.json`).
+    pub file: String,
+    /// Dotted path of the owning object inside the report
+    /// (e.g. `fill_sweep[2]`); empty for the root object.
+    pub context: String,
+    /// Recorded speedup.
+    pub speedup: f64,
+    /// Recorded acceptance floor.
+    pub floor: f64,
+}
+
+impl FloorCheck {
+    /// Whether the recorded speedup meets the recorded floor.
+    pub fn passes(&self) -> bool {
+        self.speedup >= self.floor
+    }
+
+    fn location(&self) -> String {
+        if self.context.is_empty() {
+            self.file.clone()
+        } else {
+            format!("{}: {}", self.file, self.context)
+        }
+    }
+}
+
+impl fmt::Display for FloorCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: speedup {:.2}x vs floor {:.2}x [{}]",
+            self.location(),
+            self.speedup,
+            self.floor,
+            if self.passes() { "ok" } else { "FAIL" }
+        )
+    }
+}
+
+/// Outcome of scanning a reports directory.
+#[derive(Debug, Default)]
+pub struct FloorReport {
+    /// Every enforceable check found, in file order.
+    pub checks: Vec<FloorCheck>,
+    /// Number of `BENCH_*.json` files parsed.
+    pub files_scanned: usize,
+}
+
+impl FloorReport {
+    /// The checks whose speedup is below the floor.
+    pub fn violations(&self) -> Vec<&FloorCheck> {
+        self.checks.iter().filter(|c| !c.passes()).collect()
+    }
+}
+
+/// Scans `<dir>/BENCH_*.json` and collects every enforceable floor check.
+///
+/// Returns an error when the directory cannot be read or any report fails
+/// to parse — a malformed report is a broken pipeline, not a pass.
+pub fn check_floors(dir: &Path) -> io::Result<FloorReport> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+
+    let mut report = FloorReport::default();
+    for path in files {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("<non-utf8>")
+            .to_string();
+        let text = fs::read_to_string(&path)?;
+        let value = parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{name}: {e}")))?;
+        collect_checks(&value, &name, String::new(), &mut report.checks);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// Recursively collects `(speedup, acceptance_floor)` pairs from `value`.
+fn collect_checks(value: &Json, file: &str, context: String, out: &mut Vec<FloorCheck>) {
+    match value {
+        Json::Obj(pairs) => {
+            let num = |key: &str| {
+                pairs
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| match v {
+                        Json::Num(x) => Some(*x),
+                        _ => None,
+                    })
+            };
+            if let (Some(speedup), Some(floor)) = (num("speedup"), num("acceptance_floor")) {
+                out.push(FloorCheck {
+                    file: file.to_string(),
+                    context: context.clone(),
+                    speedup,
+                    floor,
+                });
+            }
+            for (key, child) in pairs {
+                let child_ctx = if context.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{context}.{key}")
+                };
+                collect_checks(child, file, child_ctx, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                collect_checks(child, file, format!("{context}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Minimal JSON value tree for report scanning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, read as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-UTF-8 number"))?;
+        token
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar from the remainder.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("non-UTF-8 string"))?;
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("empty string tail"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    /// Decodes `\uXXXX`; unpaired surrogates become U+FFFD (reports never
+    /// contain them — keys and values are machine-written ASCII).
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(char::from_u32(code).unwrap_or('\u{fffd}'))
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse(r#"{"a": [1, -2.5e1, null, true, "x\nA"], "b": {}}"#).unwrap();
+        let Json::Obj(pairs) = &v else {
+            panic!("expected object")
+        };
+        assert_eq!(pairs[0].0, "a");
+        let Json::Arr(items) = &pairs[0].1 else {
+            panic!("expected array")
+        };
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[2], Json::Null);
+        assert_eq!(items[4], Json::Str("x\nA".to_string()));
+        assert_eq!(pairs[1].1, Json::Obj(Vec::new()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse(r#"{"k": 1e}"#).is_err());
+    }
+
+    #[test]
+    fn collects_only_objects_with_numeric_floor() {
+        let doc = parse(
+            r#"{
+                "speedup": 2.0, "acceptance_floor": 1.5,
+                "sweep": [
+                    {"speedup": 4.0, "acceptance_floor": null},
+                    {"speedup": 1.0, "acceptance_floor": 3.0}
+                ],
+                "nested": {"speedup": 9.0}
+            }"#,
+        )
+        .unwrap();
+        let mut checks = Vec::new();
+        collect_checks(&doc, "BENCH_x.json", String::new(), &mut checks);
+        assert_eq!(checks.len(), 2);
+        assert_eq!(checks[0].context, "");
+        assert!(checks[0].passes());
+        assert_eq!(checks[1].context, "sweep[1]");
+        assert!(!checks[1].passes());
+    }
+
+    #[test]
+    fn scans_reports_directory_end_to_end() {
+        let dir = std::env::temp_dir().join(format!(
+            "xtask-floors-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("BENCH_ok.json"),
+            r#"{"speedup": 3.0, "acceptance_floor": 2.0}"#,
+        )
+        .unwrap();
+        fs::write(
+            dir.join("BENCH_bad.json"),
+            r#"{"speedup": 1.0, "acceptance_floor": 2.0}"#,
+        )
+        .unwrap();
+        fs::write(dir.join("EXP_other.json"), "not even json").unwrap();
+
+        let report = check_floors(&dir).unwrap();
+        assert_eq!(report.files_scanned, 2);
+        assert_eq!(report.checks.len(), 2);
+        let violations = report.violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].file, "BENCH_bad.json");
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

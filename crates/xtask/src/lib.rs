@@ -1,8 +1,17 @@
 //! Workspace automation tasks (`cargo xtask` pattern).
 //!
-//! The only task so far is `lint`: a std-only, source-level static
-//! analysis pass over every first-party crate. It enforces the project's
-//! correctness conventions that rustc and clippy cannot express:
+//! Two tasks, both std-only so xtask builds first, fast, and offline:
+//!
+//! - `lint` — a source-level static analysis pass over every first-party
+//!   crate (below).
+//! - `bench-floors` — parses `reports/BENCH_*.json` and fails when any
+//!   object recording both a numeric `speedup` and a numeric
+//!   `acceptance_floor` has `speedup < acceptance_floor`, so performance
+//!   acceptance criteria are enforced in CI, not just printed once (see
+//!   [`floors`]).
+//!
+//! The `lint` task enforces the project's correctness conventions that
+//! rustc and clippy cannot express:
 //!
 //! | rule id              | what it forbids                                          |
 //! |----------------------|----------------------------------------------------------|
@@ -26,6 +35,7 @@
 //! `path:line: [rule-id] message`.
 
 pub mod engine;
+pub mod floors;
 pub mod rules;
 pub mod source;
 

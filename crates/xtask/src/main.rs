@@ -4,18 +4,24 @@
 //! - `lint [--root <dir>]` — run the workspace lint rules. Exits 0 when
 //!   clean, 1 with one `path:line: [rule] message` diagnostic per line
 //!   when violations are found, 2 on usage or I/O errors.
+//! - `bench-floors [--reports <dir>]` — parse `reports/BENCH_*.json` and
+//!   fail when any recorded `speedup` is below its recorded
+//!   `acceptance_floor`. Same exit-code convention as `lint`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use xtask::engine::lint_workspace;
+use xtask::floors::check_floors;
 
-const USAGE: &str = "usage: cargo run -p xtask -- lint [--root <dir>]";
+const USAGE: &str =
+    "usage: cargo run -p xtask -- lint [--root <dir>] | bench-floors [--reports <dir>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("bench-floors") => bench_floors(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -58,6 +64,44 @@ fn lint(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("lint: cannot scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn bench_floors(args: &[String]) -> ExitCode {
+    let dir = match args {
+        [] => default_root().join("reports"),
+        [flag, dir] if flag == "--reports" => PathBuf::from(dir),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match check_floors(&dir) {
+        Ok(report) => {
+            for check in &report.checks {
+                println!("{check}");
+            }
+            let violations = report.violations();
+            if violations.is_empty() {
+                println!(
+                    "bench-floors: {} check(s) met in {} report(s)",
+                    report.checks.len(),
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "bench-floors: {} of {} check(s) below the acceptance floor",
+                    violations.len(),
+                    report.checks.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bench-floors: cannot scan {}: {e}", dir.display());
             ExitCode::from(2)
         }
     }

@@ -1,14 +1,19 @@
 //! Property-based tests for the incremental training subsystem: a
 //! randomly churned [`StatsGrid`] must stay cell-for-cell equal to a
-//! from-scratch accumulation, and incremental vs. full training must
-//! produce identical results across random schemas and thread counts.
+//! from-scratch accumulation, and incremental vs. full training — hard
+//! (Viterbi) *and* soft (responsibility-delta EM) — must produce
+//! identical results across random schemas, skill counts, and thread
+//! counts.
 
 use proptest::prelude::*;
 use upskill_core::dist::FeatureAccumulator;
+use upskill_core::em::{train_em_with_parallelism, EmConfig};
 use upskill_core::feature::{FeatureKind, FeatureSchema, FeatureValue, PositiveModel};
 use upskill_core::incremental::StatsGrid;
+use upskill_core::init::initialize_model;
 use upskill_core::parallel::ParallelConfig;
 use upskill_core::train::{train_with_parallelism, TrainConfig};
+use upskill_core::transition::TransitionModel;
 use upskill_core::types::{Action, ActionSequence, Dataset, SkillAssignments};
 
 /// Raw item feature draws: (category, count, gamma value, lognormal value).
@@ -278,5 +283,92 @@ proptest! {
         prop_assert!(
             (incremental.log_likelihood - full.log_likelihood).abs() <= 1e-9 * scale
         );
+    }
+
+    // Responsibility-delta incremental EM and the legacy from-scratch EM
+    // agree across random schemas, skill counts, and thread counts, with
+    // the default responsibility gate and with the gate disabled:
+    //
+    // - The first iteration's evidence is **bitwise** equal — both paths
+    //   run forward–backward against the identical initial table, so any
+    //   deviation here is an E-step bug, not floating-point drift.
+    // - Later iterations differ only by M-step summation order
+    //   (item-major replay vs. action-major scan), normally ulps. On
+    //   adversarial random data an ulp-level difference can briefly push
+    //   one trajectory across an M-step branch boundary (e.g. a fit
+    //   guard), producing a one-iteration spike that EM's contraction
+    //   erases again, so the per-iteration bound is a loose 1e-4 while
+    //   the structure (iteration count, convergence flag) must match
+    //   exactly and the *final* evidence and models must agree tightly.
+    #[test]
+    fn incremental_and_full_em_are_identical(
+        mask in 0u8..8,
+        item_draws in proptest::collection::vec(
+            (0u32..8, 0u64..20, 0.1f64..10.0, 0.1f64..10.0), 3..8),
+        users in users_strategy(5, 14),
+        n_levels in 2usize..4,
+        threads in 1usize..4,
+    ) {
+        let ds = build_dataset(masked_schema(mask), &item_draws, &users);
+        let initial = initialize_model(&ds, n_levels, 1, 0.01).unwrap();
+        let transitions = TransitionModel::uninformative(n_levels).unwrap();
+        let base = ParallelConfig::all(threads);
+
+        for gamma_tolerance in [0.0, 1e-12] {
+            let cfg = EmConfig::new(initial.clone(), transitions.clone())
+                .with_max_iterations(10)
+                .with_tolerance(1e-9)
+                .with_gamma_tolerance(gamma_tolerance);
+            let incremental = train_em_with_parallelism(&ds, &cfg, &base).unwrap();
+            let full = train_em_with_parallelism(
+                &ds, &cfg, &base.with_incremental(false)).unwrap();
+
+            prop_assert_eq!(incremental.converged, full.converged);
+            prop_assert_eq!(
+                incremental.evidence_trace.len(),
+                full.evidence_trace.len()
+            );
+            prop_assert!(
+                incremental.evidence_trace[0].to_bits()
+                    == full.evidence_trace[0].to_bits(),
+                "gate {}: first-iteration evidence not bitwise: {} vs {}",
+                gamma_tolerance, incremental.evidence_trace[0], full.evidence_trace[0]
+            );
+            for (i, (a, b)) in incremental
+                .evidence_trace
+                .iter()
+                .zip(&full.evidence_trace)
+                .enumerate()
+            {
+                let scale = a.abs().max(b.abs()).max(1.0);
+                prop_assert!(
+                    (a - b).abs() <= 1e-4 * scale,
+                    "gate {}: iteration {} evidence {} vs {}",
+                    gamma_tolerance, i, a, b
+                );
+            }
+            let (a, b) = (
+                incremental.evidence_trace[incremental.evidence_trace.len() - 1],
+                full.evidence_trace[full.evidence_trace.len() - 1],
+            );
+            let scale = a.abs().max(b.abs()).max(1.0);
+            prop_assert!(
+                (a - b).abs() <= 1e-9 * scale,
+                "gate {}: final evidence {} vs {}", gamma_tolerance, a, b
+            );
+            for item in 0..ds.n_items() as u32 {
+                let features = ds.item_features(item);
+                for s in 1..=n_levels as u8 {
+                    let a = incremental.model.item_log_likelihood(features, s);
+                    let b = full.model.item_log_likelihood(features, s);
+                    let scale = a.abs().max(b.abs()).max(1.0);
+                    prop_assert!(
+                        (a - b).abs() <= 1e-9 * scale,
+                        "gate {}: item {} level {}: {} vs {}",
+                        gamma_tolerance, item, s, a, b
+                    );
+                }
+            }
+        }
     }
 }

@@ -5,7 +5,9 @@
 //! provides the small surface the workspace actually uses: `Serialize` /
 //! `Deserialize` traits (value-tree based rather than visitor based), a JSON
 //! `Value` model shared with the `serde_json` stand-in, and derive macros for
-//! plain structs and enums without `#[serde(...)]` attributes.
+//! plain structs and enums. The only `#[serde(...)]` attribute supported is
+//! `#[serde(default)]` on named struct fields (missing keys fall back to
+//! `Default::default()`); any other serde attribute is a compile error.
 //!
 //! The trait shape is intentionally simpler than real serde: serialization
 //! produces a [`Value`] tree and deserialization consumes one. The derive
@@ -212,6 +214,20 @@ pub fn field<'de, T: Deserialize<'de>>(
     match pairs.iter().find(|(k, _)| k == name) {
         Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
         None => T::missing_field(name),
+    }
+}
+
+/// Looks up and deserializes an object field, substituting
+/// `Default::default()` when the key is absent. Used by derived impls for
+/// fields annotated `#[serde(default)]`, so documents written before a
+/// field existed keep deserializing.
+pub fn field_or_default<'de, T: Deserialize<'de> + Default>(
+    pairs: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    match pairs.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => Ok(T::default()),
     }
 }
 

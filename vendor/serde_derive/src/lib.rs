@@ -3,13 +3,21 @@
 //! Hand-rolled token parsing (no `syn`/`quote`, which are unavailable
 //! offline). Supports non-generic structs (named, tuple, unit) and enums
 //! with unit / tuple / struct variants — the shapes this workspace uses.
-//! `#[serde(...)]` attributes are not supported and the workspace does not
-//! use them.
+//! The only `#[serde(...)]` attribute supported is `#[serde(default)]` on
+//! named fields; any other serde attribute is rejected at expansion time
+//! rather than silently ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+struct NamedField {
+    name: String,
+    /// Field carried `#[serde(default)]`: a missing key deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
+}
+
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<NamedField>),
     Tuple(usize),
     Unit,
 }
@@ -95,17 +103,68 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Recognizes a field attribute body (the group after `#`). Returns `true`
+/// for exactly `[serde(default)]`; panics on any other `#[serde(...)]`
+/// form so unsupported attributes fail loudly; returns `false` for
+/// non-serde attributes (doc comments etc.).
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    if let Some(TokenTree::Group(args)) = tokens.get(1) {
+        let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+        if inner.len() == 1 {
+            if let TokenTree::Ident(id) = &inner[0] {
+                if id.to_string() == "default" {
+                    return true;
+                }
+            }
+        }
+    }
+    panic!("serde stand-in derive only supports #[serde(default)], found #{group}");
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<NamedField> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut i = 0;
     let mut names = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        // Field-level attribute scan: note `#[serde(default)]`, skip the
+        // rest (doc comments, visibility).
+        let mut default = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if attr_is_serde_default(g) {
+                            default = true;
+                        }
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(
+                        tokens.get(i),
+                        Some(TokenTree::Group(g))
+                            if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
         if i >= tokens.len() {
             break;
         }
         match &tokens[i] {
-            TokenTree::Ident(id) => names.push(id.to_string()),
+            TokenTree::Ident(id) => names.push(NamedField {
+                name: id.to_string(),
+                default,
+            }),
             t => panic!("expected field name, found {t}"),
         }
         i += 1;
@@ -202,6 +261,7 @@ fn serialize_fields_expr(fields: &Fields, prefix: &str) -> String {
             let pairs: Vec<String> = names
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(\"{f}\".to_string(), \
                          ::serde::Serialize::to_value(&{prefix}{f}))"
@@ -223,7 +283,7 @@ fn serialize_fields_expr(fields: &Fields, prefix: &str) -> String {
     }
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
@@ -269,18 +329,21 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             let pairs: Vec<String> = field_names
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(\"{f}\".to_string(), \
                                          ::serde::Serialize::to_value({f}))"
                                     )
                                 })
                                 .collect();
+                            let binders: Vec<&str> =
+                                field_names.iter().map(|f| f.name.as_str()).collect();
                             format!(
                                 "{name}::{vname} {{ {} }} => \
                                  ::serde::Value::Object(vec![(\
                                  \"{vname}\".to_string(), \
                                  ::serde::Value::Object(vec![{}]))])",
-                                field_names.join(", "),
+                                binders.join(", "),
                                 pairs.join(", ")
                             )
                         }
@@ -300,15 +363,23 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     code.parse().unwrap()
 }
 
-fn deserialize_named_expr(names: &[String], obj: &str) -> String {
+fn deserialize_named_expr(names: &[NamedField], obj: &str) -> String {
     let inits: Vec<String> = names
         .iter()
-        .map(|f| format!("{f}: ::serde::field({obj}, \"{f}\")?"))
+        .map(|f| {
+            let helper = if f.default {
+                "field_or_default"
+            } else {
+                "field"
+            };
+            let f = &f.name;
+            format!("{f}: ::serde::{helper}({obj}, \"{f}\")?")
+        })
         .collect();
     inits.join(", ")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
