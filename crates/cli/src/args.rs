@@ -1,33 +1,47 @@
 //! Minimal `--flag value` argument parsing (no external dependency; the
 //! surface is small enough that clap would be the heaviest crate in the
-//! workspace).
+//! workspace). Bare boolean switches (`--chunked`) are supported through
+//! an explicit switch list so `--flag value` pairs stay unambiguous.
 
 use std::collections::HashMap;
 
 use crate::error::CliError;
 
-/// Parsed flags: `--name value` pairs after the subcommand.
+/// Parsed flags: `--name value` pairs (plus bare switches) after the
+/// subcommand.
 pub struct Args {
     flags: HashMap<String, String>,
 }
 
 impl Args {
-    /// Parses `--name value` pairs; rejects dangling or unknown shapes.
-    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+    /// Parses `--name value` pairs (rejecting dangling or unknown
+    /// shapes), treating any flag named in `switches` as a bare boolean
+    /// that takes no value.
+    pub fn parse_with_switches(argv: &[String], switches: &[&str]) -> Result<Self, CliError> {
         let mut flags = HashMap::new();
         let mut it = argv.iter();
         while let Some(flag) = it.next() {
             let Some(name) = flag.strip_prefix("--") else {
                 return Err(CliError::Usage(format!("expected a --flag, got {flag:?}")));
             };
-            let Some(value) = it.next() else {
-                return Err(CliError::Usage(format!("flag --{name} is missing a value")));
+            let value = if switches.contains(&name) {
+                "true".to_string()
+            } else {
+                let Some(value) = it.next() else {
+                    return Err(CliError::Usage(format!("flag --{name} is missing a value")));
+                };
+                value.clone()
             };
-            if flags.insert(name.to_string(), value.clone()).is_some() {
+            if flags.insert(name.to_string(), value).is_some() {
                 return Err(CliError::Usage(format!("flag --{name} given twice")));
             }
         }
         Ok(Self { flags })
+    }
+
+    /// Whether a bare boolean switch was supplied.
+    pub fn switch(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     /// A required string flag.
@@ -74,7 +88,7 @@ mod tests {
 
     #[test]
     fn parses_flag_pairs() {
-        let a = Args::parse(&argv(&["--seed", "7", "--out", "x.json"])).unwrap();
+        let a = Args::parse_with_switches(&argv(&["--seed", "7", "--out", "x.json"]), &[]).unwrap();
         assert_eq!(a.required("seed").unwrap(), "7");
         assert_eq!(a.optional("out"), Some("x.json"));
         assert_eq!(a.optional("missing"), None);
@@ -84,21 +98,33 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(Args::parse(&argv(&["seed", "7"])).is_err());
-        assert!(Args::parse(&argv(&["--seed"])).is_err());
-        assert!(Args::parse(&argv(&["--seed", "1", "--seed", "2"])).is_err());
+        assert!(Args::parse_with_switches(&argv(&["seed", "7"]), &[]).is_err());
+        assert!(Args::parse_with_switches(&argv(&["--seed"]), &[]).is_err());
+        assert!(Args::parse_with_switches(&argv(&["--seed", "1", "--seed", "2"]), &[]).is_err());
     }
 
     #[test]
     fn rejects_unknown_flags() {
-        let a = Args::parse(&argv(&["--bogus", "1"])).unwrap();
+        let a = Args::parse_with_switches(&argv(&["--bogus", "1"]), &[]).unwrap();
         assert!(a.reject_unknown(&["seed"]).is_err());
         assert!(a.reject_unknown(&["bogus"]).is_ok());
     }
 
     #[test]
+    fn switches_take_no_value() {
+        let a =
+            Args::parse_with_switches(&argv(&["--chunked", "--users", "9"]), &["chunked"]).unwrap();
+        assert!(a.switch("chunked"));
+        assert!(!a.switch("absent"));
+        assert_eq!(a.parse_or("users", 0usize).unwrap(), 9);
+        // Without the switch list, --chunked would swallow --users.
+        let b = Args::parse_with_switches(&argv(&["--chunked", "--users", "9"]), &[]);
+        assert!(b.is_err());
+    }
+
+    #[test]
     fn parse_or_reports_bad_values() {
-        let a = Args::parse(&argv(&["--k", "abc"])).unwrap();
+        let a = Args::parse_with_switches(&argv(&["--k", "abc"]), &[]).unwrap();
         assert!(a.parse_or("k", 10usize).is_err());
     }
 }

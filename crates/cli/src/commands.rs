@@ -4,6 +4,7 @@ use std::fs;
 
 use serde::{Deserialize, Serialize};
 use upskill_core::bundle::SessionBundle;
+use upskill_core::chunked::{train_chunked, AssignmentStorage, ChunkSource};
 use upskill_core::difficulty::{assignment_difficulty_all, generation_difficulty_all, SkillPrior};
 use upskill_core::parallel::ParallelConfig;
 use upskill_core::recommend::{recommend_for_level, RecommendConfig};
@@ -11,6 +12,7 @@ use upskill_core::streaming::{RefitPolicy, StreamingSession};
 use upskill_core::train::{train, TrainConfig};
 use upskill_core::types::{Action, Dataset, SkillAssignments};
 use upskill_core::SkillModel;
+use upskill_datasets::chunked::ChunkedSyntheticSource;
 use upskill_datasets::DatasetStats;
 
 use crate::args::Args;
@@ -25,6 +27,10 @@ commands:
   stats       --data data.json
   train       --data data.json [--levels S] [--min-init N] [--lambda L]
               --out model.json [--assignments assignments.json]
+              | --chunked --users N [--items M] [--levels S] [--mean-len F]
+                [--chunk-size K] [--seed N] [--threads T]
+                [--storage recompute|inmemory] [--min-init N] [--lambda L]
+                [--max-iterations N] --out model.json
   difficulty  --data data.json --model model.json
               [--assignments assignments.json]
               [--method assignment|uniform|empirical] --out difficulty.json
@@ -44,7 +50,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
     let Some((command, rest)) = argv.split_first() else {
         return Err(CliError::Usage(format!("no command given\n{USAGE}")));
     };
-    let args = Args::parse(rest)?;
+    let args = Args::parse_with_switches(rest, &["chunked"])?;
     let run = match command.as_str() {
         "generate" => generate,
         "stats" => stats,
@@ -170,6 +176,9 @@ fn stats(args: &Args) -> Result<(), CliError> {
 }
 
 fn train_cmd(args: &Args) -> Result<(), CliError> {
+    if args.switch("chunked") {
+        return train_chunked_cmd(args);
+    }
     args.reject_unknown(&["data", "levels", "min-init", "lambda", "out", "assignments"])?;
     let dataset: Dataset = read_json(args.required("data")?)?;
     let levels: usize = args.parse_or("levels", 5)?;
@@ -191,6 +200,92 @@ fn train_cmd(args: &Args) -> Result<(), CliError> {
     if let Some(path) = args.optional("assignments") {
         write_json(path, &result.assignments)?;
         println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `train --chunked`: out-of-core training over the generate-and-fold
+/// synthetic stream — the corpus is never materialized, so `--users`
+/// can go to a million and beyond with flat memory.
+fn train_chunked_cmd(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "chunked",
+        "users",
+        "items",
+        "levels",
+        "mean-len",
+        "chunk-size",
+        "seed",
+        "threads",
+        "storage",
+        "min-init",
+        "lambda",
+        "max-iterations",
+        "out",
+    ])?;
+    let users: usize = args
+        .required("users")?
+        .parse()
+        .map_err(|_| CliError::Usage("flag --users: cannot parse".into()))?;
+    let levels: usize = args.parse_or("levels", 5)?;
+    let items: usize = args.parse_or("items", 5_000)?;
+    let mean_len: f64 = args.parse_or("mean-len", 50.0)?;
+    let chunk_size: usize = args.parse_or("chunk-size", 4096)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let threads: usize = args.parse_or("threads", 1)?;
+    let min_init: usize = args.parse_or("min-init", 50)?;
+    let lambda: f64 = args.parse_or("lambda", 0.01)?;
+    let out = args.required("out")?;
+    let storage = match args.optional("storage") {
+        None | Some("recompute") => AssignmentStorage::Recompute,
+        Some("inmemory") => AssignmentStorage::InMemory,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown storage {other:?} (expected recompute|inmemory)"
+            )))
+        }
+    };
+    let synth = upskill_datasets::synthetic::SyntheticConfig {
+        n_users: users,
+        n_items: items,
+        n_levels: levels,
+        mean_sequence_len: mean_len,
+        p_at_level: 0.5,
+        p_advance: 0.1,
+        n_categories: 10,
+        seed,
+    };
+    let source = ChunkedSyntheticSource::new(&synth, chunk_size)?;
+    let mut config = TrainConfig::new(levels)
+        .with_min_init_actions(min_init)
+        .with_lambda(lambda);
+    if args.optional("max-iterations").is_some() {
+        config = config.with_max_iterations(args.parse_or("max-iterations", 0)?);
+    }
+    let parallel = if threads > 1 {
+        ParallelConfig::all(threads)
+    } else {
+        ParallelConfig::sequential()
+    };
+    let result = train_chunked(&source, &config, &parallel, storage)?;
+    write_json(out, &result.model)?;
+    let total: u64 = result.level_histogram.iter().sum();
+    println!(
+        "chunked-trained {levels}-level model over {} users / {} actions \
+         ({} chunks of {chunk_size}) in {} iterations (converged: {}), \
+         log-likelihood {:.1}; wrote {out}",
+        result.n_users,
+        result.n_actions,
+        source.n_chunks(),
+        result.trace.len(),
+        result.converged,
+        result.log_likelihood
+    );
+    println!("actions per level:");
+    for (i, &c) in result.level_histogram.iter().enumerate() {
+        let frac = c as f64 / total.max(1) as f64;
+        let bar = "#".repeat((frac * 50.0).round() as usize);
+        println!("  s={}: {:7} ({:5.1}%) {}", i + 1, c, 100.0 * frac, bar);
     }
     Ok(())
 }

@@ -11,7 +11,9 @@ use crate::emission::{CompactEmissionTable, EmissionTable};
 use crate::error::{CoreError, Result};
 use crate::float_cmp::is_neg_infinity;
 use crate::model::SkillModel;
-use crate::types::{skill_level_from_index, ActionSequence, Dataset, SkillAssignments, SkillLevel};
+use crate::types::{
+    skill_level_from_index, ActionSequence, Dataset, ItemId, SkillAssignments, SkillLevel,
+};
 
 /// Result of assigning one sequence: the per-action levels and the path
 /// log-likelihood.
@@ -243,6 +245,37 @@ pub fn assign_sequence_with_table_ws(
         }
     }
     dp_over_rows(table.n_levels(), n, |t| table.row(actions[t].item), ws)
+}
+
+/// Table-backed assignment over a bare item-id slice (the columnar
+/// chunked layout of [`crate::chunked::DatasetChunk`]).
+///
+/// Identical DP to [`assign_sequence_with_table_ws`] — both funnel
+/// through `dp_over_rows` with rows borrowed from the table — so the
+/// levels and log-likelihood are bitwise identical to assigning the
+/// same actions through an [`ActionSequence`]. Timestamps never enter
+/// the DP, which is why the item column alone suffices.
+pub fn assign_items_with_table_ws(
+    table: &EmissionTable,
+    items: &[ItemId],
+    ws: &mut AssignWorkspace,
+) -> Result<SequenceAssignment> {
+    let n = items.len();
+    if n == 0 {
+        return Ok(SequenceAssignment {
+            levels: Vec::new(),
+            log_likelihood: 0.0,
+        });
+    }
+    for &item in items {
+        if item as usize >= table.n_items() {
+            return Err(CoreError::FeatureIndexOutOfBounds {
+                index: item as usize,
+                len: table.n_items(),
+            });
+        }
+    }
+    dp_over_rows(table.n_levels(), n, |t| table.row(items[t]), ws)
 }
 
 /// Assigns skill levels to one sequence, reading emissions from an
@@ -607,6 +640,27 @@ mod tests {
         let (a_table, ll_table) = assign_all(&model, &ds).unwrap();
         assert_eq!(a_direct, a_table);
         assert_eq!(ll_direct, ll_table);
+    }
+
+    #[test]
+    fn item_slice_assignment_is_bitwise_identical() {
+        let model = diagonal_model(4);
+        let (ds, seq) = dataset_for(4, &[0, 1, 1, 3, 2, 0, 3]);
+        let table = EmissionTable::build(&model, &ds);
+        let tabled = assign_sequence_with_table(&table, &seq).unwrap();
+        let items: Vec<ItemId> = seq.actions().iter().map(|a| a.item).collect();
+        let sliced =
+            assign_items_with_table_ws(&table, &items, &mut AssignWorkspace::new()).unwrap();
+        assert_eq!(tabled.levels, sliced.levels);
+        assert_eq!(tabled.log_likelihood, sliced.log_likelihood);
+
+        let empty = assign_items_with_table_ws(&table, &[], &mut AssignWorkspace::new()).unwrap();
+        assert!(empty.levels.is_empty());
+        assert_eq!(empty.log_likelihood, 0.0);
+        assert!(matches!(
+            assign_items_with_table_ws(&table, &[99], &mut AssignWorkspace::new()),
+            Err(CoreError::FeatureIndexOutOfBounds { index: 99, .. })
+        ));
     }
 
     #[test]

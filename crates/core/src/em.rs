@@ -30,7 +30,7 @@ use crate::incremental::SoftStatsGrid;
 use crate::model::SkillModel;
 use crate::parallel::ParallelConfig;
 use crate::transition::TransitionModel;
-use crate::types::{skill_level_from_index, ActionSequence, Dataset, SkillLevel};
+use crate::types::{skill_level_from_index, ActionSequence, Dataset, ItemId, SkillLevel};
 
 /// Default gate for responsibility deltas: posterior rows that move less
 /// than this between iterations keep their previous contribution. Small
@@ -191,7 +191,7 @@ where
 /// reused across every sequence of every iteration. The per-level
 /// transition log-probabilities are hoisted at construction: the
 /// transition model stays fixed for a whole EM run.
-struct FbWorkspace {
+pub(crate) struct FbWorkspace {
     /// Flat `n × s_max` forward lattice (log alpha).
     alpha: Vec<f64>,
     /// Flat `n × s_max` backward lattice (log beta).
@@ -207,7 +207,7 @@ struct FbWorkspace {
 }
 
 impl FbWorkspace {
-    fn new(transitions: &TransitionModel) -> Self {
+    pub(crate) fn new(transitions: &TransitionModel) -> Self {
         let s_max = transitions.n_levels();
         let level = |s: usize| (s + 1) as SkillLevel;
         Self {
@@ -222,11 +222,36 @@ impl FbWorkspace {
         }
     }
 
+    /// Flat posterior marginals of the last [`run`](Self::run) /
+    /// [`run_items`](Self::run_items) pass (row-major, `n × s_max`).
+    pub(crate) fn gamma(&self) -> &[f64] {
+        &self.gamma
+    }
+
     /// Runs forward–backward for one sequence, leaving the flat posterior
     /// marginals in `self.gamma` (row-major, `seq.len() × s_max`) and
     /// returning the log evidence. Produces exactly the values of
     /// [`forward_backward_with_table`].
-    fn run(&mut self, table: &EmissionTable, seq: &ActionSequence) -> Result<f64> {
+    pub(crate) fn run(&mut self, table: &EmissionTable, seq: &ActionSequence) -> Result<f64> {
+        let actions = seq.actions();
+        self.run_rows(table, actions.len(), |t| actions[t].item)
+    }
+
+    /// Item-slice twin of [`run`](Self::run) for columnar chunk storage
+    /// (no [`ActionSequence`] wrappers). Identical recursion, identical
+    /// operation order: bitwise-equal marginals and evidence for the same
+    /// item sequence.
+    pub(crate) fn run_items(&mut self, table: &EmissionTable, items: &[ItemId]) -> Result<f64> {
+        self.run_rows(table, items.len(), |t| items[t])
+    }
+
+    /// Shared forward–backward core over `item_at(0..n)`.
+    fn run_rows(
+        &mut self,
+        table: &EmissionTable,
+        n: usize,
+        item_at: impl Fn(usize) -> ItemId,
+    ) -> Result<f64> {
         let s_max = self.log_stay.len();
         if table.n_levels() != s_max {
             return Err(CoreError::LengthMismatch {
@@ -235,16 +260,15 @@ impl FbWorkspace {
                 right: table.n_levels(),
             });
         }
-        let actions = seq.actions();
-        let n = actions.len();
         if n == 0 {
             self.gamma.clear();
             return Ok(0.0);
         }
-        for action in actions {
-            if action.item as usize >= table.n_items() {
+        for t in 0..n {
+            let item = item_at(t) as usize;
+            if item >= table.n_items() {
                 return Err(CoreError::FeatureIndexOutOfBounds {
-                    index: action.item as usize,
+                    index: item,
                     len: table.n_items(),
                 });
             }
@@ -258,7 +282,7 @@ impl FbWorkspace {
         self.gamma.resize(cells, 0.0);
 
         // Forward (log alpha); same recursion as `forward_backward_rows`.
-        let first = table.row(actions[0].item);
+        let first = table.row(item_at(0));
         for ((a, &li), &e) in self.alpha[..s_max]
             .iter_mut()
             .zip(&self.log_init)
@@ -267,7 +291,7 @@ impl FbWorkspace {
             *a = li + e;
         }
         for t in 1..n {
-            let emit = table.row(actions[t].item);
+            let emit = table.row(item_at(t));
             let (prev, curr) = self.alpha.split_at_mut(t * s_max);
             let prev = &prev[(t - 1) * s_max..];
             let curr = &mut curr[..s_max];
@@ -291,7 +315,7 @@ impl FbWorkspace {
 
         // Backward (log beta).
         for t in (0..n - 1).rev() {
-            let emit = table.row(actions[t + 1].item);
+            let emit = table.row(item_at(t + 1));
             let (curr, next) = self.beta.split_at_mut((t + 1) * s_max);
             let curr = &mut curr[t * s_max..];
             let next = &next[..s_max];

@@ -44,6 +44,19 @@ use crate::types::{skill_level_from_index, Dataset, ItemId, SkillLevel};
 /// Minimum items per stolen work unit in [`EmissionTable::build_parallel`].
 const PARALLEL_CHUNK: usize = 64;
 
+/// Item-tile width of the cache-blocked sequential fill
+/// ([`EmissionTable::build`] and [`EmissionTable::refresh_levels`]).
+///
+/// Per tile the fill touches the gathered columns (≈ `3 × 8` bytes per
+/// item per feature), the level-major scratch (`tile × S` f64), and the
+/// output window (`tile × S` f64) — ~200 kB at 2048 items, S = 5,
+/// F = 3, comfortably inside a per-core L2 — where the whole-axis fill
+/// streams `n_items × S` buffers (2 MB at 50 k items) through every
+/// kernel pass. Tile size changes no per-cell operation order, so every
+/// choice is bitwise identical; 2048 is flat-optimal on this host
+/// (within noise from 1024 to 4096).
+const ITEM_TILE: usize = 2048;
+
 /// One gathered feature column: the values of a single feature for a run
 /// of items, with the per-item transforms the scalar path recomputes for
 /// every level (integer → float widening, `ln k!`, `ln x`) hoisted out so
@@ -332,24 +345,41 @@ pub struct EmissionTable {
 }
 
 impl EmissionTable {
-    /// Builds the full table sequentially with the columnar kernels.
+    /// Builds the full table sequentially with the columnar kernels,
+    /// cache-blocked over item tiles.
     ///
-    /// Feature values are gathered into columns once (hoisting enum
+    /// Feature values are gathered into columns per tile (hoisting enum
     /// dispatch and per-item transcendentals out of the `S`-level loop),
     /// then each (feature, level) pair runs one batch kernel over a
-    /// contiguous run of cells. Results are bitwise identical to
-    /// [`EmissionTable::build_scalar`] and the direct assignment path.
+    /// contiguous run of cells. Blocking over `ITEM_TILE`-item tiles
+    /// keeps each tile's gathered columns plus its level-major scratch
+    /// (`ITEM_TILE × S` f64) resident in L2 even when the full
+    /// `n_items × S` table is megabytes: every kernel streams a buffer
+    /// that was just written. Each cell is a pure function of its own
+    /// item's features and level row — tile boundaries change no
+    /// operation order within a cell — so results are bitwise identical
+    /// to [`EmissionTable::build_scalar`], the direct assignment path,
+    /// and the pre-tiling whole-axis fill, for every tile size.
     pub fn build(model: &SkillModel, dataset: &Dataset) -> Self {
         let n_items = dataset.n_items();
         let n_levels = model.n_levels();
         let mut data = vec![0.0f64; n_items * n_levels];
-        let gathered = gather_columns(
-            dataset.schema(),
-            dataset.items().iter().map(Vec::as_slice),
-            n_items,
-        );
         let mut scratch = Vec::new();
-        fill_rows_columnar(model, &gathered, &mut scratch, &mut data);
+        let items = dataset.items();
+        for start in (0..n_items).step_by(ITEM_TILE.max(1)) {
+            let end = (start + ITEM_TILE).min(n_items);
+            let gathered = gather_columns(
+                dataset.schema(),
+                items[start..end].iter().map(Vec::as_slice),
+                end - start,
+            );
+            fill_rows_columnar(
+                model,
+                &gathered,
+                &mut scratch,
+                &mut data[start * n_levels..end * n_levels],
+            );
+        }
         EmissionTable {
             n_items,
             n_levels,
@@ -596,34 +626,43 @@ impl EmissionTable {
             return Ok(());
         }
         let n_levels = self.n_levels;
-        let gathered = gather_columns(
-            dataset.schema(),
-            dataset.items().iter().map(Vec::as_slice),
-            self.n_items,
-        );
-        // One contiguous level-major scratch column per dirty level, then
-        // scatter into column `s₀` of every row.
-        let mut column = vec![0.0f64; self.n_items];
-        for (s0, _) in levels.iter().enumerate().filter(|&(_, &dirty)| dirty) {
-            column.fill(0.0);
-            match model.level_row(skill_level_from_index(s0)) {
-                Ok(row) => {
-                    for (dist, feature_column) in row.iter().zip(&gathered.columns) {
-                        evaluate_column(dist, feature_column, &mut column);
+        // Cache-blocked like `build`: gather one item tile, evaluate each
+        // dirty level into a tile-sized contiguous scratch column, then
+        // scatter into column `s₀` of the tile's rows. Per-cell values
+        // are independent of the tile size, so this is bitwise identical
+        // to the whole-axis refresh for every tile width.
+        let mut column = vec![0.0f64; ITEM_TILE.min(self.n_items)];
+        let items = dataset.items();
+        for start in (0..self.n_items).step_by(ITEM_TILE.max(1)) {
+            let end = (start + ITEM_TILE).min(self.n_items);
+            let gathered = gather_columns(
+                dataset.schema(),
+                items[start..end].iter().map(Vec::as_slice),
+                end - start,
+            );
+            let column = &mut column[..end - start];
+            let window = &mut self.data[start * n_levels..end * n_levels];
+            for (s0, _) in levels.iter().enumerate().filter(|&(_, &dirty)| dirty) {
+                column.fill(0.0);
+                match model.level_row(skill_level_from_index(s0)) {
+                    Ok(row) => {
+                        for (dist, feature_column) in row.iter().zip(&gathered.columns) {
+                            evaluate_column(dist, feature_column, column);
+                        }
+                    }
+                    Err(_) => column.fill(f64::NEG_INFINITY),
+                }
+                if gathered.any_hard {
+                    for (cell, &bad) in column.iter_mut().zip(&gathered.hard_poison) {
+                        if bad {
+                            *cell = f64::NEG_INFINITY;
+                        }
                     }
                 }
-                Err(_) => column.fill(f64::NEG_INFINITY),
-            }
-            if gathered.any_hard {
-                for (cell, &bad) in column.iter_mut().zip(&gathered.hard_poison) {
-                    if bad {
-                        *cell = f64::NEG_INFINITY;
+                for (row, &v) in window.chunks_mut(n_levels).zip(column.iter()) {
+                    if let Some(cell) = row.get_mut(s0) {
+                        *cell = v;
                     }
-                }
-            }
-            for (row, &v) in self.data.chunks_mut(n_levels).zip(&column) {
-                if let Some(cell) = row.get_mut(s0) {
-                    *cell = v;
                 }
             }
         }

@@ -116,6 +116,12 @@ pub enum CoreError {
         /// Why the value is outside the feature's domain.
         reason: &'static str,
     },
+    /// A chunked-dataset operation was configured with an unusable chunk
+    /// size (chunks must hold at least one user).
+    InvalidChunkSize {
+        /// The offending users-per-chunk value.
+        requested: usize,
+    },
     /// A runtime invariant check failed (see [`crate::invariants`]). These
     /// checks run in debug builds and under the `strict-invariants`
     /// feature; a violation means internal state was corrupted (e.g. a
@@ -182,6 +188,9 @@ impl fmt::Display for CoreError {
                 reason,
             } => {
                 write!(f, "feature {feature}: invalid value {value}: {reason}")
+            }
+            CoreError::InvalidChunkSize { requested } => {
+                write!(f, "invalid chunk size {requested}: chunks must hold at least one user")
             }
             CoreError::InvariantViolation { check, detail } => {
                 write!(f, "invariant violation in {check}: {detail}")

@@ -9,7 +9,7 @@
 
 use crate::error::{CoreError, Result};
 use crate::model::SkillModel;
-use crate::types::{ActionSequence, Dataset, SkillAssignments, SkillLevel};
+use crate::types::{ActionSequence, Dataset, SkillAssignments, SkillLevel, Timestamp};
 use crate::update::fit_model;
 
 /// Uniform-in-time segmentation of one sequence into `n_levels` groups.
@@ -18,19 +18,27 @@ use crate::update::fit_model;
 /// divide `[t_first, t_last]` evenly. Degenerate spans (all actions at one
 /// instant) fall back to uniform-by-index segmentation.
 pub fn segment_uniform(sequence: &ActionSequence, n_levels: usize) -> Vec<SkillLevel> {
-    let n = sequence.len();
+    let times: Vec<Timestamp> = sequence.actions().iter().map(|a| a.time).collect();
+    segment_uniform_times(&times, n_levels)
+}
+
+/// [`segment_uniform`] over a bare (sorted) timestamp column — the form
+/// the chunked trainer uses, where sequences live as columnar slices
+/// rather than [`ActionSequence`] values. Identical arithmetic in
+/// identical order: bitwise-equal labels for the same timestamps.
+pub fn segment_uniform_times(times: &[Timestamp], n_levels: usize) -> Vec<SkillLevel> {
+    let n = times.len();
     if n == 0 {
         return Vec::new();
     }
-    let actions = sequence.actions();
-    let t0 = actions[0].time;
-    let t1 = actions[n - 1].time;
+    let t0 = times[0];
+    let t1 = times[n - 1];
     if t1 > t0 {
         let span = (t1 - t0) as f64;
-        actions
+        times
             .iter()
-            .map(|a| {
-                let frac = (a.time - t0) as f64 / span;
+            .map(|&t| {
+                let frac = (t - t0) as f64 / span;
                 let level = (frac * n_levels as f64).floor() as usize;
                 (level.min(n_levels - 1) + 1) as SkillLevel
             })
@@ -123,6 +131,25 @@ mod tests {
             let levels = segment_uniform(&seq, n_levels);
             assert!(levels.windows(2).all(|w| w[0] <= w[1]));
             assert!(levels.iter().all(|&s| (1..=n_levels as u8).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn times_slice_twin_matches_sequence_segmentation() {
+        for times in [
+            vec![0, 3, 3, 7, 20, 21, 22, 50],
+            vec![5, 5, 5, 5],
+            vec![0, 10],
+            vec![],
+        ] {
+            let seq = ActionSequence::new(0, times.iter().map(|&t| Action::new(t, 0, 0)).collect())
+                .unwrap();
+            for n_levels in 1..=4 {
+                assert_eq!(
+                    segment_uniform(&seq, n_levels),
+                    segment_uniform_times(&times, n_levels)
+                );
+            }
         }
     }
 

@@ -78,6 +78,7 @@
 //! | [`init`] | §IV-B | uniform-segmentation initialization |
 //! | [`mod@train`] | §IV-B | the alternating trainer |
 //! | [`incremental`] | §IV-B | delta sufficient statistics (`StatsGrid`) |
+//! | [`chunked`] | §IV-C | out-of-core chunked datasets & sharded training |
 //! | [`parallel`] | §IV-C | user/skill/feature parallel steps |
 //! | [`difficulty`] | §V | assignment- & generation-based estimators |
 //! | [`model_selection`] | §VI-B (Fig. 3) | held-out skill-count selection |
@@ -100,6 +101,7 @@ pub mod analysis;
 pub mod assign;
 pub mod baselines;
 pub mod bundle;
+pub mod chunked;
 pub mod diagnostics;
 pub mod difficulty;
 pub mod dist;
@@ -126,6 +128,11 @@ pub mod transition;
 pub mod types;
 pub mod update;
 
+pub use chunked::{
+    assign_chunked, initialize_model_chunked, level_histogram_chunked, materialize, train_chunked,
+    train_em_chunked, AssignmentStorage, ChunkSource, ChunkedDataset, ChunkedTrainResult,
+    DatasetChunk, DatasetChunks,
+};
 pub use emission::EmissionTable;
 pub use error::{CoreError, Result};
 pub use invariants::InvariantCtx;

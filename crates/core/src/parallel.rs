@@ -163,6 +163,19 @@ impl ParallelConfig {
     pub fn update_parallel(&self) -> bool {
         (self.skills || self.features) && self.threads > 1
     }
+
+    /// Worker count for a chunked run over `n_chunks` chunks: the
+    /// configured thread count clamped to the number of chunks, never
+    /// below one. A chunk is the unit of work ownership, so spawning
+    /// more workers than chunks would only create idle threads — tiny
+    /// datasets (or one-giant-chunk configurations) run sequentially.
+    /// User-level parallelism off (`users == false`) also clamps to one.
+    pub fn workers_for_chunks(&self, n_chunks: usize) -> usize {
+        if !self.users {
+            return 1;
+        }
+        self.threads.min(n_chunks).max(1)
+    }
 }
 
 impl Default for ParallelConfig {
@@ -507,6 +520,20 @@ mod tests {
     use crate::feature::{FeatureKind, FeatureSchema, FeatureValue};
     use crate::init::initialize_model;
     use crate::types::{Action, ActionSequence};
+
+    #[test]
+    fn workers_for_chunks_clamps_to_chunk_count() {
+        let config = ParallelConfig::all(8);
+        assert_eq!(config.workers_for_chunks(3), 3);
+        assert_eq!(config.workers_for_chunks(8), 8);
+        assert_eq!(config.workers_for_chunks(100), 8);
+        // Never zero, even for an empty stream.
+        assert_eq!(config.workers_for_chunks(0), 1);
+        // User-level parallelism off forces a sequential chunk walk.
+        let no_users = ParallelConfig::all(8).with_users(false);
+        assert_eq!(no_users.workers_for_chunks(100), 1);
+        assert_eq!(ParallelConfig::sequential().workers_for_chunks(100), 1);
+    }
 
     fn build_dataset(n_users: usize, len: usize) -> Dataset {
         let schema = FeatureSchema::new(vec![

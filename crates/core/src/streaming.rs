@@ -285,6 +285,28 @@ impl StreamingSession {
         )
     }
 
+    /// Resumes a session from a chunked training run
+    /// ([`crate::chunked::train_chunked`] /
+    /// [`Trainer::fit_chunked`](crate::train::Trainer::fit_chunked)).
+    ///
+    /// A live session needs per-user committed paths, so this is the
+    /// point where the corpus is materialized: the chunk stream is folded
+    /// back into an in-memory [`Dataset`] and the (deterministic) DP
+    /// re-derives the final assignments under the trained model. Only
+    /// call this at scales where an in-memory corpus is acceptable — the
+    /// flat-memory contract necessarily ends where live ingestion begins.
+    pub fn resume_chunked<S: crate::chunked::ChunkSource + ?Sized>(
+        source: &S,
+        result: &crate::chunked::ChunkedTrainResult,
+        config: TrainConfig,
+        parallel: ParallelConfig,
+        policy: RefitPolicy,
+    ) -> Result<Self> {
+        let dataset = crate::chunked::materialize(source)?;
+        let (assignments, _) = crate::chunked::assign_chunked(source, &result.model, &parallel)?;
+        Self::new(dataset, assignments, config, parallel, policy)
+    }
+
     /// Ingests one action: extends the user's committed level path, applies
     /// the `+1` statistics delta, advances the user's filtering tracker,
     /// and refits per the session's [`RefitPolicy`]. Returns the level

@@ -345,6 +345,72 @@ impl Trainer {
         }
     }
 
+    /// Trains chunk-at-a-time from any [`crate::chunked::ChunkSource`] —
+    /// the out-of-core
+    /// entry point ([`crate::chunked`]).
+    ///
+    /// In hard mode this is [`crate::chunked::train_chunked`]; in EM mode
+    /// the chunked initializer feeds
+    /// [`crate::chunked::train_em_chunked`] and the soft fit is closed
+    /// with one streamed hard decode, mirroring [`Trainer::fit`]'s EM
+    /// arm. Either way the result is bitwise identical to the matching
+    /// sequential in-memory path on the materialized dataset, and peak
+    /// memory stays bounded by `chunk_size × workers` (plus the
+    /// `InMemory` storage's byte per action, if selected).
+    pub fn fit_chunked<S: crate::chunked::ChunkSource + ?Sized>(
+        &self,
+        source: &S,
+        storage: crate::chunked::AssignmentStorage,
+    ) -> Result<crate::chunked::ChunkedTrainResult> {
+        match self.mode {
+            TrainMode::Hard => {
+                crate::chunked::train_chunked(source, &self.config, &self.parallel, storage)
+            }
+            TrainMode::Em => {
+                self.config.validate()?;
+                let initial = crate::chunked::initialize_model_chunked(
+                    source,
+                    self.config.n_levels,
+                    self.config.min_init_actions,
+                    self.config.lambda,
+                )?;
+                let transitions = match &self.transitions {
+                    Some(t) => t.clone(),
+                    None => {
+                        crate::transition::TransitionModel::uninformative(self.config.n_levels)?
+                    }
+                };
+                let em_cfg = crate::em::EmConfig::new(initial, transitions)
+                    .with_lambda(self.config.lambda)
+                    .with_max_iterations(self.config.max_iterations)
+                    .with_tolerance(self.config.tolerance);
+                let em = crate::chunked::train_em_chunked(source, &em_cfg, &self.parallel)?;
+                let (level_histogram, log_likelihood) =
+                    crate::chunked::level_histogram_chunked(source, &em.model, &self.parallel)?;
+                let trace = em
+                    .evidence_trace
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &ev)| IterationStats {
+                        iteration: i + 1,
+                        log_likelihood: ev,
+                        n_changed: None,
+                        seconds: 0.0,
+                    })
+                    .collect();
+                Ok(crate::chunked::ChunkedTrainResult {
+                    model: em.model,
+                    log_likelihood,
+                    trace,
+                    converged: em.converged,
+                    level_histogram,
+                    n_users: source.n_users(),
+                    n_actions: source.n_actions(),
+                })
+            }
+        }
+    }
+
     /// Trains on `dataset` and immediately resumes a live
     /// [`StreamingSession`](crate::streaming::StreamingSession) over it.
     ///

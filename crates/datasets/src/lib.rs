@@ -9,6 +9,8 @@
 //! implements the paper's synthetic generator verbatim.
 //!
 //! - [`synthetic`] — §VI-A generator with ground-truth skill/difficulty;
+//! - [`chunked`] — the same corpus as an on-demand chunk stream
+//!   (generate-and-fold; never materializes the corpus);
 //! - [`language`] — Lang-8 analogue (correction rules, per-article stats);
 //! - [`cooking`] — Rakuten Recipe analogue (incl. the novice-overreach
 //!   anomaly of §VI-C);
@@ -24,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod beer;
+pub mod chunked;
 pub mod cooking;
 pub mod film;
 pub mod filtering;

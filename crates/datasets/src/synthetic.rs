@@ -135,6 +135,19 @@ struct LevelParams {
     poisson_mean: f64,
 }
 
+/// Crate-internal tuple view of [`level_params`] for the generate-and-fold
+/// chunked source: `(categorical weights, gamma shape, gamma scale,
+/// Poisson mean)`. Same distributions, so chunked and in-memory corpora
+/// share item statistics.
+pub(crate) fn chunked_level_params(
+    level: usize,
+    n_levels: usize,
+    n_categories: u32,
+) -> (Vec<f64>, f64, f64, f64) {
+    let p = level_params(level, n_levels, n_categories);
+    (p.cat_weights, p.gamma_shape, p.gamma_scale, p.poisson_mean)
+}
+
 /// Generates the synthetic dataset with ground truth.
 pub fn generate(config: &SyntheticConfig) -> Result<SyntheticData> {
     let mut rng = StdRng::seed_from_u64(config.seed);

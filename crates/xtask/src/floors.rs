@@ -1,14 +1,23 @@
-//! `bench-floors` task: enforce recorded acceptance floors.
+//! `bench-floors` task: enforce recorded acceptance floors and ceilings.
 //!
 //! The benchmark binaries write `reports/BENCH_*.json` and embed each
-//! acceptance criterion next to the measurement it gates: any JSON object
-//! carrying **both** a numeric `speedup` and a numeric (non-null)
-//! `acceptance_floor` is an enforceable check. This task parses every
-//! `BENCH_*.json` under the reports directory, walks the value trees, and
-//! fails when any recorded speedup is below its recorded floor — so a
-//! regression that slips into a committed report breaks CI even if nobody
-//! re-reads the numbers. Objects without a floor (informational sweep
-//! entries, `"acceptance_floor": null`) are ignored.
+//! acceptance criterion next to the measurement it gates:
+//!
+//! - any JSON object carrying a numeric (non-null) `acceptance_floor`
+//!   next to a numeric `speedup` (or, for the scale benchmark, a
+//!   `throughput_actions_per_second`) is an enforceable **floor** —
+//!   the measurement must be at least the floor;
+//! - any object carrying a numeric `rss_ceiling_bytes` next to a
+//!   numeric `peak_rss_bytes` is an enforceable **ceiling** — the
+//!   measurement must not exceed it (the flat-memory claim of the
+//!   out-of-core path).
+//!
+//! This task parses every `BENCH_*.json` under the reports directory,
+//! walks the value trees, and fails when any recorded measurement falls
+//! outside its recorded bound — so a regression that slips into a
+//! committed report breaks CI even if nobody re-reads the numbers.
+//! Objects without a bound (informational sweep entries,
+//! `"acceptance_floor": null`) are ignored.
 //!
 //! Like the lint engine, this module is std-only: reports are flat
 //! machine-written JSON, and a ~150-line recursive-descent reader keeps
@@ -19,7 +28,16 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// One enforceable `(speedup, acceptance_floor)` pair found in a report.
+/// Direction of an enforceable bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// The measurement must be **at least** the bound.
+    Floor,
+    /// The measurement must **not exceed** the bound.
+    Ceiling,
+}
+
+/// One enforceable `(measurement, bound)` pair found in a report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FloorCheck {
     /// Report file name (e.g. `BENCH_emission.json`).
@@ -27,16 +45,23 @@ pub struct FloorCheck {
     /// Dotted path of the owning object inside the report
     /// (e.g. `fill_sweep[2]`); empty for the root object.
     pub context: String,
-    /// Recorded speedup.
-    pub speedup: f64,
-    /// Recorded acceptance floor.
-    pub floor: f64,
+    /// Key of the measured value (e.g. `speedup`, `peak_rss_bytes`).
+    pub metric: String,
+    /// Recorded measurement.
+    pub value: f64,
+    /// Recorded bound.
+    pub bound: f64,
+    /// Whether the bound is a floor or a ceiling.
+    pub kind: BoundKind,
 }
 
 impl FloorCheck {
-    /// Whether the recorded speedup meets the recorded floor.
+    /// Whether the recorded measurement meets the recorded bound.
     pub fn passes(&self) -> bool {
-        self.speedup >= self.floor
+        match self.kind {
+            BoundKind::Floor => self.value >= self.bound,
+            BoundKind::Ceiling => self.value <= self.bound,
+        }
     }
 
     fn location(&self) -> String {
@@ -50,12 +75,17 @@ impl FloorCheck {
 
 impl fmt::Display for FloorCheck {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let relation = match self.kind {
+            BoundKind::Floor => "floor",
+            BoundKind::Ceiling => "ceiling",
+        };
         write!(
             f,
-            "{}: speedup {:.2}x vs floor {:.2}x [{}]",
+            "{}: {} {:.2} vs {relation} {:.2} [{}]",
             self.location(),
-            self.speedup,
-            self.floor,
+            self.metric,
+            self.value,
+            self.bound,
             if self.passes() { "ok" } else { "FAIL" }
         )
     }
@@ -110,7 +140,10 @@ pub fn check_floors(dir: &Path) -> io::Result<FloorReport> {
     Ok(report)
 }
 
-/// Recursively collects `(speedup, acceptance_floor)` pairs from `value`.
+/// Recursively collects enforceable `(measurement, bound)` pairs from
+/// `value`: `acceptance_floor` gates `speedup` (or
+/// `throughput_actions_per_second`), `rss_ceiling_bytes` caps
+/// `peak_rss_bytes`.
 fn collect_checks(value: &Json, file: &str, context: String, out: &mut Vec<FloorCheck>) {
     match value {
         Json::Obj(pairs) => {
@@ -123,12 +156,29 @@ fn collect_checks(value: &Json, file: &str, context: String, out: &mut Vec<Floor
                         _ => None,
                     })
             };
-            if let (Some(speedup), Some(floor)) = (num("speedup"), num("acceptance_floor")) {
+            if let Some(floor) = num("acceptance_floor") {
+                let measured = ["speedup", "throughput_actions_per_second"]
+                    .iter()
+                    .find_map(|k| num(k).map(|v| (*k, v)));
+                if let Some((metric, value)) = measured {
+                    out.push(FloorCheck {
+                        file: file.to_string(),
+                        context: context.clone(),
+                        metric: metric.to_string(),
+                        value,
+                        bound: floor,
+                        kind: BoundKind::Floor,
+                    });
+                }
+            }
+            if let (Some(peak), Some(ceiling)) = (num("peak_rss_bytes"), num("rss_ceiling_bytes")) {
                 out.push(FloorCheck {
                     file: file.to_string(),
                     context: context.clone(),
-                    speedup,
-                    floor,
+                    metric: "peak_rss_bytes".to_string(),
+                    value: peak,
+                    bound: ceiling,
+                    kind: BoundKind::Ceiling,
                 });
             }
             for (key, child) in pairs {
@@ -421,6 +471,26 @@ mod tests {
         assert_eq!(checks[0].context, "");
         assert!(checks[0].passes());
         assert_eq!(checks[1].context, "sweep[1]");
+        assert!(!checks[1].passes());
+    }
+
+    #[test]
+    fn collects_throughput_floors_and_rss_ceilings() {
+        let doc = parse(
+            r#"{
+                "throughput_actions_per_second": 5.0e6, "acceptance_floor": 1.0e6,
+                "peak_rss_bytes": 2.0e9, "rss_ceiling_bytes": 1.5e9
+            }"#,
+        )
+        .unwrap();
+        let mut checks = Vec::new();
+        collect_checks(&doc, "BENCH_scale.json", String::new(), &mut checks);
+        assert_eq!(checks.len(), 2);
+        assert_eq!(checks[0].metric, "throughput_actions_per_second");
+        assert_eq!(checks[0].kind, BoundKind::Floor);
+        assert!(checks[0].passes());
+        assert_eq!(checks[1].metric, "peak_rss_bytes");
+        assert_eq!(checks[1].kind, BoundKind::Ceiling);
         assert!(!checks[1].passes());
     }
 

@@ -5,8 +5,10 @@
 //!   clean, 1 with one `path:line: [rule] message` diagnostic per line
 //!   when violations are found, 2 on usage or I/O errors.
 //! - `bench-floors [--reports <dir>]` — parse `reports/BENCH_*.json` and
-//!   fail when any recorded `speedup` is below its recorded
-//!   `acceptance_floor`. Same exit-code convention as `lint`.
+//!   fail when any recorded measurement falls outside its recorded bound
+//!   (`speedup`/`throughput_actions_per_second` below `acceptance_floor`,
+//!   or `peak_rss_bytes` above `rss_ceiling_bytes`). Same exit-code
+//!   convention as `lint`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -93,7 +95,7 @@ fn bench_floors(args: &[String]) -> ExitCode {
                 ExitCode::SUCCESS
             } else {
                 eprintln!(
-                    "bench-floors: {} of {} check(s) below the acceptance floor",
+                    "bench-floors: {} of {} check(s) outside the acceptance bound",
                     violations.len(),
                     report.checks.len()
                 );
