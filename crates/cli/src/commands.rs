@@ -8,12 +8,13 @@ use upskill_core::chunked::{train_chunked, AssignmentStorage, ChunkSource};
 use upskill_core::difficulty::{assignment_difficulty_all, generation_difficulty_all, SkillPrior};
 use upskill_core::parallel::ParallelConfig;
 use upskill_core::recommend::{recommend_for_level, RecommendConfig};
-use upskill_core::streaming::{RefitPolicy, StreamingSession};
+use upskill_core::streaming::{RefitPolicy, RefitTuner, StreamingSession};
 use upskill_core::train::{train, TrainConfig};
-use upskill_core::types::{Action, Dataset, SkillAssignments};
+use upskill_core::types::{Action, Dataset, ItemId, SkillAssignments, UserId};
 use upskill_core::SkillModel;
 use upskill_datasets::chunked::ChunkedSyntheticSource;
 use upskill_datasets::DatasetStats;
+use upskill_serve::{PredictMode, ServeConfig, SkillService};
 
 use crate::args::Args;
 use crate::error::CliError;
@@ -43,6 +44,9 @@ commands:
                --assignments assignments.json [--lambda L])
               [--assignments-out a.json] [--data-out d.json]
               [--session-out session_out.json]
+  serve-bench [--users N] [--live-users N] [--items M] [--levels S]
+              [--ops N] [--threads T] [--shards K] [--refit-every N]
+              [--seed N]
   help        show this message";
 
 /// Dispatches a parsed command line.
@@ -60,6 +64,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "evaluate" => evaluate,
         "sweep" => sweep,
         "ingest" => ingest,
+        "serve-bench" => serve_bench,
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return Ok(());
@@ -481,6 +486,198 @@ fn ingest(args: &Args) -> Result<(), CliError> {
         })?;
         println!("wrote {path}");
     }
+    Ok(())
+}
+
+/// SplitMix64 — tiny deterministic traffic generator for `serve-bench`.
+struct ServeRng(u64);
+
+impl ServeRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// `p`-th percentile (by nearest-rank) of an unsorted latency sample,
+/// in seconds.
+fn percentile_seconds(samples: &mut [u64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1] as f64 / 1e9
+}
+
+/// Per-worker latency samples (ingest, predict, recommend), in ns.
+type LaneSamples = (Vec<u64>, Vec<u64>, Vec<u64>);
+
+/// `serve-bench`: a scaled-down, in-process twin of the `bench_serve`
+/// experiment binary — trains a base model on a synthetic population,
+/// puts it behind a concurrent [`SkillService`], and drives a mixed
+/// ingest/predict/recommend workload from `--threads` OS threads over
+/// disjoint live-user ranges, printing throughput and tail latencies.
+fn serve_bench(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "users",
+        "live-users",
+        "items",
+        "levels",
+        "ops",
+        "threads",
+        "shards",
+        "refit-every",
+        "seed",
+    ])?;
+    let users: usize = args.parse_or("users", 2_000)?;
+    let live_users: usize = args.parse_or("live-users", 5_000)?;
+    let items: usize = args.parse_or("items", 2_000)?;
+    let levels: usize = args.parse_or("levels", 5)?;
+    let ops: u64 = args.parse_or("ops", 100_000u64)?;
+    let threads: usize = args.parse_or("threads", 1)?;
+    let shards: usize = args.parse_or("shards", 8)?;
+    let refit_every: usize = args.parse_or("refit-every", 1_000)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    if threads == 0 || live_users < threads {
+        return Err(CliError::Usage("need 1 <= threads <= live-users".into()));
+    }
+    if refit_every == 0 {
+        return Err(CliError::Usage("need refit-every >= 1".into()));
+    }
+
+    let synth = upskill_datasets::synthetic::SyntheticConfig {
+        n_users: users,
+        n_items: items,
+        n_levels: levels,
+        mean_sequence_len: 20.0,
+        p_at_level: 0.5,
+        p_advance: 0.1,
+        n_categories: 10,
+        seed,
+    };
+    let base = upskill_datasets::synthetic::generate(&synth)?;
+    let config = TrainConfig::new(levels)
+        .with_min_init_actions(10)
+        .with_max_iterations(3)
+        .with_lambda(0.01);
+    let result = train(&base.dataset, &config)?;
+    let n_base = base.dataset.n_users();
+    // Live traffic may only reference items the trained catalog covers;
+    // with sparse synthetic data that can be fewer than `--items`.
+    let catalog_items = base.dataset.n_items();
+    let service = SkillService::resume(
+        base.dataset,
+        &result,
+        config,
+        ParallelConfig::sequential(),
+        ServeConfig {
+            n_shards: shards,
+            policy: RefitPolicy::EveryNActions(refit_every),
+            tuner: Some(RefitTuner::new(3, refit_every, 1_000_000)?),
+            ..ServeConfig::default()
+        },
+    )?;
+    println!("base model ready: {n_base} users, {catalog_items} items, {levels} levels");
+
+    // Mixed load over disjoint per-thread live-user ranges, all above
+    // the base population so per-user time stays monotone without
+    // coordination (the base dataset's timestamps are far below 1e9).
+    let span = (live_users / threads).max(1) as UserId;
+    let ops_per_thread = ops / threads as u64;
+    let start = std::time::Instant::now();
+    let lanes: Vec<Result<LaneSamples, CliError>> = std::thread::scope(|scope| {
+        let service = &service;
+        (0..threads)
+            .map(|lane| {
+                scope.spawn(move || {
+                    let lo = n_base as UserId + lane as UserId * span;
+                    let hi = lo + span;
+                    let mut rng = ServeRng(seed ^ (0xabcd << 16) ^ lane as u64);
+                    let mut touched: Vec<UserId> = Vec::new();
+                    let mut seen = vec![false; span as usize];
+                    let mut clock: i64 = 1_000_000_000;
+                    let (mut ih, mut ph, mut rh) = (Vec::new(), Vec::new(), Vec::new());
+                    for _ in 0..ops_per_thread {
+                        let dice = rng.next() % 100;
+                        if dice < 65 || touched.is_empty() {
+                            let user = lo + (rng.next() % (hi - lo) as u64) as UserId;
+                            let item = (rng.next() % catalog_items as u64) as ItemId;
+                            clock += 1;
+                            let t0 = std::time::Instant::now();
+                            service.ingest(Action::new(clock, user, item))?;
+                            ih.push(t0.elapsed().as_nanos() as u64);
+                            if !seen[(user - lo) as usize] {
+                                seen[(user - lo) as usize] = true;
+                                touched.push(user);
+                            }
+                        } else if dice < 90 {
+                            let user = touched[(rng.next() % touched.len() as u64) as usize];
+                            let mode = match rng.next() % 20 {
+                                0 => PredictMode::Smoothed,
+                                1 => PredictMode::Posterior,
+                                n if n % 2 == 0 => PredictMode::Committed,
+                                _ => PredictMode::Filtered,
+                            };
+                            let t0 = std::time::Instant::now();
+                            service.predict(user, mode)?;
+                            ph.push(t0.elapsed().as_nanos() as u64);
+                        } else {
+                            let user = touched[(rng.next() % touched.len() as u64) as usize];
+                            let t0 = std::time::Instant::now();
+                            service.recommend(user, Some(10))?;
+                            rh.push(t0.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    Ok((ih, ph, rh))
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| panic!("serve-bench worker panicked"))
+            })
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let (mut ingest_ns, mut predict_ns, mut recommend_ns) = (Vec::new(), Vec::new(), Vec::new());
+    for lane in lanes {
+        let (ih, ph, rh) = lane?;
+        ingest_ns.extend(ih);
+        predict_ns.extend(ph);
+        recommend_ns.extend(rh);
+    }
+    let done = (ingest_ns.len() + predict_ns.len() + recommend_ns.len()) as f64;
+    let stats = service.stats();
+    println!(
+        "ops: {done:.0} in {elapsed:.2}s ({:.0} ops/s)",
+        done / elapsed
+    );
+    for (name, ns) in [
+        ("ingest", &mut ingest_ns),
+        ("predict", &mut predict_ns),
+        ("recommend", &mut recommend_ns),
+    ] {
+        println!(
+            "  {name:<9} {:8} ops  p50 {:7.1}us  p95 {:7.1}us  p99 {:7.1}us",
+            ns.len(),
+            percentile_seconds(ns, 50.0) * 1e6,
+            percentile_seconds(ns, 95.0) * 1e6,
+            percentile_seconds(ns, 99.0) * 1e6,
+        );
+    }
+    println!(
+        "users: {} ({} admitted live); epoch {} after {} refits; policy {:?}",
+        stats.n_users,
+        stats.n_users - n_base,
+        stats.epoch,
+        stats.refits,
+        stats.policy,
+    );
     Ok(())
 }
 

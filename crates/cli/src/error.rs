@@ -10,6 +10,7 @@ use std::fmt;
 use std::io;
 
 use upskill_core::error::CoreError;
+use upskill_serve::ServeError;
 
 /// An error surfaced by the `upskill` command-line tool.
 #[derive(Debug)]
@@ -39,6 +40,8 @@ pub enum CliError {
     },
     /// The core library rejected the operation.
     Core(CoreError),
+    /// The serving layer rejected the operation.
+    Serve(ServeError),
     /// Bad command line: unknown command or flag, missing or unparsable
     /// value. The message includes usage help where appropriate.
     Usage(String),
@@ -60,6 +63,7 @@ impl fmt::Display for CliError {
                 write!(f, "cannot serialize {path}: {detail}")
             }
             CliError::Core(e) => write!(f, "{e}"),
+            CliError::Serve(e) => write!(f, "{e}"),
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Command { command, source } => write!(f, "{command}: {source}"),
         }
@@ -71,6 +75,7 @@ impl std::error::Error for CliError {
         match self {
             CliError::Io { source, .. } => Some(source),
             CliError::Core(e) => Some(e),
+            CliError::Serve(e) => Some(e),
             CliError::Command { source, .. } => Some(source.as_ref()),
             _ => None,
         }
@@ -80,6 +85,12 @@ impl std::error::Error for CliError {
 impl From<CoreError> for CliError {
     fn from(e: CoreError) -> Self {
         CliError::Core(e)
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 

@@ -14,6 +14,8 @@
 //! upskill ingest    --actions new_actions.json --out model_out.json \
 //!                  (--session session.json | --data data.json \
 //!                   --model model.json --assignments assignments.json)
+//! upskill serve-bench [--users N] [--live-users N] [--items M] [--ops N] \
+//!                  [--threads T] [--shards K] [--refit-every N] [--seed N]
 //! ```
 //!
 //! All artifacts are JSON (serde), so models and datasets round-trip

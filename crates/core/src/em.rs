@@ -51,7 +51,8 @@ fn log_sum_exp(xs: &[f64]) -> f64 {
 /// Posterior skill marginals for one sequence: `gammas[n][s-1]`.
 ///
 /// Evaluates emissions directly. When running forward–backward over many
-/// sequences against one model (as [`train_em`] does every iteration),
+/// sequences against one model (as [`train_em_with_parallelism`] does
+/// every iteration),
 /// prefer [`forward_backward_with_table`].
 pub fn forward_backward(
     model: &SkillModel,
@@ -191,7 +192,7 @@ where
 /// reused across every sequence of every iteration. The per-level
 /// transition log-probabilities are hoisted at construction: the
 /// transition model stays fixed for a whole EM run.
-pub(crate) struct FbWorkspace {
+pub struct FbWorkspace {
     /// Flat `n × s_max` forward lattice (log alpha).
     alpha: Vec<f64>,
     /// Flat `n × s_max` backward lattice (log beta).
@@ -207,7 +208,10 @@ pub(crate) struct FbWorkspace {
 }
 
 impl FbWorkspace {
-    pub(crate) fn new(transitions: &TransitionModel) -> Self {
+    /// Builds a workspace for one transition model, hoisting its
+    /// per-level log-probabilities; the DP buffers grow lazily on the
+    /// first run and are reused afterwards.
+    pub fn new(transitions: &TransitionModel) -> Self {
         let s_max = transitions.n_levels();
         let level = |s: usize| (s + 1) as SkillLevel;
         Self {
@@ -224,7 +228,7 @@ impl FbWorkspace {
 
     /// Flat posterior marginals of the last [`run`](Self::run) /
     /// [`run_items`](Self::run_items) pass (row-major, `n × s_max`).
-    pub(crate) fn gamma(&self) -> &[f64] {
+    pub fn gamma(&self) -> &[f64] {
         &self.gamma
     }
 
@@ -232,7 +236,7 @@ impl FbWorkspace {
     /// marginals in `self.gamma` (row-major, `seq.len() × s_max`) and
     /// returning the log evidence. Produces exactly the values of
     /// [`forward_backward_with_table`].
-    pub(crate) fn run(&mut self, table: &EmissionTable, seq: &ActionSequence) -> Result<f64> {
+    pub fn run(&mut self, table: &EmissionTable, seq: &ActionSequence) -> Result<f64> {
         let actions = seq.actions();
         self.run_rows(table, actions.len(), |t| actions[t].item)
     }
@@ -241,7 +245,7 @@ impl FbWorkspace {
     /// (no [`ActionSequence`] wrappers). Identical recursion, identical
     /// operation order: bitwise-equal marginals and evidence for the same
     /// item sequence.
-    pub(crate) fn run_items(&mut self, table: &EmissionTable, items: &[ItemId]) -> Result<f64> {
+    pub fn run_items(&mut self, table: &EmissionTable, items: &[ItemId]) -> Result<f64> {
         self.run_rows(table, items.len(), |t| items[t])
     }
 
@@ -603,33 +607,7 @@ pub fn train_em_with_parallelism(
     )
 }
 
-/// Legacy entry point with the old positional argument order.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `train_em_with_parallelism(dataset, &EmConfig, &ParallelConfig)` \
-            (same argument order as `train_with_parallelism`)"
-)]
-pub fn train_em(
-    dataset: &Dataset,
-    initial: SkillModel,
-    transitions: &TransitionModel,
-    lambda: f64,
-    max_iterations: usize,
-    tolerance: f64,
-) -> Result<EmResult> {
-    run_em(
-        dataset,
-        initial,
-        transitions,
-        lambda,
-        max_iterations,
-        tolerance,
-        DEFAULT_GAMMA_TOLERANCE,
-        &ParallelConfig::sequential(),
-    )
-}
-
-/// The EM loop shared by both entry points: dispatches between the
+/// The EM loop behind the public entry point: dispatches between the
 /// responsibility-delta incremental path (the default) and the legacy
 /// from-scratch accumulation, per `ParallelConfig::incremental`.
 #[allow(clippy::too_many_arguments)]
@@ -1039,21 +1017,6 @@ mod tests {
         let trans = TransitionModel::uninformative(1).unwrap();
         let cfg = EmConfig::new(model, trans).with_max_iterations(5);
         assert!(train_em_with_parallelism(&ds, &cfg, &ParallelConfig::sequential()).is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_entry_point_matches_new_signature() {
-        let ds = progression_dataset();
-        let initial = initialize_model(&ds, 2, 5, 0.01).unwrap();
-        let trans = TransitionModel::uninformative(2).unwrap();
-        let legacy = train_em(&ds, initial.clone(), &trans, 0.01, 10, 1e-9).unwrap();
-        let cfg = EmConfig::new(initial, trans)
-            .with_max_iterations(10)
-            .with_tolerance(1e-9);
-        let new = train_em_with_parallelism(&ds, &cfg, &ParallelConfig::sequential()).unwrap();
-        assert_eq!(legacy.evidence_trace, new.evidence_trace);
-        assert_eq!(legacy.converged, new.converged);
     }
 
     #[test]

@@ -88,6 +88,8 @@
 //! | [`recommend`] | Fig. 1 / §VII | upskilling recommendations & curriculum ladder |
 //! | [`online`] | — | O(F·S)-per-action incremental skill tracking |
 //! | [`streaming`] | §IV, §VI | live ingestion sessions over a trained model |
+//! | [`epoch`] | — | epoch-published snapshots for read-mostly serving state |
+//! | [`pool`] | — | reusable workspace pooling across concurrent requests |
 //! | [`forgetting`] | §VII | Ebbinghaus-style skill decay in the DP |
 //! | [`transition`] | §VII | probabilistic stay/advance extension |
 //! | [`em`] | §IV-B | soft-assignment (EM) trainer for comparison |
@@ -107,6 +109,7 @@ pub mod difficulty;
 pub mod dist;
 pub mod em;
 pub mod emission;
+pub mod epoch;
 pub mod error;
 pub mod feature;
 pub mod float_cmp;
@@ -118,6 +121,7 @@ pub mod model;
 pub mod model_selection;
 pub mod online;
 pub mod parallel;
+pub mod pool;
 pub mod predict;
 pub mod prelude;
 pub mod recommend;
@@ -134,9 +138,11 @@ pub use chunked::{
     DatasetChunk, DatasetChunks,
 };
 pub use emission::EmissionTable;
+pub use epoch::EpochCell;
 pub use error::{CoreError, Result};
 pub use invariants::InvariantCtx;
 pub use model::SkillModel;
-pub use streaming::{RefitPolicy, StreamingSession};
+pub use pool::{PoolGuard, WorkspacePool};
+pub use streaming::{RefitPolicy, RefitTuner, StreamingSession};
 pub use train::{train, train_with_parallelism, TrainConfig, TrainResult, Trainer};
 pub use types::{Action, ActionSequence, Dataset, SkillAssignments};

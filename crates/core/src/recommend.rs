@@ -135,6 +135,142 @@ pub fn recommend_for_level_with_table(
     })
 }
 
+/// One band candidate: `(item, difficulty, fit, log P(item | level))`.
+type Candidate = (ItemId, f64, f64, f64);
+
+/// A precomputed recommendation band for one skill level: every item
+/// whose difficulty falls inside the level's slack window, with its
+/// difficulty-fit kernel value and interest log-likelihood already
+/// evaluated, plus a fully ranked no-exclusion scoring of those
+/// candidates. One band serves every user at this level; exclusion
+/// filtering is deferred to [`recommend_from_band`].
+///
+/// Band membership, difficulty fit, and interest weighting are all
+/// fixed by the *build-time* config; only `k` varies per query.
+///
+/// **Exactness.** An excluded item never influences the surviving
+/// candidates' `(fit, log P)` values, and the interest normalizer —
+/// the survivors' maximum log-likelihood — equals the band-wide
+/// maximum whenever no maximum-achieving item is excluded. In that
+/// (typical) case the prebuilt ranking restricted to the survivors IS
+/// the full recomputation, so a query just walks it; when a
+/// max-achiever is excluded, the query falls back to rescoring the
+/// raw candidates with the survivors' own maximum. Either way the
+/// output is bitwise identical to the corresponding full scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelBand {
+    level: SkillLevel,
+    config: RecommendConfig,
+    candidates: Vec<Candidate>,
+    /// All candidates scored with no exclusion, fully sorted.
+    ranked: Vec<Recommendation>,
+    /// Candidates whose interest log-likelihood attains the band
+    /// maximum (the normalization anchors).
+    max_items: Vec<ItemId>,
+}
+
+impl LevelBand {
+    /// The skill level this band was built for.
+    pub fn level(&self) -> SkillLevel {
+        self.level
+    }
+
+    /// Number of in-band candidate items (before any exclusion).
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the difficulty band contains no items at all.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The configuration the band was built (and is scored) with.
+    pub fn config(&self) -> &RecommendConfig {
+        &self.config
+    }
+}
+
+/// Builds the [`LevelBand`] for `level` from a precomputed
+/// [`EmissionTable`] — one full scan-and-rank over the items,
+/// amortized across every subsequent [`recommend_from_band`] query
+/// against it.
+pub fn build_level_band(
+    table: &EmissionTable,
+    difficulty: &[f64],
+    level: SkillLevel,
+    config: &RecommendConfig,
+) -> Result<LevelBand> {
+    if difficulty.len() != table.n_items() {
+        return Err(CoreError::LengthMismatch {
+            context: "difficulty vector vs items",
+            left: difficulty.len(),
+            right: table.n_items(),
+        });
+    }
+    config.validate()?;
+    let candidates = scan_band(difficulty, level, &|_| false, config, &|item| {
+        table.log_likelihood(item, level)
+    });
+    // Rank everything (k = candidate count makes truncation a no-op).
+    let rank_config = RecommendConfig {
+        k: candidates.len().max(1),
+        ..*config
+    };
+    let ranked = score_candidates(&candidates, &|_| false, &rank_config);
+    let mut max_ll = f64::NEG_INFINITY;
+    for &(_, _, _, ll) in &candidates {
+        if ll > max_ll {
+            max_ll = ll;
+        }
+    }
+    // `ll >= max_ll` is value-equality with the maximum without a
+    // literal float `==`.
+    let max_items: Vec<ItemId> = candidates
+        .iter()
+        .filter(|&&(_, _, _, ll)| ll >= max_ll)
+        .map(|&(item, _, _, _)| item)
+        .collect();
+    Ok(LevelBand {
+        level,
+        config: *config,
+        candidates,
+        ranked,
+        max_items,
+    })
+}
+
+/// Recommends the top `k` non-excluded items from a prebuilt
+/// [`LevelBand`] — output-identical to
+/// [`recommend_for_level_with_table`] at the band's level with the
+/// band's config (`k` overridden). Typically `O(k + excluded)`: the
+/// prebuilt ranking is walked directly unless an interest-normalization
+/// anchor is excluded (see [`LevelBand`]), which forces a rescore of
+/// the raw candidates.
+pub fn recommend_from_band(
+    band: &LevelBand,
+    exclude: &dyn Fn(ItemId) -> bool,
+    k: usize,
+) -> Result<Vec<Recommendation>> {
+    let config = RecommendConfig { k, ..band.config };
+    config.validate()?;
+    if band.max_items.iter().any(|&item| exclude(item)) {
+        // The survivors' interest maximum may shift: rescore.
+        return Ok(score_candidates(&band.candidates, exclude, &config));
+    }
+    let mut out = Vec::with_capacity(k.min(band.ranked.len()));
+    for r in &band.ranked {
+        if out.len() == k {
+            break;
+        }
+        if exclude(r.item) {
+            continue;
+        }
+        out.push(r.clone());
+    }
+    Ok(out)
+}
+
 /// Shared scoring core; `interest_ll(item)` supplies `log P(item | level)`.
 fn recommend_with_interest(
     difficulty: &[f64],
@@ -144,6 +280,22 @@ fn recommend_with_interest(
     interest_ll: &dyn Fn(ItemId) -> f64,
 ) -> Result<Vec<Recommendation>> {
     config.validate()?;
+    // Exclusion applied during the scan (so `interest_ll` is never
+    // evaluated for excluded items); the score pass then sees only
+    // survivors and its own filter is a no-op.
+    let candidates = scan_band(difficulty, level, exclude, config, interest_ll);
+    Ok(score_candidates(&candidates, &|_| false, config))
+}
+
+/// Pass 1: collects candidates in the difficulty band with their fit
+/// kernel values and raw interest log-likelihoods.
+fn scan_band(
+    difficulty: &[f64],
+    level: SkillLevel,
+    exclude: &dyn Fn(ItemId) -> bool,
+    config: &RecommendConfig,
+    interest_ll: &dyn Fn(ItemId) -> f64,
+) -> Vec<Candidate> {
     let s = level as f64;
     let target = s + config.target_offset;
     let lo = s - config.lower_slack;
@@ -152,9 +304,7 @@ fn recommend_with_interest(
     let left_width = (target - lo).max(1e-9);
     let right_width = (hi - target).max(1e-9);
 
-    // Pass 1: candidates in the band, with raw interest log-likelihoods.
-    let mut candidates: Vec<(ItemId, f64, f64)> = Vec::new(); // (item, fit, log P)
-    let mut max_ll = f64::NEG_INFINITY;
+    let mut candidates: Vec<Candidate> = Vec::new();
     for (i, &d) in difficulty.iter().enumerate() {
         let item = i as ItemId;
         if exclude(item) || d < lo || d > hi {
@@ -165,44 +315,70 @@ fn recommend_with_interest(
         } else {
             1.0 - (d - target) / right_width
         };
-        let ll = interest_ll(item);
+        candidates.push((item, d, fit.clamp(0.0, 1.0), interest_ll(item)));
+    }
+    candidates
+}
+
+/// Total order on recommendations: score descending, then item id
+/// ascending (scores are always finite, so `partial_cmp` never ties
+/// distinct scores).
+fn rec_order(a: &Recommendation, b: &Recommendation) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.item.cmp(&b.item))
+}
+
+/// Pass 2: filters, normalizes interest by the surviving candidates'
+/// maximum log-likelihood (softmax-free but monotone; `exp(ll − max)`
+/// keeps it in `(0, 1]`), blends, selects the top `k`, sorts them.
+///
+/// When more than `k` candidates survive, an `O(n)` partial selection
+/// runs before the sort; because [`rec_order`] is a total order the
+/// selected-then-sorted prefix is identical to sorting everything and
+/// truncating.
+fn score_candidates(
+    candidates: &[Candidate],
+    exclude: &dyn Fn(ItemId) -> bool,
+    config: &RecommendConfig,
+) -> Vec<Recommendation> {
+    let mut max_ll = f64::NEG_INFINITY;
+    let mut n_survivors = 0usize;
+    for &(item, _, _, ll) in candidates {
+        if exclude(item) {
+            continue;
+        }
+        n_survivors += 1;
         if ll > max_ll {
             max_ll = ll;
         }
-        candidates.push((item, fit.clamp(0.0, 1.0), ll));
     }
-    if candidates.is_empty() {
-        return Ok(Vec::new());
-    }
-
-    // Pass 2: blend. Interest normalized by the candidate max (softmax-free
-    // but monotone; `exp(ll − max)` keeps it in (0, 1]).
     let w = config.interest_weight;
-    let mut recs: Vec<Recommendation> = candidates
-        .into_iter()
-        .map(|(item, fit, ll)| {
-            let interest = if max_ll.is_finite() {
-                (ll - max_ll).exp()
-            } else {
-                0.0
-            };
-            Recommendation {
-                item,
-                difficulty: difficulty[item as usize],
-                difficulty_fit: fit,
-                interest,
-                score: (1.0 - w) * fit + w * interest,
-            }
-        })
-        .collect();
-    recs.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.item.cmp(&b.item))
-    });
-    recs.truncate(config.k);
-    Ok(recs)
+    let mut recs: Vec<Recommendation> = Vec::with_capacity(n_survivors);
+    for &(item, difficulty, fit, ll) in candidates {
+        if exclude(item) {
+            continue;
+        }
+        let interest = if max_ll.is_finite() {
+            (ll - max_ll).exp()
+        } else {
+            0.0
+        };
+        recs.push(Recommendation {
+            item,
+            difficulty,
+            difficulty_fit: fit,
+            interest,
+            score: (1.0 - w) * fit + w * interest,
+        });
+    }
+    if config.k > 0 && recs.len() > config.k {
+        recs.select_nth_unstable_by(config.k - 1, rec_order);
+        recs.truncate(config.k);
+    }
+    recs.sort_by(rec_order);
+    recs
 }
 
 /// A difficulty ladder: one recommendation batch per level from `from`
@@ -426,6 +602,42 @@ mod tests {
             &RecommendConfig::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn band_queries_match_full_scans_under_exclusion() {
+        let (model, ds, difficulty) = setup();
+        let table = EmissionTable::build(&model, &ds);
+        let config = RecommendConfig {
+            interest_weight: 0.5,
+            lower_slack: 2.0,
+            upper_slack: 2.0,
+            ..Default::default()
+        };
+        for level in 1..=3u8 {
+            let band = build_level_band(&table, &difficulty, level, &config).unwrap();
+            assert_eq!(band.level(), level);
+            // No exclusion; excluding the likely top-interest item
+            // (shifting the normalization anchor); excluding another.
+            for excluded in [None, Some(2u32), Some(0u32)] {
+                let ex = move |i: ItemId| excluded == Some(i);
+                let direct =
+                    recommend_for_level_with_table(&table, &difficulty, level, &ex, &config)
+                        .unwrap();
+                let banded = recommend_from_band(&band, &ex, config.k).unwrap();
+                assert_eq!(direct, banded);
+            }
+        }
+        // `k` is honored at query time, not fixed at build time.
+        let band = build_level_band(&table, &difficulty, 2, &config).unwrap();
+        assert!(!band.is_empty());
+        assert!(band.len() >= 2);
+        assert_eq!(band.config(), &config);
+        let one = recommend_from_band(&band, &|_| false, 1).unwrap();
+        assert_eq!(one.len(), 1);
+        assert!(recommend_from_band(&band, &|_| false, 0).is_err());
+        // Mismatched difficulty length is rejected at build.
+        assert!(build_level_band(&table, &[1.0], 1, &config).is_err());
     }
 
     #[test]

@@ -86,6 +86,65 @@ pub enum RefitPolicy {
     Manual,
 }
 
+/// Deterministic auto-tuner for [`RefitPolicy::EveryNActions`], driven by
+/// the observed dirty-level rate.
+///
+/// The cost of an incremental refit scales with how many levels the
+/// pending actions touched ([`StatsGrid::dirty_levels`]); the *value* of
+/// deferring scales with how many actions share one refit. A fixed `N`
+/// gets one of the two wrong as traffic shifts. The tuner steers `N`
+/// toward a target dirty-level count per refit: when a refit touches
+/// more levels than the target, the interval halves (refit sooner,
+/// smaller deltas); when it touches fewer, the interval doubles
+/// (amortize more); always clamped to `[min_actions, max_actions]`.
+///
+/// The adjustment is a pure function of the observed dirty count, so two
+/// systems replaying identical traffic through identical policies evolve
+/// their intervals identically — the property the serving layer's
+/// bitwise replay tests rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefitTuner {
+    /// Desired number of dirty levels per refit.
+    target_dirty_levels: usize,
+    /// Lower clamp on the refit interval.
+    min_actions: usize,
+    /// Upper clamp on the refit interval.
+    max_actions: usize,
+}
+
+impl RefitTuner {
+    /// Builds a tuner steering toward `target_dirty_levels` dirty levels
+    /// per refit, with the interval clamped to
+    /// `[min_actions, max_actions]`.
+    pub fn new(target_dirty_levels: usize, min_actions: usize, max_actions: usize) -> Result<Self> {
+        if target_dirty_levels == 0 || min_actions == 0 || max_actions < min_actions {
+            return Err(CoreError::DegenerateFit {
+                distribution: "refit tuner",
+                reason: "need target >= 1 and 1 <= min_actions <= max_actions",
+            });
+        }
+        Ok(Self {
+            target_dirty_levels,
+            min_actions,
+            max_actions,
+        })
+    }
+
+    /// The next refit interval given the interval that just elapsed and
+    /// the number of dirty levels its refit touched. Deterministic:
+    /// halve above target, double below, clamp to the configured range.
+    pub fn next_interval(&self, current: usize, dirty_levels: usize) -> usize {
+        let current = current.clamp(self.min_actions, self.max_actions);
+        if dirty_levels > self.target_dirty_levels {
+            (current / 2).max(self.min_actions)
+        } else if dirty_levels < self.target_dirty_levels {
+            current.saturating_mul(2).min(self.max_actions)
+        } else {
+            current
+        }
+    }
+}
+
 /// A live continuation of a trained model: owns the dataset, the model,
 /// the committed assignments, the persistent [`StatsGrid`] and
 /// [`EmissionTable`], and one filtering [`OnlineTracker`] per user.
@@ -117,6 +176,9 @@ pub struct StreamingSession {
     pending: usize,
     /// Actions ingested over the session's lifetime.
     total_ingested: usize,
+    /// Auto-tuner adjusting an [`RefitPolicy::EveryNActions`] interval
+    /// after each refit; `None` leaves the policy fixed.
+    tuner: Option<RefitTuner>,
     /// Soft (EM) continuation state; `None` for hard-mode sessions.
     soft: Option<SoftState>,
 }
@@ -178,6 +240,7 @@ impl StreamingSession {
             user_index,
             pending: 0,
             total_ingested: 0,
+            tuner: None,
             soft: None,
         })
     }
@@ -260,6 +323,7 @@ impl StreamingSession {
             user_index,
             pending: 0,
             total_ingested: 0,
+            tuner: None,
             soft: Some(SoftState {
                 grid: soft_grid,
                 transitions,
@@ -424,11 +488,18 @@ impl StreamingSession {
     /// [`SoftStatsGrid`]'s responsibility mass through the weighted
     /// M-step instead.
     pub fn refit(&mut self) -> Result<usize> {
-        if self.soft.is_some() {
-            self.refit_soft()
+        let n_dirty = if self.soft.is_some() {
+            self.refit_soft()?
         } else {
-            self.refit_hard()
+            self.refit_hard()?
+        };
+        // Auto-tune: each refit's dirty count steers the next interval.
+        // A pure function of the observed count, so replayed traffic
+        // evolves the policy identically (see [`RefitTuner`]).
+        if let (RefitPolicy::EveryNActions(n), Some(tuner)) = (self.policy, self.tuner) {
+            self.policy = RefitPolicy::EveryNActions(tuner.next_interval(n, n_dirty));
         }
+        Ok(n_dirty)
     }
 
     /// Hard-mode refit: dirty levels from the exact integer histogram.
@@ -554,6 +625,18 @@ impl StreamingSession {
     /// Replaces the refit policy (takes effect from the next ingest).
     pub fn set_policy(&mut self, policy: RefitPolicy) {
         self.policy = policy;
+    }
+
+    /// The auto-tuner adjusting an [`RefitPolicy::EveryNActions`]
+    /// interval, if one is installed.
+    pub fn tuner(&self) -> Option<RefitTuner> {
+        self.tuner
+    }
+
+    /// Installs (or removes) the refit-interval auto-tuner. Only
+    /// meaningful under [`RefitPolicy::EveryNActions`]; inert otherwise.
+    pub fn set_tuner(&mut self, tuner: Option<RefitTuner>) {
+        self.tuner = tuner;
     }
 
     /// Number of actions ingested since the last refit.
@@ -964,6 +1047,40 @@ mod tests {
         let dead = [f64::NEG_INFINITY; 3];
         let fallback = extension_posterior(&trans, &dead, Some(2), 2);
         assert_eq!(fallback, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn refit_tuner_is_deterministic_and_clamped() {
+        let tuner = RefitTuner::new(2, 4, 64).unwrap();
+        // Above target: halve, clamped below.
+        assert_eq!(tuner.next_interval(16, 3), 8);
+        assert_eq!(tuner.next_interval(4, 5), 4);
+        // Below target: double, clamped above.
+        assert_eq!(tuner.next_interval(16, 1), 32);
+        assert_eq!(tuner.next_interval(64, 0), 64);
+        // On target: unchanged.
+        assert_eq!(tuner.next_interval(16, 2), 16);
+        // Out-of-range current intervals are pulled into range first.
+        assert_eq!(tuner.next_interval(1_000, 2), 64);
+        assert!(RefitTuner::new(0, 1, 8).is_err());
+        assert!(RefitTuner::new(2, 8, 4).is_err());
+    }
+
+    #[test]
+    fn tuner_widens_interval_when_refits_run_clean() {
+        let mut session = trained_session(RefitPolicy::EveryNActions(2));
+        session.set_tuner(Some(RefitTuner::new(3, 1, 16).unwrap()));
+        // Two same-item ingests trigger a refit touching at most a
+        // couple of levels — below the target of 3 — so the interval
+        // doubles afterwards.
+        session.ingest(Action::new(100, 0, 2)).unwrap();
+        session.ingest(Action::new(101, 0, 2)).unwrap();
+        assert_eq!(session.pending_actions(), 0);
+        match session.policy() {
+            RefitPolicy::EveryNActions(n) => assert_eq!(n, 4),
+            other => panic!("policy changed kind: {other:?}"),
+        }
+        assert!(session.tuner().is_some());
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Typed serving errors.
+//!
+//! Every malformed request is rejected with a [`ServeError`] carrying the
+//! context a caller needs to fix it, and rejection never mutates service
+//! state: validation runs before any shard or statistics write.
+
+use std::fmt;
+
+use upskill_core::error::CoreError;
+use upskill_core::types::UserId;
+
+/// Convenient alias for serving results.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// An error surfaced by the [`SkillService`](crate::SkillService).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A read request (predict, recommend) named a user the service has
+    /// never seen. Ingest requests never raise this: unknown users are
+    /// admitted with a fresh sequence.
+    UnknownUser {
+        /// The unrecognized user id.
+        user: UserId,
+    },
+    /// The service configuration is unusable as given.
+    InvalidConfig {
+        /// Which knob was rejected.
+        what: &'static str,
+        /// Why it was rejected.
+        detail: &'static str,
+    },
+    /// The model layer rejected the request: unknown item, a known
+    /// user's time moving backwards, degenerate statistics, and so on.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownUser { user } => {
+                write!(f, "unknown user {user}: no ingested actions")
+            }
+            ServeError::InvalidConfig { what, detail } => {
+                write!(f, "invalid serve configuration ({what}): {detail}")
+            }
+            ServeError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = ServeError::UnknownUser { user: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = ServeError::InvalidConfig {
+            what: "n_shards",
+            detail: "need at least one shard",
+        };
+        assert!(e.to_string().contains("n_shards"));
+        let e: ServeError = CoreError::EmptyDataset.into();
+        assert!(matches!(e, ServeError::Core(CoreError::EmptyDataset)));
+    }
+
+    #[test]
+    fn source_chain_reaches_core_error() {
+        use std::error::Error;
+        let e: ServeError = CoreError::EmptyDataset.into();
+        assert!(e.source().is_some());
+        assert!(ServeError::UnknownUser { user: 1 }.source().is_none());
+    }
+}

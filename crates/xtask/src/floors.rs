@@ -10,7 +10,10 @@
 //! - any object carrying a numeric `rss_ceiling_bytes` next to a
 //!   numeric `peak_rss_bytes` is an enforceable **ceiling** — the
 //!   measurement must not exceed it (the flat-memory claim of the
-//!   out-of-core path).
+//!   out-of-core path);
+//! - any object carrying a numeric `latency_ceiling_seconds` next to a
+//!   numeric `p99_latency_seconds` is an enforceable **ceiling** — the
+//!   serving benchmark's tail-latency bound.
 //!
 //! This task parses every `BENCH_*.json` under the reports directory,
 //! walks the value trees, and fails when any recorded measurement falls
@@ -143,7 +146,8 @@ pub fn check_floors(dir: &Path) -> io::Result<FloorReport> {
 /// Recursively collects enforceable `(measurement, bound)` pairs from
 /// `value`: `acceptance_floor` gates `speedup` (or
 /// `throughput_actions_per_second`), `rss_ceiling_bytes` caps
-/// `peak_rss_bytes`.
+/// `peak_rss_bytes`, and `latency_ceiling_seconds` caps
+/// `p99_latency_seconds`.
 fn collect_checks(value: &Json, file: &str, context: String, out: &mut Vec<FloorCheck>) {
     match value {
         Json::Obj(pairs) => {
@@ -177,6 +181,18 @@ fn collect_checks(value: &Json, file: &str, context: String, out: &mut Vec<Floor
                     context: context.clone(),
                     metric: "peak_rss_bytes".to_string(),
                     value: peak,
+                    bound: ceiling,
+                    kind: BoundKind::Ceiling,
+                });
+            }
+            if let (Some(p99), Some(ceiling)) =
+                (num("p99_latency_seconds"), num("latency_ceiling_seconds"))
+            {
+                out.push(FloorCheck {
+                    file: file.to_string(),
+                    context: context.clone(),
+                    metric: "p99_latency_seconds".to_string(),
+                    value: p99,
                     bound: ceiling,
                     kind: BoundKind::Ceiling,
                 });
@@ -491,6 +507,27 @@ mod tests {
         assert!(checks[0].passes());
         assert_eq!(checks[1].metric, "peak_rss_bytes");
         assert_eq!(checks[1].kind, BoundKind::Ceiling);
+        assert!(!checks[1].passes());
+    }
+
+    #[test]
+    fn collects_latency_ceilings() {
+        let doc = parse(
+            r#"{
+                "ok": { "p99_latency_seconds": 0.002, "latency_ceiling_seconds": 0.05 },
+                "bad": { "p99_latency_seconds": 0.09, "latency_ceiling_seconds": 0.05 },
+                "unbounded": { "p99_latency_seconds": 0.01 }
+            }"#,
+        )
+        .unwrap();
+        let mut checks = Vec::new();
+        collect_checks(&doc, "BENCH_serve.json", String::new(), &mut checks);
+        assert_eq!(checks.len(), 2);
+        assert_eq!(checks[0].context, "ok");
+        assert_eq!(checks[0].metric, "p99_latency_seconds");
+        assert_eq!(checks[0].kind, BoundKind::Ceiling);
+        assert!(checks[0].passes());
+        assert_eq!(checks[1].context, "bad");
         assert!(!checks[1].passes());
     }
 
