@@ -447,10 +447,7 @@ impl EmissionTable {
                         scope.spawn(move || -> Result<()> {
                             let mut scratch: Vec<f64> = Vec::new();
                             loop {
-                                let job = match queue.lock() {
-                                    Ok(mut guard) => guard.pop(),
-                                    Err(poisoned) => poisoned.into_inner().pop(),
-                                };
+                                let job = crate::sync::lock(queue).pop();
                                 let Some((chunk, window)) = job else {
                                     return Ok(());
                                 };

@@ -46,7 +46,11 @@ impl<T> EpochCell<T> {
     /// peer can never leave a half-updated snapshot behind.
     pub fn load(&self) -> (u64, Arc<T>) {
         let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
-        (guard.0, Arc::clone(&guard.1))
+        let out = (guard.0, Arc::clone(&guard.1));
+        drop(guard);
+        #[cfg(feature = "deterministic-sync")]
+        crate::sync::explore::on_epoch_load(out.0);
+        out
     }
 
     /// The current epoch number without touching the snapshot.
@@ -57,10 +61,18 @@ impl<T> EpochCell<T> {
     /// Atomically replaces the snapshot, bumping the epoch. Returns the
     /// new epoch number. Existing readers keep their old `Arc`.
     pub fn publish(&self, value: T) -> u64 {
+        // Under an active deterministic exploration this is a schedule
+        // point, checked against the no-shard-guard-across-publish rule.
+        #[cfg(feature = "deterministic-sync")]
+        crate::sync::explore::on_publish_point();
         let mut guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         guard.0 += 1;
         guard.1 = Arc::new(value);
-        guard.0
+        let epoch = guard.0;
+        drop(guard);
+        #[cfg(feature = "deterministic-sync")]
+        crate::sync::explore::on_published(epoch);
+        epoch
     }
 }
 

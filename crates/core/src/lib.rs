@@ -90,6 +90,7 @@
 //! | [`streaming`] | §IV, §VI | live ingestion sessions over a trained model |
 //! | [`epoch`] | — | epoch-published snapshots for read-mostly serving state |
 //! | [`pool`] | — | reusable workspace pooling across concurrent requests |
+//! | [`sync`] | — | lock-discipline primitives + deterministic schedule explorer |
 //! | [`forgetting`] | §VII | Ebbinghaus-style skill decay in the DP |
 //! | [`transition`] | §VII | probabilistic stay/advance extension |
 //! | [`em`] | §IV-B | soft-assignment (EM) trainer for comparison |
@@ -127,6 +128,7 @@ pub mod prelude;
 pub mod recommend;
 pub mod rng;
 pub mod streaming;
+pub mod sync;
 pub mod train;
 pub mod transition;
 pub mod types;
@@ -144,5 +146,6 @@ pub use invariants::InvariantCtx;
 pub use model::SkillModel;
 pub use pool::{PoolGuard, WorkspacePool};
 pub use streaming::{RefitPolicy, RefitTuner, StreamingSession};
+pub use sync::{LockId, TracedGuard, TracedMutex};
 pub use train::{train, train_with_parallelism, TrainConfig, TrainResult, Trainer};
 pub use types::{Action, ActionSequence, Dataset, SkillAssignments};

@@ -10,7 +10,9 @@
 //! [`PoolGuard`] pushes it back on drop, warm buffers and all.
 
 use std::ops::{Deref, DerefMut};
-use std::sync::{Mutex, PoisonError};
+use std::sync::Mutex;
+
+use crate::sync::lock;
 
 /// A lock-guarded free list of reusable workspaces plus the factory that
 /// builds new ones on demand.
@@ -44,16 +46,14 @@ impl<T> WorkspacePool<T> {
     /// Takes a pooled workspace, building a fresh one if none is free.
     /// The workspace returns to the pool when the guard drops.
     ///
-    /// Lock poisoning is recovered from: the free list only ever holds
-    /// complete workspaces (pushes and pops are single `Vec` operations),
-    /// so a panicking peer cannot leave it inconsistent.
+    /// Lock poisoning is recovered from (via [`crate::sync::lock`]): the
+    /// free list only ever holds complete workspaces (pushes and pops
+    /// are single `Vec` operations), so a panicking peer cannot leave it
+    /// inconsistent.
     pub fn acquire(&self) -> PoolGuard<'_, T> {
-        let item = self
-            .free
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .pop()
-            .unwrap_or_else(|| (self.make)());
+        let item = lock(&self.free).pop().unwrap_or_else(|| (self.make)());
+        #[cfg(feature = "deterministic-sync")]
+        crate::sync::explore::on_pool_event(true);
         PoolGuard {
             pool: self,
             item: Some(item),
@@ -62,10 +62,7 @@ impl<T> WorkspacePool<T> {
 
     /// Number of workspaces currently sitting in the free list.
     pub fn available(&self) -> usize {
-        self.free
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        lock(&self.free).len()
     }
 }
 
@@ -102,11 +99,9 @@ impl<T> DerefMut for PoolGuard<'_, T> {
 impl<T> Drop for PoolGuard<'_, T> {
     fn drop(&mut self) {
         if let Some(item) = self.item.take() {
-            self.pool
-                .free
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push(item);
+            lock(&self.pool.free).push(item);
+            #[cfg(feature = "deterministic-sync")]
+            crate::sync::explore::on_pool_event(false);
         }
     }
 }

@@ -39,7 +39,7 @@
 //! live sharded.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock};
 
 use upskill_core::assign::{assign_items_with_table_ws, AssignWorkspace};
 use upskill_core::bundle::{SessionBundle, SESSION_BUNDLE_VERSION};
@@ -57,6 +57,7 @@ use upskill_core::recommend::{
     build_level_band, recommend_from_band, LevelBand, RecommendConfig, Recommendation,
 };
 use upskill_core::streaming::{RefitPolicy, RefitTuner};
+use upskill_core::sync::{LockId, TracedMutex};
 use upskill_core::train::{TrainConfig, TrainResult};
 use upskill_core::transition::TransitionModel;
 use upskill_core::types::{
@@ -224,8 +225,8 @@ struct Global {
 /// across request threads behind an `Arc`.
 #[derive(Debug)]
 pub struct SkillService {
-    shards: Vec<Mutex<Shard>>,
-    global: Mutex<Global>,
+    shards: Vec<TracedMutex<Shard>>,
+    global: TracedMutex<Global>,
     epoch: EpochCell<ModelEpoch>,
     /// Sequence-less dataset (schema + item feature tuples) backing
     /// refits; see the module docs on why sequences never enter refits.
@@ -235,15 +236,6 @@ pub struct SkillService {
     recommend: RecommendConfig,
     assign_pool: WorkspacePool<AssignWorkspace>,
     fb_pool: WorkspacePool<FbWorkspace>,
-}
-
-/// Recovers a mutex guard even if a peer thread panicked while holding
-/// the lock. Safe throughout this module because every fallible step of
-/// every handler runs *before* its state mutations, and the mutations
-/// themselves (Vec/HashMap pushes, integer bumps) are individually
-/// complete operations.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Stable shard hash (SplitMix64 finalizer): deterministic across runs
@@ -346,18 +338,25 @@ impl SkillService {
         .map_err(ServeError::Core)?;
         let n_levels = config.n_levels;
         Ok(Self {
-            shards: shards.into_iter().map(Mutex::new).collect(),
-            global: Mutex::new(Global {
-                grid,
-                model,
-                policy: serve.policy,
-                tuner: serve.tuner,
-                pending: 0,
-                total_ingested: 0,
-                refits: 0,
-                level_counts,
-                admission,
-            }),
+            shards: shards
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| TracedMutex::new(LockId::Shard(i as u32), s))
+                .collect(),
+            global: TracedMutex::new(
+                LockId::Global,
+                Global {
+                    grid,
+                    model,
+                    policy: serve.policy,
+                    tuner: serve.tuner,
+                    pending: 0,
+                    total_ingested: 0,
+                    refits: 0,
+                    level_counts,
+                    admission,
+                },
+            ),
             epoch: EpochCell::new(ModelEpoch::new(table, difficulty)),
             catalog,
             config,
@@ -463,7 +462,7 @@ impl SkillService {
                 len: ep.table.n_items(),
             },
         ))?;
-        let mut shard = lock(&self.shards[self.shard(action.user)]);
+        let mut shard = self.shards[self.shard(action.user)].lock();
         let known = shard.users.get(&action.user);
         if let Some(state) = known {
             if let Some(last) = state.actions.last() {
@@ -520,7 +519,7 @@ impl SkillService {
             .map_err(ServeError::Core)?;
         drop(shard);
 
-        let mut g = lock(&self.global);
+        let mut g = self.global.lock();
         if is_new_user {
             g.admission.push(action.user);
         }
@@ -539,7 +538,7 @@ impl SkillService {
 
     /// Refits the dirty levels now if the policy says so.
     fn refit_per_policy(&self) -> Result<usize> {
-        let mut g = lock(&self.global);
+        let mut g = self.global.lock();
         let due = match g.policy {
             RefitPolicy::EveryBatch => true,
             RefitPolicy::EveryNActions(n) => g.pending >= n,
@@ -559,7 +558,7 @@ impl SkillService {
     /// one), and applies the auto-tuner adjustment if one is installed.
     /// Returns the number of levels refit.
     pub fn refit(&self) -> Result<usize> {
-        let mut g = lock(&self.global);
+        let mut g = self.global.lock();
         self.refit_locked(&mut g)
     }
 
@@ -614,7 +613,7 @@ impl SkillService {
     /// refits against the last published epoch.
     pub fn predict(&self, user: UserId, mode: PredictMode) -> Result<Prediction> {
         let (epoch, ep) = self.epoch.load();
-        let shard = lock(&self.shards[self.shard(user)]);
+        let shard = self.shards[self.shard(user)].lock();
         let state = shard
             .users
             .get(&user)
@@ -669,7 +668,7 @@ impl SkillService {
     /// rescanning the catalog (identical output, amortized scan).
     pub fn recommend(&self, user: UserId, k: Option<usize>) -> Result<Vec<Recommendation>> {
         let (_, ep) = self.epoch.load();
-        let shard = lock(&self.shards[self.shard(user)]);
+        let shard = self.shards[self.shard(user)].lock();
         let state = shard
             .users
             .get(&user)
@@ -693,8 +692,9 @@ impl SkillService {
     /// [`SessionBundle::resume`] or [`SkillService::from_bundle`]
     /// refits pending statistics freshly.
     pub fn snapshot(&self, note: &str) -> Result<SessionBundle> {
-        let shards: Vec<MutexGuard<'_, Shard>> = self.shards.iter().map(lock).collect();
-        let g = lock(&self.global);
+        let shards: Vec<_> = self.shards.iter().map(|m| m.lock()).collect();
+        // lint:allow(lock-order): audited stop-the-world snapshot path — all shards ascending, then global.
+        let g = self.global.lock();
         let mut sequences = Vec::with_capacity(g.admission.len());
         let mut per_user = Vec::with_capacity(g.admission.len());
         for &user in &g.admission {
@@ -726,7 +726,7 @@ impl SkillService {
 
     /// Service-level counters; takes only the global lock.
     pub fn stats(&self) -> ServeStats {
-        let g = lock(&self.global);
+        let g = self.global.lock();
         ServeStats {
             n_users: g.admission.len(),
             total_ingested: g.total_ingested,
@@ -747,7 +747,7 @@ impl SkillService {
 
     /// The current refit policy (auto-tuning may move its interval).
     pub fn policy(&self) -> RefitPolicy {
-        lock(&self.global).policy
+        self.global.lock().policy
     }
 
     /// Training hyperparameters refits run with.
@@ -763,6 +763,13 @@ impl SkillService {
     /// Number of session shards user state spreads over.
     pub fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Which shard `user`'s state lives in — introspection for tests and
+    /// operational tooling (e.g. attributing lock contention to tenants);
+    /// the mapping is stable for a fixed shard count.
+    pub fn shard_index(&self, user: UserId) -> usize {
+        self.shard(user)
     }
 
     /// Which shard a user's state lives in.

@@ -6,13 +6,14 @@
 //! and the vendored dependency stubs are intentionally out of scope — the
 //! rules target production code paths.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::rules;
 use crate::source::SourceFile;
-use crate::Diagnostic;
+use crate::{concurrency, Diagnostic};
 
 /// Result of a lint run.
 #[derive(Debug)]
@@ -21,6 +22,18 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// All findings, sorted by path then line.
     pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Result of a focused concurrency pass.
+#[derive(Debug)]
+pub struct ConcurrencyReport {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Lock-discipline findings only, sorted by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Union of every file's lexical lock-order graph: `(held, acquired)`
+    /// edges, including `lint:allow`-audited ones.
+    pub graph: BTreeSet<(&'static str, &'static str)>,
 }
 
 /// Lints every `crates/*/src/**/*.rs` file under `root`.
@@ -45,6 +58,39 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     Ok(LintReport {
         files_scanned,
         diagnostics,
+    })
+}
+
+/// Runs only the lock-discipline rules over the same file set as
+/// [`lint_workspace`], and aggregates the lock-order graph.
+pub fn concurrency_workspace(root: &Path) -> io::Result<ConcurrencyReport> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let files_scanned = files.len();
+    let mut diagnostics = Vec::new();
+    let mut graph = BTreeSet::new();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let file = SourceFile::from_source(&rel, &text);
+        concurrency::run_rules(&file, &mut diagnostics);
+        graph.extend(concurrency::lock_order_graph(&file));
+    }
+    diagnostics.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    diagnostics.dedup();
+    Ok(ConcurrencyReport {
+        files_scanned,
+        diagnostics,
+        graph,
     })
 }
 
@@ -106,6 +152,34 @@ mod tests {
             report.diagnostics
         );
         assert!(report.files_scanned > 0);
+    }
+
+    #[test]
+    fn real_workspace_concurrency_is_clean_and_graph_is_ordered() {
+        let report = concurrency_workspace(&workspace_root()).unwrap();
+        assert!(
+            report.diagnostics.is_empty(),
+            "lock-discipline violations:\n{}",
+            report
+                .diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        // The audited snapshot path is the one shard→global edge; the
+        // reverse order must never appear anywhere in the workspace.
+        assert!(
+            report.graph.contains(&("shard", "global")),
+            "{:?}",
+            report.graph
+        );
+        assert!(
+            !report.graph.contains(&("global", "shard")),
+            "{:?}",
+            report.graph
+        );
+        assert!(report.files_scanned > 30);
     }
 
     #[test]

@@ -108,6 +108,13 @@ impl FloorReport {
     pub fn violations(&self) -> Vec<&FloorCheck> {
         self.checks.iter().filter(|c| !c.passes()).collect()
     }
+
+    /// Whether the scan found no reports at all. A gate run against an
+    /// empty (or wrong) directory measured nothing and must fail rather
+    /// than pass vacuously.
+    pub fn is_vacuous(&self) -> bool {
+        self.files_scanned == 0
+    }
 }
 
 /// Scans `<dir>/BENCH_*.json` and collects every enforceable floor check.
@@ -529,6 +536,25 @@ mod tests {
         assert!(checks[0].passes());
         assert_eq!(checks[1].context, "bad");
         assert!(!checks[1].passes());
+    }
+
+    #[test]
+    fn empty_directory_scan_is_vacuous() {
+        let dir = std::env::temp_dir().join(format!(
+            "xtask-floors-empty-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        // Non-matching files don't count as reports either.
+        fs::write(dir.join("EXP_other.json"), "{}").unwrap();
+
+        let report = check_floors(&dir).unwrap();
+        assert!(report.is_vacuous());
+        assert_eq!(report.files_scanned, 0);
+        assert!(report.violations().is_empty());
+
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

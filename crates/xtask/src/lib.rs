@@ -1,14 +1,18 @@
 //! Workspace automation tasks (`cargo xtask` pattern).
 //!
-//! Two tasks, both std-only so xtask builds first, fast, and offline:
+//! Three tasks, all std-only so xtask builds first, fast, and offline:
 //!
 //! - `lint` — a source-level static analysis pass over every first-party
 //!   crate (below).
+//! - `concurrency` — the lock-discipline subset of the rules plus the
+//!   derived lock-order graph for the serving layer (see
+//!   [`concurrency`]).
 //! - `bench-floors` — parses `reports/BENCH_*.json` and fails when any
 //!   object recording both a numeric `speedup` and a numeric
 //!   `acceptance_floor` has `speedup < acceptance_floor`, so performance
 //!   acceptance criteria are enforced in CI, not just printed once (see
-//!   [`floors`]).
+//!   [`floors`]). A reports directory with zero parseable reports is a
+//!   failure, not a vacuous pass.
 //!
 //! The `lint` task enforces the project's correctness conventions that
 //! rustc and clippy cannot express:
@@ -21,6 +25,10 @@
 //! | `float-eq`           | `==`/`!=` on floats outside approved comparison helpers  |
 //! | `config-literal`     | struct-literal `ParallelConfig`/`EmConfig` outside their builders |
 //! | `deprecated-train-em`| calls to the deprecated `train_em` shim                  |
+//! | `lock-order`         | global lock acquired while a shard guard is live (or vice versa) |
+//! | `lock-across-publish`| a lock guard lexically live across an `EpochCell::publish` |
+//! | `raw-lock`           | bare `.lock().unwrap()`-style acquisitions outside the blessed helpers |
+//! | `guard-escape`       | `MutexGuard`/`TracedGuard` returned from a function or stored in a struct |
 //! | `lint-marker`        | malformed or unmatched `lint:allow` markers              |
 //!
 //! Intentional exceptions are written in the source as markers:
@@ -34,6 +42,7 @@
 //! Diagnostics are machine-readable, one per line:
 //! `path:line: [rule-id] message`.
 
+pub mod concurrency;
 pub mod engine;
 pub mod floors;
 pub mod rules;

@@ -19,6 +19,10 @@ pub const RULE_IDS: &[&str] = &[
     "float-eq",
     "config-literal",
     "deprecated-train-em",
+    "lock-order",
+    "lock-across-publish",
+    "raw-lock",
+    "guard-escape",
     "lint-marker",
 ];
 
@@ -67,6 +71,7 @@ pub fn run_all(file: &SourceFile) -> Vec<Diagnostic> {
     if path != "crates/core/src/em.rs" {
         deprecated_train_em(file, &mut out);
     }
+    crate::concurrency::run_rules(file, &mut out);
     // Nested loop spans overlap, so a single site can be visited twice.
     out.sort_by(|a, b| {
         (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
@@ -75,7 +80,7 @@ pub fn run_all(file: &SourceFile) -> Vec<Diagnostic> {
     out
 }
 
-fn normalize(path: &Path) -> String {
+pub(crate) fn normalize(path: &Path) -> String {
     let parts: Vec<String> = path
         .components()
         .map(|c| c.as_os_str().to_string_lossy().into_owned())
@@ -87,12 +92,12 @@ fn file_name(path: &str) -> &str {
     path.rsplit('/').next().unwrap_or(path)
 }
 
-fn is_ident(b: u8) -> bool {
+pub(crate) fn is_ident(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
 /// Byte offsets of every occurrence of `needle` in `hay`.
-fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+pub(crate) fn find_all(hay: &str, needle: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut from = 0;
     while let Some(p) = hay[from..].find(needle) {
@@ -103,7 +108,7 @@ fn find_all(hay: &str, needle: &str) -> Vec<usize> {
 }
 
 /// Occurrences of `needle` with no identifier byte immediately before it.
-fn find_word_starts(hay: &str, needle: &str) -> Vec<usize> {
+pub(crate) fn find_word_starts(hay: &str, needle: &str) -> Vec<usize> {
     let bytes = hay.as_bytes();
     find_all(hay, needle)
         .into_iter()
