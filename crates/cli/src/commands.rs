@@ -47,6 +47,8 @@ commands:
   serve-bench [--users N] [--live-users N] [--items M] [--levels S]
               [--ops N] [--threads T] [--shards K] [--refit-every N]
               [--seed N]
+  policy-eval --data data.json [--levels S] [--learners N] [--budget N]
+              [--threads T] [--seed N] [--min-init N] [--out report.json]
   help        show this message";
 
 /// Dispatches a parsed command line.
@@ -65,6 +67,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "sweep" => sweep,
         "ingest" => ingest,
         "serve-bench" => serve_bench,
+        "policy-eval" => policy_eval,
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return Ok(());
@@ -678,6 +681,57 @@ fn serve_bench(args: &Args) -> Result<(), CliError> {
         stats.refits,
         stats.policy,
     );
+    Ok(())
+}
+
+/// `policy-eval`: the closed-loop upskilling comparison from
+/// `upskill-eval` on a user-supplied dataset — trains one model, then
+/// races two simulated learner arms (static band recommendation vs the
+/// adaptive hybrid policy) to the top level and reports actions-to-
+/// target medians plus the adaptive-over-static speedup. A scaled-down,
+/// file-driven twin of the `bench_policy` experiment binary.
+fn policy_eval(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "data", "levels", "learners", "budget", "threads", "seed", "min-init", "out",
+    ])?;
+    let dataset: Dataset = read_json(args.required("data")?)?;
+    let levels: usize = args.parse_or("levels", 5)?;
+    let learners: usize = args.parse_or("learners", 24)?;
+    let budget: usize = args.parse_or("budget", 300)?;
+    let threads: usize = args.parse_or("threads", 1)?;
+    let seed: u64 = args.parse_or("seed", 7)?;
+    let min_init: usize = args.parse_or("min-init", 10)?;
+
+    let mut cfg = upskill_eval::upskilling::UpskillEvalConfig::hybrid(levels);
+    cfg.n_learners = learners;
+    cfg.threads = threads;
+    cfg.learner.max_actions = budget;
+    cfg.learner.seed = seed;
+    cfg.train = TrainConfig::new(levels)
+        .with_min_init_actions(min_init)
+        .with_max_iterations(3)
+        .with_lambda(0.01);
+    let report = upskill_eval::upskilling::evaluate_upskilling(&dataset, "cli", &cfg)
+        .map_err(|e| CliError::Usage(format!("policy evaluation failed: {e}")))?;
+
+    println!(
+        "{} learners per arm, {budget}-action budget, target level {} ({} items):",
+        learners, report.target, report.n_items
+    );
+    for (label, arm) in [
+        ("static", &report.static_arm),
+        ("adaptive", &report.adaptive_arm),
+    ] {
+        println!(
+            "  {label:<9} median {:6.1}  mean {:6.1}  reached {}/{}",
+            arm.median_actions, arm.mean_actions, arm.reached, arm.n_learners
+        );
+    }
+    println!("adaptive-over-static speedup: {:.2}x", report.speedup);
+    if let Some(out) = args.optional("out") {
+        write_json(out, &report)?;
+        println!("wrote {out}");
+    }
     Ok(())
 }
 

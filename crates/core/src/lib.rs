@@ -86,6 +86,7 @@
 //! | [`baselines`] | §VI-D | Uniform & ID (Yang et al.) baselines |
 //! | [`analysis`] | §VI-C | dominance scores, per-level summaries |
 //! | [`recommend`] | Fig. 1 / §VII | upskilling recommendations & curriculum ladder |
+//! | [`policy`] | §VII (AdUp) | adaptive teach/motivate/hybrid re-ranking over bands |
 //! | [`online`] | — | O(F·S)-per-action incremental skill tracking |
 //! | [`streaming`] | §IV, §VI | live ingestion sessions over a trained model |
 //! | [`epoch`] | — | epoch-published snapshots for read-mostly serving state |
@@ -122,6 +123,7 @@ pub mod model;
 pub mod model_selection;
 pub mod online;
 pub mod parallel;
+pub mod policy;
 pub mod pool;
 pub mod predict;
 pub mod prelude;

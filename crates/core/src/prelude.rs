@@ -30,6 +30,7 @@ pub use crate::incremental::StatsGrid;
 pub use crate::model::SkillModel;
 pub use crate::online::OnlineTracker;
 pub use crate::parallel::ParallelConfig;
+pub use crate::policy::{MixQuota, PolicyConfig, PolicyMode, PolicyRecommendation, PolicyState};
 pub use crate::pool::{PoolGuard, WorkspacePool};
 pub use crate::recommend::{LevelBand, RecommendConfig, Recommendation};
 pub use crate::streaming::{RefitPolicy, RefitTuner, StreamingSession};

@@ -189,6 +189,21 @@ impl LevelBand {
     pub fn config(&self) -> &RecommendConfig {
         &self.config
     }
+
+    /// The full no-exclusion ranking of the band's candidates, best
+    /// first — the list [`recommend_from_band`] walks on the fast path
+    /// and the adaptive policy layer ([`crate::policy`]) re-scores.
+    pub fn ranked(&self) -> &[Recommendation] {
+        &self.ranked
+    }
+
+    /// The interest-normalization anchors: every candidate whose
+    /// interest log-likelihood attains the band maximum. Excluding any
+    /// of these forces [`recommend_from_band`] onto its rescore
+    /// fallback (exposed so tests can drive that path explicitly).
+    pub fn max_interest_items(&self) -> &[ItemId] {
+        &self.max_items
+    }
 }
 
 /// Builds the [`LevelBand`] for `level` from a precomputed

@@ -18,7 +18,9 @@
 //! - [`film`] — MovieLens analogue (incl. the lastness effect and its fix);
 //! - [`filtering`] — the paper's iterative support filter + assembly;
 //! - [`sampling`] — gamma/Poisson/categorical/Zipf samplers;
-//! - [`stats`] — Table I statistics.
+//! - [`stats`] — Table I statistics;
+//! - [`upskilling`] — closed-loop learner simulator for recommendation
+//!   policy evaluation (learner skill responds to recommended stretch).
 //!
 //! All generators take an explicit seed and are bit-reproducible.
 
@@ -35,6 +37,7 @@ pub mod language;
 pub mod sampling;
 pub mod stats;
 pub mod synthetic;
+pub mod upskilling;
 
 pub use filtering::{assemble, iterative_support_filter, RawAction, SupportFilter};
 pub use stats::DatasetStats;

@@ -4,7 +4,9 @@
 //! the correlation measures (Pearson/Spearman/Kendall), error measures
 //! (RMSE/MAE), ranking metrics (Acc@k, reciprocal rank), significance tests
 //! (Wilcoxon signed-rank + Bonferroni), and confidence intervals
-//! (bootstrap, Fisher-z) used by the paper's Tables VI–XII.
+//! (bootstrap, Fisher-z) used by the paper's Tables VI–XII — plus the
+//! [`upskilling`] closed-loop harness scoring the adaptive
+//! recommendation policy against the paper's static band recommender.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -16,6 +18,7 @@ pub mod float_cmp;
 pub mod goodness;
 pub mod ranking;
 pub mod significance;
+pub mod upskilling;
 
 use std::fmt;
 

@@ -12,9 +12,10 @@
 use serde::{Deserialize, Serialize};
 
 use upskill_core::bundle::SessionBundle;
+use upskill_core::policy::{PolicyMode, PolicyRecommendation};
 use upskill_core::recommend::Recommendation;
 use upskill_core::streaming::RefitPolicy;
-use upskill_core::types::{Action, SkillLevel, UserId};
+use upskill_core::types::{Action, ItemId, SkillLevel, UserId};
 
 /// Which estimate a predict request should read; see the module docs of
 /// [`upskill_core::streaming`] on filtering vs smoothing.
@@ -64,6 +65,33 @@ pub enum Request {
         /// Overrides the configured result-list length when set.
         k: Option<usize>,
     },
+    /// Adaptive (policy re-ranked) recommendations for a known user —
+    /// the [`Request::Recommend`] variant that carries the policy mode
+    /// through the serve envelope. The mode must match the service's
+    /// configured [`PolicyConfig`](upskill_core::policy::PolicyConfig)
+    /// or the request is rejected with
+    /// [`ServeError::PolicyModeMismatch`](crate::ServeError::PolicyModeMismatch).
+    RecommendPolicy {
+        /// Who to recommend for.
+        user: UserId,
+        /// Overrides the configured result-list length when set.
+        k: Option<usize>,
+        /// The teach/motivate/hybrid mode the client expects.
+        mode: PolicyMode,
+    },
+    /// Record an externally observed outcome (e.g. the user attempted
+    /// the item and failed) into the user's adaptive policy state.
+    /// Completed actions are recorded as successes automatically on
+    /// ingest; this request exists mainly to feed *failures*, which
+    /// never enter the action sequence.
+    RecordOutcome {
+        /// Whose policy state to update.
+        user: UserId,
+        /// The attempted item.
+        item: ItemId,
+        /// Whether the attempt succeeded.
+        correct: bool,
+    },
     /// A consistent, versioned snapshot of the whole service state as a
     /// [`SessionBundle`].
     Snapshot {
@@ -82,6 +110,19 @@ pub struct IngestOutcome {
     /// The level committed for this action.
     pub level: SkillLevel,
     /// The table epoch the level decision read.
+    pub epoch: u64,
+}
+
+/// Acknowledgement of a recorded policy outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeNoted {
+    /// Whose policy state was updated.
+    pub user: UserId,
+    /// The attempted item.
+    pub item: ItemId,
+    /// The recorded outcome.
+    pub correct: bool,
+    /// The table epoch whose difficulty the outcome was binned under.
     pub epoch: u64,
 }
 
@@ -119,6 +160,8 @@ pub struct ServeStats {
     pub n_shards: usize,
     /// The current refit policy (auto-tuning may move its interval).
     pub policy: RefitPolicy,
+    /// The adaptive policy mode the service serves, if enabled.
+    pub policy_mode: Option<PolicyMode>,
     /// Assignment workspaces parked in the pool.
     pub pooled_assign_workspaces: usize,
     /// Forward–backward workspaces parked in the pool.
@@ -139,6 +182,10 @@ pub enum Response {
     Prediction(Prediction),
     /// Answer to [`Request::Recommend`], best first.
     Recommendations(Vec<Recommendation>),
+    /// Answer to [`Request::RecommendPolicy`], best first.
+    PolicyRecommendations(Vec<PolicyRecommendation>),
+    /// Answer to [`Request::RecordOutcome`].
+    OutcomeRecorded(OutcomeNoted),
     /// Answer to [`Request::Snapshot`].
     Snapshot(Box<SessionBundle>),
     /// Answer to [`Request::Stats`].

@@ -7,7 +7,8 @@
 use std::fmt;
 
 use upskill_core::error::CoreError;
-use upskill_core::types::UserId;
+use upskill_core::policy::PolicyMode;
+use upskill_core::types::{SkillLevel, UserId};
 
 /// Convenient alias for serving results.
 pub type Result<T> = std::result::Result<T, ServeError>;
@@ -30,6 +31,33 @@ pub enum ServeError {
         /// Why it was rejected.
         detail: &'static str,
     },
+    /// A policy request (adaptive recommendation, outcome recording)
+    /// reached a service that was built without an adaptive
+    /// [`PolicyConfig`](upskill_core::policy::PolicyConfig).
+    PolicyDisabled,
+    /// The request's policy mode does not match the mode the service
+    /// was configured with — the envelope-level consistency check that
+    /// keeps a client's teach/motivate/hybrid expectation honest.
+    PolicyModeMismatch {
+        /// The mode the request asked for.
+        requested: PolicyMode,
+        /// The mode the service is running.
+        configured: PolicyMode,
+    },
+    /// The user's level band contains no candidate items at all, so no
+    /// recommendation (static or adaptive) is possible at this level
+    /// under the configured difficulty slack.
+    EmptyBand {
+        /// The committed level whose band is empty.
+        level: SkillLevel,
+    },
+    /// A request parameter is unusable as given (e.g. `k = 0`).
+    BadRequest {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// Why it was rejected.
+        detail: &'static str,
+    },
     /// The model layer rejected the request: unknown item, a known
     /// user's time moving backwards, degenerate statistics, and so on.
     Core(CoreError),
@@ -43,6 +71,30 @@ impl fmt::Display for ServeError {
             }
             ServeError::InvalidConfig { what, detail } => {
                 write!(f, "invalid serve configuration ({what}): {detail}")
+            }
+            ServeError::PolicyDisabled => {
+                write!(
+                    f,
+                    "adaptive policy requests need a service configured with a PolicyConfig"
+                )
+            }
+            ServeError::PolicyModeMismatch {
+                requested,
+                configured,
+            } => write!(
+                f,
+                "policy mode mismatch: request asked for {} but the service runs {}",
+                requested.name(),
+                configured.name()
+            ),
+            ServeError::EmptyBand { level } => {
+                write!(
+                    f,
+                    "no candidate items in the difficulty band at level {level}"
+                )
+            }
+            ServeError::BadRequest { what, detail } => {
+                write!(f, "bad request parameter ({what}): {detail}")
             }
             ServeError::Core(e) => write!(f, "{e}"),
         }
@@ -79,6 +131,27 @@ mod tests {
         assert!(e.to_string().contains("n_shards"));
         let e: ServeError = CoreError::EmptyDataset.into();
         assert!(matches!(e, ServeError::Core(CoreError::EmptyDataset)));
+    }
+
+    #[test]
+    fn policy_errors_display_their_context() {
+        use std::error::Error;
+        assert!(ServeError::PolicyDisabled
+            .to_string()
+            .contains("PolicyConfig"));
+        let e = ServeError::PolicyModeMismatch {
+            requested: PolicyMode::Teach,
+            configured: PolicyMode::Hybrid,
+        };
+        let s = e.to_string();
+        assert!(s.contains("teach") && s.contains("hybrid"), "{s}");
+        assert!(ServeError::EmptyBand { level: 3 }.to_string().contains('3'));
+        let e = ServeError::BadRequest {
+            what: "k",
+            detail: "result-list length must be positive",
+        };
+        assert!(e.to_string().contains("k"));
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -74,6 +74,12 @@ pub mod api;
 pub mod error;
 pub mod service;
 
-pub use api::{IngestOutcome, PredictMode, Prediction, Request, Response, ServeStats};
+pub use api::{
+    IngestOutcome, OutcomeNoted, PredictMode, Prediction, Request, Response, ServeStats,
+};
 pub use error::{Result, ServeError};
 pub use service::{ModelEpoch, ServeConfig, SkillService};
+
+// Convenience re-exports: the adaptive policy vocabulary the serving
+// API speaks ([`Request::RecommendPolicy`], [`ServeConfig::adaptive`]).
+pub use upskill_core::policy::{PolicyConfig, PolicyMode, PolicyRecommendation, PolicyState};

@@ -52,6 +52,9 @@ use upskill_core::invariants::InvariantCtx;
 use upskill_core::model::SkillModel;
 use upskill_core::online::OnlineTracker;
 use upskill_core::parallel::ParallelConfig;
+use upskill_core::policy::{
+    rerank_band, PolicyConfig, PolicyMode, PolicyRecommendation, PolicyState,
+};
 use upskill_core::pool::WorkspacePool;
 use upskill_core::recommend::{
     build_level_band, recommend_from_band, LevelBand, RecommendConfig, Recommendation,
@@ -65,7 +68,9 @@ use upskill_core::types::{
     UserId,
 };
 
-use crate::api::{IngestOutcome, PredictMode, Prediction, Request, Response, ServeStats};
+use crate::api::{
+    IngestOutcome, OutcomeNoted, PredictMode, Prediction, Request, Response, ServeStats,
+};
 use crate::error::{Result, ServeError};
 
 /// Serving-layer configuration.
@@ -82,6 +87,11 @@ pub struct ServeConfig {
     pub tuner: Option<RefitTuner>,
     /// Scoring configuration for recommendation requests.
     pub recommend: RecommendConfig,
+    /// Adaptive policy layer (teach/motivate/hybrid re-ranking over
+    /// the cached bands). `None` serves the static recommender only;
+    /// `Some` additionally tracks per-user [`PolicyState`] and answers
+    /// [`Request::RecommendPolicy`] / [`Request::RecordOutcome`].
+    pub adaptive: Option<PolicyConfig>,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +101,7 @@ impl Default for ServeConfig {
             policy: RefitPolicy::EveryNActions(256),
             tuner: None,
             recommend: RecommendConfig::default(),
+            adaptive: None,
         }
     }
 }
@@ -105,6 +116,9 @@ impl ServeConfig {
             });
         }
         self.recommend.validate()?;
+        if let Some(adaptive) = &self.adaptive {
+            adaptive.validate()?;
+        }
         Ok(())
     }
 }
@@ -177,12 +191,17 @@ impl PartialEq for ModelEpoch {
 }
 
 /// Per-user serving state: the full action history, the committed
-/// monotone level path, and the O(1) filtering tracker.
+/// monotone level path, the O(1) filtering tracker, and — on
+/// adaptive-policy services — the per-user [`PolicyState`]. Policy
+/// state is serving-layer-only: it never enters snapshots, so the
+/// bitwise [`SessionBundle`] contract with the streaming session is
+/// untouched by enabling the policy layer.
 #[derive(Debug)]
 struct UserState {
     actions: Vec<Action>,
     levels: Vec<SkillLevel>,
     tracker: OnlineTracker,
+    policy: Option<PolicyState>,
 }
 
 /// One mutex-guarded slice of the user population.
@@ -234,6 +253,7 @@ pub struct SkillService {
     config: TrainConfig,
     parallel: ParallelConfig,
     recommend: RecommendConfig,
+    adaptive: Option<PolicyConfig>,
     assign_pool: WorkspacePool<AssignWorkspace>,
     fb_pool: WorkspacePool<FbWorkspace>,
 }
@@ -313,10 +333,17 @@ impl SkillService {
                     .observe_item(&table, action.item)
                     .map_err(ServeError::Core)?;
             }
+            let policy = match &serve.adaptive {
+                Some(cfg) => {
+                    Some(PolicyState::new(config.n_levels, cfg).map_err(ServeError::Core)?)
+                }
+                None => None,
+            };
             let state = UserState {
                 actions: seq.actions().to_vec(),
                 levels: assignments.per_user[u].clone(),
                 tracker,
+                policy,
             };
             let shard = &mut shards[shard_of(seq.user, n_shards)];
             if shard.users.insert(seq.user, state).is_some() {
@@ -362,6 +389,7 @@ impl SkillService {
             config,
             parallel,
             recommend: serve.recommend,
+            adaptive: serve.adaptive,
             assign_pool: WorkspacePool::new(AssignWorkspace::new),
             fb_pool: WorkspacePool::new(move || {
                 let transitions = TransitionModel::uninformative(n_levels)
@@ -419,6 +447,16 @@ impl SkillService {
             Request::Recommend { user, k } => {
                 self.recommend(user, k).map(Response::Recommendations)
             }
+            Request::RecommendPolicy { user, k, mode } => self
+                .recommend_policy(user, k, mode)
+                .map(Response::PolicyRecommendations),
+            Request::RecordOutcome {
+                user,
+                item,
+                correct,
+            } => self
+                .record_outcome(user, item, correct)
+                .map(Response::OutcomeRecorded),
             Request::Snapshot { note } => self
                 .snapshot(&note)
                 .map(|b| Response::Snapshot(Box::new(b))),
@@ -498,12 +536,19 @@ impl SkillService {
         if is_new_user {
             // Fallible construction before any mutation.
             let tracker = OnlineTracker::new(self.config.n_levels).map_err(ServeError::Core)?;
+            let policy = match &self.adaptive {
+                Some(cfg) => {
+                    Some(PolicyState::new(self.config.n_levels, cfg).map_err(ServeError::Core)?)
+                }
+                None => None,
+            };
             shard.users.insert(
                 action.user,
                 UserState {
                     actions: Vec::new(),
                     levels: Vec::new(),
                     tracker,
+                    policy,
                 },
             );
         }
@@ -517,6 +562,13 @@ impl SkillService {
             .tracker
             .observe_item(&ep.table, action.item)
             .map_err(ServeError::Core)?;
+        // A completed (ingested) action is success evidence at the
+        // item's difficulty; failures only ever arrive through
+        // `record_outcome`, since a failed attempt never enters the
+        // action sequence.
+        if let Some(policy) = state.policy.as_mut() {
+            policy.record(action.item, ep.difficulty[action.item as usize], true);
+        }
         drop(shard);
 
         let mut g = self.global.lock();
@@ -684,6 +736,106 @@ impl SkillService {
         recommend_from_band(band, &|item| seen.contains(&item), k).map_err(ServeError::Core)
     }
 
+    /// Adaptive (policy re-ranked) recommendations for a known user:
+    /// the epoch's cached [`LevelBand`] at the user's committed level,
+    /// re-scored against the user's [`PolicyState`] by
+    /// [`rerank_band`]. Requires the service to be built with
+    /// [`ServeConfig::adaptive`], and the requested `mode` must match
+    /// the configured one. Items the user completed are excluded —
+    /// except items whose most recent recorded outcome was a failure,
+    /// which stay recommendable for retry.
+    ///
+    /// Like the static path this reads only the published epoch and
+    /// the user's shard (policy state is cloned out from under the
+    /// shard lock), so policy queries stay O(band) and never block —
+    /// or wait on — a refit.
+    pub fn recommend_policy(
+        &self,
+        user: UserId,
+        k: Option<usize>,
+        mode: PolicyMode,
+    ) -> Result<Vec<PolicyRecommendation>> {
+        let cfg = self.adaptive.ok_or(ServeError::PolicyDisabled)?;
+        if mode != cfg.mode {
+            return Err(ServeError::PolicyModeMismatch {
+                requested: mode,
+                configured: cfg.mode,
+            });
+        }
+        let k = k.unwrap_or(self.recommend.k);
+        if k == 0 {
+            return Err(ServeError::BadRequest {
+                what: "k",
+                detail: "result-list length must be positive",
+            });
+        }
+        let (_, ep) = self.epoch.load();
+        let shard = self.shards[self.shard(user)].lock();
+        let state = shard
+            .users
+            .get(&user)
+            .ok_or(ServeError::UnknownUser { user })?;
+        let level = *state
+            .levels
+            .last()
+            .ok_or(ServeError::Core(CoreError::EmptyDataset))?;
+        let seen: HashSet<ItemId> = state.actions.iter().map(|a| a.item).collect();
+        let policy = state
+            .policy
+            .as_ref()
+            .expect("adaptive services build policy state for every user")
+            .clone();
+        drop(shard);
+        let band = ep.band(level, &self.recommend)?;
+        if band.is_empty() {
+            return Err(ServeError::EmptyBand { level });
+        }
+        let exclude = |item: ItemId| seen.contains(&item) && !policy.has_failed(item);
+        rerank_band(band, &policy, level, &exclude, &cfg, k).map_err(ServeError::Core)
+    }
+
+    /// Records an externally observed outcome into a known user's
+    /// adaptive policy state, binning it at the item's difficulty
+    /// under the current epoch. Completed actions are recorded as
+    /// successes automatically on ingest; this method exists mainly to
+    /// feed *failed* attempts, which never enter the action sequence
+    /// (and therefore never move the committed level or the model
+    /// statistics — rejection evidence lives purely in the policy
+    /// layer).
+    pub fn record_outcome(
+        &self,
+        user: UserId,
+        item: ItemId,
+        correct: bool,
+    ) -> Result<OutcomeNoted> {
+        if self.adaptive.is_none() {
+            return Err(ServeError::PolicyDisabled);
+        }
+        let (epoch, ep) = self.epoch.load();
+        let difficulty = *ep.difficulty.get(item as usize).ok_or(ServeError::Core(
+            CoreError::FeatureIndexOutOfBounds {
+                index: item as usize,
+                len: ep.difficulty.len(),
+            },
+        ))?;
+        let mut shard = self.shards[self.shard(user)].lock();
+        let state = shard
+            .users
+            .get_mut(&user)
+            .ok_or(ServeError::UnknownUser { user })?;
+        let policy = state
+            .policy
+            .as_mut()
+            .expect("adaptive services build policy state for every user");
+        policy.record(item, difficulty, correct);
+        Ok(OutcomeNoted {
+            user,
+            item,
+            correct,
+            epoch,
+        })
+    }
+
     /// Takes a consistent snapshot of the whole service as a
     /// [`SessionBundle`] — bit-identical (including its JSON encoding)
     /// to [`StreamingSession::snapshot`](upskill_core::streaming::StreamingSession::snapshot) after the same traffic. Locks
@@ -735,6 +887,7 @@ impl SkillService {
             refits: g.refits,
             n_shards: self.shards.len(),
             policy: g.policy,
+            policy_mode: self.adaptive.map(|c| c.mode),
             pooled_assign_workspaces: self.assign_pool.available(),
             pooled_fb_workspaces: self.fb_pool.available(),
         }
@@ -1070,6 +1223,115 @@ mod tests {
         assert_eq!(recs, direct);
     }
 
+    /// Adaptive service over the progression fixture with a band wide
+    /// enough to hold every difficulty stratum.
+    fn adaptive_service(mode: PolicyConfig) -> SkillService {
+        let ds = progression_dataset(8, 12, 3);
+        let cfg = TrainConfig::new(3).with_min_init_actions(4);
+        let result = train(&ds, &cfg).unwrap();
+        SkillService::resume(
+            ds,
+            &result,
+            cfg,
+            ParallelConfig::default(),
+            ServeConfig {
+                n_shards: 2,
+                policy: RefitPolicy::Manual,
+                recommend: RecommendConfig {
+                    lower_slack: 10.0,
+                    upper_slack: 10.0,
+                    ..RecommendConfig::default()
+                },
+                adaptive: Some(mode),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn policy_recommendations_rerank_the_cached_band() {
+        let service = adaptive_service(PolicyConfig::hybrid());
+        service.ingest(Action::new(500, 77, 0)).unwrap();
+        let recs = service
+            .recommend_policy(77, Some(2), PolicyMode::Hybrid)
+            .unwrap();
+        assert!(!recs.is_empty() && recs.len() <= 2);
+        // Item 0 was completed (and not failed): excluded.
+        assert!(recs.iter().all(|r| r.item != 0));
+        // Single-threaded determinism: identical query, identical bits.
+        let again = service
+            .recommend_policy(77, Some(2), PolicyMode::Hybrid)
+            .unwrap();
+        assert_eq!(recs, again);
+        assert_eq!(service.stats().policy_mode, Some(PolicyMode::Hybrid));
+    }
+
+    #[test]
+    fn failed_items_stay_recommendable_for_retry() {
+        let service = adaptive_service(PolicyConfig::hybrid());
+        service.ingest(Action::new(500, 77, 0)).unwrap();
+        service.ingest(Action::new(501, 77, 1)).unwrap();
+        let before = service
+            .recommend_policy(77, Some(3), PolicyMode::Hybrid)
+            .unwrap();
+        assert!(before.iter().all(|r| r.item != 1));
+        // A recorded failure on completed item 1 reopens it for retry
+        // (and shifts the ranking through the gap/NCC evidence).
+        service.record_outcome(77, 1, false).unwrap();
+        let after = service
+            .recommend_policy(77, Some(3), PolicyMode::Hybrid)
+            .unwrap();
+        assert!(
+            after.iter().any(|r| r.item == 1),
+            "failed item must be retryable: {after:?}"
+        );
+    }
+
+    #[test]
+    fn policy_requests_are_rejected_with_typed_errors() {
+        // Disabled service: both policy entry points refuse.
+        let (plain, _) = service_and_session(RefitPolicy::Manual, 2);
+        assert!(matches!(
+            plain.recommend_policy(0, None, PolicyMode::Hybrid),
+            Err(ServeError::PolicyDisabled)
+        ));
+        assert!(matches!(
+            plain.record_outcome(0, 0, false),
+            Err(ServeError::PolicyDisabled)
+        ));
+        assert_eq!(plain.stats().policy_mode, None);
+
+        let service = adaptive_service(PolicyConfig::hybrid());
+        // Unknown user.
+        assert!(matches!(
+            service.recommend_policy(999, None, PolicyMode::Hybrid),
+            Err(ServeError::UnknownUser { user: 999 })
+        ));
+        assert!(matches!(
+            service.record_outcome(999, 0, true),
+            Err(ServeError::UnknownUser { user: 999 })
+        ));
+        // Mode mismatch.
+        assert!(matches!(
+            service.recommend_policy(0, None, PolicyMode::Teach),
+            Err(ServeError::PolicyModeMismatch {
+                requested: PolicyMode::Teach,
+                configured: PolicyMode::Hybrid,
+            })
+        ));
+        // k = 0.
+        assert!(matches!(
+            service.recommend_policy(0, Some(0), PolicyMode::Hybrid),
+            Err(ServeError::BadRequest { what: "k", .. })
+        ));
+        // Unknown item in an outcome.
+        assert!(matches!(
+            service.record_outcome(0, 999, false),
+            Err(ServeError::Core(CoreError::FeatureIndexOutOfBounds { .. }))
+        ));
+    }
+
     #[test]
     fn handle_dispatches_every_request_variant() {
         let (service, _) = service_and_session(RefitPolicy::EveryBatch, 2);
@@ -1095,6 +1357,46 @@ mod tests {
             .handle(Request::Recommend { user: 1, k: None })
             .unwrap();
         assert!(matches!(r, Response::Recommendations(_)));
+        // Policy variants on a policy-disabled service: typed refusal
+        // through the same dispatch path.
+        let r = service.handle(Request::RecommendPolicy {
+            user: 1,
+            k: None,
+            mode: PolicyMode::Hybrid,
+        });
+        assert!(matches!(r, Err(ServeError::PolicyDisabled)));
+        let r = service.handle(Request::RecordOutcome {
+            user: 1,
+            item: 1,
+            correct: false,
+        });
+        assert!(matches!(r, Err(ServeError::PolicyDisabled)));
+        // And on an adaptive service they answer.
+        let adaptive = adaptive_service(PolicyConfig::hybrid());
+        let r = adaptive
+            .handle(Request::RecommendPolicy {
+                user: 1,
+                k: Some(2),
+                mode: PolicyMode::Hybrid,
+            })
+            .unwrap();
+        assert!(matches!(r, Response::PolicyRecommendations(_)));
+        let r = adaptive
+            .handle(Request::RecordOutcome {
+                user: 1,
+                item: 1,
+                correct: false,
+            })
+            .unwrap();
+        assert!(matches!(
+            r,
+            Response::OutcomeRecorded(OutcomeNoted {
+                user: 1,
+                item: 1,
+                correct: false,
+                ..
+            })
+        ));
         let r = service
             .handle(Request::Snapshot {
                 note: "via handle".into(),

@@ -11,10 +11,11 @@ use proptest::prelude::*;
 use upskill_core::emission::EmissionTable;
 use upskill_core::feature::{FeatureKind, FeatureSchema, FeatureValue, PositiveModel};
 use upskill_core::parallel::ParallelConfig;
+use upskill_core::recommend::RecommendConfig;
 use upskill_core::streaming::{RefitPolicy, RefitTuner, StreamingSession};
 use upskill_core::train::{train_with_parallelism, TrainConfig, TrainResult};
 use upskill_core::types::{Action, ActionSequence, Dataset};
-use upskill_serve::{PredictMode, ServeConfig, ServeError, SkillService};
+use upskill_serve::{PolicyConfig, PolicyMode, PredictMode, ServeConfig, ServeError, SkillService};
 
 /// Raw item feature draws: (category, count, gamma value, lognormal value).
 type ItemDraw = (u32, u64, f64, f64);
@@ -326,6 +327,124 @@ proptest! {
             session.snapshot("clean").to_json().unwrap()
         );
     }
+}
+
+/// Adaptive-policy traffic is envelope-checked before any state is
+/// touched: every malformed `RecommendPolicy`/`RecordOutcome` shape
+/// maps to its typed [`ServeError`] — policy disabled, unknown user,
+/// mode mismatch, `k = 0`, empty difficulty band, unknown item — and a
+/// service that rejected all of them snapshots byte-identically to one
+/// that never saw the traffic.
+#[test]
+fn policy_requests_are_rejected_with_typed_errors() {
+    let draws: Vec<ItemDraw> = (0..5)
+        .map(|i| (i as u32, 2 + i as u64, 0.4 + i as f64, 1.2 + i as f64))
+        .collect();
+    let users: Vec<Vec<usize>> = (0..4)
+        .map(|u| (0..12).map(|t| u * 17 + t * 5).collect())
+        .collect();
+    let full = build_dataset(masked_schema(7), &draws, &users);
+    let (prefix_ds, _) = split(&full);
+    let (cfg, result) = trained(&prefix_ds, 3);
+    let n_items = prefix_ds.n_items() as u32;
+
+    let make = |recommend: RecommendConfig, adaptive: Option<PolicyConfig>| {
+        SkillService::resume(
+            prefix_ds.clone(),
+            &result,
+            cfg,
+            ParallelConfig::sequential(),
+            ServeConfig {
+                n_shards: 3,
+                policy: RefitPolicy::Manual,
+                recommend,
+                adaptive,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    // A generous band: every item is a candidate at every level.
+    let wide = RecommendConfig {
+        lower_slack: 10.0,
+        upper_slack: 10.0,
+        ..RecommendConfig::default()
+    };
+
+    // Policy endpoints on a static-only service: PolicyDisabled from
+    // both entry points, before any user/item validation.
+    let plain = make(wide, None);
+    assert_eq!(
+        plain.recommend_policy(0, Some(2), PolicyMode::Hybrid),
+        Err(ServeError::PolicyDisabled)
+    );
+    assert_eq!(
+        plain.record_outcome(0, 0, false),
+        Err(ServeError::PolicyDisabled)
+    );
+
+    let adaptive = make(wide, Some(PolicyConfig::hybrid()));
+    let clean = adaptive.snapshot("clean").unwrap().to_json().unwrap();
+
+    // Unknown users cannot be re-ranked or scored.
+    assert_eq!(
+        adaptive.recommend_policy(777_777, Some(2), PolicyMode::Hybrid),
+        Err(ServeError::UnknownUser { user: 777_777 })
+    );
+    assert_eq!(
+        adaptive.record_outcome(777_777, 0, true),
+        Err(ServeError::UnknownUser { user: 777_777 })
+    );
+    // The request's mode must match the configured one.
+    for requested in [PolicyMode::Teach, PolicyMode::Motivate] {
+        assert_eq!(
+            adaptive.recommend_policy(0, Some(2), requested),
+            Err(ServeError::PolicyModeMismatch {
+                requested,
+                configured: PolicyMode::Hybrid,
+            })
+        );
+    }
+    // A zero-length result list is a parameter error, not an empty Ok.
+    assert!(matches!(
+        adaptive.recommend_policy(0, Some(0), PolicyMode::Hybrid),
+        Err(ServeError::BadRequest { what: "k", .. })
+    ));
+    // Outcomes name a real catalog item.
+    assert!(matches!(
+        adaptive.record_outcome(0, n_items + 3, false),
+        Err(ServeError::Core(
+            upskill_core::error::CoreError::FeatureIndexOutOfBounds { .. }
+        ))
+    ));
+    // None of the rejections left a trace.
+    assert_eq!(
+        adaptive.snapshot("clean").unwrap().to_json().unwrap(),
+        clean
+    );
+    // The well-formed request on the same service succeeds.
+    let recs = adaptive
+        .recommend_policy(0, Some(2), PolicyMode::Hybrid)
+        .unwrap();
+    assert!(!recs.is_empty() && recs.len() <= 2);
+
+    // A razor-thin band with no candidates: the adaptive path refuses
+    // with the level in hand (the static path returns an empty list —
+    // distinguishing "nothing ranked" from "nothing rankable").
+    let narrow = make(
+        RecommendConfig {
+            target_offset: 0.0,
+            lower_slack: 0.0,
+            upper_slack: 1e-9,
+            ..RecommendConfig::default()
+        },
+        Some(PolicyConfig::hybrid()),
+    );
+    assert!(matches!(
+        narrow.recommend_policy(0, Some(2), PolicyMode::Hybrid),
+        Err(ServeError::EmptyBand { .. })
+    ));
+    assert_eq!(narrow.recommend(0, Some(2)).unwrap(), vec![]);
 }
 
 /// Concurrent ingestion over disjoint users under a fixed table (Manual

@@ -17,12 +17,13 @@ use std::sync::Arc;
 
 use upskill_core::feature::{FeatureKind, FeatureSchema, FeatureValue};
 use upskill_core::parallel::ParallelConfig;
+use upskill_core::recommend::RecommendConfig;
 use upskill_core::streaming::RefitPolicy;
 use upskill_core::sync::explore::{Explorer, Run};
 use upskill_core::sync::{LockId, TracedMutex};
 use upskill_core::train::{train, TrainConfig, TrainResult};
 use upskill_core::types::{Action, ActionSequence, Dataset};
-use upskill_serve::{PredictMode, ServeConfig, SkillService};
+use upskill_serve::{PolicyConfig, PolicyMode, PredictMode, ServeConfig, SkillService};
 
 /// Small deterministic progression dataset: six users moving from the
 /// easy item to the hard one, two skill levels.
@@ -62,6 +63,37 @@ fn service(
             ServeConfig {
                 n_shards,
                 policy,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap(),
+    )
+}
+
+/// An adaptive-policy variant of [`service`]: hybrid policy enabled and
+/// a wide difficulty band so policy reads always have candidates.
+fn adaptive_service(
+    dataset: &Dataset,
+    cfg: TrainConfig,
+    result: &TrainResult,
+    n_shards: usize,
+    policy: RefitPolicy,
+) -> Arc<SkillService> {
+    Arc::new(
+        SkillService::resume(
+            dataset.clone(),
+            result,
+            cfg,
+            ParallelConfig::sequential(),
+            ServeConfig {
+                n_shards,
+                policy,
+                recommend: RecommendConfig {
+                    lower_slack: 10.0,
+                    upper_slack: 10.0,
+                    ..RecommendConfig::default()
+                },
+                adaptive: Some(PolicyConfig::hybrid()),
                 ..ServeConfig::default()
             },
         )
@@ -231,6 +263,94 @@ fn mixed_workload_random_exploration_is_clean() {
             assert!(!bundle.to_json().unwrap().is_empty());
         });
         run.join();
+    });
+
+    assert_eq!(exploration.schedules, budget);
+    assert!(
+        exploration.violations.is_empty(),
+        "lock-discipline violations:\n{}",
+        exploration
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(exploration.events > 0);
+}
+
+// Adaptive policy reads racing an epoch swap: one thread's ingest burst
+// crosses the EveryNActions(2) threshold and publishes a fresh epoch
+// while a second thread re-ranks another user's band and a third
+// records a failed outcome. A policy read never blocks on the refit, so
+// under every explored schedule it must observe exactly one of the two
+// epoch states — its output serialized against the swap, byte-equal to
+// the pre-refit or post-refit reference — and once the writer joins,
+// the service must sit exactly on the post-refit state. The schedules
+// budget is the same `UPSKILL_SYNC_SCHEDULES` CI knob as the mixed
+// workload above.
+#[test]
+fn policy_reads_racing_an_epoch_swap_are_serializable() {
+    let (dataset, cfg, result) = fixture();
+    let users: Vec<u32> = (0..6).collect();
+    let policy = RefitPolicy::EveryNActions(2);
+    let probe = adaptive_service(&dataset, cfg, &result, 3, policy);
+    let (u0, u1) = distinct_shard_pair(&probe, &users);
+    let budget = Explorer::budget_from_env("UPSKILL_SYNC_SCHEDULES", 24);
+
+    let ranked_json = |svc: &SkillService| {
+        serde_json::to_string(
+            &svc.recommend_policy(u1, Some(2), PolicyMode::Hybrid)
+                .unwrap(),
+        )
+        .unwrap()
+    };
+    // Serial references. `u1` is untouched by the traffic, so its
+    // policy ranking depends only on the published epoch: `pre` is the
+    // resume-time epoch, `post` the one the writer's second ingest
+    // publishes. The recorded outcome lives in `u0`'s policy state and
+    // must not leak into `u1`'s ranking.
+    let pre = ranked_json(&probe);
+    let reference = adaptive_service(&dataset, cfg, &result, 3, policy);
+    reference.ingest(Action::new(100, u0, 1)).unwrap();
+    reference.ingest(Action::new(101, u0, 1)).unwrap();
+    reference.record_outcome(u0, 0, false).unwrap();
+    let post = ranked_json(&reference);
+
+    let exploration = Explorer::random(0xCA11_B4CC, budget).explore(|run| {
+        let svc = adaptive_service(&dataset, cfg, &result, 3, policy);
+        let (s0, s1, s2) = (Arc::clone(&svc), Arc::clone(&svc), Arc::clone(&svc));
+        let (pre, post) = (pre.clone(), post.clone());
+        run.thread(move || {
+            s0.ingest(Action::new(100, u0, 1)).unwrap();
+            // Crosses the threshold: refit + epoch publish under the
+            // global lock only.
+            s0.ingest(Action::new(101, u0, 1)).unwrap();
+        });
+        let post_for_reader = post.clone();
+        run.thread(move || {
+            let post = post_for_reader;
+            let json = serde_json::to_string(
+                &s1.recommend_policy(u1, Some(2), PolicyMode::Hybrid)
+                    .unwrap(),
+            )
+            .unwrap();
+            assert!(
+                json == pre || json == post,
+                "policy read saw a state that is neither pre- nor post-refit"
+            );
+        });
+        run.thread(move || {
+            // Failure evidence for the *writer's* user: contends on
+            // u0's shard and the epoch difficulty, never on u1's rank.
+            s2.record_outcome(u0, 0, false).unwrap();
+        });
+        run.join();
+        assert_eq!(
+            ranked_json(&svc),
+            post,
+            "joined state is not the serialized post-refit reference"
+        );
     });
 
     assert_eq!(exploration.schedules, budget);
